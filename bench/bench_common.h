@@ -1,0 +1,111 @@
+// Shared helpers for the experiment harnesses (bench/bench_e*.cpp).
+//
+// Every harness regenerates one "figure/table" from the paper — a theorem,
+// lemma or worked example (see DESIGN.md §5 and EXPERIMENTS.md) — by running
+// Monte-Carlo sweeps and printing paper-style rows: parameter, theoretical
+// value, measured median, and their ratio. Flags shared by all harnesses:
+//   --trials N   trials per configuration (default varies per bench)
+//   --seed S     base seed (default 1)
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/runtime.h"
+#include "sim/assignment.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace cogradio::bench {
+
+// Median CogCast completion slots over `trials` independent topologies and
+// executions of the given static/dynamic pattern.
+inline Summary cogcast_slots(const std::string& pattern, int n, int c, int k,
+                             int trials, std::uint64_t base_seed,
+                             double gamma = 4.0) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(trials));
+  Rng seeder(base_seed);
+  for (int t = 0; t < trials; ++t) {
+    const std::uint64_t s1 = seeder();
+    const std::uint64_t s2 = seeder();
+    auto assignment =
+        make_assignment(pattern, n, c, k, LabelMode::LocalRandom, Rng(s1));
+    CogCastRunConfig config;
+    config.params = {n, c, k, gamma};
+    config.seed = s2;
+    config.max_slots = 64 * config.params.horizon();
+    const auto out = run_cogcast(*assignment, config);
+    if (out.completed) samples.push_back(static_cast<double>(out.slots));
+  }
+  return summarize(samples);
+}
+
+// Median completion of the rendezvous-broadcast baseline on the same kind
+// of topologies.
+inline Summary rendezvous_broadcast_slots(const std::string& pattern, int n,
+                                          int c, int k, int trials,
+                                          std::uint64_t base_seed) {
+  std::vector<double> samples;
+  Rng seeder(base_seed);
+  for (int t = 0; t < trials; ++t) {
+    const std::uint64_t s1 = seeder();
+    const std::uint64_t s2 = seeder();
+    auto assignment =
+        make_assignment(pattern, n, c, k, LabelMode::LocalRandom, Rng(s1));
+    BaselineRunConfig config;
+    config.seed = s2;
+    config.max_slots = 4'000'000;
+    const auto out = run_rendezvous_broadcast(*assignment, config);
+    if (out.completed) samples.push_back(static_cast<double>(out.slots));
+  }
+  return summarize(samples);
+}
+
+// Theorem 4 horizon without the constant: (c/k) * max{1, c/n} * lg n.
+inline double theorem4_shape(int n, int c, int k) {
+  const double lg = std::log2(std::max(2.0, static_cast<double>(n)));
+  return (static_cast<double>(c) / k) *
+         std::max(1.0, static_cast<double>(c) / n) * lg;
+}
+
+// Expected *actual* pairwise overlap of a generator, as opposed to the
+// guaranteed minimum k. Theorem 4's running time is governed by the real
+// overlap, so theory columns use this:
+//   partitioned  exactly k by construction;
+//   shared-core  k core channels plus incidental tail overlap
+//                (c-k)^2 / (C-k) with C = 2c;
+//   pigeonhole   hypergeometric mean c^2 / C with C = 2c-k.
+inline double effective_overlap(const std::string& pattern, int c, int k) {
+  if (pattern == "partitioned") return k;
+  if (pattern == "shared-core" || pattern == "dynamic-shared-core") {
+    const double tail = static_cast<double>(c - k);
+    return k + tail * tail / (2.0 * c - k);
+  }
+  if (pattern == "pigeonhole" || pattern == "dynamic-pigeonhole")
+    return static_cast<double>(c) * c / (2.0 * c - k);
+  return k;
+}
+
+// Theorem 4 shape evaluated at the pattern's effective overlap.
+inline double theorem4_shape_effective(const std::string& pattern, int n,
+                                       int c, int k) {
+  const double lg = std::log2(std::max(2.0, static_cast<double>(n)));
+  return (static_cast<double>(c) / effective_overlap(pattern, c, k)) *
+         std::max(1.0, static_cast<double>(c) / n) * lg;
+}
+
+// Prints a one-line power-law fit summary, e.g.
+//   fit: median ~ 3.1 * c^1.02  (r2=0.998; theory exponent 1)
+inline void print_fit(const std::string& xname, std::vector<double> xs,
+                      std::vector<double> ys, double theory_exponent) {
+  const PowerFit fit = fit_power(xs, ys);
+  std::printf(
+      "fit: median ~ %.3g * %s^%.2f  (r2=%.3f; theory exponent %.2f)\n",
+      fit.coefficient, xname.c_str(), fit.exponent, fit.r2, theory_exponent);
+}
+
+}  // namespace cogradio::bench

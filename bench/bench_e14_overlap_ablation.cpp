@@ -1,0 +1,55 @@
+// E14 — Claim 2 robustness ablation: CogCast's bound is independent of the
+// *pattern* of channel overlap.
+//
+// The analysis (Claims 1-3) shows the progress probability is Omega(k/c)
+// whether the shared channels are concentrated (everyone shares the same k
+// channels — "partitioned"), diffuse (random subsets — "pigeonhole"), or
+// in between ("shared-core"). The measured medians across patterns at the
+// same (n, c, k) should agree within a small constant factor.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace cogradio;
+using namespace cogradio::bench;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const int trials = static_cast<int>(args.get_int("trials", 30));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  args.finish();
+
+  std::printf("E14: overlap-pattern ablation   (Claim 2, %d trials/point)\n",
+              trials);
+
+  struct Config {
+    int n, c, k;
+  };
+  for (const Config cfg : {Config{64, 16, 4}, Config{64, 16, 2},
+                           Config{32, 8, 4}, Config{16, 32, 8}}) {
+    // Normalizing each pattern's median by its *effective-overlap* theory
+    // value isolates the constant the analysis hides; Claim 2 predicts
+    // similar constants across concentrated vs diffuse overlap.
+    Table table({"pattern", "k_eff", "median", "p95", "median/theory(k_eff)"});
+    double lo = 1e18, hi = 0;
+    for (const auto& pattern : static_pattern_names()) {
+      const double theory =
+          theorem4_shape_effective(pattern, cfg.n, cfg.c, cfg.k);
+      const Summary s = cogcast_slots(pattern, cfg.n, cfg.c, cfg.k, trials,
+                                      seed + static_cast<std::uint64_t>(cfg.n * 131 + cfg.c));
+      const double normalized = safe_ratio(s.median, theory);
+      lo = std::min(lo, normalized);
+      hi = std::max(hi, normalized);
+      table.add_row({pattern,
+                     Table::num(effective_overlap(pattern, cfg.c, cfg.k), 1),
+                     Table::num(s.median, 1), Table::num(s.p95, 1),
+                     Table::num(normalized, 3)});
+    }
+    char title[160];
+    std::snprintf(title, sizeof(title),
+                  "n=%d c=%d k=%d   (max/min spread of normalized constants: %.2f)",
+                  cfg.n, cfg.c, cfg.k, safe_ratio(hi, lo));
+    table.print_with_title(title);
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// E18 — simulator throughput (google-benchmark).
+//
+// Not a paper claim but the enabler of all sweeps: the slot engine must
+// push millions of node-slots per second so that the E1-E17 Monte-Carlo
+// harnesses run in seconds on a laptop.
+#include <benchmark/benchmark.h>
+
+#include "core/cogcast.h"
+#include "core/runtime.h"
+#include "sim/assignment.h"
+#include "sim/backoff.h"
+#include "sim/network.h"
+
+namespace cogradio {
+namespace {
+
+void BM_NetworkStepCogCast(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int c = 16, k = 4;
+  SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom, Rng(1));
+  Message payload;
+  payload.type = MessageType::Data;
+  Rng seeder(2);
+  std::vector<std::unique_ptr<CogCastNode>> nodes;
+  std::vector<Protocol*> protocols;
+  for (NodeId u = 0; u < n; ++u) {
+    nodes.push_back(std::make_unique<CogCastNode>(
+        u, c, u == 0, payload, seeder.split(static_cast<std::uint64_t>(u))));
+    protocols.push_back(nodes.back().get());
+  }
+  Network network(assignment, std::move(protocols));
+  for (auto _ : state) network.step();
+  state.SetItemsProcessed(state.iterations() * n);  // node-slots/sec
+}
+BENCHMARK(BM_NetworkStepCogCast)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_NetworkStepDynamicAssignment(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int c = 16, k = 4;
+  auto assignment = DynamicAssignment::shared_core(n, c, k, Rng(3));
+  Message payload;
+  payload.type = MessageType::Data;
+  Rng seeder(4);
+  std::vector<std::unique_ptr<CogCastNode>> nodes;
+  std::vector<Protocol*> protocols;
+  for (NodeId u = 0; u < n; ++u) {
+    nodes.push_back(std::make_unique<CogCastNode>(
+        u, c, u == 0, payload, seeder.split(static_cast<std::uint64_t>(u))));
+    protocols.push_back(nodes.back().get());
+  }
+  Network network(*assignment, std::move(protocols));
+  for (auto _ : state) network.step();
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NetworkStepDynamicAssignment)->Arg(64)->Arg(256);
+
+void BM_DecayBackoffResolve(benchmark::State& state) {
+  const int contenders = static_cast<int>(state.range(0));
+  const auto params = backoff_params_for(contenders);
+  Rng rng(5);
+  for (auto _ : state) benchmark::DoNotOptimize(decay_backoff(contenders, params, rng));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecayBackoffResolve)->Arg(2)->Arg(16)->Arg(128);
+
+void BM_FullCogCompRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int c = 16, k = 4;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom,
+                                    Rng(seed));
+    CogCompRunConfig config;
+    config.params = {n, c, k, 4.0};
+    config.seed = seed++;
+    const auto values = make_values(n, seed);
+    benchmark::DoNotOptimize(run_cogcomp(assignment, values, config));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullCogCompRun)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace cogradio
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// E20 — white-space stress: CogCast under a Markov primary-user spectrum
+// (Section 1 motivation + Section 7 dynamic-model claim).
+//
+// Primary users occupy and release channels with temporal correlation;
+// secondary nodes re-derive their c-channel sets every slot (k reserved
+// channels keep the pairwise-overlap invariant). Sweeping the primary-user
+// duty cycle from idle to saturated, CogCast's completion time should stay
+// within the Theorem 4 envelope evaluated at k (the only guaranteed
+// overlap), improving towards the effective-overlap envelope when the band
+// is mostly free.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "sim/spectrum.h"
+
+using namespace cogradio;
+using namespace cogradio::bench;
+
+namespace {
+
+Summary spectrum_cogcast(int n, int c, int k, double duty, int trials,
+                         std::uint64_t base_seed) {
+  // duty = stationary busy probability; fix departure rate, solve arrival.
+  SpectrumParams sp;
+  sp.band = 2 * c;
+  sp.p_busy_to_free = 0.25;
+  sp.p_free_to_busy =
+      duty >= 1.0 ? 1.0 : std::min(1.0, 0.25 * duty / (1.0 - duty));
+  std::vector<double> samples;
+  Rng seeder(base_seed);
+  for (int t = 0; t < trials; ++t) {
+    MarkovSpectrumAssignment assignment(n, c, k, sp, Rng(seeder()));
+    CogCastRunConfig config;
+    config.params = {n, c, k, 4.0};
+    config.seed = seeder();
+    config.max_slots = 64 * config.params.horizon();
+    const auto out = run_cogcast(assignment, config);
+    if (out.completed) samples.push_back(static_cast<double>(out.slots));
+  }
+  return summarize(samples);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const int trials = static_cast<int>(args.get_int("trials", 25));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int n = static_cast<int>(args.get_int("n", 48));
+  const int c = static_cast<int>(args.get_int("c", 12));
+  const int k = static_cast<int>(args.get_int("k", 3));
+  args.finish();
+
+  std::printf("E20: CogCast under primary-user dynamics   (n=%d, c=%d, k=%d, "
+              "%d trials/point)\n",
+              n, c, k, trials);
+
+  const double envelope = theorem4_shape(n, c, k);
+  Table table({"PU duty cycle", "median", "p95", "theory envelope (k)",
+               "median/envelope"});
+  for (double duty : {0.0, 0.2, 0.4, 0.6, 0.8, 0.95}) {
+    const Summary s = spectrum_cogcast(n, c, k, duty, trials,
+                                       seed + static_cast<std::uint64_t>(duty * 100));
+    table.add_row({Table::num(duty, 2), Table::num(s.median, 1),
+                   Table::num(s.p95, 1), Table::num(envelope, 1),
+                   Table::num(safe_ratio(s.median, envelope), 3)});
+  }
+  table.print_with_title("primary-user load sweep (Markov on/off channels)");
+  std::printf("\ntheory: ratios stay O(1) for every duty cycle — the paper's\n"
+              "dynamic-model guarantee depends only on the k-overlap invariant.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// E21 — design ablation: why "everybody broadcasts every slot" is the
+// right choice *in the paper's collision model*, and what it costs on a
+// raw radio.
+//
+// CogCast's informed nodes transmit unconditionally (p = 1). Under the
+// one-winner model (Section 2), contention is resolved for free, so any
+// p < 1 only wastes transmission opportunities — completion should be
+// monotone in p. On a raw collision-loss radio with NO backoff layer,
+// concurrent broadcasters destroy each other, so p = 1 stalls once many
+// nodes are informed and some p < 1 wins — which is precisely why the
+// paper's model abstracts a backoff layer (footnote 4), and why our
+// emulated-backoff substrate restores p = 1 as optimal.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/cogcast.h"
+#include "sim/network.h"
+
+using namespace cogradio;
+using namespace cogradio::bench;
+
+namespace {
+
+Summary ablate(int n, int c, int k, double p, CollisionModel model,
+               bool emulate_backoff, int trials, std::uint64_t base_seed) {
+  std::vector<double> samples;
+  Rng seeder(base_seed);
+  Message payload;
+  payload.type = MessageType::Data;
+  for (int t = 0; t < trials; ++t) {
+    SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom,
+                                    Rng(seeder()));
+    Rng node_seeder(seeder());
+    std::vector<std::unique_ptr<CogCastNode>> nodes;
+    std::vector<Protocol*> protocols;
+    for (NodeId u = 0; u < n; ++u) {
+      nodes.push_back(std::make_unique<CogCastNode>(
+          u, c, u == 0, payload, node_seeder.split(static_cast<std::uint64_t>(u))));
+      nodes.back()->set_tx_probability(p);
+      protocols.push_back(nodes.back().get());
+    }
+    NetworkOptions opt;
+    opt.collision = model;
+    opt.seed = seeder();
+    opt.emulate_backoff = emulate_backoff;
+    if (emulate_backoff) opt.backoff = backoff_params_for(n);
+    Network net(assignment, protocols, opt);
+    net.run(200'000);
+    if (net.all_done()) samples.push_back(static_cast<double>(net.now()));
+  }
+  return summarize(samples);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const int trials = static_cast<int>(args.get_int("trials", 20));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int n = static_cast<int>(args.get_int("n", 48));
+  const int c = static_cast<int>(args.get_int("c", 12));
+  const int k = static_cast<int>(args.get_int("k", 3));
+  args.finish();
+
+  std::printf("E21: transmit-probability ablation   (n=%d, c=%d, k=%d, "
+              "%d trials/point)\n",
+              n, c, k, trials);
+
+  Table table({"tx prob p", "one-winner med", "collision-loss med",
+               "backoff-emulated med"});
+  for (double p : {0.05, 0.1, 0.25, 0.5, 0.75, 1.0}) {
+    const Summary ow =
+        ablate(n, c, k, p, CollisionModel::OneWinner, false, trials,
+               seed + static_cast<std::uint64_t>(p * 1000));
+    const Summary cl =
+        ablate(n, c, k, p, CollisionModel::CollisionLoss, false, trials,
+               seed + 5000 + static_cast<std::uint64_t>(p * 1000));
+    const Summary bo =
+        ablate(n, c, k, p, CollisionModel::OneWinner, true, trials,
+               seed + 9000 + static_cast<std::uint64_t>(p * 1000));
+    auto cell = [](const Summary& s, int trials_run) {
+      return s.count < static_cast<std::size_t>(trials_run) / 2
+                 ? std::string("stall")
+                 : Table::num(s.median, 1);
+    };
+    table.add_row({Table::num(p, 2), cell(ow, trials), cell(cl, trials),
+                   cell(bo, trials)});
+  }
+  table.print_with_title("CogCast completion vs informed-node tx probability");
+  std::printf(
+      "\ntheory: under one-winner (the paper's model) completion is monotone\n"
+      "decreasing in p — p=1 optimal. On a raw collision-loss radio p=1 can\n"
+      "still finish (two nodes rarely collide on c channels early on) but\n"
+      "large informed sets on few channels favor intermediate p. The decay\n"
+      "backoff layer (footnote 4) restores p=1 as optimal end-to-end.\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// E22 — radio duty-cycle / energy profile of the protocols.
+//
+// Not a theorem, but the natural systems counterpart of the paper's time
+// bounds: CogCast buys its factor-c speedup by having *every informed
+// node* transmit every slot, whereas the rendezvous baseline transmits
+// only at the source. The harness reports per-node TX/RX slot totals
+// (energy = TX + RX slots) until completion — showing that CogCast's
+// total energy is nonetheless competitive because it finishes so much
+// earlier, and that CogComp's phases 2-4 add only O(n) energy.
+#include <cstdio>
+
+#include "baselines/rendezvous_broadcast.h"
+#include "bench_common.h"
+#include "core/cogcast.h"
+#include "core/cogcomp.h"
+#include "sim/network.h"
+
+using namespace cogradio;
+using namespace cogradio::bench;
+
+namespace {
+
+struct EnergyProfile {
+  double slots = 0;
+  double total_tx = 0;
+  double total_listen = 0;
+  double max_node_energy = 0;
+};
+
+template <typename MakeProtocols>
+EnergyProfile profile(ChannelAssignment& assignment, MakeProtocols make,
+                      Slot cap, std::uint64_t seed) {
+  auto owned = make();
+  std::vector<Protocol*> protocols;
+  for (auto& p : owned) protocols.push_back(p.get());
+  NetworkOptions opt;
+  opt.seed = seed;
+  Network net(assignment, protocols, opt);
+  net.run(cap);
+  EnergyProfile out;
+  out.slots = static_cast<double>(net.now());
+  for (NodeId u = 0; u < assignment.num_nodes(); ++u) {
+    const NodeActivity& a = net.activity(u);
+    out.total_tx += static_cast<double>(a.tx);
+    out.total_listen += static_cast<double>(a.listen);
+    out.max_node_energy =
+        std::max(out.max_node_energy, static_cast<double>(a.energy()));
+  }
+  return out;
+}
+
+Message data_msg() {
+  Message m;
+  m.type = MessageType::Data;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const int trials = static_cast<int>(args.get_int("trials", 15));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int c = static_cast<int>(args.get_int("c", 12));
+  const int k = static_cast<int>(args.get_int("k", 3));
+  args.finish();
+
+  std::printf("E22: energy / duty-cycle profile   (c=%d, k=%d, "
+              "%d trials/point; energy = TX+RX node-slots)\n",
+              c, k, trials);
+
+  Table table({"n", "protocol", "slots", "total TX", "total RX",
+               "max node energy", "energy/node"});
+  for (int n : {16, 64}) {
+    for (const std::string proto : {"cogcast", "rendezvous", "cogcomp"}) {
+      double slots = 0, tx = 0, rx = 0, worst = 0;
+      int ok = 0;
+      Rng seeder(seed + static_cast<std::uint64_t>(n));
+      for (int t = 0; t < trials; ++t) {
+        SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom,
+                                        Rng(seeder()));
+        Rng node_seeder(seeder());
+        EnergyProfile p;
+        if (proto == "cogcast") {
+          p = profile(
+              assignment,
+              [&] {
+                std::vector<std::unique_ptr<Protocol>> v;
+                for (NodeId u = 0; u < n; ++u)
+                  v.push_back(std::make_unique<CogCastNode>(
+                      u, c, u == 0, data_msg(),
+                      node_seeder.split(static_cast<std::uint64_t>(u))));
+                return v;
+              },
+              200'000, seeder());
+        } else if (proto == "rendezvous") {
+          p = profile(
+              assignment,
+              [&] {
+                std::vector<std::unique_ptr<Protocol>> v;
+                for (NodeId u = 0; u < n; ++u)
+                  v.push_back(std::make_unique<RendezvousBroadcastNode>(
+                      u, c, u == 0, data_msg(),
+                      node_seeder.split(static_cast<std::uint64_t>(u))));
+                return v;
+              },
+              2'000'000, seeder());
+        } else {
+          const CogCompParams params{n, c, k, 4.0};
+          const auto values = make_values(n, seeder());
+          p = profile(
+              assignment,
+              [&] {
+                std::vector<std::unique_ptr<Protocol>> v;
+                for (NodeId u = 0; u < n; ++u)
+                  v.push_back(std::make_unique<CogCompNode>(
+                      u, params, u == 0, values[static_cast<std::size_t>(u)],
+                      Aggregator(AggOp::Sum),
+                      node_seeder.split(static_cast<std::uint64_t>(u))));
+                return v;
+              },
+              params.max_slots(), seeder());
+        }
+        ++ok;
+        slots += p.slots;
+        tx += p.total_tx;
+        rx += p.total_listen;
+        worst = std::max(worst, p.max_node_energy);
+      }
+      table.add_row({Table::num(static_cast<std::int64_t>(n)), proto,
+                     Table::num(slots / ok, 1), Table::num(tx / ok, 0),
+                     Table::num(rx / ok, 0), Table::num(worst, 0),
+                     Table::num((tx + rx) / ok / n, 1)});
+    }
+  }
+  table.print_with_title("energy until completion (means over trials)");
+  std::printf("\nreading: CogCast transmits from every informed node yet its\n"
+              "early finish keeps per-node energy below the rendezvous\n"
+              "baseline's long listening vigil; CogComp adds its O(n) phases.\n");
+  return 0;
+}

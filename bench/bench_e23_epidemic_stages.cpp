@@ -1,0 +1,130 @@
+// E23 — the *structure* of Theorem 4's proof, made visible.
+//
+// The analysis (Claims 1-3) splits the epidemic into two stages when
+// n >= c:
+//   stage 1: while <= c/2 nodes are informed, each informed node
+//            independently informs someone with probability Omega(k/c)
+//            per slot -> exponential doubling -> c/2 informed within
+//            O((c/k) lg n) slots;
+//   stage 2: each still-uninformed node becomes informed with probability
+//            Omega(k/c) per slot -> union bound -> everyone informed in
+//            another O((c/k) lg n) slots.
+//
+// The harness records the informed-count curve slot by slot and reports:
+//   (a) the measured time to reach c/2 informed vs (c/k) lg n;
+//   (b) the measured stage-2 per-node hazard rate vs the k/c floor;
+//   (c) the doubling times early in stage 1.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "core/cogcast.h"
+#include "sim/network.h"
+
+using namespace cogradio;
+using namespace cogradio::bench;
+
+namespace {
+
+struct Curve {
+  Slot reach_half_c = 0;      // first slot with >= c/2 informed
+  Slot completion = 0;        // first slot with all informed
+  double stage2_hazard = 0;   // mean per-node informing prob after c/2
+  double first_doubling = 0;  // slots to go from 1 to 2 informed
+};
+
+Curve run_curve(int n, int c, int k, std::uint64_t seed) {
+  // Partitioned: pairwise overlap is exactly k, so the stage bounds can be
+  // evaluated at the nominal k rather than an effective overlap.
+  PartitionedAssignment assignment(n, c, k, LabelMode::LocalRandom, Rng(seed));
+  Message payload;
+  payload.type = MessageType::Data;
+  Rng seeder(seed + 1);
+  std::vector<std::unique_ptr<CogCastNode>> nodes;
+  std::vector<Protocol*> protocols;
+  for (NodeId u = 0; u < n; ++u) {
+    nodes.push_back(std::make_unique<CogCastNode>(
+        u, c, u == 0, payload, seeder.split(static_cast<std::uint64_t>(u))));
+    protocols.push_back(nodes.back().get());
+  }
+  NetworkOptions opt;
+  opt.seed = seed + 2;
+  Network net(assignment, protocols, opt);
+
+  Curve curve;
+  int informed = 1;
+  double hazard_sum = 0;
+  int hazard_samples = 0;
+  while (informed < n && net.now() < 1'000'000) {
+    const int before = informed;
+    net.step();
+    informed = 0;
+    for (const auto& node : nodes)
+      if (node->informed()) ++informed;
+    if (curve.first_doubling == 0 && informed >= 2)
+      curve.first_doubling = static_cast<double>(net.now());
+    if (curve.reach_half_c == 0 && 2 * informed >= c)
+      curve.reach_half_c = net.now();
+    if (curve.reach_half_c != 0 && before < n) {
+      // Stage 2: fraction of the remaining uninformed nodes informed in
+      // this slot estimates the per-node hazard.
+      hazard_sum += static_cast<double>(informed - before) / (n - before);
+      ++hazard_samples;
+    }
+  }
+  curve.completion = net.now();
+  curve.stage2_hazard = hazard_samples > 0 ? hazard_sum / hazard_samples : 1.0;
+  return curve;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const int trials = static_cast<int>(args.get_int("trials", 25));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  args.finish();
+
+  std::printf("E23: the two epidemic stages of Theorem 4's proof   "
+              "(%d trials/point)\n",
+              trials);
+
+  Table table({"n", "c", "k", "to c/2 informed (med)",
+               "stage bound (c/k)lg n", "stage-2 hazard", "floor k/c",
+               "hazard/floor", "completion med"});
+  struct Config {
+    int n, c, k;
+  };
+  // c close to n keeps listeners-per-channel ~1 so the doubling stage is
+  // actually exercised (with n >> c a single winning broadcast informs
+  // ~n/c nodes at once and stage 1 collapses).
+  for (const Config cfg :
+       {Config{64, 32, 4}, Config{128, 64, 8}, Config{128, 64, 2},
+        Config{256, 128, 8}}) {
+    std::vector<double> half, hazard, total;
+    Rng seeder(seed + static_cast<std::uint64_t>(cfg.n + cfg.c + cfg.k));
+    for (int t = 0; t < trials; ++t) {
+      const Curve curve = run_curve(cfg.n, cfg.c, cfg.k, seeder());
+      half.push_back(static_cast<double>(curve.reach_half_c));
+      hazard.push_back(curve.stage2_hazard);
+      total.push_back(static_cast<double>(curve.completion));
+    }
+    const double stage_bound =
+        (static_cast<double>(cfg.c) / cfg.k) *
+        std::log2(std::max(2.0, static_cast<double>(cfg.n)));
+    const double floor = static_cast<double>(cfg.k) / cfg.c;
+    const double hz = summarize(hazard).median;
+    table.add_row({Table::num(static_cast<std::int64_t>(cfg.n)),
+                   Table::num(static_cast<std::int64_t>(cfg.c)),
+                   Table::num(static_cast<std::int64_t>(cfg.k)),
+                   Table::num(summarize(half).median, 1),
+                   Table::num(stage_bound, 1), Table::num(hz, 3),
+                   Table::num(floor, 3), Table::num(hz / floor, 2),
+                   Table::num(summarize(total).median, 1)});
+  }
+  table.print_with_title("stage structure (partitioned pattern, n >= c)");
+  std::printf("\ntheory: 'to c/2' <= O(stage bound); stage-2 hazard >= "
+              "Omega(k/c)\n(hazard/floor is the hidden constant of "
+              "Claim 3 — expect O(1) and >= ~0.3).\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// E24 — collision-model sensitivity (footnote 3).
+//
+// The paper deliberately adopts a *weaker* collision model than the
+// rendezvous literature: one uniformly random winner per channel, instead
+// of all concurrent messages being delivered. This harness runs CogCast
+// under (a) the paper's one-winner model, (b) the strong all-delivered
+// model of [6, 11], and (c) the raw collision-loss radio with the decay
+// backoff emulation — quantifying how much the modelling choice matters.
+//
+// Expectation: one-winner and all-delivered are nearly identical for
+// broadcast (a listener only needs *a* message), so the paper's weaker
+// assumption costs nothing; the emulated raw radio matches one-winner by
+// construction, paying only micro-slot overhead.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "core/cogcast.h"
+#include "sim/network.h"
+
+using namespace cogradio;
+using namespace cogradio::bench;
+
+namespace {
+
+Summary run_model(int n, int c, int k, CollisionModel model,
+                  bool emulate_backoff, int trials, std::uint64_t base_seed) {
+  std::vector<double> samples;
+  Rng seeder(base_seed);
+  Message payload;
+  payload.type = MessageType::Data;
+  for (int t = 0; t < trials; ++t) {
+    SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom,
+                                    Rng(seeder()));
+    Rng node_seeder(seeder());
+    std::vector<std::unique_ptr<CogCastNode>> nodes;
+    std::vector<Protocol*> protocols;
+    for (NodeId u = 0; u < n; ++u) {
+      nodes.push_back(std::make_unique<CogCastNode>(
+          u, c, u == 0, payload,
+          node_seeder.split(static_cast<std::uint64_t>(u))));
+      protocols.push_back(nodes.back().get());
+    }
+    NetworkOptions opt;
+    opt.collision = model;
+    opt.seed = seeder();
+    opt.emulate_backoff = emulate_backoff;
+    if (emulate_backoff) opt.backoff = backoff_params_for(n);
+    Network net(assignment, protocols, opt);
+    net.run(500'000);
+    if (net.all_done()) samples.push_back(static_cast<double>(net.now()));
+  }
+  return summarize(samples);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const int trials = static_cast<int>(args.get_int("trials", 25));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  args.finish();
+
+  std::printf("E24: collision-model sensitivity   (footnote 3, "
+              "%d trials/point)\n",
+              trials);
+
+  Table table({"n", "c", "k", "one-winner (paper)", "all-delivered [6,11]",
+               "backoff-emulated raw", "strong/paper"});
+  struct Config {
+    int n, c, k;
+  };
+  for (const Config cfg : {Config{32, 8, 2}, Config{64, 16, 4},
+                           Config{128, 16, 2}, Config{16, 32, 8}}) {
+    const Summary ow = run_model(cfg.n, cfg.c, cfg.k,
+                                 CollisionModel::OneWinner, false, trials,
+                                 seed + static_cast<std::uint64_t>(cfg.n));
+    const Summary ad = run_model(cfg.n, cfg.c, cfg.k,
+                                 CollisionModel::AllDelivered, false, trials,
+                                 seed + 100 + static_cast<std::uint64_t>(cfg.n));
+    const Summary bo = run_model(cfg.n, cfg.c, cfg.k,
+                                 CollisionModel::OneWinner, true, trials,
+                                 seed + 200 + static_cast<std::uint64_t>(cfg.n));
+    table.add_row({Table::num(static_cast<std::int64_t>(cfg.n)),
+                   Table::num(static_cast<std::int64_t>(cfg.c)),
+                   Table::num(static_cast<std::int64_t>(cfg.k)),
+                   Table::num(ow.median, 1), Table::num(ad.median, 1),
+                   Table::num(bo.median, 1),
+                   Table::num(safe_ratio(ad.median, ow.median), 2)});
+  }
+  table.print_with_title("CogCast completion under the three radio models");
+  std::printf("\ntheory: ratios ~ 1 — for broadcast the paper loses nothing\n"
+              "by assuming the weaker one-winner model.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// E27 — mediator ablation (Section 5 overview).
+//
+// "Each channel can be used by only one node at a time, but many
+// parent-child pairs may be sharing that same channel. If this contention
+// is not handled carefully, one might imagine being delayed ... Hence, in
+// the fourth phase ... we use a coordination mechanism to limit
+// contention."
+//
+// The harness removes that mechanism: phase 4 runs as 2-slot steps where
+// every ready sender fires with probability 1/2 and no mediator serializes
+// clusters. Still exact, but senders from inactive clusters can win a
+// channel and waste the step. The mediated/unmediated phase-4 ratio should
+// widen as contention grows (more nodes per overlap channel: larger n,
+// smaller k).
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace cogradio;
+using namespace cogradio::bench;
+
+namespace {
+
+Summary phase4_slots(int n, int c, int k, bool mediated, int trials,
+                     std::uint64_t base_seed, int* incomplete) {
+  std::vector<double> samples;
+  Rng seeder(base_seed);
+  for (int t = 0; t < trials; ++t) {
+    PartitionedAssignment assignment(n, c, k, LabelMode::LocalRandom,
+                                     Rng(seeder()));
+    CogCompRunConfig config;
+    config.params = {n, c, k, 4.0};
+    config.params.mediated = mediated;
+    config.seed = seeder();
+    const auto values = make_values(n, seeder());
+    const auto out = run_cogcomp(assignment, values, config);
+    if (out.completed && out.result == out.expected)
+      samples.push_back(static_cast<double>(out.phase4_slots));
+    else
+      ++*incomplete;
+  }
+  return summarize(samples);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const int trials = static_cast<int>(args.get_int("trials", 12));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  args.finish();
+
+  std::printf("E27: phase-4 mediator ablation   (Section 5, %d trials/point)\n",
+              trials);
+
+  // Two comparisons disentangled:
+  //   slots  — end-to-end cost (mediated steps are 3 slots, unmediated 2);
+  //   steps  — coordination value per scheduling opportunity, where the
+  //            mediator's serialization avoids wasted channel winners.
+  Table table({"n", "c", "k", "mediated slots", "unmediated slots",
+               "slots ratio", "mediated steps", "unmediated steps",
+               "steps ratio", "unmediated incomplete"});
+  struct Config {
+    int n, c, k;
+  };
+  for (const Config cfg : {Config{16, 8, 2}, Config{32, 8, 2},
+                           Config{64, 8, 2}, Config{64, 8, 1},
+                           Config{96, 8, 1}}) {
+    int incomplete_med = 0, incomplete_unmed = 0;
+    const Summary med = phase4_slots(cfg.n, cfg.c, cfg.k, true, trials,
+                                     seed + static_cast<std::uint64_t>(cfg.n),
+                                     &incomplete_med);
+    const Summary unmed = phase4_slots(cfg.n, cfg.c, cfg.k, false, trials,
+                                       seed + 100 + static_cast<std::uint64_t>(cfg.n),
+                                       &incomplete_unmed);
+    const double med_steps = med.median / 3.0;
+    const double unmed_steps = unmed.median / 2.0;
+    table.add_row({Table::num(static_cast<std::int64_t>(cfg.n)),
+                   Table::num(static_cast<std::int64_t>(cfg.c)),
+                   Table::num(static_cast<std::int64_t>(cfg.k)),
+                   Table::num(med.median, 1), Table::num(unmed.median, 1),
+                   Table::num(safe_ratio(unmed.median, med.median), 2),
+                   Table::num(med_steps, 1), Table::num(unmed_steps, 1),
+                   Table::num(safe_ratio(unmed_steps, med_steps), 2),
+                   Table::num(static_cast<std::int64_t>(incomplete_unmed))});
+  }
+  table.print_with_title(
+      "phase-4 cost, partitioned topology (clusters share k channels)");
+  std::printf(
+      "\nreading: per *step* the mediator wins (no wasted channel winners,\n"
+      "provable 3(n+1)-slot bound); end-to-end the heuristic's shorter\n"
+      "2-slot steps can offset that on average — the mediator's value is\n"
+      "the worst-case guarantee, which the ablation cannot give.\n");
+  return 0;
+}

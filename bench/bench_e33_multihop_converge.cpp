@@ -1,0 +1,73 @@
+// E33 — multi-hop convergecast: aggregation over the flood tree.
+//
+// Completes the multi-hop story (E25 floods; this drains): values flow up
+// deepest-first in depth-scheduled epochs with addressed, acked,
+// deduplicated transfers. Completion cost is dominated by
+// epochs x epoch length, i.e. ~ tree depth x (c^2/k) — the multi-hop
+// analogue of the single-hop Omega(n/k) discussion, paid per *level*
+// rather than per node thanks to in-network combining.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/multihop_converge.h"
+
+using namespace cogradio;
+using namespace cogradio::bench;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const int trials = static_cast<int>(args.get_int("trials", 8));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int c = static_cast<int>(args.get_int("c", 6));
+  const int k = static_cast<int>(args.get_int("k", 2));
+  args.finish();
+
+  std::printf("E33: multi-hop convergecast   (c=%d, k=%d, %d trials/point)\n",
+              c, k, trials);
+
+  Table table({"topology", "n", "diameter", "median slots", "exact results",
+               "coverage failures"});
+  struct Config {
+    const char* shape;
+    int n;
+  };
+  for (const Config cfg : {Config{"line", 12}, Config{"line", 24},
+                           Config{"ring", 16}, Config{"grid", 16},
+                           Config{"grid", 32}, Config{"clique", 16}}) {
+    std::vector<double> slots;
+    int exact = 0, shortfall = 0;
+    int diameter = 0;
+    Rng seeder(seed + static_cast<std::uint64_t>(cfg.n));
+    for (int t = 0; t < trials; ++t) {
+      const std::string shape = cfg.shape;
+      Topology topo = shape == "line"   ? Topology::line(cfg.n)
+                      : shape == "ring" ? Topology::ring(cfg.n)
+                      : shape == "grid"
+                          ? Topology::grid(cfg.n / 4, 4)
+                          : Topology::clique(cfg.n);
+      diameter = topo.diameter();
+      SharedCoreAssignment assignment(cfg.n, c, k, LabelMode::LocalRandom,
+                                      Rng(seeder()));
+      const auto values = make_values(cfg.n, seeder());
+      MultihopConvergeConfig config;
+      config.seed = seeder();
+      const auto out = run_multihop_converge(assignment, topo, values, config);
+      if (!out.completed) {
+        ++shortfall;
+        continue;
+      }
+      if (out.result == out.expected) ++exact;
+      slots.push_back(static_cast<double>(out.slots));
+    }
+    table.add_row({cfg.shape, Table::num(static_cast<std::int64_t>(cfg.n)),
+                   Table::num(static_cast<std::int64_t>(diameter)),
+                   Table::num(summarize(slots).median, 1),
+                   Table::num(static_cast<std::int64_t>(exact)) + "/" +
+                       Table::num(static_cast<std::int64_t>(trials)),
+                   Table::num(static_cast<std::int64_t>(shortfall))});
+  }
+  table.print_with_title("aggregation back to the source over the flood tree");
+  std::printf("\nreading: exact results whenever coverage completes; slots\n"
+              "scale with the scheduled epochs (n-1 levels x epoch length).\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// E6 — Section 1: CogComp vs the rendezvous-aggregation straw man.
+//
+// Claim: naive rendezvous aggregation needs O(c^2 n / k) slots because
+// only one value per channel per slot can reach the source; CogComp needs
+// O((c/k) max{1,c/n} lg n + n). The measured baseline/CogComp ratio should
+// grow with both n and c.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace cogradio;
+using namespace cogradio::bench;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const int trials = static_cast<int>(args.get_int("trials", 10));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int c = static_cast<int>(args.get_int("c", 16));
+  const int k = static_cast<int>(args.get_int("k", 4));
+  args.finish();
+
+  std::printf("E6: CogComp vs rendezvous aggregation   (c=%d, k=%d, "
+              "%d trials/point)\n",
+              c, k, trials);
+
+  Table table({"n", "cogcomp med", "rendezvous med", "ratio",
+               "theory c^2n/k", "baseline/theory"});
+  for (int n : {8, 16, 32, 64, 128}) {
+    std::vector<double> cog, rv;
+    Rng seeder(seed + static_cast<std::uint64_t>(n));
+    for (int t = 0; t < trials; ++t) {
+      const auto values = make_values(n, seeder());
+      {
+        SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom,
+                                        Rng(seeder()));
+        CogCompRunConfig config;
+        config.params = {n, c, k, 4.0};
+        config.seed = seeder();
+        const auto out = run_cogcomp(assignment, values, config);
+        if (out.completed) cog.push_back(static_cast<double>(out.slots));
+      }
+      {
+        SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom,
+                                        Rng(seeder()));
+        BaselineRunConfig config;
+        config.seed = seeder();
+        config.max_slots = 8'000'000;
+        const auto out = run_rendezvous_aggregation(assignment, values, config);
+        if (out.completed) rv.push_back(static_cast<double>(out.slots));
+      }
+    }
+    const double cm = summarize(cog).median;
+    const double rm = summarize(rv).median;
+    const double theory = static_cast<double>(c) * c * n / k;
+    table.add_row({Table::num(static_cast<std::int64_t>(n)),
+                   Table::num(cm, 1), Table::num(rm, 1),
+                   Table::num(safe_ratio(rm, cm), 2), Table::num(theory, 0),
+                   Table::num(safe_ratio(rm, theory), 3)});
+  }
+  table.print_with_title("aggregation (sum), shared-core pattern");
+  std::printf("\nNote: the measured baseline beats its crude O(c^2 n/k) bound —\n"
+              "with many senders the source hears someone almost every round —\n"
+              "so the separation here is modest. The bound bites through the\n"
+              "last-straggler tail, isolated below with overlap exactly k = 1.\n");
+
+  // Straggler-bound regime: partitioned topology (overlap exactly k = 1),
+  // where the final lone sender needs ~c^2 expected slots to meet the
+  // source while CogComp's phase 4 drains deterministically.
+  Table tail({"n", "cogcomp med", "rendezvous med", "ratio",
+              "baseline theory tail c^2"});
+  for (int n : {8, 16, 32, 64}) {
+    const int cc = 32, kk = 1;
+    std::vector<double> cog, rv;
+    Rng seeder(seed + 7000 + static_cast<std::uint64_t>(n));
+    for (int t = 0; t < trials; ++t) {
+      const auto values = make_values(n, seeder());
+      {
+        PartitionedAssignment assignment(n, cc, kk, LabelMode::LocalRandom,
+                                         Rng(seeder()));
+        CogCompRunConfig config;
+        config.params = {n, cc, kk, 4.0};
+        config.seed = seeder();
+        const auto out = run_cogcomp(assignment, values, config);
+        if (out.completed) cog.push_back(static_cast<double>(out.slots));
+      }
+      {
+        PartitionedAssignment assignment(n, cc, kk, LabelMode::LocalRandom,
+                                         Rng(seeder()));
+        BaselineRunConfig config;
+        config.seed = seeder();
+        config.max_slots = 16'000'000;
+        const auto out = run_rendezvous_aggregation(assignment, values, config);
+        if (out.completed) rv.push_back(static_cast<double>(out.slots));
+      }
+    }
+    const double cm = summarize(cog).median;
+    const double rm = summarize(rv).median;
+    tail.add_row({Table::num(static_cast<std::int64_t>(n)),
+                  Table::num(cm, 1), Table::num(rm, 1),
+                  Table::num(safe_ratio(rm, cm), 2),
+                  Table::num(static_cast<double>(cc) * cc, 0)});
+  }
+  tail.print_with_title(
+      "straggler-bound regime: partitioned, c=32, k=1 (overlap exactly 1)");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Dynamic spectrum: broadcast while the usable band shifts under the
+// protocol's feet (Section 7 discussion).
+//
+//   $ ./examples/dynamic_spectrum --n 32 --c 12 --k 3 --rounds 10
+//
+// Models secondary users in TV white space: primary-user activity changes
+// the per-node available channel set *every slot* (re-drawn with the
+// pairwise-k invariant preserved). CogCast runs unmodified; the example
+// races the same parameters on a static band vs the shifting one and shows
+// the completion-time distributions are essentially the same — the paper's
+// claim that Theorem 4's proof never uses staticness.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/runtime.h"
+#include "sim/assignment.h"
+#include "util/cli.h"
+#include "util/stats.h"
+
+using namespace cogradio;
+
+namespace {
+
+Summary race(bool dynamic, int n, int c, int k, int rounds,
+             std::uint64_t seed) {
+  std::vector<double> slots;
+  Rng seeder(seed);
+  for (int r = 0; r < rounds; ++r) {
+    const std::uint64_t s1 = seeder();
+    const std::uint64_t s2 = seeder();
+    std::unique_ptr<ChannelAssignment> assignment;
+    if (dynamic)
+      assignment = DynamicAssignment::shared_core(n, c, k, Rng(s1));
+    else
+      assignment = std::make_unique<SharedCoreAssignment>(
+          n, c, k, LabelMode::LocalRandom, Rng(s1));
+    CogCastRunConfig config;
+    config.params = {n, c, k, 4.0};
+    config.seed = s2;
+    const auto out = run_cogcast(*assignment, config);
+    if (out.completed) slots.push_back(static_cast<double>(out.slots));
+  }
+  return summarize(slots);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const int n = static_cast<int>(args.get_int("n", 32));
+  const int c = static_cast<int>(args.get_int("c", 12));
+  const int k = static_cast<int>(args.get_int("k", 3));
+  const int rounds = static_cast<int>(args.get_int("rounds", 20));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 5));
+  args.finish();
+
+  std::printf("CogCast, static band vs per-slot shifting band   "
+              "(n=%d, c=%d, k=%d, %d runs each)\n\n",
+              n, c, k, rounds);
+
+  const Summary stat = race(false, n, c, k, rounds, seed);
+  const Summary dyn = race(true, n, c, k, rounds, seed + 1);
+
+  std::printf("  static band:   median %.0f slots  (p95 %.0f, %zu/%d runs ok)\n",
+              stat.median, stat.p95, stat.count, rounds);
+  std::printf("  shifting band: median %.0f slots  (p95 %.0f, %zu/%d runs ok)\n",
+              dyn.median, dyn.p95, dyn.count, rounds);
+  std::printf("\n  dynamic/static median ratio: %.2f  (theory: ~1)\n",
+              stat.median > 0 ? dyn.median / stat.median : 0.0);
+  std::printf("  Theorem 4 horizon (gamma=4): %lld slots\n",
+              static_cast<long long>(CogCastParams{n, c, k, 4.0}.horizon()));
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Quickstart: broadcast a message through a cognitive radio network with
+// CogCast and inspect the resulting distribution tree.
+//
+//   $ ./examples/quickstart --n 16 --c 8 --k 2 --seed 7
+//
+// Walks through the whole public API surface in ~60 lines: build a channel
+// assignment (the unknown overlap structure), run CogCast via the runtime
+// helper, and read back completion time, the informed-slot schedule, and
+// the parent links that CogComp would later aggregate over.
+#include <cstdio>
+
+#include "core/runtime.h"
+#include "sim/assignment.h"
+#include "util/cli.h"
+
+using namespace cogradio;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const int n = static_cast<int>(args.get_int("n", 16));
+  const int c = static_cast<int>(args.get_int("c", 8));
+  const int k = static_cast<int>(args.get_int("k", 2));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  const std::string pattern = args.get_string("pattern", "shared-core");
+  args.finish();
+
+  // 1. The environment: each node gets c channels out of a larger band,
+  //    any two nodes share at least k, and local labels are arbitrary.
+  auto assignment =
+      make_assignment(pattern, n, c, k, LabelMode::LocalRandom, Rng(seed));
+
+  // 2. Run CogCast: node 0 floods a message; every informed node keeps
+  //    re-broadcasting on a fresh random channel each slot.
+  CogCastRunConfig config;
+  config.params = {n, c, k, /*gamma=*/4.0};
+  config.seed = seed;
+  const BroadcastOutcome out = run_cogcast(*assignment, config);
+
+  std::printf("CogCast on %d nodes, c=%d, k=%d (%s pattern)\n", n, c, k,
+              pattern.c_str());
+  std::printf("  completed: %s in %lld slots (Theorem 4 horizon: %lld)\n",
+              out.completed ? "yes" : "NO",
+              static_cast<long long>(out.slots),
+              static_cast<long long>(config.params.horizon()));
+  std::printf("  broadcasts: %lld, collisions: %lld, deliveries: %lld\n",
+              static_cast<long long>(out.stats.broadcasts),
+              static_cast<long long>(out.stats.collision_events),
+              static_cast<long long>(out.stats.deliveries));
+
+  // 3. The epidemic's footprint: who learned the message when, from whom.
+  std::printf("\n  node  informed@slot  parent\n");
+  for (NodeId u = 0; u < n; ++u)
+    std::printf("  %4d  %13lld  %6d\n", u,
+                static_cast<long long>(out.informed_slot[static_cast<std::size_t>(u)]),
+                out.parent[static_cast<std::size_t>(u)]);
+
+  std::printf("\n  distribution tree valid: %s\n",
+              valid_distribution_tree(0, out.informed_slot, out.parent)
+                  ? "yes"
+                  : "NO");
+  return out.completed ? 0 : 1;
+}

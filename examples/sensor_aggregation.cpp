@@ -1,0 +1,66 @@
+// Sensor aggregation: the paper's motivating CogComp workload — a sink
+// analyzing a network-condition snapshot (Section 1: "analyzing network
+// condition snapshots to calculate a quality of service metric").
+//
+//   $ ./examples/sensor_aggregation --n 64 --c 16 --k 4 --op min
+//
+// Each node holds a sensor reading (here: a synthetic link-quality score);
+// the sink computes min / max / sum / count over all n readings with a
+// single CogComp execution, in O((c/k) max{1,c/n} lg n + n) slots and
+// O(1)-word messages (associativity — Section 5 discussion).
+#include <cstdio>
+
+#include "core/runtime.h"
+#include "sim/assignment.h"
+#include "util/cli.h"
+
+using namespace cogradio;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const int n = static_cast<int>(args.get_int("n", 64));
+  const int c = static_cast<int>(args.get_int("c", 16));
+  const int k = static_cast<int>(args.get_int("k", 4));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
+  const AggOp op = parse_agg_op(args.get_string("op", "min"));
+  const std::string pattern = args.get_string("pattern", "pigeonhole");
+  args.finish();
+
+  // Synthetic link-quality scores in [0, 100].
+  const auto readings = make_values(n, seed ^ 0x5e45, 0, 100);
+
+  auto assignment =
+      make_assignment(pattern, n, c, k, LabelMode::LocalRandom, Rng(seed));
+  CogCompRunConfig config;
+  config.params = {n, c, k, /*gamma=*/4.0};
+  config.seed = seed;
+  config.op = op;
+  const AggregationOutcome out = run_cogcomp(*assignment, readings, config);
+
+  std::printf("CogComp %s over %d sensor readings (c=%d, k=%d, %s pattern)\n",
+              to_string(op).c_str(), n, c, k, pattern.c_str());
+  if (!out.completed) {
+    std::printf("  FAILED to aggregate (phase 1 missed some node)\n");
+    return 1;
+  }
+  std::printf("  result: %lld   (ground truth: %lld)  [%s]\n",
+              static_cast<long long>(out.result),
+              static_cast<long long>(out.expected),
+              out.result == out.expected ? "exact" : "MISMATCH");
+  std::printf("  readings covered: %lld / %d\n",
+              static_cast<long long>(out.covered), n);
+  std::printf("\n  slot budget:\n");
+  std::printf("    phase 1 (CogCast INIT + tree):   1 .. %lld\n",
+              static_cast<long long>(out.phase1_end));
+  std::printf("    phase 2 (cluster census):        .. %lld\n",
+              static_cast<long long>(out.phase2_end));
+  std::printf("    phase 3 (rewind, informer info): .. %lld\n",
+              static_cast<long long>(out.phase3_end));
+  std::printf("    phase 4 (aggregation steps):     %lld slots\n",
+              static_cast<long long>(out.phase4_slots));
+  std::printf("    total:                           %lld slots\n",
+              static_cast<long long>(out.slots));
+  std::printf("\n  largest message on air: %lld words (associative => O(1))\n",
+              static_cast<long long>(out.stats.max_message_words));
+  return 0;
+}

@@ -1,0 +1,19 @@
+# Gnuplot helper for examples/export_csv output.
+#
+#   ./build/examples/export_csv --sweep c --trials 10 > sweep.csv
+#   gnuplot -e "csv='sweep.csv'" scripts/plot_sweep.gp
+#
+# Produces sweep.png with per-trial points and the per-parameter median.
+if (!exists("csv")) csv = "sweep.csv"
+set datafile separator ","
+set terminal pngcairo size 900,600
+set output csv . ".png"
+set key left top
+set logscale y
+set xlabel "swept parameter"
+set ylabel "completion slots"
+set grid
+plot csv using 2:5 skip 1 with points pt 7 ps 0.5 lc rgb "#888888" \
+         title "trials", \
+     csv using 2:5 skip 1 smooth unique with linespoints lw 2 lc rgb "#C0392B" \
+         title "mean per parameter"

@@ -1,0 +1,108 @@
+#include "agg/aggregate.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace cogradio {
+
+AggOp parse_agg_op(const std::string& name) {
+  if (name == "sum") return AggOp::Sum;
+  if (name == "min") return AggOp::Min;
+  if (name == "max") return AggOp::Max;
+  if (name == "count") return AggOp::Count;
+  if (name == "collect") return AggOp::CollectAll;
+  throw std::invalid_argument("unknown aggregation op: " + name);
+}
+
+std::string to_string(AggOp op) {
+  switch (op) {
+    case AggOp::Sum: return "sum";
+    case AggOp::Min: return "min";
+    case AggOp::Max: return "max";
+    case AggOp::Count: return "count";
+    case AggOp::CollectAll: return "collect";
+  }
+  return "?";
+}
+
+AggPayload Aggregator::identity() const {
+  AggPayload p;
+  switch (op_) {
+    case AggOp::Sum:
+    case AggOp::Count:
+    case AggOp::CollectAll:
+      p.combined = 0;
+      break;
+    case AggOp::Min:
+      p.combined = std::numeric_limits<Value>::max();
+      break;
+    case AggOp::Max:
+      p.combined = std::numeric_limits<Value>::min();
+      break;
+  }
+  return p;
+}
+
+AggPayload Aggregator::leaf(NodeId node, Value value) const {
+  AggPayload p = identity();
+  p.count = 1;
+  switch (op_) {
+    case AggOp::Sum:
+    case AggOp::Min:
+    case AggOp::Max:
+      p.combined = value;
+      break;
+    case AggOp::Count:
+      p.combined = 1;
+      break;
+    case AggOp::CollectAll:
+      p.items.emplace_back(node, value);
+      break;
+  }
+  return p;
+}
+
+void Aggregator::merge(AggPayload& into, const AggPayload& from) const {
+  into.count += from.count;
+  switch (op_) {
+    case AggOp::Sum:
+    case AggOp::Count:
+      into.combined += from.combined;
+      break;
+    case AggOp::Min:
+      into.combined = std::min(into.combined, from.combined);
+      break;
+    case AggOp::Max:
+      into.combined = std::max(into.combined, from.combined);
+      break;
+    case AggOp::CollectAll:
+      into.items.insert(into.items.end(), from.items.begin(), from.items.end());
+      break;
+  }
+}
+
+Value Aggregator::result(const AggPayload& payload) const {
+  if (op_ != AggOp::CollectAll) return payload.combined;
+  Value sum = 0;
+  for (const auto& [node, value] : payload.items) {
+    (void)node;
+    sum += value;
+  }
+  return sum;
+}
+
+Value Aggregator::expected(const std::vector<Value>& values) const {
+  Aggregator self(op_);
+  AggPayload acc = identity();
+  NodeId id = 0;
+  for (Value v : values) self.merge(acc, self.leaf(id++, v));
+  return self.result(acc);
+}
+
+std::size_t payload_size_words(const AggPayload& payload) {
+  // combined + count + one word per (node, value) pair entry's two fields.
+  return 2 + 2 * payload.items.size();
+}
+
+}  // namespace cogradio

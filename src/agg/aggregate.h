@@ -1,0 +1,68 @@
+// Aggregation payloads and combiners (Section 5 of the paper).
+//
+// CogComp aggregates values from leaves to root along the distribution tree.
+// The paper highlights that for *associative* functions (min/max/sum/count)
+// each node can combine locally and forward a value of O(polylog n) bits,
+// whereas collecting raw values forwards everything. Both modes are
+// implemented: the associative ops carry a single combined value, and
+// CollectAll carries the full (node, value) multiset — the latter is what
+// the test suite uses to verify that every value reaches the source exactly
+// once, and what experiment E15 contrasts against the combined modes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace cogradio {
+
+using Value = std::int64_t;
+
+enum class AggOp : std::uint8_t { Sum, Min, Max, Count, CollectAll };
+
+// Parses "sum" / "min" / "max" / "count" / "collect"; throws on other input.
+AggOp parse_agg_op(const std::string& name);
+std::string to_string(AggOp op);
+
+// The data a node passes to its parent: the aggregate of its whole subtree.
+struct AggPayload {
+  Value combined = 0;      // associative modes: the folded value
+  std::int64_t count = 0;  // number of leaf values folded in
+  std::vector<std::pair<NodeId, Value>> items;  // CollectAll mode only
+
+  bool operator==(const AggPayload&) const = default;
+};
+
+// Stateless combiner for one AggOp.
+class Aggregator {
+ public:
+  explicit Aggregator(AggOp op) : op_(op) {}
+
+  AggOp op() const { return op_; }
+
+  // Payload representing a single node's own value.
+  AggPayload leaf(NodeId node, Value value) const;
+
+  // Folds `from` into `into`; associative and commutative for all ops.
+  void merge(AggPayload& into, const AggPayload& from) const;
+
+  // The scalar answer at the root (CollectAll reduces via Sum for checking).
+  Value result(const AggPayload& payload) const;
+
+  // Ground truth over all node values, for verification in tests/benches.
+  Value expected(const std::vector<Value>& values) const;
+
+ private:
+  AggPayload identity() const;
+  AggOp op_;
+};
+
+// Approximate on-air size of a payload in 64-bit words — the metric for
+// experiment E15 (message overhead). Associative payloads are O(1); a
+// CollectAll payload is linear in the items it carries.
+std::size_t payload_size_words(const AggPayload& payload);
+
+}  // namespace cogradio

@@ -1,0 +1,87 @@
+#include "analysis/theory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/table.h"
+
+namespace cogradio::theory {
+
+namespace {
+double lg(double x) { return std::log2(std::max(2.0, x)); }
+}  // namespace
+
+double cogcast_slots(int n, int c, int k) {
+  return (static_cast<double>(c) / k) *
+         std::max(1.0, static_cast<double>(c) / n) * lg(n);
+}
+
+double cogcomp_slots(int n, int c, int k) {
+  return cogcast_slots(n, c, k) + static_cast<double>(n);
+}
+
+double cogcomp_phase4_bound(int n) { return 3.0 * (n + 1); }
+
+double rendezvous_broadcast_slots(int n, int c, int k) {
+  return (static_cast<double>(c) * c / k) * lg(n);
+}
+
+double rendezvous_aggregation_slots(int n, int c, int k) {
+  return static_cast<double>(c) * c * n / k;
+}
+
+double lemma11_budget(int c, int k) {
+  if (k < 1 || 2 * k > c)
+    throw std::invalid_argument("lemma11_budget: requires 1 <= k <= c/2");
+  const double beta = static_cast<double>(c) / k;
+  const double alpha = 2.0 * (beta / (beta - 1.0)) * (beta / (beta - 1.0));
+  return static_cast<double>(c) * c / (alpha * k);
+}
+
+double lemma14_budget(int c) { return static_cast<double>(c) / 3.0; }
+
+double optimality_gap(int n) { return lg(n); }
+
+double theorem16_expectation(int c, int k) {
+  return static_cast<double>(c + 1) / (k + 1);
+}
+
+double aggregation_lower_bound(int n, int k) {
+  return static_cast<double>(n) / k;
+}
+
+double hopping_together_slots(int n, int c, int k) {
+  const double total = static_cast<double>(k) + static_cast<double>(n) * (c - k);
+  return total / k;
+}
+
+double backoff_micro_slots(int contenders) {
+  const double l = lg(contenders);
+  return l * l;
+}
+
+int print_scorecard(const std::vector<ScoreRow>& rows,
+                    const std::string& title) {
+  Table table({"claim", "reference", "predicted", "measured",
+               "measured/predicted", "window", "verdict"});
+  int failures = 0;
+  for (const ScoreRow& row : rows) {
+    const bool ok = row.pass();
+    if (!ok) ++failures;
+    char window[32];
+    std::snprintf(window, sizeof(window), "[%.2g, %.2g]x", row.lo, row.hi);
+    table.add_row({row.claim, row.reference, Table::num(row.predicted, 1),
+                   Table::num(row.measured, 1),
+                   Table::num(row.predicted != 0.0
+                                  ? row.measured / row.predicted
+                                  : 0.0,
+                              2),
+                   window, ok ? "PASS" : "FAIL"});
+  }
+  table.print_with_title(title);
+  return failures;
+}
+
+}  // namespace cogradio::theory

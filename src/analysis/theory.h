@@ -1,0 +1,74 @@
+// Closed-form theory calculators: every quantitative bound the paper
+// states, in one place, with the paper reference attached.
+//
+// The bench harnesses print measured medians next to these values; the
+// scorecard meta-bench (bench_e29_scorecard) runs a small instance of each
+// claim and prints the whole predicted-vs-measured table in one shot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cogradio::theory {
+
+// Theorem 4: CogCast completes in Theta((c/k) * max{1, c/n} * lg n) slots.
+double cogcast_slots(int n, int c, int k);
+
+// Theorem 10: CogComp completes in O((c/k) * max{1, c/n} * lg n + n).
+double cogcomp_slots(int n, int c, int k);
+
+// Theorem 10 (proof): phase 4 lasts at most ~3(n+1) slots.
+double cogcomp_phase4_bound(int n);
+
+// Section 1: rendezvous-broadcast straw man, O((c^2/k) lg n).
+double rendezvous_broadcast_slots(int n, int c, int k);
+
+// Section 1: rendezvous-aggregation straw man, O(c^2 n / k).
+double rendezvous_aggregation_slots(int n, int c, int k);
+
+// Lemma 11: round budget c^2 / (alpha k), alpha = 2(beta/(beta-1))^2,
+// beta = c/k; requires k <= c/2.
+double lemma11_budget(int c, int k);
+
+// Lemma 14: the c-complete game needs >= c/3 rounds.
+double lemma14_budget(int c);
+
+// Theorem 15/16 gap: CogCast sits within O(lg n) of the lower bound.
+double optimality_gap(int n);
+
+// Theorem 16: expected slots for the source to first hit an overlap
+// channel in the canonical setup — exactly (c+1)/(k+1).
+double theorem16_expectation(int c, int k);
+
+// Section 5: aggregation lower bound Omega(n/k) on the shared-k topology.
+double aggregation_lower_bound(int n, int k);
+
+// Section 6 discussion: hopping-together completes in O(C/k) expected
+// slots on the Theorem 16 network with C = k + n(c-k).
+double hopping_together_slots(int n, int c, int k);
+
+// Footnote 4: decay backoff resolves one contended channel-slot within
+// O(log^2 m) micro-slots w.h.p. (m = contenders).
+double backoff_micro_slots(int contenders);
+
+// One row of the scorecard: a claim, its predicted value, a measured
+// value, and the measured/predicted ratio.
+struct ScoreRow {
+  std::string claim;      // e.g. "Thm 4 broadcast (n=128,c=16,k=4)"
+  std::string reference;  // e.g. "Theorem 4"
+  double predicted = 0;
+  double measured = 0;
+  // Pass criterion: measured within [lo, hi] * predicted.
+  double lo = 0.0;
+  double hi = 0.0;
+  bool pass() const {
+    return measured >= lo * predicted && measured <= hi * predicted;
+  }
+};
+
+// Renders rows as an aligned table to stdout with a PASS/FAIL column and
+// returns the number of failing rows.
+int print_scorecard(const std::vector<ScoreRow>& rows,
+                    const std::string& title);
+
+}  // namespace cogradio::theory

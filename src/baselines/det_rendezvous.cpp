@@ -1,0 +1,40 @@
+#include "baselines/det_rendezvous.h"
+
+#include <stdexcept>
+
+namespace cogradio {
+
+DetRendezvousNode::DetRendezvousNode(NodeId id, int c, bool has_message,
+                                     Message payload, int id_bits)
+    : id_(id),
+      c_(c),
+      payload_(std::move(payload)),
+      id_bits_(id_bits),
+      informed_(has_message) {
+  if (c < 1) throw std::invalid_argument("det rendezvous: need c >= 1");
+  if (id_bits < 1) throw std::invalid_argument("det rendezvous: need id bits");
+  if (has_message) informed_slot_ = 0;
+}
+
+Action DetRendezvousNode::on_slot(Slot slot) {
+  const Slot block_len = static_cast<Slot>(c_) * c_;
+  const Slot t = slot - 1;
+  const Slot block = t / block_len;
+  const Slot s = t % block_len;
+  const int bit =
+      (id_ >> static_cast<int>(block % id_bits_)) & 1;
+  // bit 1 = slow (dwell c slots per label), bit 0 = fast (hop every slot).
+  const auto label = static_cast<LocalLabel>(bit ? (s / c_) % c_ : s % c_);
+  if (informed_) return Action::broadcast(label, payload_);
+  return Action::listen(label);
+}
+
+void DetRendezvousNode::on_feedback(Slot slot, const SlotResult& result) {
+  if (informed_ || result.received.empty()) return;
+  if (result.received.front().type == payload_.type) {
+    informed_ = true;
+    informed_slot_ = slot;
+  }
+}
+
+}  // namespace cogradio

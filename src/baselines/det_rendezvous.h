@@ -1,0 +1,50 @@
+// Deterministic pairwise rendezvous comparator (Section 1 / related work).
+//
+// The rendezvous literature the paper builds on ([6, 11], etc.) guarantees
+// a pairwise meeting in O(c^2)-type bounds with deterministic schedules.
+// This module implements a classic bit-phased fast/slow scheme that works
+// with *local labels* and unique ids:
+//
+//   Time is split into blocks of c^2 slots; block b keys off bit (b mod B)
+//   of the node's id (B = id bits). If the bit is 1 the node is SLOW: it
+//   dwells on each of its c labels for c consecutive slots, broadcasting.
+//   If the bit is 0 it is FAST: it cycles through all c labels once per
+//   slot, listening. Two distinct ids differ in some bit, so within B
+//   blocks there is a block where one node is slow and the other fast;
+//   during the slow node's dwell on a shared physical channel the fast
+//   node sweeps all c labels and must cross it — rendezvous (with message
+//   transfer) in at most B * c^2 slots, i.e. O(c^2 lg I) for id space I.
+//
+// The bench compares its completion slots against randomized rendezvous
+// (~c^2/k) and CogCast, reproducing the paper's motivation that determinism
+// costs a factor ~k.
+#pragma once
+
+#include "sim/protocol.h"
+#include "util/rng.h"
+
+namespace cogradio {
+
+class DetRendezvousNode : public Protocol {
+ public:
+  // `id_bits` must cover the largest id in play (ids must be distinct).
+  DetRendezvousNode(NodeId id, int c, bool has_message, Message payload,
+                    int id_bits = 20);
+
+  Action on_slot(Slot slot) override;
+  void on_feedback(Slot slot, const SlotResult& result) override;
+  bool done() const override { return informed_; }
+
+  bool informed() const { return informed_; }
+  Slot informed_slot() const { return informed_slot_; }
+
+ private:
+  NodeId id_;
+  int c_;
+  Message payload_;
+  int id_bits_;
+  bool informed_;  // holder of the message (broadcaster role when slow)
+  Slot informed_slot_ = kNoSlot;
+};
+
+}  // namespace cogradio

@@ -1,0 +1,39 @@
+#include "baselines/hopping_together.h"
+
+#include <stdexcept>
+
+namespace cogradio {
+
+HoppingTogetherNode::HoppingTogetherNode(NodeId id, int total_channels,
+                                         bool is_source, Message payload,
+                                         std::vector<Channel> globals)
+    : id_(id),
+      total_channels_(total_channels),
+      is_source_(is_source),
+      payload_(std::move(payload)),
+      informed_(is_source) {
+  if (total_channels < 1)
+    throw std::invalid_argument("hopping-together: need C >= 1");
+  if (is_source) informed_slot_ = 0;
+  for (LocalLabel l = 0; l < static_cast<LocalLabel>(globals.size()); ++l)
+    label_of_.emplace(globals[static_cast<std::size_t>(l)], l);
+}
+
+Action HoppingTogetherNode::on_slot(Slot slot) {
+  const auto scan = static_cast<Channel>((slot - 1) % total_channels_);
+  const auto it = label_of_.find(scan);
+  if (it == label_of_.end()) return Action::idle();  // not in our set
+  if (is_source_) return Action::broadcast(it->second, payload_);
+  if (informed_) return Action::idle();
+  return Action::listen(it->second);
+}
+
+void HoppingTogetherNode::on_feedback(Slot slot, const SlotResult& result) {
+  if (is_source_ || informed_ || result.received.empty()) return;
+  if (result.received.front().type == payload_.type) {
+    informed_ = true;
+    informed_slot_ = slot;
+  }
+}
+
+}  // namespace cogradio

@@ -1,0 +1,53 @@
+// Baseline: hopping-together sequential scan (Section 6 discussion).
+//
+// In the *global channel label* model, all nodes can follow one predefined
+// hopping sequence over the C global channels — a sequential scan. In slot
+// t every node that has channel ((t-1) mod C) in its set tunes to it (the
+// source broadcasts, others listen); nodes lacking the channel sit out the
+// slot. The first time the scan hits one of the k channels shared by
+// everyone, the broadcast completes in that single slot, so the expected
+// time is O(C/k).
+//
+// The paper's worked example (c = n^2, k = c-1, C = k + n(c-k)) makes this
+// O(1) while CogCast needs O(n lg n) — demonstrating that in the global
+// label model with c >> n, CogCast is not optimal (experiment E10).
+// In the local label model this algorithm is impossible, which is exactly
+// why the Theorem 15 lower bound is stated for local labels.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/protocol.h"
+#include "sim/types.h"
+
+namespace cogradio {
+
+class HoppingTogetherNode : public Protocol {
+ public:
+  // `globals[label]` is the physical channel behind `label` — available to
+  // the node because this baseline assumes the global label model.
+  HoppingTogetherNode(NodeId id, int total_channels, bool is_source,
+                      Message payload, std::vector<Channel> globals);
+
+  Action on_slot(Slot slot) override;
+  void on_feedback(Slot slot, const SlotResult& result) override;
+  bool done() const override { return informed_; }
+
+  NodeId id() const { return id_; }
+  bool informed() const { return informed_; }
+  Slot informed_slot() const { return informed_slot_; }
+
+ private:
+  NodeId id_;
+  int total_channels_;
+  bool is_source_;
+  Message payload_;
+  bool informed_;
+  Slot informed_slot_ = kNoSlot;
+  // Physical channel -> our local label, for the channels we have.
+  std::unordered_map<Channel, LocalLabel> label_of_;
+};
+
+}  // namespace cogradio

@@ -1,0 +1,73 @@
+#include "baselines/rendezvous_aggregation.h"
+
+#include <stdexcept>
+
+namespace cogradio {
+
+RendezvousAggregationNode::RendezvousAggregationNode(NodeId id, int c,
+                                                     bool is_source,
+                                                     Value value,
+                                                     Aggregator aggregator,
+                                                     Rng rng)
+    : id_(id),
+      c_(c),
+      is_source_(is_source),
+      aggregator_(aggregator),
+      rng_(rng) {
+  if (c < 1) throw std::invalid_argument("rendezvous aggregation: need c >= 1");
+  own_ = aggregator_.leaf(id, value);
+  if (is_source_) acc_ = own_;
+}
+
+Action RendezvousAggregationNode::on_slot(Slot slot) {
+  const bool data_slot = (slot % 2) == 1;
+  if (data_slot) {
+    sent_this_round_ = false;
+    if (done_) return Action::idle();
+    current_label_ =
+        static_cast<LocalLabel>(rng_.below(static_cast<std::uint64_t>(c_)));
+    if (is_source_) return Action::listen(current_label_);
+    sent_this_round_ = true;
+    Message m;
+    m.type = MessageType::Value;
+    m.payload = own_;
+    return Action::broadcast(current_label_, m);
+  }
+  // Ack slot: the source confirms on the channel it listened to; senders
+  // stay on their data-slot channel to hear a possible ack.
+  if (is_source_ && pending_ack_ != kNoNode) {
+    Message m;
+    m.type = MessageType::Ack;
+    m.a = pending_ack_;
+    return Action::broadcast(current_label_, m);
+  }
+  if (!is_source_ && sent_this_round_ && !done_)
+    return Action::listen(current_label_);
+  return Action::idle();
+}
+
+void RendezvousAggregationNode::on_feedback(Slot slot,
+                                            const SlotResult& result) {
+  const bool data_slot = (slot % 2) == 1;
+  if (data_slot) {
+    if (is_source_ && !result.received.empty()) {
+      const Message& m = result.received.front();
+      if (m.type == MessageType::Value) {
+        aggregator_.merge(acc_, m.payload);
+        pending_ack_ = m.sender;
+        if (acc_.count >= expected_count_) done_ = true;
+      }
+    }
+    return;
+  }
+  if (is_source_) {
+    pending_ack_ = kNoNode;
+    return;
+  }
+  // Non-source, ack slot: our value is delivered iff the source named us.
+  for (const Message& m : result.received)
+    if (m.type == MessageType::Ack && static_cast<NodeId>(m.a) == id_)
+      done_ = true;
+}
+
+}  // namespace cogradio

@@ -1,0 +1,60 @@
+// Baseline: data aggregation by randomized rendezvous (Section 1).
+//
+// Every node "runs basic (randomized) rendezvous. The source node should
+// listen while the non-source nodes transmit their data." Because only one
+// message per channel per slot can succeed, crowding makes this
+// O(c^2 n / k) overall — the straw man CogComp beats (experiment E6).
+//
+// The protocol alternates two-slot rounds:
+//   data slot:  each undelivered node hops to a random channel and
+//               broadcasts its value; the source hops to a random channel
+//               and listens;
+//   ack slot:   the source re-broadcasts the id of the value it just
+//               received on the same channel; the winning sender hears its
+//               id and stops. (The model's tx_success only says a message
+//               won its channel, not that the source was there, so an
+//               explicit ack is needed — the same mechanism a real
+//               rendezvous MAC would use.)
+#pragma once
+
+#include "agg/aggregate.h"
+#include "sim/protocol.h"
+#include "util/rng.h"
+
+namespace cogradio {
+
+class RendezvousAggregationNode : public Protocol {
+ public:
+  RendezvousAggregationNode(NodeId id, int c, bool is_source, Value value,
+                            Aggregator aggregator, Rng rng);
+
+  Action on_slot(Slot slot) override;
+  void on_feedback(Slot slot, const SlotResult& result) override;
+  // Source: done once it has folded in all n-1 peers (set via
+  // expected_count); others: done once their value is acknowledged.
+  bool done() const override { return done_; }
+
+  // The source must know how many values to await before terminating.
+  void set_expected_count(std::int64_t n) { expected_count_ = n; }
+
+  bool delivered() const { return done_ && !is_source_; }
+  const AggPayload& accumulated() const { return acc_; }
+
+ private:
+  NodeId id_;
+  int c_;
+  bool is_source_;
+  Aggregator aggregator_;
+  Rng rng_;
+
+  AggPayload acc_;          // source: running aggregate (incl. own value)
+  AggPayload own_;          // non-source: the payload to deliver
+  std::int64_t expected_count_ = 0;
+  bool done_ = false;
+
+  LocalLabel current_label_ = 0;
+  NodeId pending_ack_ = kNoNode;  // source: id to ack in the next slot
+  bool sent_this_round_ = false;  // non-source: transmitted in the data slot
+};
+
+}  // namespace cogradio

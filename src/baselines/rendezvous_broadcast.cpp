@@ -1,0 +1,36 @@
+#include "baselines/rendezvous_broadcast.h"
+
+#include <stdexcept>
+
+namespace cogradio {
+
+RendezvousBroadcastNode::RendezvousBroadcastNode(NodeId id, int c,
+                                                 bool is_source,
+                                                 Message payload, Rng rng)
+    : id_(id),
+      c_(c),
+      is_source_(is_source),
+      payload_(std::move(payload)),
+      rng_(rng),
+      informed_(is_source) {
+  if (c < 1) throw std::invalid_argument("rendezvous broadcast: need c >= 1");
+  if (is_source) informed_slot_ = 0;
+}
+
+Action RendezvousBroadcastNode::on_slot(Slot /*slot*/) {
+  const auto label =
+      static_cast<LocalLabel>(rng_.below(static_cast<std::uint64_t>(c_)));
+  if (is_source_) return Action::broadcast(label, payload_);
+  if (informed_) return Action::idle();  // no relaying in this baseline
+  return Action::listen(label);
+}
+
+void RendezvousBroadcastNode::on_feedback(Slot slot, const SlotResult& result) {
+  if (is_source_ || informed_ || result.received.empty()) return;
+  if (result.received.front().type == payload_.type) {
+    informed_ = true;
+    informed_slot_ = slot;
+  }
+}
+
+}  // namespace cogradio

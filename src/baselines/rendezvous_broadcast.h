@@ -1,0 +1,44 @@
+// Baseline: local broadcast by randomized rendezvous (Section 1).
+//
+// "A simple strategy to solve local broadcast is for all nodes to run
+// (randomized) rendezvous with the source transmitting its message in each
+// slot." The source hops to a uniformly random channel and broadcasts every
+// slot; each uninformed node hops to a uniformly random channel and
+// listens. A node is informed once it lands on the source's channel — the
+// per-slot hit probability is >= k/c^2, so completion takes
+// O((c^2/k) * lg n) slots w.h.p., a factor c slower than CogCast for
+// n >= c (experiment E4).
+//
+// Unlike CogCast, informed non-source nodes do not relay: this isolates the
+// rendezvous strategy the prior literature would apply.
+#pragma once
+
+#include "sim/protocol.h"
+#include "util/rng.h"
+
+namespace cogradio {
+
+class RendezvousBroadcastNode : public Protocol {
+ public:
+  RendezvousBroadcastNode(NodeId id, int c, bool is_source, Message payload,
+                          Rng rng);
+
+  Action on_slot(Slot slot) override;
+  void on_feedback(Slot slot, const SlotResult& result) override;
+  bool done() const override { return informed_; }
+
+  NodeId id() const { return id_; }
+  bool informed() const { return informed_; }
+  Slot informed_slot() const { return informed_slot_; }
+
+ private:
+  NodeId id_;
+  int c_;
+  bool is_source_;
+  Message payload_;
+  Rng rng_;
+  bool informed_;
+  Slot informed_slot_ = kNoSlot;
+};
+
+}  // namespace cogradio

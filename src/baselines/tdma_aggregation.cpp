@@ -1,0 +1,165 @@
+#include "baselines/tdma_aggregation.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "sim/network.h"
+#include "util/rng.h"
+
+namespace cogradio {
+
+TdmaSchedule::TdmaSchedule(int n, int k, NodeId source) {
+  if (n < 1 || k < 1) throw std::invalid_argument("tdma: need n,k >= 1");
+  if (source < 0 || source >= n) throw std::invalid_argument("tdma: bad source");
+
+  // Survivor list with the source pinned first so it always wins its pair.
+  std::vector<NodeId> survivors;
+  survivors.push_back(source);
+  for (NodeId u = 0; u < n; ++u)
+    if (u != source) survivors.push_back(u);
+
+  while (survivors.size() > 1) {
+    // One tournament round: pair up survivors; first of each pair wins.
+    std::vector<Merge> round;
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i < survivors.size(); i += 2) {
+      if (i + 1 == survivors.size()) {
+        next.push_back(survivors[i]);  // bye
+        continue;
+      }
+      Merge m;
+      m.receiver = survivors[i];
+      m.sender = survivors[i + 1];
+      round.push_back(m);
+      next.push_back(survivors[i]);
+    }
+    // Pack the round's merges k per slot, one per shared channel.
+    for (std::size_t base = 0; base < round.size();
+         base += static_cast<std::size_t>(k)) {
+      std::vector<Merge> slot;
+      for (std::size_t j = base;
+           j < std::min(round.size(), base + static_cast<std::size_t>(k));
+           ++j) {
+        Merge m = round[j];
+        m.channel_index = static_cast<int>(j - base);
+        slot.push_back(m);
+      }
+      slots_.push_back(std::move(slot));
+    }
+    survivors = std::move(next);
+  }
+}
+
+const std::vector<TdmaSchedule::Merge>& TdmaSchedule::merges_in(
+    Slot slot) const {
+  static const std::vector<Merge> kEmpty;
+  if (slot < 1 || slot > total_slots()) return kEmpty;
+  return slots_[static_cast<std::size_t>(slot - 1)];
+}
+
+const TdmaSchedule::Merge* TdmaSchedule::merge_for(Slot slot,
+                                                   NodeId node) const {
+  for (const Merge& m : merges_in(slot))
+    if (m.sender == node || m.receiver == node) return &m;
+  return nullptr;
+}
+
+TdmaAggregationNode::TdmaAggregationNode(NodeId id,
+                                         const TdmaSchedule& schedule,
+                                         Value value, Aggregator aggregator,
+                                         std::vector<LocalLabel> shared_labels)
+    : id_(id),
+      schedule_(schedule),
+      aggregator_(aggregator),
+      shared_labels_(std::move(shared_labels)) {
+  acc_ = aggregator_.leaf(id, value);
+}
+
+Action TdmaAggregationNode::on_slot(Slot slot) {
+  if (dropped_out_ || slot > schedule_.total_slots()) return Action::idle();
+  const TdmaSchedule::Merge* merge = schedule_.merge_for(slot, id_);
+  if (merge == nullptr) return Action::idle();
+  const LocalLabel label =
+      shared_labels_[static_cast<std::size_t>(merge->channel_index)];
+  if (merge->sender == id_) {
+    // Sole scheduled broadcaster on this channel: guaranteed delivery.
+    Message m;
+    m.type = MessageType::AggData;
+    m.payload = acc_;
+    dropped_out_ = true;
+    return Action::broadcast(label, m);
+  }
+  return Action::listen(label);
+}
+
+void TdmaAggregationNode::on_feedback(Slot /*slot*/, const SlotResult& result) {
+  for (const Message& m : result.received)
+    if (m.type == MessageType::AggData) aggregator_.merge(acc_, m.payload);
+}
+
+bool TdmaAggregationNode::done() const { return dropped_out_; }
+
+TdmaOutcome run_tdma_aggregation(ChannelAssignment& assignment,
+                                 std::span<const Value> values, AggOp op,
+                                 NodeId source) {
+  const int n = assignment.num_nodes();
+  const int c = assignment.channels_per_node();
+  if (static_cast<int>(values.size()) != n)
+    throw std::invalid_argument("tdma: one value per node");
+
+  // Global-label knowledge: the channels shared by every node, and each
+  // node's label for them.
+  std::vector<Channel> shared = assignment.channel_set(0);
+  for (NodeId u = 1; u < n; ++u) {
+    const auto set = assignment.channel_set(u);
+    std::vector<Channel> next;
+    std::set_intersection(shared.begin(), shared.end(), set.begin(), set.end(),
+                          std::back_inserter(next));
+    shared = std::move(next);
+  }
+  if (shared.empty())
+    throw std::invalid_argument(
+        "tdma: requires channels shared by all nodes (partitioned/identity)");
+
+  const int k = static_cast<int>(shared.size());
+  const TdmaSchedule schedule(n, k, source);
+  const Aggregator aggregator(op);
+
+  std::vector<std::unique_ptr<TdmaAggregationNode>> nodes;
+  std::vector<Protocol*> protocols;
+  for (NodeId u = 0; u < n; ++u) {
+    std::vector<LocalLabel> labels;
+    labels.reserve(shared.size());
+    for (Channel ch : shared) {
+      LocalLabel found = kNoChannel;
+      for (LocalLabel l = 0; l < c; ++l)
+        if (assignment.global_channel(u, l) == ch) {
+          found = l;
+          break;
+        }
+      if (found == kNoChannel)
+        throw std::logic_error("tdma: shared channel missing at node");
+      labels.push_back(found);
+    }
+    nodes.push_back(std::make_unique<TdmaAggregationNode>(
+        u, schedule, values[static_cast<std::size_t>(u)], aggregator,
+        std::move(labels)));
+    protocols.push_back(nodes.back().get());
+  }
+
+  Network network(assignment, std::move(protocols));
+  for (Slot t = 0; t < schedule.total_slots(); ++t) network.step();
+
+  TdmaOutcome out;
+  out.slots = schedule.total_slots();
+  out.result =
+      aggregator.result(nodes[static_cast<std::size_t>(source)]->accumulated());
+  std::vector<Value> value_vec(values.begin(), values.end());
+  out.expected = aggregator.expected(value_vec);
+  out.completed =
+      nodes[static_cast<std::size_t>(source)]->accumulated().count == n;
+  return out;
+}
+
+}  // namespace cogradio

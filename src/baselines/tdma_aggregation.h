@@ -1,0 +1,93 @@
+// Baseline: TDMA tournament aggregation under global labels.
+//
+// The paper notes a simple Omega(n/k) lower bound for aggregation when all
+// overlap is concentrated on k shared channels (Section 5 discussion), and
+// concedes CogComp has "room for improvement for larger k". This baseline
+// shows the bound is *achievable* when the obstacles CogComp fights —
+// local labels and unknown membership — are removed: with global channel
+// labels, known ids 0..n-1, and the k shared channels known to everyone, a
+// deterministic tournament schedule aggregates in ~n/k + lg n slots:
+//
+//   round r pairs the surviving nodes (winner = smaller index); each pair
+//   is assigned one of the k shared channels and one slot, k merges per
+//   slot; the loser transmits its aggregate to the winner and drops out.
+//   After ceil(lg n) rounds only the designated source survives, holding
+//   the full aggregate.
+//
+// Every node computes the identical schedule from (n, k), so there is no
+// contention at all. Total slots = sum_r ceil(#pairs_r / k), which is
+// n/k + O(lg n). Experiment E16 reports it beside CogComp and the Omega
+// bound: the gap between CogComp and this schedule is exactly the price
+// of local labels + zero topology knowledge.
+#pragma once
+
+#include <vector>
+
+#include "agg/aggregate.h"
+#include "sim/assignment.h"
+#include "sim/protocol.h"
+
+namespace cogradio {
+
+// Precomputed global schedule: for each slot, up to k (sender, receiver)
+// merge pairs, one per shared channel.
+class TdmaSchedule {
+ public:
+  // Aggregation toward node `source` among ids 0..n-1 over `k` channels.
+  TdmaSchedule(int n, int k, NodeId source);
+
+  struct Merge {
+    NodeId sender = kNoNode;
+    NodeId receiver = kNoNode;
+    int channel_index = 0;  // which of the k shared channels
+  };
+
+  Slot total_slots() const { return static_cast<Slot>(slots_.size()); }
+  // The merges scheduled in `slot` (1-based).
+  const std::vector<Merge>& merges_in(Slot slot) const;
+  // The merge involving `node` in `slot`, if any (sender or receiver).
+  const Merge* merge_for(Slot slot, NodeId node) const;
+
+ private:
+  std::vector<std::vector<Merge>> slots_;
+};
+
+class TdmaAggregationNode : public Protocol {
+ public:
+  // `shared_labels[i]` = this node's local label for the i-th shared
+  // channel (under global labels this is just the channel's rank; the
+  // runner derives it from the assignment).
+  TdmaAggregationNode(NodeId id, const TdmaSchedule& schedule, Value value,
+                      Aggregator aggregator,
+                      std::vector<LocalLabel> shared_labels);
+
+  Action on_slot(Slot slot) override;
+  void on_feedback(Slot slot, const SlotResult& result) override;
+  bool done() const override;
+
+  const AggPayload& accumulated() const { return acc_; }
+
+ private:
+  NodeId id_;
+  const TdmaSchedule& schedule_;
+  Aggregator aggregator_;
+  std::vector<LocalLabel> shared_labels_;
+  AggPayload acc_;
+  bool dropped_out_ = false;  // sent our aggregate up the tournament
+};
+
+// Runner. Requires an assignment whose first min_overlap() channels (by
+// global id) are shared by all nodes with known positions — the
+// partitioned and identity generators qualify; throws otherwise.
+struct TdmaOutcome {
+  bool completed = false;
+  Slot slots = 0;
+  Value result = 0;
+  Value expected = 0;
+};
+
+TdmaOutcome run_tdma_aggregation(ChannelAssignment& assignment,
+                                 std::span<const Value> values, AggOp op,
+                                 NodeId source = 0);
+
+}  // namespace cogradio

@@ -1,0 +1,81 @@
+#include "core/cogcast.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace cogradio {
+
+CogCastNode::CogCastNode(NodeId id, int c, bool is_source, Message payload,
+                         Rng rng, Slot horizon, bool record_history)
+    : id_(id),
+      c_(c),
+      is_source_(is_source),
+      payload_(std::move(payload)),
+      rng_(rng),
+      horizon_(horizon),
+      record_history_(record_history),
+      informed_(is_source) {
+  if (c < 1) throw std::invalid_argument("cogcast: need c >= 1");
+  if (is_source) informed_slot_ = 0;
+  if (record_history_ && horizon_ > 0)
+    history_.reserve(static_cast<std::size_t>(horizon_));
+}
+
+void CogCastNode::set_channel_bias(double zipf_s) {
+  label_cdf_.clear();
+  if (zipf_s <= 0.0) return;  // uniform
+  label_cdf_.resize(static_cast<std::size_t>(c_));
+  double total = 0.0;
+  for (int i = 0; i < c_; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), zipf_s);
+    label_cdf_[static_cast<std::size_t>(i)] = total;
+  }
+  for (auto& v : label_cdf_) v /= total;
+}
+
+LocalLabel CogCastNode::pick_label() {
+  if (label_cdf_.empty())
+    return static_cast<LocalLabel>(rng_.below(static_cast<std::uint64_t>(c_)));
+  const double u = rng_.uniform();
+  const auto it = std::lower_bound(label_cdf_.begin(), label_cdf_.end(), u);
+  return static_cast<LocalLabel>(it - label_cdf_.begin());
+}
+
+Action CogCastNode::on_slot(Slot slot) {
+  if (horizon_ > 0 && slot > horizon_) {
+    broadcast_this_slot_ = false;
+    current_label_ = kNoChannel;
+    return Action::idle();
+  }
+  current_label_ = pick_label();
+  broadcast_this_slot_ =
+      informed_ && (tx_probability_ >= 1.0 || rng_.chance(tx_probability_));
+  if (broadcast_this_slot_) return Action::broadcast(current_label_, payload_);
+  return Action::listen(current_label_);
+}
+
+void CogCastNode::on_feedback(Slot slot, const SlotResult& result) {
+  bool first_informed = false;
+  if (!informed_ && !result.received.empty()) {
+    // In the local-broadcast problem any message of the expected type
+    // informs; other protocol traffic on the channel is ignored.
+    const Message& msg = result.received.front();
+    if (msg.type == payload_.type) {
+      informed_ = true;
+      informed_slot_ = slot;
+      informed_label_ = current_label_;
+      parent_ = msg.sender;
+      payload_ = msg;
+      first_informed = true;
+    }
+  }
+  if (record_history_ && current_label_ != kNoChannel) {
+    assert(static_cast<Slot>(history_.size()) == slot - 1);
+    history_.push_back(SlotRecord{current_label_, broadcast_this_slot_,
+                                  result.tx_success, first_informed});
+  }
+}
+
+}  // namespace cogradio

@@ -1,0 +1,126 @@
+// COGCAST — epidemic local broadcast in cognitive radio networks
+// (Section 4 of the paper).
+//
+// The algorithm is deliberately minimal: in every slot, every node picks a
+// channel uniformly at random from its c local labels; a node that already
+// knows the message broadcasts it, every other node listens. Information
+// spreads epidemically, and Theorem 4 shows that after
+// Theta((c/k) * max{1, c/n} * lg n) slots all nodes are informed w.h.p.
+//
+// Because nodes do the same thing in every slot, the protocol needs no
+// static channel assignment: it tolerates the dynamic model (Section 7) and
+// jamming (Theorem 18) unmodified — both are exercised by the test suite
+// and experiments E11/E12.
+//
+// A node records which node first informed it; across the network those
+// edges form the *distribution tree* rooted at the source, the backbone of
+// CogComp (Section 5). With history recording enabled, a node also keeps a
+// per-slot log (channel used, broadcast/listen, success, first-informed),
+// which CogComp's phases 2-4 replay.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "sim/protocol.h"
+#include "sim/types.h"
+#include "util/rng.h"
+
+namespace cogradio {
+
+struct CogCastParams {
+  int n = 0;  // number of nodes
+  int c = 0;  // channels per node
+  int k = 0;  // guaranteed pairwise overlap
+  // Constant hidden in the Theta(.) of Theorem 4. gamma = 4 makes the
+  // w.h.p. guarantee hold comfortably at simulation scales (validated by
+  // the E1-E3 sweeps, where completion sits well inside the horizon).
+  double gamma = 4.0;
+
+  // Theta((c/k) * max{1, c/n} * lg n) slots, rounded up.
+  Slot horizon() const {
+    const double lg = std::log2(std::max(2.0, static_cast<double>(n)));
+    const double factor = std::max(1.0, static_cast<double>(c) / n);
+    return static_cast<Slot>(
+        std::ceil(gamma * (static_cast<double>(c) / k) * factor * lg));
+  }
+};
+
+class CogCastNode : public Protocol {
+ public:
+  // `payload` is what the source disseminates (its `type` tells an
+  // uninformed node which messages inform it; unrelated traffic is
+  // ignored). `horizon` of 0 means run forever (the long-lived mode the
+  // paper's discussion section describes); otherwise the node idles once
+  // `horizon` slots have elapsed.
+  CogCastNode(NodeId id, int c, bool is_source, Message payload, Rng rng,
+              Slot horizon = 0, bool record_history = false);
+
+  // Ablation knob (bench E21): an informed node broadcasts with this
+  // probability and listens otherwise. The paper's algorithm is p = 1 —
+  // optimal under the one-winner collision model, where extra contention
+  // is free; on a raw collision-loss radio (no backoff) p must be tuned
+  // down or concurrent broadcasters destroy each other.
+  void set_tx_probability(double p) { tx_probability_ = p; }
+
+  // Ablation knob (bench E30): picks labels Zipf(s)-distributed instead of
+  // uniformly (s = 0 restores the paper's uniform choice). Under local
+  // random labels any common bias leaves the *expected* pairwise meeting
+  // probability at k/c^2 but inflates its variance, hurting the completion
+  // tail; under global labels with shared low channels, aligned bias
+  // concentrates everyone on the same channels and speeds broadcast up.
+  void set_channel_bias(double zipf_s);
+
+  // --- Protocol interface ---
+  Action on_slot(Slot slot) override;
+  void on_feedback(Slot slot, const SlotResult& result) override;
+  // "Done" = informed; the node keeps broadcasting afterwards (epidemic
+  // spread requires it), so Network::run() measures time-to-all-informed.
+  bool done() const override { return informed_; }
+
+  // --- State queries (used by CogComp, tests and benches) ---
+  NodeId id() const { return id_; }
+  bool informed() const { return informed_; }
+  // Slot in which this node was first informed; 0 for the source, kNoSlot
+  // if still uninformed.
+  Slot informed_slot() const { return informed_slot_; }
+  // Local label of the channel on which it was informed (kNoChannel for the
+  // source / uninformed nodes).
+  LocalLabel informed_label() const { return informed_label_; }
+  // The node that first informed this one = its distribution-tree parent.
+  NodeId parent() const { return parent_; }
+  const Message& payload() const { return payload_; }
+
+  // Per-slot history (only if record_history was requested).
+  struct SlotRecord {
+    LocalLabel label = kNoChannel;
+    bool broadcast = false;       // else listened
+    bool success = false;         // broadcast won its channel
+    bool first_informed = false;  // listened and was informed here
+  };
+  const std::vector<SlotRecord>& history() const { return history_; }
+
+ private:
+  NodeId id_;
+  int c_;
+  bool is_source_;
+  Message payload_;
+  Rng rng_;
+  Slot horizon_;
+  bool record_history_;
+  double tx_probability_ = 1.0;
+
+  bool informed_;
+  Slot informed_slot_ = kNoSlot;
+  LocalLabel informed_label_ = kNoChannel;
+  NodeId parent_ = kNoNode;
+
+  LocalLabel current_label_ = kNoChannel;  // label chosen this slot
+  bool broadcast_this_slot_ = false;
+  std::vector<SlotRecord> history_;
+  std::vector<double> label_cdf_;  // empty = uniform label choice
+
+  LocalLabel pick_label();
+};
+
+}  // namespace cogradio

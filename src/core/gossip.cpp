@@ -1,0 +1,87 @@
+#include "core/gossip.h"
+
+#include <memory>
+#include <stdexcept>
+
+namespace cogradio {
+
+GossipNode::GossipNode(NodeId id, int c, int n, Value rumor, Rng rng)
+    : id_(id),
+      c_(c),
+      n_(n),
+      rng_(rng),
+      known_(static_cast<std::size_t>(n), false) {
+  if (c < 1 || n < 1) throw std::invalid_argument("gossip: need c,n >= 1");
+  known_[static_cast<std::size_t>(id)] = true;
+  rumors_.emplace_back(id, rumor);
+  known_count_ = 1;
+  if (n_ == 1) completed_slot_ = 0;
+}
+
+Action GossipNode::on_slot(Slot /*slot*/) {
+  const auto label =
+      static_cast<LocalLabel>(rng_.below(static_cast<std::uint64_t>(c_)));
+  // Fair push/pull coin: everyone holds rumors from slot one, so pure
+  // pushing would leave no listeners.
+  if (rng_.chance(0.5)) {
+    Message m;
+    m.type = MessageType::Value;
+    m.payload.items = rumors_;
+    m.payload.count = known_count_;
+    return Action::broadcast(label, m);
+  }
+  return Action::listen(label);
+}
+
+void GossipNode::on_feedback(Slot slot, const SlotResult& result) {
+  for (const Message& m : result.received) {
+    if (m.type != MessageType::Value) continue;
+    absorb(m.payload, slot);
+  }
+}
+
+void GossipNode::absorb(const AggPayload& payload, Slot slot) {
+  for (const auto& [origin, value] : payload.items) {
+    if (origin < 0 || origin >= n_) continue;
+    auto seen = known_[static_cast<std::size_t>(origin)];
+    if (seen) continue;
+    known_[static_cast<std::size_t>(origin)] = true;
+    rumors_.emplace_back(origin, value);
+    ++known_count_;
+  }
+  if (known_count_ == n_ && completed_slot_ == kNoSlot)
+    completed_slot_ = slot;
+}
+
+GossipOutcome run_gossip(ChannelAssignment& assignment,
+                         std::span<const Value> values,
+                         const GossipConfig& config) {
+  const int n = assignment.num_nodes();
+  if (static_cast<int>(values.size()) != n)
+    throw std::invalid_argument("run_gossip: one rumor per node");
+
+  Rng seeder(config.seed);
+  std::vector<std::unique_ptr<GossipNode>> nodes;
+  std::vector<Protocol*> protocols;
+  for (NodeId u = 0; u < n; ++u) {
+    nodes.push_back(std::make_unique<GossipNode>(
+        u, assignment.channels_per_node(), n,
+        values[static_cast<std::size_t>(u)],
+        seeder.split(static_cast<std::uint64_t>(u))));
+    protocols.push_back(nodes.back().get());
+  }
+  NetworkOptions net;
+  net.seed = seeder.split(0xFEEDu)();
+  Network network(assignment, std::move(protocols), net);
+  network.run(config.max_slots);
+
+  GossipOutcome out;
+  out.slots = network.now();
+  out.stats = network.stats();
+  out.completed = network.all_done();
+  for (const auto& node : nodes)
+    out.completed_slot.push_back(node->completed_slot());
+  return out;
+}
+
+}  // namespace cogradio

@@ -1,0 +1,97 @@
+#include "core/multihop_cast.h"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+namespace cogradio {
+
+MultihopCastNode::MultihopCastNode(NodeId id, int c, bool is_source,
+                                   Message payload, int decay_levels, Rng rng,
+                                   Slot horizon)
+    : id_(id),
+      c_(c),
+      is_source_(is_source),
+      payload_(std::move(payload)),
+      decay_levels_(decay_levels),
+      rng_(rng),
+      horizon_(horizon),
+      informed_(is_source) {
+  if (c < 1) throw std::invalid_argument("multihop cast: need c >= 1");
+  if (decay_levels < 1)
+    throw std::invalid_argument("multihop cast: need decay levels >= 1");
+  if (is_source) informed_slot_ = 0;
+}
+
+int MultihopCastNode::suggested_decay_levels(int max_degree) {
+  return std::max(
+             1, static_cast<int>(std::ceil(std::log2(
+                    std::max(2.0, static_cast<double>(max_degree + 1)))))) +
+         1;
+}
+
+Action MultihopCastNode::on_slot(Slot slot) {
+  if (horizon_ > 0 && slot > horizon_) return Action::idle();
+  const auto label =
+      static_cast<LocalLabel>(rng_.below(static_cast<std::uint64_t>(c_)));
+  if (!informed_) return Action::listen(label);
+  // Cycling decay: all nodes share the slot-keyed probability level, so in
+  // any window of L slots each receiver sees one slot whose p roughly
+  // inverts its informed-neighbor count.
+  const int level = static_cast<int>(slot % decay_levels_);
+  const double p = std::ldexp(1.0, -level);  // 1, 1/2, ..., 2^-(L-1)
+  if (rng_.chance(p)) return Action::broadcast(label, payload_);
+  return Action::listen(label);
+}
+
+void MultihopCastNode::on_feedback(Slot slot, const SlotResult& result) {
+  if (informed_ || result.received.empty()) return;
+  const Message& msg = result.received.front();
+  if (msg.type != payload_.type) return;
+  informed_ = true;
+  informed_slot_ = slot;
+  parent_ = msg.sender;
+  payload_ = msg;
+}
+
+MultihopOutcome run_multihop_cast(ChannelAssignment& assignment,
+                                  const Topology& topology,
+                                  const MultihopCastConfig& config) {
+  const int n = assignment.num_nodes();
+  if (topology.num_nodes() != n)
+    throw std::invalid_argument("run_multihop_cast: size mismatch");
+  if (config.source < 0 || config.source >= n)
+    throw std::invalid_argument("run_multihop_cast: bad source");
+
+  const int levels =
+      config.decay_levels > 0
+          ? config.decay_levels
+          : MultihopCastNode::suggested_decay_levels(topology.max_degree());
+
+  Message payload;
+  payload.type = MessageType::Data;
+  Rng seeder(config.seed);
+  std::vector<std::unique_ptr<MultihopCastNode>> nodes;
+  std::vector<Protocol*> protocols;
+  for (NodeId u = 0; u < n; ++u) {
+    nodes.push_back(std::make_unique<MultihopCastNode>(
+        u, assignment.channels_per_node(), u == config.source, payload,
+        levels, seeder.split(static_cast<std::uint64_t>(u))));
+    protocols.push_back(nodes.back().get());
+  }
+  MultihopNetwork network(assignment, topology, std::move(protocols));
+  network.run(config.max_slots);
+
+  MultihopOutcome out;
+  out.slots = network.now();
+  out.stats = network.stats();
+  out.completed = true;
+  for (const auto& node : nodes) {
+    out.completed = out.completed && node->informed();
+    out.informed_slot.push_back(node->informed_slot());
+    out.parent.push_back(node->parent());
+  }
+  return out;
+}
+
+}  // namespace cogradio

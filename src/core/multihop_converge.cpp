@@ -1,0 +1,206 @@
+#include "core/multihop_converge.h"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "core/multihop_cast.h"
+
+namespace cogradio {
+
+MultihopConvergeNode::MultihopConvergeNode(
+    NodeId id, const MultihopConvergeParams& params, bool is_source,
+    Value value, Aggregator aggregator, Rng rng)
+    : id_(id),
+      params_(params),
+      is_source_(is_source),
+      aggregator_(aggregator),
+      rng_(rng),
+      informed_(is_source) {
+  if (params.n < 1 || params.c < 1 || params.max_depth < 0 ||
+      params.flood_slots < 0 || params.epoch_steps < 1 ||
+      params.decay_levels < 1)
+    throw std::invalid_argument("multihop converge: bad parameters");
+  if (is_source) depth_ = 0;
+  acc_ = aggregator_.leaf(id, value);
+}
+
+bool MultihopConvergeNode::done() const {
+  // Senders finish on delivery; receivers (and the source) cannot know
+  // when their last child arrives, so they simply run out the schedule —
+  // done() turning true at max_slots keeps Network::run() bounded.
+  if (is_source_) return false;  // the runner stops at max_slots
+  return delivered_ || !informed_;
+}
+
+Action MultihopConvergeNode::on_slot(Slot slot) {
+  if (slot <= params_.phase1_end()) return flood_action(slot);
+  return converge_action(slot);
+}
+
+void MultihopConvergeNode::on_feedback(Slot slot, const SlotResult& result) {
+  if (slot <= params_.phase1_end()) {
+    flood_feedback(slot, result);
+    return;
+  }
+  converge_feedback(slot, result);
+}
+
+// --- Phase 1: depth-stamped flood -------------------------------------------
+
+Action MultihopConvergeNode::flood_action(Slot slot) {
+  const auto label =
+      static_cast<LocalLabel>(rng_.below(static_cast<std::uint64_t>(params_.c)));
+  if (!informed_) return Action::listen(label);
+  const int level = static_cast<int>(slot % params_.decay_levels);
+  if (rng_.chance(std::ldexp(1.0, -level))) {
+    Message m;
+    m.type = MessageType::Data;
+    m.a = depth_;  // receiver's depth = mine + 1
+    return Action::broadcast(label, m);
+  }
+  return Action::listen(label);
+}
+
+void MultihopConvergeNode::flood_feedback(Slot /*slot*/,
+                                          const SlotResult& result) {
+  if (informed_ || result.received.empty()) return;
+  const Message& m = result.received.front();
+  if (m.type != MessageType::Data) return;
+  informed_ = true;
+  depth_ = static_cast<int>(m.a) + 1;
+  parent_ = m.sender;
+}
+
+// --- Phase 2: depth-scheduled convergecast ----------------------------------
+
+Action MultihopConvergeNode::converge_action(Slot slot) {
+  if (!informed_) return Action::idle();
+  const Slot t = slot - params_.phase1_end() - 1;  // 0-based phase-2 slot
+  const int epoch = static_cast<int>(t / (2 * params_.epoch_steps));
+  const bool data_slot = (t % 2) == 0;
+  if (epoch > params_.max_depth) return Action::idle();
+
+  const bool my_epoch = !is_source_ && epoch == send_epoch();
+  if (data_slot) {
+    sent_this_step_ = false;
+    pending_ack_ = kNoNode;
+    step_label_ =
+        static_cast<LocalLabel>(rng_.below(static_cast<std::uint64_t>(params_.c)));
+    if (my_epoch && !delivered_) {
+      const int level =
+          static_cast<int>((t / 2) % params_.decay_levels);
+      if (rng_.chance(std::ldexp(1.0, -level))) {
+        sent_this_step_ = true;
+        Message m;
+        m.type = MessageType::AggData;
+        m.a = parent_;  // addressed: only this node may merge and ack
+        m.payload = acc_;
+        return Action::broadcast(step_label_, m);
+      }
+    }
+    // Shallower nodes (potential parents) and waiting senders listen.
+    return Action::listen(step_label_);
+  }
+  // Ack slot: answer data addressed to us; senders await their ack.
+  if (pending_ack_ != kNoNode) {
+    Message m;
+    m.type = MessageType::Ack;
+    m.a = pending_ack_;
+    return Action::broadcast(step_label_, m);
+  }
+  return Action::listen(step_label_);
+}
+
+void MultihopConvergeNode::converge_feedback(Slot slot,
+                                             const SlotResult& result) {
+  if (!informed_) return;
+  const Slot t = slot - params_.phase1_end() - 1;
+  const bool data_slot = (t % 2) == 0;
+  if (data_slot) {
+    for (const Message& m : result.received) {
+      if (m.type != MessageType::AggData) continue;
+      if (static_cast<NodeId>(m.a) != id_) continue;  // not addressed to us
+      if (!merged_children_.insert(m.sender).second) {
+        // Re-transmission after a lost ack: do not merge twice, but do
+        // re-acknowledge so the child can stop.
+        pending_ack_ = m.sender;
+        continue;
+      }
+      aggregator_.merge(acc_, m.payload);
+      pending_ack_ = m.sender;
+    }
+    return;
+  }
+  // Ack slot.
+  if (sent_this_step_) {
+    for (const Message& m : result.received)
+      if (m.type == MessageType::Ack && static_cast<NodeId>(m.a) == id_)
+        delivered_ = true;
+  }
+  pending_ack_ = kNoNode;
+}
+
+// --- Runner -------------------------------------------------------------------
+
+MultihopConvergeOutcome run_multihop_converge(
+    ChannelAssignment& assignment, const Topology& topology,
+    std::span<const Value> values, const MultihopConvergeConfig& config) {
+  const int n = assignment.num_nodes();
+  const int c = assignment.channels_per_node();
+  if (topology.num_nodes() != n)
+    throw std::invalid_argument("multihop converge: size mismatch");
+  if (static_cast<int>(values.size()) != n)
+    throw std::invalid_argument("multihop converge: one value per node");
+
+  MultihopConvergeParams params;
+  params.n = n;
+  params.c = c;
+  // The *flood tree* can be deeper than the BFS diameter (a node may be
+  // informed first along a longer path), so the epoch schedule must cover
+  // every possible tree depth; only the flood budget sizes from the
+  // diameter, which governs how fast the frontier actually advances.
+  params.max_depth = n - 1;
+  params.decay_levels =
+      MultihopCastNode::suggested_decay_levels(topology.max_degree());
+  const double lg = std::log2(std::max(2.0, static_cast<double>(n)));
+  params.flood_slots =
+      config.flood_slots > 0
+          ? config.flood_slots
+          : static_cast<Slot>(8.0 * (topology.diameter() + 1) *
+                              params.decay_levels * lg);
+  // Epoch length: each child must rendezvous with its parent on one of
+  // ~c^2/k_eff label pairs, with decay retransmission.
+  const double k_eff = std::max(1.0, static_cast<double>(assignment.min_overlap()));
+  params.epoch_steps =
+      config.epoch_steps > 0
+          ? config.epoch_steps
+          : static_cast<Slot>(8.0 * (static_cast<double>(c) * c / k_eff) *
+                              params.decay_levels);
+
+  const Aggregator aggregator(config.op);
+  Rng seeder(config.seed);
+  std::vector<std::unique_ptr<MultihopConvergeNode>> nodes;
+  std::vector<Protocol*> protocols;
+  for (NodeId u = 0; u < n; ++u) {
+    nodes.push_back(std::make_unique<MultihopConvergeNode>(
+        u, params, u == config.source, values[static_cast<std::size_t>(u)],
+        aggregator, seeder.split(static_cast<std::uint64_t>(u))));
+    protocols.push_back(nodes.back().get());
+  }
+  MultihopNetwork network(assignment, topology, std::move(protocols));
+  network.run(params.max_slots());
+
+  const auto& source = *nodes[static_cast<std::size_t>(config.source)];
+  MultihopConvergeOutcome out;
+  out.slots = network.now();
+  out.stats = network.stats();
+  out.result = aggregator.result(source.accumulated());
+  out.covered = source.covered();
+  out.completed = source.complete();
+  std::vector<Value> value_vec(values.begin(), values.end());
+  out.expected = aggregator.expected(value_vec);
+  return out;
+}
+
+}  // namespace cogradio

@@ -1,0 +1,129 @@
+// Multi-hop convergecast: aggregation over the flood tree — the multi-hop
+// counterpart of CogComp, built from the primitives the paper provides.
+//
+// Phase 1 (flood, fixed budget): the epidemic of core/multihop_cast.h with
+// the hop depth stamped into the message, so every node learns its depth
+// and its flood parent.
+//
+// Phase 2 (convergecast, depth-scheduled epochs): values flow up the tree
+// deepest-first. Epoch e is reserved for senders at depth (max_depth - e);
+// an epoch is `epoch_steps` 2-slot steps:
+//
+//   data slot: each undelivered sender picks a uniformly random label and
+//       transmits its subtree aggregate with cycling-decay probability,
+//       *addressed to its flood parent* (the parent id rides in the
+//       message); every shallower node listens on a random label;
+//   ack slot: a node that received data addressed to itself merges the
+//       payload (deduplicated by child id) and acks the child by name on
+//       the same channel; the child stops on hearing its ack.
+//
+// Addressing is what makes the aggregation exactly-once: several neighbors
+// may overhear a child's transmission, but only the named parent merges
+// and acks, and re-transmissions after a lost ack are deduplicated. Nodes
+// at depth d have all their children in the single epoch max_depth - d-1
+// ... i.e. children (depth d+1) send in epoch max_depth-(d+1), strictly
+// before the node's own epoch — so when its turn comes its subtree is
+// complete, provided each epoch is long enough (w.h.p. in epoch_steps).
+// As everywhere in this repository, a shortfall is *detected*: the source
+// exposes covered() and complete() rather than a silently wrong value.
+#pragma once
+
+#include <optional>
+#include <set>
+
+#include "agg/aggregate.h"
+#include "sim/multihop.h"
+#include "sim/protocol.h"
+#include "util/rng.h"
+
+namespace cogradio {
+
+struct MultihopConvergeParams {
+  int n = 0;
+  int c = 0;
+  int max_depth = 0;    // upper bound on the flood tree depth (<= diameter)
+  Slot flood_slots = 0;   // phase-1 budget
+  Slot epoch_steps = 0;   // 2-slot steps per depth epoch
+  int decay_levels = 4;   // cycling-decay levels for both phases
+
+  Slot phase1_end() const { return flood_slots; }
+  Slot max_slots() const {
+    return flood_slots + 2 * epoch_steps * (static_cast<Slot>(max_depth) + 1);
+  }
+};
+
+class MultihopConvergeNode : public Protocol {
+ public:
+  MultihopConvergeNode(NodeId id, const MultihopConvergeParams& params,
+                       bool is_source, Value value, Aggregator aggregator,
+                       Rng rng);
+
+  Action on_slot(Slot slot) override;
+  void on_feedback(Slot slot, const SlotResult& result) override;
+  bool done() const override;
+
+  bool informed() const { return informed_; }
+  int depth() const { return depth_; }
+  NodeId parent() const { return parent_; }
+  bool delivered() const { return delivered_; }
+  const AggPayload& accumulated() const { return acc_; }
+  // Source: number of nodes folded into the aggregate / full coverage.
+  std::int64_t covered() const { return acc_.count; }
+  bool complete() const {
+    return is_source_ && acc_.count == static_cast<std::int64_t>(params_.n);
+  }
+
+ private:
+  Action flood_action(Slot slot);
+  void flood_feedback(Slot slot, const SlotResult& result);
+  Action converge_action(Slot slot);
+  void converge_feedback(Slot slot, const SlotResult& result);
+  // My sending epoch (0-based); the source never sends.
+  int send_epoch() const { return params_.max_depth - depth_; }
+
+  NodeId id_;
+  MultihopConvergeParams params_;
+  bool is_source_;
+  Aggregator aggregator_;
+  Rng rng_;
+
+  // Flood state.
+  bool informed_;
+  int depth_ = -1;
+  NodeId parent_ = kNoNode;
+
+  // Convergecast state.
+  AggPayload acc_;
+  std::set<NodeId> merged_children_;
+  bool delivered_ = false;      // my aggregate reached my parent
+  bool sent_this_step_ = false;
+  LocalLabel step_label_ = 0;   // label held across a (data, ack) step
+  NodeId pending_ack_ = kNoNode;
+};
+
+// Runner: floods from `source`, then aggregates back to it. The runner
+// derives max_depth from the topology (an upper bound a deployment would
+// know) and sizes the epochs from (n, c, k_eff).
+struct MultihopConvergeOutcome {
+  bool completed = false;  // full coverage at the source
+  Slot slots = 0;
+  Value result = 0;
+  Value expected = 0;
+  std::int64_t covered = 0;
+  TraceStats stats;
+};
+
+struct MultihopConvergeConfig {
+  std::uint64_t seed = 1;
+  NodeId source = 0;
+  AggOp op = AggOp::Sum;
+  // 0 = auto-size from the topology and assignment.
+  Slot flood_slots = 0;
+  Slot epoch_steps = 0;
+};
+
+MultihopConvergeOutcome run_multihop_converge(
+    ChannelAssignment& assignment, const Topology& topology,
+    std::span<const Value> values, const MultihopConvergeConfig& config);
+
+}  // namespace cogradio

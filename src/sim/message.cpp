@@ -1,0 +1,28 @@
+#include "sim/message.h"
+
+namespace cogradio {
+
+std::string to_string(MessageType type) {
+  switch (type) {
+    case MessageType::None: return "None";
+    case MessageType::Data: return "Data";
+    case MessageType::Init: return "Init";
+    case MessageType::ClusterAnnounce: return "ClusterAnnounce";
+    case MessageType::ClusterSize: return "ClusterSize";
+    case MessageType::MediatorPoll: return "MediatorPoll";
+    case MessageType::AggData: return "AggData";
+    case MessageType::Ack: return "Ack";
+    case MessageType::Value: return "Value";
+  }
+  return "?";
+}
+
+std::size_t wire_size_words(const Message& msg) {
+  // type+sender packed in one word, r and a one word each.
+  std::size_t words = 3;
+  if (msg.type == MessageType::AggData || msg.type == MessageType::Value)
+    words += payload_size_words(msg.payload);
+  return words;
+}
+
+}  // namespace cogradio

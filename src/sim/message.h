@@ -1,0 +1,55 @@
+// The single concrete message type carried on the simulated radio.
+//
+// Protocols in this repository exchange a handful of structurally simple
+// messages (broadcast payloads, cluster announcements, mediator polls,
+// acknowledgements, aggregation data). A single tagged struct keeps the
+// simulator's hot path free of virtual dispatch and heap churn; the `type`
+// tag says which fields are meaningful.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "agg/aggregate.h"
+#include "sim/types.h"
+
+namespace cogradio {
+
+enum class MessageType : std::uint8_t {
+  None,            // placeholder / empty
+  Data,            // generic application payload (local broadcast content)
+  Init,            // CogComp phase 1: the source's INIT broadcast
+  ClusterAnnounce, // CogComp phase 2: <sender id, informed slot r>
+  ClusterSize,     // CogComp phase 3: <cluster slot r, cluster size>
+  MediatorPoll,    // CogComp phase 4 slot 1: mediator announces r'
+  AggData,         // CogComp phase 4 slot 2: sender's aggregated payload
+  Ack,             // CogComp phase 4 slot 3: receiver names delivered sender
+  Value,           // baseline aggregation: a node's raw value
+};
+
+std::string to_string(MessageType type);
+
+struct Message {
+  MessageType type = MessageType::None;
+  NodeId sender = kNoNode;
+
+  // Cluster slot number: the phase-1 slot in which the relevant cluster was
+  // informed (the `r` of an (r, c)-cluster / the mediator's announced r').
+  Slot r = kNoSlot;
+
+  // Generic scalar fields; meaning depends on `type`:
+  //   ClusterSize: a = cluster size
+  //   Ack:         a = delivered sender's NodeId
+  //   Data/Value:  a = payload value
+  std::int64_t a = 0;
+
+  AggPayload payload;  // AggData / Value messages
+
+  bool operator==(const Message&) const = default;
+};
+
+// Approximate on-air message size in 64-bit words (header + payload); the
+// metric reported by experiment E15.
+std::size_t wire_size_words(const Message& msg);
+
+}  // namespace cogradio

@@ -1,0 +1,228 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace cogradio {
+
+Network::Network(ChannelAssignment& assignment,
+                 std::vector<Protocol*> protocols, NetworkOptions options)
+    : assignment_(assignment),
+      protocols_(std::move(protocols)),
+      options_(options),
+      rng_(options.seed),
+      activity_(protocols_.size()) {
+  if (protocols_.empty())
+    throw std::invalid_argument("network: need at least one protocol");
+  if (static_cast<int>(protocols_.size()) != assignment_.num_nodes())
+    throw std::invalid_argument(
+        "network: protocol count must match assignment node count");
+  for (const Protocol* p : protocols_)
+    if (p == nullptr) throw std::invalid_argument("network: null protocol");
+}
+
+bool Network::all_done() const {
+  return std::all_of(protocols_.begin(), protocols_.end(),
+                     [](const Protocol* p) { return p->done(); });
+}
+
+void Network::step() {
+  const Slot slot = stats_.slots + 1;
+  const auto n = protocols_.size();
+
+  assignment_.begin_slot(slot);
+  if (jammer_ != nullptr) jammer_->begin_slot(slot);
+
+  resolved_.assign(n, ResolvedAction{});
+  messages_.assign(n, Message{});
+  used_channel_.assign(n, kNoChannel);
+
+  // 1. Collect and resolve actions.
+  for (std::size_t i = 0; i < n; ++i) {
+    Action action = protocols_[i]->on_slot(slot);
+    ResolvedAction& r = resolved_[i];
+    r.node = static_cast<NodeId>(i);
+    r.mode = action.mode;
+    if (action.mode == Mode::Idle) {
+      ++stats_.idle_node_slots;
+      continue;
+    }
+    assert(action.channel >= 0 &&
+           action.channel < assignment_.channels_per_node());
+    const Channel ch =
+        assignment_.global_channel(static_cast<NodeId>(i), action.channel);
+    r.channel = ch;
+    used_channel_[i] = ch;
+    if (jammer_ != nullptr && jammer_->is_jammed(static_cast<NodeId>(i), ch)) {
+      r.jammed = true;
+      ++stats_.jammed_node_slots;
+      continue;
+    }
+    if (action.mode == Mode::Broadcast) {
+      messages_[i] = std::move(action.msg);
+      messages_[i].sender = static_cast<NodeId>(i);
+      ++stats_.broadcasts;
+    }
+  }
+
+  // 2. Group participating nodes by physical channel.
+  order_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const ResolvedAction& r = resolved_[i];
+    if (r.mode != Mode::Idle && !r.jammed) order_.push_back(static_cast<int>(i));
+  }
+  std::sort(order_.begin(), order_.end(), [&](int a, int b) {
+    return resolved_[static_cast<std::size_t>(a)].channel <
+           resolved_[static_cast<std::size_t>(b)].channel;
+  });
+
+  // Feedback bookkeeping: per-node received span, filled group by group.
+  std::vector<std::span<const Message>> received(n);
+  std::vector<char> fed(n, 0);  // feedback already delivered in-loop
+  std::vector<Message> group_messages;  // AllDelivered scratch per group —
+  // deliver within the group loop so spans into it stay valid.
+
+  auto account_success = [&](const Message& msg) {
+    ++stats_.successes;
+    const auto words = static_cast<std::int64_t>(wire_size_words(msg));
+    stats_.total_message_words += words;
+    stats_.max_message_words = std::max(stats_.max_message_words, words);
+  };
+
+  // 3. Apply the collision model per channel group.
+  for (std::size_t begin = 0; begin < order_.size();) {
+    std::size_t end = begin;
+    const Channel ch = resolved_[static_cast<std::size_t>(order_[begin])].channel;
+    while (end < order_.size() &&
+           resolved_[static_cast<std::size_t>(order_[end])].channel == ch)
+      ++end;
+
+    // Partition the group into broadcasters and listeners.
+    std::vector<int> broadcasters, listeners;
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto idx = static_cast<std::size_t>(order_[i]);
+      (resolved_[idx].mode == Mode::Broadcast ? broadcasters : listeners)
+          .push_back(order_[i]);
+    }
+    if (broadcasters.size() >= 2) ++stats_.collision_events;
+
+    switch (options_.collision) {
+      case CollisionModel::OneWinner: {
+        if (broadcasters.empty()) break;
+        std::size_t pick = 0;
+        if (options_.emulate_backoff) {
+          const BackoffOutcome outcome = decay_backoff(
+              static_cast<int>(broadcasters.size()), options_.backoff, rng_);
+          stats_.micro_slots += outcome.micro_slots;
+          if (!outcome.resolved) {
+            ++stats_.backoff_failures;
+            break;  // nothing delivered on this channel this slot
+          }
+          pick = static_cast<std::size_t>(outcome.winner);
+        } else {
+          pick = rng_.below(broadcasters.size());
+        }
+        const auto winner = static_cast<std::size_t>(broadcasters[pick]);
+        resolved_[winner].tx_success = true;
+        account_success(messages_[winner]);
+        const std::span<const Message> win{&messages_[winner], 1};
+        auto faded = [&] {
+          return options_.loss_prob > 0.0 && rng_.chance(options_.loss_prob);
+        };
+        for (int l : listeners) {
+          if (faded()) continue;
+          received[static_cast<std::size_t>(l)] = win;
+          ++stats_.deliveries;
+        }
+        // Failed broadcasters also receive the winning message (Section 2).
+        for (int b : broadcasters)
+          if (static_cast<std::size_t>(b) != winner) {
+            if (faded()) continue;
+            received[static_cast<std::size_t>(b)] = win;
+            ++stats_.deliveries;
+          }
+        break;
+      }
+      case CollisionModel::AllDelivered: {
+        if (broadcasters.empty()) break;
+        group_messages.clear();
+        for (int b : broadcasters) {
+          resolved_[static_cast<std::size_t>(b)].tx_success = true;
+          group_messages.push_back(messages_[static_cast<std::size_t>(b)]);
+          account_success(messages_[static_cast<std::size_t>(b)]);
+        }
+        const std::span<const Message> all{group_messages};
+        stats_.deliveries +=
+            static_cast<std::int64_t>(listeners.size() * group_messages.size());
+        // Deliver inside the group loop: group_messages is reused next group.
+        for (int l : listeners) {
+          const auto idx = static_cast<std::size_t>(l);
+          SlotResult res;
+          res.received = all;
+          protocols_[idx]->on_feedback(slot, res);
+          fed[idx] = 1;
+          // Accounted here because received[] stays empty for these nodes.
+          activity_[idx].received += static_cast<std::int64_t>(all.size());
+        }
+        break;
+      }
+      case CollisionModel::CollisionLoss: {
+        if (broadcasters.size() == 1) {
+          const auto winner = static_cast<std::size_t>(broadcasters.front());
+          resolved_[winner].tx_success = true;
+          account_success(messages_[winner]);
+          const std::span<const Message> win{&messages_[winner], 1};
+          for (int l : listeners) {
+            received[static_cast<std::size_t>(l)] = win;
+            ++stats_.deliveries;
+          }
+        }
+        break;
+      }
+    }
+    begin = end;
+  }
+
+  // 4. Feedback. (AllDelivered listeners were already fed inside the loop.)
+  for (std::size_t i = 0; i < n; ++i) {
+    if (fed[i]) continue;
+    const ResolvedAction& r = resolved_[i];
+    SlotResult res;
+    res.jammed = r.jammed;
+    res.tx_attempted = r.mode == Mode::Broadcast && !r.jammed;
+    res.tx_success = r.tx_success;
+    res.received = received[i];
+    protocols_[i]->on_feedback(slot, res);
+  }
+
+  // 5. Per-node duty-cycle accounting.
+  for (std::size_t i = 0; i < n; ++i) {
+    const ResolvedAction& r = resolved_[i];
+    NodeActivity& act = activity_[i];
+    if (r.mode == Mode::Idle) {
+      ++act.idle;
+    } else if (r.jammed) {
+      ++act.jammed;
+    } else if (r.mode == Mode::Broadcast) {
+      ++act.tx;
+      if (r.tx_success) ++act.tx_success;
+      if (!received[i].empty()) act.received += static_cast<std::int64_t>(received[i].size());
+    } else {
+      ++act.listen;
+      act.received += static_cast<std::int64_t>(received[i].size());
+    }
+  }
+
+  // 6. History to the jammer, observer, bookkeeping.
+  if (jammer_ != nullptr) jammer_->observe(slot, used_channel_);
+  stats_.slots = slot;
+  if (observer_) observer_(slot, resolved_);
+}
+
+Slot Network::run(Slot max_slots) {
+  while (!all_done() && stats_.slots < max_slots) step();
+  return stats_.slots;
+}
+
+}  // namespace cogradio

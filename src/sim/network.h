@@ -1,0 +1,133 @@
+// Slot-synchronous single-hop network engine (Section 2 of the paper).
+//
+// Each slot:
+//   1. the channel assignment advances (dynamic assignments re-draw);
+//   2. the jammer (if any) fixes per-node jam sets, knowing only history;
+//   3. every protocol picks an Action (local label + broadcast/listen);
+//   4. local labels are resolved to physical channels and the collision
+//      model is applied per channel;
+//   5. every protocol receives a SlotResult.
+//
+// Three collision models are provided:
+//   OneWinner     the paper's model — one uniformly random broadcaster per
+//                 channel succeeds; all listeners receive it; failed
+//                 broadcasters learn of the failure AND receive the winner;
+//   AllDelivered  the stronger model of the rendezvous literature
+//                 (footnote 3) — every concurrent message reaches every
+//                 listener;
+//   CollisionLoss the raw radio — two or more concurrent broadcasts destroy
+//                 each other (no collision detection). The backoff substrate
+//                 (sim/backoff.h) rebuilds OneWinner on top of this.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "sim/assignment.h"
+#include "sim/backoff.h"
+#include "sim/protocol.h"
+#include "sim/trace.h"
+#include "util/rng.h"
+
+namespace cogradio {
+
+enum class CollisionModel : std::uint8_t { OneWinner, AllDelivered, CollisionLoss };
+
+// Adversarial interference (Theorem 18). An n-uniform jammer may cut off
+// any (node, channel) pairs each slot; concrete strategies live in
+// sim/jamming.h and are responsible for honoring their per-node budget.
+class Jammer {
+ public:
+  virtual ~Jammer() = default;
+  // Fix this slot's jam sets. Called before any node acts; the jammer sees
+  // only the history it accumulated via observe() — never current coins.
+  virtual void begin_slot(Slot slot) = 0;
+  virtual bool is_jammed(NodeId node, Channel channel) const = 0;
+  // History feedback: physical channel each node used (kNoChannel if idle).
+  virtual void observe(Slot slot, std::span<const Channel> node_channels) {
+    (void)slot;
+    (void)node_channels;
+  }
+};
+
+struct NetworkOptions {
+  CollisionModel collision = CollisionModel::OneWinner;
+  std::uint64_t seed = 0xc09'7ad'10;  // drives winner selection only
+
+  // When true (OneWinner only), contention on each channel is resolved by
+  // actually simulating decay backoff on a collision-loss radio instead of
+  // drawing a uniform winner: micro-slot costs accumulate in
+  // TraceStats::micro_slots, and a channel-slot whose backoff fails to
+  // resolve within its budget delivers nothing (TraceStats counts it).
+  bool emulate_backoff = false;
+  BackoffParams backoff{};
+
+  // Fading: each individual delivery (listener or failed-broadcaster copy)
+  // is independently lost with this probability. The winner's tx_success
+  // feedback is unaffected — the transmitter cannot observe per-receiver
+  // fades. 0 = the paper's loss-free model. Robustness experiment E28
+  // sweeps this: the oblivious CogCast degrades gracefully, while
+  // CogComp's deterministic phases lose their guarantees (and report
+  // incompleteness rather than a silently wrong aggregate).
+  double loss_prob = 0.0;
+};
+
+// Post-resolution view of one node's slot, for test oracles and observers.
+struct ResolvedAction {
+  NodeId node = kNoNode;
+  Mode mode = Mode::Idle;
+  Channel channel = kNoChannel;  // physical; kNoChannel when idle
+  bool jammed = false;
+  bool tx_success = false;
+};
+
+class Network {
+ public:
+  // `protocols[i]` is node i; non-owning — callers keep protocols alive for
+  // the lifetime of the network (the runtime helpers in core/runtime.h own
+  // them for you).
+  Network(ChannelAssignment& assignment, std::vector<Protocol*> protocols,
+          NetworkOptions options = {});
+
+  void set_jammer(Jammer* jammer) { jammer_ = jammer; }
+
+  // Observer invoked after each slot with the resolved actions; used by
+  // tests to validate collision-model semantics externally.
+  using SlotObserver = std::function<void(Slot, std::span<const ResolvedAction>)>;
+  void set_observer(SlotObserver observer) { observer_ = std::move(observer); }
+
+  int num_nodes() const { return static_cast<int>(protocols_.size()); }
+  Slot now() const { return stats_.slots; }
+  const TraceStats& stats() const { return stats_; }
+  const NodeActivity& activity(NodeId node) const {
+    return activity_[static_cast<std::size_t>(node)];
+  }
+
+  bool all_done() const;
+
+  // Executes one slot.
+  void step();
+
+  // Runs until every protocol reports done() or `max_slots` have executed
+  // (counted from construction). Returns the slot count at exit.
+  Slot run(Slot max_slots);
+
+ private:
+  ChannelAssignment& assignment_;
+  std::vector<Protocol*> protocols_;
+  NetworkOptions options_;
+  Rng rng_;
+  Jammer* jammer_ = nullptr;
+  SlotObserver observer_;
+  TraceStats stats_;
+  std::vector<NodeActivity> activity_;
+
+  // Per-slot scratch, kept across slots to avoid reallocation.
+  std::vector<ResolvedAction> resolved_;
+  std::vector<Message> messages_;   // broadcast message per node (by index)
+  std::vector<int> order_;          // node indices sorted by channel
+  std::vector<Channel> used_channel_;  // per node, for jammer observe()
+};
+
+}  // namespace cogradio

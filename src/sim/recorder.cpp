@@ -1,0 +1,108 @@
+#include "sim/recorder.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cogradio {
+
+namespace {
+char mode_code(Mode mode) {
+  switch (mode) {
+    case Mode::Listen: return 'L';
+    case Mode::Broadcast: return 'B';
+    case Mode::Idle: return 'I';
+  }
+  return '?';
+}
+
+Mode mode_from(char code) {
+  switch (code) {
+    case 'L': return Mode::Listen;
+    case 'B': return Mode::Broadcast;
+    case 'I': return Mode::Idle;
+    default: throw std::invalid_argument("recorder: bad mode code");
+  }
+}
+}  // namespace
+
+void ExecutionRecorder::attach(Network& network, bool record_idle) {
+  record_idle_ = record_idle;
+  network.set_observer([this](Slot slot, std::span<const ResolvedAction> acts) {
+    for (const ResolvedAction& a : acts) {
+      if (a.mode == Mode::Idle && !record_idle_) continue;
+      log_.push_back(RecordedAction{slot, a.node, a.mode, a.channel, a.jammed,
+                                    a.tx_success});
+    }
+  });
+}
+
+std::uint64_t ExecutionRecorder::fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const RecordedAction& a : log_) {
+    mix(static_cast<std::uint64_t>(a.slot));
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(a.node)));
+    mix(static_cast<std::uint64_t>(mode_code(a.mode)));
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(a.channel)));
+    mix(static_cast<std::uint64_t>((a.jammed ? 2 : 0) | (a.tx_success ? 1 : 0)));
+  }
+  return h;
+}
+
+void ExecutionRecorder::serialize(std::ostream& os) const {
+  for (const RecordedAction& a : log_)
+    os << a.slot << ' ' << a.node << ' ' << mode_code(a.mode) << ' '
+       << a.channel << ' ' << (a.jammed ? 1 : 0) << ' '
+       << (a.tx_success ? 1 : 0) << '\n';
+}
+
+std::string ExecutionRecorder::serialize() const {
+  std::ostringstream os;
+  serialize(os);
+  return os.str();
+}
+
+std::vector<RecordedAction> ExecutionRecorder::parse(const std::string& text) {
+  std::vector<RecordedAction> out;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    RecordedAction a;
+    char mode = '?';
+    int jammed = 0, success = 0;
+    if (!(ls >> a.slot >> a.node >> mode >> a.channel >> jammed >> success))
+      throw std::invalid_argument("recorder: malformed line: " + line);
+    a.mode = mode_from(mode);
+    a.jammed = jammed != 0;
+    a.tx_success = success != 0;
+    out.push_back(a);
+  }
+  return out;
+}
+
+std::ptrdiff_t ExecutionRecorder::first_divergence(
+    const std::vector<RecordedAction>& a,
+    const std::vector<RecordedAction>& b) {
+  const std::size_t common = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < common; ++i)
+    if (!(a[i] == b[i])) return static_cast<std::ptrdiff_t>(i);
+  if (a.size() != b.size()) return static_cast<std::ptrdiff_t>(common);
+  return -1;
+}
+
+bool verify_replay(
+    const std::function<void(ExecutionRecorder&)>& workload) {
+  ExecutionRecorder first, second;
+  workload(first);
+  workload(second);
+  return ExecutionRecorder::first_divergence(first.log(), second.log()) == -1;
+}
+
+}  // namespace cogradio

@@ -1,0 +1,75 @@
+// Execution recording and deterministic-replay verification.
+//
+// Every randomized component in cogradio draws from seeded generators, so
+// a (configuration, seed) pair must reproduce an execution bit for bit.
+// The recorder makes that property *checkable* and gives experiments a
+// portable artifact: it attaches to a Network as its slot observer and
+// logs one line per participating node per slot:
+//
+//   slot node mode channel jammed success
+//
+// The log can be serialized to a compact text form, parsed back, diffed,
+// and fingerprinted. `verify_replay` runs a workload twice and reports
+// whether the two logs are identical — used by the test suite to pin the
+// determinism guarantee down for every protocol in the repository.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/network.h"
+
+namespace cogradio {
+
+struct RecordedAction {
+  Slot slot = 0;
+  NodeId node = kNoNode;
+  Mode mode = Mode::Idle;
+  Channel channel = kNoChannel;
+  bool jammed = false;
+  bool tx_success = false;
+
+  bool operator==(const RecordedAction&) const = default;
+};
+
+class ExecutionRecorder {
+ public:
+  // Attaches to the network (replaces any existing observer). Idle nodes
+  // are skipped unless record_idle is true.
+  void attach(Network& network, bool record_idle = false);
+
+  const std::vector<RecordedAction>& log() const { return log_; }
+  std::size_t size() const { return log_.size(); }
+  void clear() { log_.clear(); }
+
+  // 64-bit FNV-1a fingerprint of the log; equal logs -> equal fingerprints.
+  std::uint64_t fingerprint() const;
+
+  // One action per line: "slot node mode channel jammed success".
+  void serialize(std::ostream& os) const;
+  std::string serialize() const;
+
+  // Parses the serialize() format; throws std::invalid_argument on
+  // malformed input.
+  static std::vector<RecordedAction> parse(const std::string& text);
+
+  // First index at which two logs differ, or -1 if identical (length
+  // mismatch counts as a difference at the shorter length).
+  static std::ptrdiff_t first_divergence(
+      const std::vector<RecordedAction>& a,
+      const std::vector<RecordedAction>& b);
+
+ private:
+  bool record_idle_ = false;
+  std::vector<RecordedAction> log_;
+};
+
+// Runs `workload` twice (it must build + run a network against the
+// recorder it is handed) and returns true iff the logs match exactly.
+bool verify_replay(
+    const std::function<void(ExecutionRecorder&)>& workload);
+
+}  // namespace cogradio

@@ -1,0 +1,131 @@
+#include "sim/topology.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace cogradio {
+
+Topology::Topology(int n) : adjacency_(static_cast<std::size_t>(n)) {
+  if (n < 1) throw std::invalid_argument("topology: need n >= 1");
+}
+
+void Topology::add_edge(NodeId u, NodeId v) {
+  assert(u != v);
+  adjacency_[static_cast<std::size_t>(u)].push_back(v);
+  adjacency_[static_cast<std::size_t>(v)].push_back(u);
+}
+
+Topology Topology::clique(int n) {
+  Topology t(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) t.add_edge(u, v);
+  return t;
+}
+
+Topology Topology::line(int n) {
+  Topology t(n);
+  for (NodeId u = 0; u + 1 < n; ++u) t.add_edge(u, u + 1);
+  return t;
+}
+
+Topology Topology::ring(int n) {
+  if (n < 3) return line(n);
+  Topology t = line(n);
+  t.add_edge(n - 1, 0);
+  return t;
+}
+
+Topology Topology::grid(int rows, int cols) {
+  if (rows < 1 || cols < 1)
+    throw std::invalid_argument("topology: grid needs positive dims");
+  Topology t(rows * cols);
+  auto id = [cols](int r, int c) { return static_cast<NodeId>(r * cols + c); };
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) t.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) t.add_edge(id(r, c), id(r + 1, c));
+    }
+  return t;
+}
+
+Topology Topology::random_geometric(int n, double radius, Rng rng) {
+  if (radius <= 0.0)
+    throw std::invalid_argument("topology: need positive radius");
+  constexpr int kAttempts = 64;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    Topology t(n);
+    std::vector<std::pair<double, double>> pos(static_cast<std::size_t>(n));
+    for (auto& p : pos) p = {rng.uniform(), rng.uniform()};
+    const double r2 = radius * radius;
+    for (NodeId u = 0; u < n; ++u)
+      for (NodeId v = u + 1; v < n; ++v) {
+        const double dx = pos[static_cast<std::size_t>(u)].first -
+                          pos[static_cast<std::size_t>(v)].first;
+        const double dy = pos[static_cast<std::size_t>(u)].second -
+                          pos[static_cast<std::size_t>(v)].second;
+        if (dx * dx + dy * dy <= r2) t.add_edge(u, v);
+      }
+    if (t.connected()) return t;
+  }
+  throw std::runtime_error(
+      "topology: could not draw a connected G(n,r); increase radius");
+}
+
+const std::vector<NodeId>& Topology::neighbors(NodeId node) const {
+  assert(node >= 0 && node < num_nodes());
+  return adjacency_[static_cast<std::size_t>(node)];
+}
+
+bool Topology::are_neighbors(NodeId u, NodeId v) const {
+  const auto& adj = neighbors(u);
+  return std::find(adj.begin(), adj.end(), v) != adj.end();
+}
+
+int Topology::num_edges() const {
+  int twice = 0;
+  for (const auto& adj : adjacency_) twice += static_cast<int>(adj.size());
+  return twice / 2;
+}
+
+std::vector<int> Topology::hop_depths(NodeId source) const {
+  assert(source >= 0 && source < num_nodes());
+  std::vector<int> depth(adjacency_.size(), -1);
+  std::queue<NodeId> frontier;
+  depth[static_cast<std::size_t>(source)] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : neighbors(u)) {
+      if (depth[static_cast<std::size_t>(v)] != -1) continue;
+      depth[static_cast<std::size_t>(v)] = depth[static_cast<std::size_t>(u)] + 1;
+      frontier.push(v);
+    }
+  }
+  return depth;
+}
+
+bool Topology::connected() const {
+  const auto depth = hop_depths(0);
+  return std::find(depth.begin(), depth.end(), -1) == depth.end();
+}
+
+int Topology::diameter() const {
+  int best = 0;
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    const auto depth = hop_depths(u);
+    for (int d : depth) best = std::max(best, d);
+  }
+  return best;
+}
+
+int Topology::max_degree() const {
+  std::size_t best = 0;
+  for (const auto& adj : adjacency_) best = std::max(best, adj.size());
+  return static_cast<int>(best);
+}
+
+}  // namespace cogradio

@@ -1,0 +1,48 @@
+// Connectivity topologies for the multi-hop extension.
+//
+// The paper solves *local* broadcast in a single-hop network and
+// positions it as the primitive that multi-hop CRN broadcast protocols
+// ([14], [20] in its related work) would build on. The multi-hop substrate
+// (sim/multihop.h) composes the paper's channel model with an undirected
+// connectivity graph from this module; protocol messages then travel only
+// between graph neighbors.
+#pragma once
+
+#include <vector>
+
+#include "sim/types.h"
+#include "util/rng.h"
+
+namespace cogradio {
+
+class Topology {
+ public:
+  // Factories for the standard shapes.
+  static Topology clique(int n);
+  static Topology line(int n);
+  static Topology ring(int n);
+  static Topology grid(int rows, int cols);
+  // G(n, r) random geometric graph on the unit square; re-draws positions
+  // (up to a bounded number of attempts) until the graph is connected.
+  static Topology random_geometric(int n, double radius, Rng rng);
+
+  int num_nodes() const { return static_cast<int>(adjacency_.size()); }
+  const std::vector<NodeId>& neighbors(NodeId node) const;
+  bool are_neighbors(NodeId u, NodeId v) const;
+  int num_edges() const;
+
+  bool connected() const;
+  // BFS hop distance from `source` to every node (-1 if unreachable).
+  std::vector<int> hop_depths(NodeId source) const;
+  // Graph diameter (max finite pairwise hop distance); 0 for n = 1.
+  int diameter() const;
+  int max_degree() const;
+
+ private:
+  explicit Topology(int n);
+  void add_edge(NodeId u, NodeId v);
+
+  std::vector<std::vector<NodeId>> adjacency_;
+};
+
+}  // namespace cogradio

@@ -1,0 +1,5 @@
+#include "sim/trace.h"
+
+// TraceStats is a plain aggregate; this translation unit exists so the
+// header has a home in the library and future non-inline tracing helpers
+// have somewhere to live.

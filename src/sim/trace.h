@@ -1,0 +1,42 @@
+// Execution statistics collected by the network engine.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace cogradio {
+
+struct TraceStats {
+  Slot slots = 0;                      // slots executed
+  std::int64_t broadcasts = 0;         // broadcast attempts (unjammed)
+  std::int64_t successes = 0;          // broadcasts that won their channel
+  std::int64_t deliveries = 0;         // message receptions by listeners
+  std::int64_t collision_events = 0;   // (slot, channel) with >= 2 broadcasters
+  std::int64_t jammed_node_slots = 0;  // node-slots cut off by the jammer
+  std::int64_t idle_node_slots = 0;    // node-slots spent idle
+  std::int64_t total_message_words = 0;  // sum of wire sizes of successes
+  std::int64_t max_message_words = 0;    // largest single success
+
+  // Populated only when the network emulates contention resolution with
+  // decay backoff (NetworkOptions::emulate_backoff):
+  std::int64_t micro_slots = 0;        // total micro-slots spent resolving
+  std::int64_t backoff_failures = 0;   // channel-slots that failed to resolve
+};
+
+// Per-node activity counters — the radio duty-cycle / energy profile
+// (transmitting and listening are the expensive radio states; idling is
+// ~free). Maintained for every node across a run by both network engines.
+struct NodeActivity {
+  std::int64_t tx = 0;          // broadcast attempts (unjammed)
+  std::int64_t tx_success = 0;  // ... that won their channel (single-hop)
+  std::int64_t listen = 0;      // listening slots (unjammed)
+  std::int64_t received = 0;    // messages actually received
+  std::int64_t idle = 0;        // slots not participating
+  std::int64_t jammed = 0;      // slots cut off by the jammer
+
+  // Simple energy model: TX and RX cost 1 unit per slot, idle is free.
+  std::int64_t energy() const { return tx + listen; }
+};
+
+}  // namespace cogradio

@@ -1,0 +1,25 @@
+// Fundamental identifier types shared across the simulator and protocols.
+#pragma once
+
+#include <cstdint>
+
+namespace cogradio {
+
+// Unique node identity, 0-based and dense within a network.
+using NodeId = std::int32_t;
+
+// Global (physical) channel index, 0-based within [0, C).
+using Channel = std::int32_t;
+
+// A node's local name for one of its c channels, in [0, c). Two nodes may
+// use different local labels for the same physical channel (Section 2).
+using LocalLabel = std::int32_t;
+
+// Synchronous time-slot index, 1-based during execution (slot 0 = "before").
+using Slot = std::int64_t;
+
+inline constexpr NodeId kNoNode = -1;
+inline constexpr Channel kNoChannel = -1;
+inline constexpr Slot kNoSlot = -1;
+
+}  // namespace cogradio

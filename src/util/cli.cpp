@@ -1,0 +1,78 @@
+#include "util/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace cogradio {
+
+namespace {
+[[noreturn]] void die(const std::string& msg) {
+  std::fprintf(stderr, "cli error: %s\n", msg.c_str());
+  std::exit(2);
+}
+}  // namespace
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!arg.starts_with("--")) die("expected --flag, got '" + std::string(arg) + "'");
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      continue;
+    }
+    // --name value (when the next token is not itself a flag), else bare.
+    if (i + 1 < argc && std::string_view(argv[i + 1]).starts_with("--") == false) {
+      values_[std::string(arg)] = argv[i + 1];
+      ++i;
+    } else {
+      values_[std::string(arg)] = "";
+    }
+  }
+}
+
+std::int64_t CliArgs::get_int(const std::string& name, std::int64_t def) {
+  seen_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return def;
+  char* end = nullptr;
+  const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') die("flag --" + name + " expects an integer");
+  return v;
+}
+
+double CliArgs::get_double(const std::string& name, double def) {
+  seen_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == nullptr || *end != '\0') die("flag --" + name + " expects a number");
+  return v;
+}
+
+std::string CliArgs::get_string(const std::string& name, const std::string& def) {
+  seen_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return it->second;
+}
+
+bool CliArgs::get_flag(const std::string& name) {
+  seen_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return false;
+  return it->second != "false" && it->second != "0";
+}
+
+void CliArgs::finish() const {
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (!seen_.contains(name)) die("unrecognized flag --" + name);
+  }
+}
+
+}  // namespace cogradio

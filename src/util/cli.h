@@ -1,0 +1,40 @@
+// Minimal command-line flag parser for the examples and bench harnesses.
+// Supports --name=value and --name value forms plus boolean switches.
+//
+//   CliArgs args(argc, argv);
+//   const int n = args.get_int("n", 64);
+//   const bool verbose = args.get_flag("verbose");
+//   args.finish();   // errors out on unrecognized flags
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace cogradio {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  // Typed getters with defaults; each call marks the flag as recognized.
+  std::int64_t get_int(const std::string& name, std::int64_t def);
+  double get_double(const std::string& name, double def);
+  std::string get_string(const std::string& name, const std::string& def);
+  // True if --name was given (optionally --name=false to disable).
+  bool get_flag(const std::string& name);
+
+  // Exits with a diagnostic if any provided flag was never queried —
+  // catches typos like --trails instead of --trials.
+  void finish() const;
+
+  const std::string& program_name() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;  // flag -> raw value ("" for bare)
+  mutable std::set<std::string> seen_;
+};
+
+}  // namespace cogradio

@@ -1,0 +1,74 @@
+// Deterministic, seedable pseudo-random number generation for simulations.
+//
+// Every randomized component in this repository draws from cogradio::Rng so
+// that a (seed, parameters) pair fully determines an execution.  The engine
+// is xoshiro256** (Blackman & Vigna), seeded via splitmix64, which is fast,
+// has a 256-bit state, and passes BigCrush — more than adequate for
+// Monte-Carlo protocol simulation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace cogradio {
+
+// splitmix64 step: used for seeding and for cheap stateless hashing of
+// (seed, stream) pairs into independent generator states.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+// xoshiro256** engine with std::uniform_random_bit_generator conformance,
+// so it can also drive <random> distributions when convenient.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  // Seeds the four 64-bit state words by iterating splitmix64 on `seed`.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  // Raw 64 random bits.
+  result_type operator()() noexcept;
+
+  // Uniform integer in [0, bound). Precondition: bound > 0.
+  // Uses Lemire's multiply-shift rejection method (no modulo bias).
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  // Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept;
+
+  // Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  // Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  // Derives an independent child generator; children with distinct `stream`
+  // values are statistically independent of each other and of the parent.
+  Rng split(std::uint64_t stream) noexcept;
+
+  // In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Samples `count` distinct values from [0, universe) via partial
+  // Fisher-Yates on an index vector. Precondition: count <= universe.
+  std::vector<std::int32_t> sample_without_replacement(std::int32_t universe,
+                                                       std::int32_t count);
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace cogradio

@@ -1,0 +1,98 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace cogradio {
+
+double percentile(std::span<const double> sample, double q) {
+  assert(!sample.empty());
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - std::floor(rank);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+Summary summarize(std::span<const double> sample) {
+  Summary s;
+  s.count = sample.size();
+  if (sample.empty()) return s;
+  s.min = *std::min_element(sample.begin(), sample.end());
+  s.max = *std::max_element(sample.begin(), sample.end());
+  s.mean = std::accumulate(sample.begin(), sample.end(), 0.0) /
+           static_cast<double>(sample.size());
+  double var = 0.0;
+  for (double v : sample) var += (v - s.mean) * (v - s.mean);
+  s.stddev = sample.size() > 1
+                 ? std::sqrt(var / static_cast<double>(sample.size() - 1))
+                 : 0.0;
+  s.median = percentile(sample, 0.5);
+  s.p05 = percentile(sample, 0.05);
+  s.p95 = percentile(sample, 0.95);
+  return s;
+}
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  LinearFit fit;
+  const auto n = static_cast<double>(x.size());
+  if (x.size() < 2) return fit;
+  const double sx = std::accumulate(x.begin(), x.end(), 0.0);
+  const double sy = std::accumulate(y.begin(), y.end(), 0.0);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) return fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - (fit.intercept + fit.slope * x[i]);
+    ss_res += e * e;
+  }
+  fit.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+PowerFit fit_power(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  std::vector<double> lx, ly;
+  lx.reserve(x.size());
+  ly.reserve(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    assert(x[i] > 0.0 && y[i] > 0.0);
+    lx.push_back(std::log(x[i]));
+    ly.push_back(std::log(y[i]));
+  }
+  const LinearFit lf = fit_linear(lx, ly);
+  PowerFit pf;
+  pf.coefficient = std::exp(lf.intercept);
+  pf.exponent = lf.slope;
+  pf.r2 = lf.r2;
+  return pf;
+}
+
+std::vector<double> to_doubles(std::span<const std::int64_t> values) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (auto v : values) out.push_back(static_cast<double>(v));
+  return out;
+}
+
+double safe_ratio(double numerator, double denominator) {
+  return denominator != 0.0 ? numerator / denominator : 0.0;
+}
+
+}  // namespace cogradio

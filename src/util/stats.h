@@ -1,0 +1,57 @@
+// Small statistics toolkit for the experiment harness: summary statistics
+// over repeated trials, percentiles, and least-squares fits used to check
+// the scaling *shape* of measured completion times against the paper's
+// asymptotic bounds.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cogradio {
+
+// Five-number-style summary of a sample, plus mean and standard deviation.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1 denominator)
+  double median = 0.0;
+  double p05 = 0.0;
+  double p95 = 0.0;
+};
+
+// Computes a Summary of `sample`. An empty sample yields all zeros.
+Summary summarize(std::span<const double> sample);
+
+// Percentile via linear interpolation between closest ranks; q in [0,1].
+// Precondition: sample non-empty.
+double percentile(std::span<const double> sample, double q);
+
+// Simple least-squares fit of y = a + b*x. Returns {a, b, r2}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+// Fits y = A * x^B by linear regression in log-log space and reports the
+// exponent B (and r2 of the log-log fit). Used to certify e.g. that CogCast
+// completion time grows ~linearly in c and ~1/k. All inputs must be > 0.
+struct PowerFit {
+  double coefficient = 0.0;  // A
+  double exponent = 0.0;     // B
+  double r2 = 0.0;
+};
+PowerFit fit_power(std::span<const double> x, std::span<const double> y);
+
+// Convenience: converts integral trial outcomes to double samples.
+std::vector<double> to_doubles(std::span<const std::int64_t> values);
+
+// Ratio helpers for table rows; guards against division by zero.
+double safe_ratio(double numerator, double denominator);
+
+}  // namespace cogradio

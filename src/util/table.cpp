@@ -1,0 +1,54 @@
+#include "util/table.h"
+
+#include <cassert>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+namespace cogradio {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(std::int64_t v) { return std::to_string(v); }
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << std::setw(static_cast<int>(widths[i])) << std::right << row[i];
+      if (i + 1 < row.size()) os << "  ";
+    }
+    os << '\n';
+  };
+
+  emit(headers_);
+  std::vector<std::string> rule;
+  rule.reserve(headers_.size());
+  for (std::size_t w : widths) rule.emplace_back(w, '-');
+  emit(rule);
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::print_with_title(const std::string& title) const {
+  std::cout << '\n' << title << '\n';
+  print(std::cout);
+  std::cout.flush();
+}
+
+}  // namespace cogradio

@@ -1,0 +1,38 @@
+// ASCII table printer used by the benchmark harnesses to emit paper-style
+// result rows (parameter, theoretical value, measured median, ratio, ...).
+// Columns are right-aligned and sized to their widest cell.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cogradio {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Appends a row; must have the same arity as the header row.
+  void add_row(std::vector<std::string> cells);
+
+  // Cell formatting helpers.
+  static std::string num(std::int64_t v);
+  static std::string num(double v, int precision = 2);
+
+  // Renders with a header rule, e.g.:
+  //   c     theory   measured   ratio
+  //   ----  -------  ---------  ------
+  //   16    64       71         1.11
+  void print(std::ostream& os) const;
+
+  // Convenience: prints to stdout with a preceding title line.
+  void print_with_title(const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cogradio

@@ -1,0 +1,135 @@
+// Unit + property tests for aggregation payloads and combiners.
+#include "agg/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cogradio {
+namespace {
+
+TEST(AggOp, ParseRoundTrip) {
+  for (AggOp op : {AggOp::Sum, AggOp::Min, AggOp::Max, AggOp::Count,
+                   AggOp::CollectAll})
+    EXPECT_EQ(parse_agg_op(to_string(op)), op);
+  EXPECT_THROW(parse_agg_op("median"), std::invalid_argument);
+}
+
+TEST(Aggregator, LeafSum) {
+  Aggregator agg(AggOp::Sum);
+  const AggPayload p = agg.leaf(3, 42);
+  EXPECT_EQ(p.combined, 42);
+  EXPECT_EQ(p.count, 1);
+  EXPECT_TRUE(p.items.empty());
+}
+
+TEST(Aggregator, LeafCollect) {
+  Aggregator agg(AggOp::CollectAll);
+  const AggPayload p = agg.leaf(3, 42);
+  ASSERT_EQ(p.items.size(), 1u);
+  EXPECT_EQ(p.items[0].first, 3);
+  EXPECT_EQ(p.items[0].second, 42);
+}
+
+TEST(Aggregator, MergeSum) {
+  Aggregator agg(AggOp::Sum);
+  AggPayload a = agg.leaf(0, 10);
+  agg.merge(a, agg.leaf(1, 32));
+  EXPECT_EQ(a.combined, 42);
+  EXPECT_EQ(a.count, 2);
+}
+
+TEST(Aggregator, MergeMinMax) {
+  Aggregator mn(AggOp::Min), mx(AggOp::Max);
+  AggPayload a = mn.leaf(0, 10);
+  mn.merge(a, mn.leaf(1, -5));
+  EXPECT_EQ(a.combined, -5);
+  AggPayload b = mx.leaf(0, 10);
+  mx.merge(b, mx.leaf(1, -5));
+  EXPECT_EQ(b.combined, 10);
+}
+
+TEST(Aggregator, CountIgnoresValues) {
+  Aggregator agg(AggOp::Count);
+  AggPayload a = agg.leaf(0, 999);
+  agg.merge(a, agg.leaf(1, -999));
+  EXPECT_EQ(a.combined, 2);
+  EXPECT_EQ(agg.result(a), 2);
+}
+
+TEST(Aggregator, CollectResultSumsItems) {
+  Aggregator agg(AggOp::CollectAll);
+  AggPayload a = agg.leaf(0, 5);
+  agg.merge(a, agg.leaf(1, 7));
+  EXPECT_EQ(agg.result(a), 12);
+  EXPECT_EQ(a.count, 2);
+  EXPECT_EQ(a.items.size(), 2u);
+}
+
+TEST(Aggregator, ExpectedMatchesManualFold) {
+  const std::vector<Value> values{3, -1, 7, 7, 0};
+  EXPECT_EQ(Aggregator(AggOp::Sum).expected(values), 16);
+  EXPECT_EQ(Aggregator(AggOp::Min).expected(values), -1);
+  EXPECT_EQ(Aggregator(AggOp::Max).expected(values), 7);
+  EXPECT_EQ(Aggregator(AggOp::Count).expected(values), 5);
+  EXPECT_EQ(Aggregator(AggOp::CollectAll).expected(values), 16);
+}
+
+TEST(PayloadSize, AssociativeIsConstantCollectIsLinear) {
+  Aggregator sum(AggOp::Sum), col(AggOp::CollectAll);
+  AggPayload s = sum.leaf(0, 1);
+  AggPayload c = col.leaf(0, 1);
+  for (NodeId i = 1; i < 100; ++i) {
+    sum.merge(s, sum.leaf(i, 1));
+    col.merge(c, col.leaf(i, 1));
+  }
+  EXPECT_EQ(payload_size_words(s), 2u);
+  EXPECT_EQ(payload_size_words(c), 2u + 2u * 100u);
+}
+
+// Property: merging in any order and any tree shape yields the same result
+// (associativity + commutativity), for every op.
+class AggregatorProperty : public ::testing::TestWithParam<AggOp> {};
+
+TEST_P(AggregatorProperty, OrderAndShapeInvariance) {
+  const Aggregator agg(GetParam());
+  Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 2 + static_cast<int>(rng.below(30));
+    std::vector<Value> values;
+    for (int i = 0; i < n; ++i) values.push_back(rng.between(-100, 100));
+
+    // Left fold.
+    AggPayload left = agg.leaf(0, values[0]);
+    for (int i = 1; i < n; ++i) agg.merge(left, agg.leaf(i, values[static_cast<std::size_t>(i)]));
+
+    // Random binary-tree fold over a shuffled order.
+    std::vector<AggPayload> parts;
+    std::vector<int> order(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+    rng.shuffle(order);
+    for (int i : order) parts.push_back(agg.leaf(i, values[static_cast<std::size_t>(i)]));
+    while (parts.size() > 1) {
+      const auto a = rng.below(parts.size());
+      auto b = rng.below(parts.size());
+      while (b == a) b = rng.below(parts.size());
+      agg.merge(parts[a], parts[b]);
+      parts.erase(parts.begin() + static_cast<std::ptrdiff_t>(b));
+    }
+
+    EXPECT_EQ(agg.result(left), agg.result(parts.front()));
+    EXPECT_EQ(left.count, parts.front().count);
+    EXPECT_EQ(agg.result(left), agg.expected(values));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, AggregatorProperty,
+                         ::testing::Values(AggOp::Sum, AggOp::Min, AggOp::Max,
+                                           AggOp::Count, AggOp::CollectAll),
+                         [](const auto& info) { return to_string(info.param); });
+
+}  // namespace
+}  // namespace cogradio

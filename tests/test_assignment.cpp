@@ -1,0 +1,245 @@
+// Unit + property tests for the channel-assignment generators: every
+// generator must uphold the model invariants of Section 2 — exactly c
+// distinct channels per node, pairwise overlap >= k (every slot, for
+// dynamic assignments), and labels forming a bijection onto the set.
+#include "sim/assignment.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "util/rng.h"
+
+namespace cogradio {
+namespace {
+
+void expect_model_invariants(const ChannelAssignment& a) {
+  const int n = a.num_nodes();
+  const int c = a.channels_per_node();
+  for (NodeId u = 0; u < n; ++u) {
+    const auto set = a.channel_set(u);
+    ASSERT_EQ(static_cast<int>(set.size()), c);
+    std::set<Channel> unique(set.begin(), set.end());
+    EXPECT_EQ(static_cast<int>(unique.size()), c) << "duplicate channels, node " << u;
+    for (Channel ch : set) {
+      EXPECT_GE(ch, 0);
+      EXPECT_LT(ch, a.total_channels());
+    }
+  }
+  EXPECT_GE(a.min_overlap_actual(), a.min_overlap());
+}
+
+using PatternParam = std::tuple<std::string, int, int, int>;  // pattern,n,c,k
+
+class StaticPatternInvariants : public ::testing::TestWithParam<PatternParam> {};
+
+TEST_P(StaticPatternInvariants, HoldsUnderBothLabelModes) {
+  const auto& [pattern, n, c, k] = GetParam();
+  for (LabelMode mode : {LabelMode::Global, LabelMode::LocalRandom}) {
+    auto a = make_assignment(pattern, n, c, k, mode, Rng(7 + n + c + k));
+    EXPECT_EQ(a->num_nodes(), n);
+    EXPECT_EQ(a->channels_per_node(), c);
+    EXPECT_EQ(a->min_overlap(), k);
+    expect_model_invariants(*a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StaticPatternInvariants,
+    ::testing::Combine(::testing::Values("shared-core", "partitioned",
+                                         "pigeonhole"),
+                       ::testing::Values(2, 5, 16), ::testing::Values(4, 8),
+                       ::testing::Values(1, 2, 4)),
+    [](const auto& info) {
+      std::string p = std::get<0>(info.param);
+      for (auto& ch : p)
+        if (ch == '-') ch = '_';
+      return p + "_n" + std::to_string(std::get<1>(info.param)) + "_c" +
+             std::to_string(std::get<2>(info.param)) + "_k" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+TEST(SharedCore, ExactCoreSharedByAll) {
+  SharedCoreAssignment a(8, 6, 3, LabelMode::Global, Rng(1));
+  // The k core channels must be in every node's set: intersect all sets.
+  auto common = a.channel_set(0);
+  for (NodeId u = 1; u < 8; ++u) {
+    const auto set = a.channel_set(u);
+    std::vector<Channel> next;
+    std::set_intersection(common.begin(), common.end(), set.begin(), set.end(),
+                          std::back_inserter(next));
+    common = next;
+  }
+  EXPECT_GE(static_cast<int>(common.size()), 3);
+}
+
+TEST(SharedCore, CustomTotalChannels) {
+  SharedCoreAssignment a(4, 6, 2, LabelMode::Global, Rng(2), 50);
+  EXPECT_EQ(a.total_channels(), 50);
+  expect_model_invariants(a);
+}
+
+TEST(SharedCore, LowCorePinsSharedChannels) {
+  SharedCoreAssignment a(6, 5, 2, LabelMode::Global, Rng(9), 20,
+                         /*low_core=*/true);
+  expect_model_invariants(a);
+  for (NodeId u = 0; u < 6; ++u) {
+    // Global labels sort ascending, so labels 0..k-1 are the pinned core.
+    EXPECT_EQ(a.global_channel(u, 0), 0);
+    EXPECT_EQ(a.global_channel(u, 1), 1);
+    EXPECT_GE(a.global_channel(u, 2), 2);
+  }
+}
+
+TEST(SharedCore, RejectsTooSmallUniverse) {
+  EXPECT_THROW(SharedCoreAssignment(4, 6, 2, LabelMode::Global, Rng(2), 5),
+               std::invalid_argument);
+}
+
+TEST(Partitioned, Theorem16Shape) {
+  const int n = 6, c = 5, k = 2;
+  PartitionedAssignment a(n, c, k, LabelMode::Global, Rng(3));
+  EXPECT_EQ(a.total_channels(), k + n * (c - k));
+  // Pairwise overlap is *exactly* k in this construction.
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) EXPECT_EQ(a.overlap(u, v), k);
+}
+
+TEST(Partitioned, PrivateBlocksAreDisjoint) {
+  const int n = 5, c = 4, k = 1;
+  PartitionedAssignment a(n, c, k, LabelMode::Global, Rng(4));
+  // Every channel is used by exactly one node (private) or all (core).
+  std::map<Channel, int> usage;
+  for (NodeId u = 0; u < n; ++u)
+    for (Channel ch : a.channel_set(u)) ++usage[ch];
+  for (const auto& [ch, cnt] : usage) EXPECT_TRUE(cnt == 1 || cnt == n)
+      << "channel " << ch << " used by " << cnt;
+}
+
+TEST(Pigeonhole, UniverseIsTwoCMinusK) {
+  PigeonholeAssignment a(10, 8, 3, LabelMode::LocalRandom, Rng(5));
+  EXPECT_EQ(a.total_channels(), 2 * 8 - 3);
+  expect_model_invariants(a);
+}
+
+TEST(Pigeonhole, OverlapsActuallyVary) {
+  // With random c-subsets the pairwise overlaps should not be all equal
+  // (that is the point of this generator vs the partitioned one).
+  PigeonholeAssignment a(12, 8, 2, LabelMode::Global, Rng(6));
+  std::set<int> overlaps;
+  for (NodeId u = 0; u < 12; ++u)
+    for (NodeId v = u + 1; v < 12; ++v) overlaps.insert(a.overlap(u, v));
+  EXPECT_GT(overlaps.size(), 1u);
+}
+
+TEST(Identity, AllNodesIdenticalSets) {
+  IdentityAssignment a(4, 5, LabelMode::Global, Rng(7));
+  EXPECT_EQ(a.min_overlap(), 5);
+  EXPECT_EQ(a.total_channels(), 5);
+  for (NodeId u = 0; u < 4; ++u)
+    for (NodeId v = 0; v < 4; ++v) EXPECT_EQ(a.overlap(u, v), 5);
+}
+
+TEST(Labels, GlobalModeIsAscending) {
+  IdentityAssignment a(3, 6, LabelMode::Global, Rng(8));
+  for (NodeId u = 0; u < 3; ++u)
+    for (LocalLabel l = 0; l < 6; ++l) EXPECT_EQ(a.global_channel(u, l), l);
+}
+
+TEST(Labels, LocalRandomModeIsPermutation) {
+  IdentityAssignment a(20, 8, LabelMode::LocalRandom, Rng(9));
+  bool any_shuffled = false;
+  for (NodeId u = 0; u < 20; ++u) {
+    std::set<Channel> seen;
+    for (LocalLabel l = 0; l < 8; ++l) {
+      const Channel ch = a.global_channel(u, l);
+      seen.insert(ch);
+      if (ch != l) any_shuffled = true;
+    }
+    EXPECT_EQ(seen.size(), 8u);
+  }
+  EXPECT_TRUE(any_shuffled);  // 20 identity permutations is impossible odds
+}
+
+TEST(Dynamic, ReDrawsEachSlotButKeepsInvariants) {
+  auto a = DynamicAssignment::shared_core(6, 5, 2, Rng(10));
+  EXPECT_TRUE(a->is_dynamic());
+  auto snapshot = a->channel_set(0);
+  bool changed = false;
+  for (Slot t = 1; t <= 20; ++t) {
+    a->begin_slot(t);
+    expect_model_invariants(*a);
+    if (a->channel_set(0) != snapshot) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(Dynamic, SameSlotSameMapping) {
+  auto a = DynamicAssignment::pigeonhole(4, 6, 2, Rng(11));
+  a->begin_slot(5);
+  const auto before = a->channel_set(2);
+  a->begin_slot(5);
+  EXPECT_EQ(a->channel_set(2), before);
+}
+
+TEST(Adversary, InvariantsAndDodging) {
+  // Predictor: every node will pick label (slot % c).
+  const int n = 5, c = 4, k = 2;
+  AdaptiveAdversaryAssignment a(
+      n, c, k, [c](NodeId, Slot slot) { return static_cast<LocalLabel>(slot % c); },
+      Rng(12));
+  for (Slot t = 1; t <= 30; ++t) {
+    a.begin_slot(t);
+    expect_model_invariants(a);
+    for (NodeId u = 0; u < n; ++u) {
+      const Channel dodged = a.global_channel(u, static_cast<LocalLabel>(t % c));
+      // Predicted labels must land on private channels (>= k in the fixed
+      // layout), where no other node can hear.
+      EXPECT_GE(dodged, k);
+    }
+  }
+}
+
+TEST(Adversary, RequiresRoomToDodge) {
+  EXPECT_THROW(AdaptiveAdversaryAssignment(3, 4, 4, nullptr, Rng(13)),
+               std::invalid_argument);
+}
+
+TEST(Factory, UnknownPatternThrows) {
+  EXPECT_THROW(make_assignment("nope", 4, 4, 2, LabelMode::Global, Rng(14)),
+               std::invalid_argument);
+}
+
+TEST(Factory, DynamicNamesWork) {
+  auto a = make_assignment("dynamic-shared-core", 4, 4, 2,
+                           LabelMode::LocalRandom, Rng(15));
+  EXPECT_TRUE(a->is_dynamic());
+  auto b = make_assignment("dynamic-pigeonhole", 4, 4, 2,
+                           LabelMode::LocalRandom, Rng(16));
+  EXPECT_TRUE(b->is_dynamic());
+}
+
+TEST(Assignment, ParameterValidation) {
+  EXPECT_THROW(IdentityAssignment(0, 4, LabelMode::Global, Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(SharedCoreAssignment(4, 0, 1, LabelMode::Global, Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(SharedCoreAssignment(4, 4, 0, LabelMode::Global, Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(SharedCoreAssignment(4, 4, 5, LabelMode::Global, Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(StaticPatternNames, StableList) {
+  const auto& names = static_pattern_names();
+  ASSERT_EQ(names.size(), 3u);
+  for (const auto& name : names) {
+    auto a = make_assignment(name, 4, 5, 2, LabelMode::Global, Rng(17));
+    expect_model_invariants(*a);
+  }
+}
+
+}  // namespace
+}  // namespace cogradio

@@ -1,0 +1,180 @@
+// Tests for the decay-backoff substrate (footnote 4 / appendix): it must
+// emulate the paper's one-winner collision model on a collision-loss radio
+// in O(log^2 n) micro-slots with a uniform winner.
+#include "sim/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/assignment.h"
+#include "sim/network.h"
+#include "util/stats.h"
+
+namespace cogradio {
+namespace {
+
+TEST(Backoff, SingleContenderResolvesImmediately) {
+  Rng rng(1);
+  const auto out = decay_backoff(1, backoff_params_for(8), rng);
+  EXPECT_TRUE(out.resolved);
+  EXPECT_EQ(out.winner, 0);
+  EXPECT_EQ(out.micro_slots, 1);
+}
+
+TEST(Backoff, ParamsScaleLogarithmically) {
+  const auto p8 = backoff_params_for(8);
+  const auto p1024 = backoff_params_for(1024);
+  EXPECT_GT(p1024.phase_length, p8.phase_length);
+  EXPECT_GE(p8.phase_length, 4);     // ceil(log2 8) + 1
+  EXPECT_GE(p1024.phase_length, 11); // ceil(log2 1024) + 1
+  EXPECT_EQ(p1024.budget, 8 * p1024.phase_length * p1024.phase_length);
+}
+
+TEST(Backoff, ResolvesWithHighProbability) {
+  Rng rng(2);
+  for (int contenders : {2, 5, 17, 64, 200}) {
+    const auto params = backoff_params_for(contenders);
+    int resolved = 0;
+    constexpr int kTrials = 500;
+    for (int t = 0; t < kTrials; ++t)
+      if (decay_backoff(contenders, params, rng).resolved) ++resolved;
+    EXPECT_GE(resolved, kTrials - 1) << "contenders=" << contenders;
+  }
+}
+
+TEST(Backoff, WinnerIsUniformAmongContenders) {
+  Rng rng(3);
+  constexpr int kContenders = 4;
+  constexpr int kTrials = 8000;
+  std::vector<int> wins(kContenders, 0);
+  const auto params = backoff_params_for(kContenders);
+  for (int t = 0; t < kTrials; ++t) {
+    const auto out = decay_backoff(kContenders, params, rng);
+    ASSERT_TRUE(out.resolved);
+    ++wins[static_cast<std::size_t>(out.winner)];
+  }
+  for (int w : wins)
+    EXPECT_NEAR(w, kTrials / kContenders, kTrials / 10);
+}
+
+TEST(Backoff, MicroSlotsGrowSubquadraticallyInContenders) {
+  // Median micro-slots to resolve should scale like O(log^2 n): going from
+  // 4 to 256 contenders (64x) should grow the median far less than 8x.
+  Rng rng(4);
+  auto median_for = [&](int contenders) {
+    const auto params = backoff_params_for(512);
+    std::vector<double> samples;
+    for (int t = 0; t < 400; ++t) {
+      const auto out = decay_backoff(contenders, params, rng);
+      EXPECT_TRUE(out.resolved);
+      samples.push_back(static_cast<double>(out.micro_slots));
+    }
+    return summarize(samples).median;
+  };
+  const double m4 = median_for(4);
+  const double m256 = median_for(256);
+  EXPECT_LT(m256, 8.0 * m4);
+  EXPECT_LE(m256, 4.0 * std::log2(256) * std::log2(256));
+}
+
+TEST(BackoffNetwork, EmulatedContentionMatchesModelSemantics) {
+  // Three broadcasters + one listener on a single channel, resolved by the
+  // emulated backoff: exactly one winner, the listener receives its
+  // message, and micro-slot accounting is populated.
+  class Talker : public Protocol {
+   public:
+    explicit Talker(bool talk) : talk_(talk) {}
+    Action on_slot(Slot) override {
+      if (!talk_) return Action::listen(0);
+      Message m;
+      m.type = MessageType::Data;
+      return Action::broadcast(0, m);
+    }
+    void on_feedback(Slot, const SlotResult& r) override {
+      won = r.tx_success;
+      heard = !r.received.empty();
+    }
+    bool done() const override { return true; }
+    bool talk_;
+    bool won = false;
+    bool heard = false;
+  };
+
+  IdentityAssignment assignment(4, 1, LabelMode::Global, Rng(5));
+  Talker a(true), b(true), c(true), l(false);
+  NetworkOptions opt;
+  opt.emulate_backoff = true;
+  opt.backoff = backoff_params_for(4);
+  Network net(assignment, {&a, &b, &c, &l}, opt);
+  net.step();
+  const int winners = (a.won ? 1 : 0) + (b.won ? 1 : 0) + (c.won ? 1 : 0);
+  EXPECT_EQ(winners, 1);
+  EXPECT_TRUE(l.heard);
+  EXPECT_GE(net.stats().micro_slots, 1);
+  EXPECT_EQ(net.stats().backoff_failures, 0);
+}
+
+TEST(CdSplitBackoff, SingleContenderImmediate) {
+  Rng rng(11);
+  const auto out = cd_split_backoff(1, 100, rng);
+  EXPECT_TRUE(out.resolved);
+  EXPECT_EQ(out.winner, 0);
+  EXPECT_EQ(out.micro_slots, 1);
+}
+
+TEST(CdSplitBackoff, ResolvesReliably) {
+  Rng rng(12);
+  for (int m : {2, 8, 64, 512}) {
+    int resolved = 0;
+    for (int t = 0; t < 500; ++t)
+      if (cd_split_backoff(m, 200, rng).resolved) ++resolved;
+    EXPECT_EQ(resolved, 500) << "m=" << m;
+  }
+}
+
+TEST(CdSplitBackoff, WinnerUniform) {
+  Rng rng(13);
+  constexpr int kContenders = 5;
+  constexpr int kTrials = 10'000;
+  std::vector<int> wins(kContenders, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    const auto out = cd_split_backoff(kContenders, 500, rng);
+    ASSERT_TRUE(out.resolved);
+    ++wins[static_cast<std::size_t>(out.winner)];
+  }
+  for (int w : wins) EXPECT_NEAR(w, kTrials / kContenders, kTrials / 12);
+}
+
+TEST(CdSplitBackoff, FasterThanDecayAtScale) {
+  // Collision detection buys a log factor: at 512 contenders the CD
+  // splitter's median resolution should beat plain decay's.
+  Rng rng(14);
+  auto median_of = [&](auto&& resolver) {
+    std::vector<double> samples;
+    for (int t = 0; t < 400; ++t) {
+      const auto out = resolver();
+      EXPECT_TRUE(out.resolved);
+      samples.push_back(static_cast<double>(out.micro_slots));
+    }
+    return summarize(samples).median;
+  };
+  const auto params = backoff_params_for(512);
+  const double decay = median_of([&] { return decay_backoff(512, params, rng); });
+  const double cd = median_of([&] { return cd_split_backoff(512, 10'000, rng); });
+  EXPECT_LE(cd, decay + 1.0);
+}
+
+TEST(Backoff, TinyBudgetReportsFailure) {
+  Rng rng(6);
+  BackoffParams params;
+  params.phase_length = 1;  // p = 1 every micro-slot: 2+ contenders always collide
+  params.budget = 4;
+  const auto out = decay_backoff(3, params, rng);
+  EXPECT_FALSE(out.resolved);
+  EXPECT_EQ(out.micro_slots, 4);
+}
+
+}  // namespace
+}  // namespace cogradio

@@ -1,0 +1,219 @@
+// Tests for the baseline protocols the paper compares against.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "baselines/det_rendezvous.h"
+#include "baselines/hopping_together.h"
+#include "baselines/rendezvous_aggregation.h"
+#include "baselines/rendezvous_broadcast.h"
+#include "core/runtime.h"
+#include "sim/assignment.h"
+#include "sim/network.h"
+
+namespace cogradio {
+namespace {
+
+Message data_msg() {
+  Message m;
+  m.type = MessageType::Data;
+  return m;
+}
+
+// --- Rendezvous broadcast -----------------------------------------------------
+
+struct RvBroadcastRun {
+  bool completed = false;
+  Slot slots = 0;
+};
+
+RvBroadcastRun run_rv_broadcast(ChannelAssignment& assignment, int n, int c,
+                                std::uint64_t seed, Slot cap) {
+  Rng seeder(seed);
+  std::vector<std::unique_ptr<RendezvousBroadcastNode>> nodes;
+  std::vector<Protocol*> protocols;
+  for (NodeId u = 0; u < n; ++u) {
+    nodes.push_back(std::make_unique<RendezvousBroadcastNode>(
+        u, c, u == 0, data_msg(), seeder.split(static_cast<std::uint64_t>(u))));
+    protocols.push_back(nodes.back().get());
+  }
+  Network net(assignment, protocols);
+  net.run(cap);
+  RvBroadcastRun out;
+  out.slots = net.now();
+  out.completed = net.all_done();
+  return out;
+}
+
+TEST(RendezvousBroadcast, InformsEveryone) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    SharedCoreAssignment assignment(12, 6, 2, LabelMode::LocalRandom,
+                                    Rng(seed));
+    const auto out = run_rv_broadcast(assignment, 12, 6, seed, 100'000);
+    EXPECT_TRUE(out.completed);
+    EXPECT_GT(out.slots, 0);
+  }
+}
+
+TEST(RendezvousBroadcast, SlowerThanCogCastOnAverage) {
+  // The headline comparison (E4): over several trials the baseline's median
+  // completion must exceed CogCast's on the same topologies.
+  double base_total = 0, cog_total = 0;
+  constexpr int kTrials = 12;
+  const int n = 48, c = 12, k = 2;
+  for (std::uint64_t seed = 1; seed <= kTrials; ++seed) {
+    SharedCoreAssignment a1(n, c, k, LabelMode::LocalRandom, Rng(seed));
+    base_total += static_cast<double>(
+        run_rv_broadcast(a1, n, c, seed, 1'000'000).slots);
+    SharedCoreAssignment a2(n, c, k, LabelMode::LocalRandom, Rng(seed));
+    CogCastRunConfig config;
+    config.params = {n, c, k};
+    config.seed = seed;
+    cog_total += static_cast<double>(run_cogcast(a2, config).slots);
+  }
+  EXPECT_GT(base_total, 2.0 * cog_total);
+}
+
+// --- Rendezvous aggregation ---------------------------------------------------
+
+struct RvAggRun {
+  bool completed = false;
+  Slot slots = 0;
+  Value result = 0;
+};
+
+RvAggRun run_rv_agg(ChannelAssignment& assignment, int n, int c,
+                    const std::vector<Value>& values, AggOp op,
+                    std::uint64_t seed, Slot cap) {
+  Rng seeder(seed);
+  std::vector<std::unique_ptr<RendezvousAggregationNode>> nodes;
+  std::vector<Protocol*> protocols;
+  for (NodeId u = 0; u < n; ++u) {
+    nodes.push_back(std::make_unique<RendezvousAggregationNode>(
+        u, c, u == 0, values[static_cast<std::size_t>(u)], Aggregator(op),
+        seeder.split(static_cast<std::uint64_t>(u))));
+    protocols.push_back(nodes.back().get());
+  }
+  nodes[0]->set_expected_count(n);
+  Network net(assignment, protocols);
+  net.run(cap);
+  RvAggRun out;
+  out.slots = net.now();
+  out.completed = net.all_done();
+  out.result = Aggregator(op).result(nodes[0]->accumulated());
+  return out;
+}
+
+TEST(RendezvousAggregation, ComputesExactAggregate) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const int n = 10, c = 5, k = 2;
+    SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom, Rng(seed));
+    const auto values = make_values(n, seed, -100, 100);
+    const auto out = run_rv_agg(assignment, n, c, values, AggOp::Sum, seed,
+                                500'000);
+    ASSERT_TRUE(out.completed);
+    EXPECT_EQ(out.result, Aggregator(AggOp::Sum).expected(values));
+  }
+}
+
+TEST(RendezvousAggregation, NoDuplicateDeliveries) {
+  const int n = 14, c = 6, k = 3;
+  SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom, Rng(9));
+  const auto values = make_values(n, 9, 1, 1);  // all ones: result == count
+  const auto out = run_rv_agg(assignment, n, c, values, AggOp::Sum, 9,
+                              500'000);
+  ASSERT_TRUE(out.completed);
+  EXPECT_EQ(out.result, n);
+}
+
+// --- Hopping together ---------------------------------------------------------
+
+struct HoppingRun {
+  bool completed = false;
+  Slot slots = 0;
+};
+
+HoppingRun run_hopping(ChannelAssignment& assignment, int n,
+                       Slot cap) {
+  std::vector<std::unique_ptr<HoppingTogetherNode>> nodes;
+  std::vector<Protocol*> protocols;
+  for (NodeId u = 0; u < n; ++u) {
+    std::vector<Channel> globals;
+    for (LocalLabel l = 0; l < assignment.channels_per_node(); ++l)
+      globals.push_back(assignment.global_channel(u, l));
+    nodes.push_back(std::make_unique<HoppingTogetherNode>(
+        u, assignment.total_channels(), u == 0, data_msg(), std::move(globals)));
+    protocols.push_back(nodes.back().get());
+  }
+  Network net(assignment, protocols);
+  net.run(cap);
+  HoppingRun out;
+  out.slots = net.now();
+  out.completed = net.all_done();
+  return out;
+}
+
+TEST(HoppingTogether, CompletesInOneScanOnTheorem16Setup) {
+  // Partitioned setup: the scan must hit one of the k shared channels within
+  // C slots, and on that slot everyone is informed at once.
+  const int n = 8, c = 6, k = 2;
+  PartitionedAssignment assignment(n, c, k, LabelMode::Global, Rng(4));
+  const auto out = run_hopping(assignment, n, assignment.total_channels() + 1);
+  EXPECT_TRUE(out.completed);
+  EXPECT_LE(out.slots, assignment.total_channels());
+}
+
+TEST(HoppingTogether, PaperExampleIsConstantTime) {
+  // The Section 6 example: c = n^2, k = c - 1. With most channels shared,
+  // the scan hits a shared channel almost immediately.
+  const int n = 4, c = 16, k = 15;
+  PartitionedAssignment assignment(n, c, k, LabelMode::Global, Rng(5));
+  const auto out = run_hopping(assignment, n, 1000);
+  ASSERT_TRUE(out.completed);
+  // C = k + n(c-k) = 15 + 4 = 19 channels, 15 shared: expected hit ~ C/k.
+  EXPECT_LE(out.slots, 6);
+}
+
+// --- Deterministic rendezvous ---------------------------------------------------
+
+TEST(DetRendezvous, PairMeetsWithinTheBlockBound) {
+  // Two nodes with overlapping sets and distinct ids must exchange the
+  // message within id_bits * c^2 slots, for any label permutations.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const int c = 5, k = 2;
+    SharedCoreAssignment assignment(2, c, k, LabelMode::LocalRandom, Rng(seed));
+    DetRendezvousNode holder(0, c, true, data_msg());
+    DetRendezvousNode seeker(1, c, false, data_msg());
+    Network net(assignment, {&holder, &seeker});
+    const Slot bound = 20LL * c * c;
+    net.run(bound);
+    EXPECT_TRUE(seeker.informed()) << "seed " << seed;
+    EXPECT_LE(seeker.informed_slot(), bound);
+  }
+}
+
+TEST(DetRendezvous, IsDeterministic) {
+  const int c = 4;
+  SharedCoreAssignment a1(2, c, 2, LabelMode::LocalRandom, Rng(3));
+  SharedCoreAssignment a2(2, c, 2, LabelMode::LocalRandom, Rng(3));
+  Slot first = 0, second = 0;
+  {
+    DetRendezvousNode holder(0, c, true, data_msg());
+    DetRendezvousNode seeker(1, c, false, data_msg());
+    Network net(a1, {&holder, &seeker});
+    net.run(10'000);
+    first = seeker.informed_slot();
+  }
+  {
+    DetRendezvousNode holder(0, c, true, data_msg());
+    DetRendezvousNode seeker(1, c, false, data_msg());
+    Network net(a2, {&holder, &seeker});
+    net.run(10'000);
+    second = seeker.informed_slot();
+  }
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace cogradio

@@ -1,0 +1,291 @@
+// Integration + property tests for CogCast (Section 4 / Theorem 4).
+#include "core/cogcast.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/runtime.h"
+#include "sim/assignment.h"
+#include "sim/jamming.h"
+
+namespace cogradio {
+namespace {
+
+using Param = std::tuple<std::string, int, int, int>;  // pattern, n, c, k
+
+class CogCastSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(CogCastSweep, InformsEveryoneAndBuildsAValidTree) {
+  const auto& [pattern, n, c, k] = GetParam();
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    auto assignment =
+        make_assignment(pattern, n, c, k, LabelMode::LocalRandom, Rng(seed));
+    CogCastRunConfig config;
+    config.params = {n, c, k, /*gamma=*/4.0};
+    config.seed = seed * 1000 + 7;
+    const BroadcastOutcome out = run_cogcast(*assignment, config);
+    ASSERT_TRUE(out.completed)
+        << pattern << " n=" << n << " c=" << c << " k=" << k;
+    EXPECT_TRUE(valid_distribution_tree(0, out.informed_slot, out.parent));
+    EXPECT_EQ(out.slots, *std::max_element(out.informed_slot.begin(),
+                                           out.informed_slot.end()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, CogCastSweep,
+    ::testing::Values(Param{"shared-core", 16, 8, 2},
+                      Param{"shared-core", 64, 8, 4},
+                      Param{"partitioned", 16, 8, 2},
+                      Param{"partitioned", 32, 6, 1},
+                      Param{"pigeonhole", 16, 8, 2},
+                      Param{"pigeonhole", 48, 12, 6},
+                      Param{"identity", 24, 6, 6},
+                      Param{"dynamic-shared-core", 16, 8, 2},
+                      Param{"dynamic-pigeonhole", 16, 8, 4}),
+    [](const auto& info) {
+      std::string p = std::get<0>(info.param);
+      for (auto& ch : p)
+        if (ch == '-') ch = '_';
+      return p + "_n" + std::to_string(std::get<1>(info.param)) + "_c" +
+             std::to_string(std::get<2>(info.param)) + "_k" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+TEST(CogCast, SingleNodeIsTriviallyDone) {
+  IdentityAssignment assignment(1, 3, LabelMode::Global, Rng(1));
+  CogCastRunConfig config;
+  config.params = {1, 3, 3};
+  const auto out = run_cogcast(assignment, config);
+  EXPECT_TRUE(out.completed);
+  EXPECT_EQ(out.slots, 0);
+  EXPECT_EQ(out.informed_slot[0], 0);
+}
+
+TEST(CogCast, TwoNodesRendezvous) {
+  SharedCoreAssignment assignment(2, 6, 2, LabelMode::LocalRandom, Rng(2));
+  CogCastRunConfig config;
+  config.params = {2, 6, 2};
+  config.seed = 11;
+  const auto out = run_cogcast(assignment, config);
+  EXPECT_TRUE(out.completed);
+  EXPECT_EQ(out.parent[1], 0);
+}
+
+TEST(CogCast, NonZeroSourceWorks) {
+  SharedCoreAssignment assignment(10, 6, 3, LabelMode::LocalRandom, Rng(3));
+  CogCastRunConfig config;
+  config.params = {10, 6, 3};
+  config.source = 7;
+  const auto out = run_cogcast(assignment, config);
+  ASSERT_TRUE(out.completed);
+  EXPECT_TRUE(valid_distribution_tree(7, out.informed_slot, out.parent));
+  EXPECT_EQ(out.informed_slot[7], 0);
+}
+
+TEST(CogCast, CompletesWithinTheTheorem4Horizon) {
+  // With gamma = 4 the run should finish within the horizon on typical
+  // instances — this is the w.h.p. statement of Theorem 4 made empirical.
+  int completed_within = 0;
+  constexpr int kTrials = 30;
+  for (int t = 0; t < kTrials; ++t) {
+    SharedCoreAssignment assignment(32, 8, 2, LabelMode::LocalRandom,
+                                    Rng(100 + static_cast<std::uint64_t>(t)));
+    CogCastRunConfig config;
+    config.params = {32, 8, 2, 4.0};
+    config.seed = 200 + static_cast<std::uint64_t>(t);
+    const auto out = run_cogcast(assignment, config);
+    if (out.completed && out.slots <= config.params.horizon()) ++completed_within;
+  }
+  EXPECT_GE(completed_within, kTrials - 2);
+}
+
+TEST(CogCast, BoundedModeIdlesAfterHorizon) {
+  SharedCoreAssignment assignment(8, 6, 3, LabelMode::LocalRandom, Rng(4));
+  CogCastRunConfig config;
+  config.params = {8, 6, 3};
+  config.bounded = true;
+  config.max_slots = config.params.horizon() + 50;
+  const auto out = run_cogcast(assignment, config);
+  EXPECT_TRUE(out.completed);
+  EXPECT_LE(out.slots, config.params.horizon());
+}
+
+TEST(CogCast, HorizonFormulaMatchesTheorem4Shape) {
+  // horizon ~ gamma * (c/k) * max(1, c/n) * lg n.
+  const CogCastParams small{64, 8, 2, 1.0};
+  EXPECT_EQ(small.horizon(),
+            static_cast<Slot>(std::ceil((8.0 / 2.0) * 1.0 * 6.0)));
+  // c > n engages the max(1, c/n) factor.
+  const CogCastParams wide{4, 16, 2, 1.0};
+  EXPECT_EQ(wide.horizon(),
+            static_cast<Slot>(std::ceil((16.0 / 2.0) * 4.0 * 2.0)));
+}
+
+TEST(CogCast, CGreaterThanNCaseStillCompletes) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    SharedCoreAssignment assignment(4, 16, 4, LabelMode::LocalRandom,
+                                    Rng(seed));
+    CogCastRunConfig config;
+    config.params = {4, 16, 4};
+    config.seed = seed;
+    const auto out = run_cogcast(assignment, config);
+    EXPECT_TRUE(out.completed);
+  }
+}
+
+TEST(CogCast, ToleratesRandomJamming) {
+  // Theorem 18 transfer: with per-node budget j over c channels, CogCast
+  // behaves like a run with overlap c - 2j and still completes.
+  const int n = 16, c = 12, jam_budget = 3;
+  IdentityAssignment assignment(n, c, LabelMode::LocalRandom, Rng(5));
+  RandomJammer jammer(n, c, jam_budget, Rng(6));
+  CogCastRunConfig config;
+  config.params = {n, c, c - 2 * jam_budget, 6.0};
+  config.seed = 7;
+  config.jammer = &jammer;
+  config.max_slots = 20 * config.params.horizon();
+  const auto out = run_cogcast(assignment, config);
+  EXPECT_TRUE(out.completed);
+}
+
+TEST(CogCast, HistoryRecordsEverySlot) {
+  Message payload;
+  payload.type = MessageType::Data;
+  IdentityAssignment assignment(2, 2, LabelMode::Global, Rng(8));
+  CogCastNode source(0, 2, true, payload, Rng(9), /*horizon=*/10,
+                     /*record_history=*/true);
+  CogCastNode sink(1, 2, false, payload, Rng(10), /*horizon=*/10,
+                   /*record_history=*/true);
+  Network net(assignment, {&source, &sink});
+  // step() explicitly: run() would stop early once both nodes are done.
+  for (int t = 0; t < 10; ++t) net.step();
+  EXPECT_EQ(source.history().size(), 10u);
+  EXPECT_EQ(sink.history().size(), 10u);
+  // Source always broadcasts; sink listens until informed then broadcasts.
+  for (const auto& rec : source.history()) EXPECT_TRUE(rec.broadcast);
+  ASSERT_TRUE(sink.informed());
+  const auto informed_idx = static_cast<std::size_t>(sink.informed_slot() - 1);
+  EXPECT_TRUE(sink.history()[informed_idx].first_informed);
+  for (std::size_t i = 0; i < informed_idx; ++i)
+    EXPECT_FALSE(sink.history()[i].broadcast);
+  for (std::size_t i = informed_idx + 1; i < 10; ++i)
+    EXPECT_TRUE(sink.history()[i].broadcast);
+}
+
+TEST(CogCast, ParentIsTheActualInformer) {
+  // Cross-check parents against an external observer oracle.
+  const int n = 12, c = 6, k = 3;
+  SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom, Rng(11));
+  Message payload;
+  payload.type = MessageType::Data;
+  Rng seeder(12);
+  std::vector<std::unique_ptr<CogCastNode>> nodes;
+  std::vector<Protocol*> protocols;
+  for (NodeId u = 0; u < n; ++u) {
+    nodes.push_back(std::make_unique<CogCastNode>(u, c, u == 0, payload,
+                                                  seeder.split(static_cast<std::uint64_t>(u))));
+    protocols.push_back(nodes.back().get());
+  }
+  Network net(assignment, protocols);
+
+  // Observer: remember which node won each channel per slot.
+  std::vector<std::pair<Slot, std::vector<std::pair<Channel, NodeId>>>> wins;
+  net.set_observer([&](Slot t, std::span<const ResolvedAction> acts) {
+    std::vector<std::pair<Channel, NodeId>> w;
+    for (const auto& a : acts)
+      if (a.tx_success) w.emplace_back(a.channel, a.node);
+    wins.emplace_back(t, std::move(w));
+  });
+  net.run(10'000);
+  for (const auto& node : nodes) ASSERT_TRUE(node->informed());
+
+  for (NodeId u = 1; u < n; ++u) {
+    const Slot s = nodes[static_cast<std::size_t>(u)]->informed_slot();
+    const NodeId parent = nodes[static_cast<std::size_t>(u)]->parent();
+    // Find the channel u listened on in slot s and check the winner there.
+    const Channel ch = assignment.global_channel(
+        u, nodes[static_cast<std::size_t>(u)]->informed_label());
+    const auto& slot_wins = wins[static_cast<std::size_t>(s - 1)].second;
+    bool found = false;
+    for (const auto& [wch, winner] : slot_wins)
+      if (wch == ch) {
+        EXPECT_EQ(winner, parent);
+        found = true;
+      }
+    EXPECT_TRUE(found) << "node " << u;
+  }
+}
+
+TEST(CogCast, MultiSourceStartsInformedAndCompletes) {
+  SharedCoreAssignment assignment(24, 8, 2, LabelMode::LocalRandom, Rng(51));
+  CogCastRunConfig config;
+  config.params = {24, 8, 2};
+  config.seed = 52;
+  config.extra_sources = {5, 9};
+  const auto out = run_cogcast(assignment, config);
+  ASSERT_TRUE(out.completed);
+  EXPECT_EQ(out.informed_slot[0], 0);
+  EXPECT_EQ(out.informed_slot[5], 0);
+  EXPECT_EQ(out.informed_slot[9], 0);
+  // Non-sources have proper parents that were informed earlier.
+  for (NodeId u = 1; u < 24; ++u) {
+    if (u == 5 || u == 9) continue;
+    const NodeId pa = out.parent[static_cast<std::size_t>(u)];
+    ASSERT_NE(pa, kNoNode);
+    EXPECT_LT(out.informed_slot[static_cast<std::size_t>(pa)],
+              out.informed_slot[static_cast<std::size_t>(u)]);
+  }
+}
+
+TEST(CogCast, ChannelBiasDistributionMatchesZipf) {
+  // With s = 1 over c = 4 labels, weights 1, 1/2, 1/3, 1/4 (sum 25/12).
+  Message payload;
+  payload.type = MessageType::Data;
+  CogCastNode node(0, 4, true, payload, Rng(5));
+  node.set_channel_bias(1.0);
+  IdentityAssignment assignment(1, 4, LabelMode::Global, Rng(6));
+  std::vector<int> counts(4, 0);
+  Network net(assignment, {&node});
+  net.set_observer([&](Slot, std::span<const ResolvedAction> acts) {
+    ++counts[static_cast<std::size_t>(acts[0].channel)];
+  });
+  constexpr int kSlots = 40'000;
+  for (int t = 0; t < kSlots; ++t) net.step();
+  const double total = 1.0 + 0.5 + 1.0 / 3 + 0.25;
+  for (int i = 0; i < 4; ++i) {
+    const double expected = kSlots * (1.0 / (i + 1)) / total;
+    EXPECT_NEAR(counts[static_cast<std::size_t>(i)], expected, expected * 0.1)
+        << "label " << i;
+  }
+}
+
+TEST(CogCast, ZeroBiasIsUniform) {
+  Message payload;
+  payload.type = MessageType::Data;
+  CogCastNode node(0, 8, true, payload, Rng(7));
+  node.set_channel_bias(0.0);  // explicit reset to uniform
+  IdentityAssignment assignment(1, 8, LabelMode::Global, Rng(8));
+  std::vector<int> counts(8, 0);
+  Network net(assignment, {&node});
+  net.set_observer([&](Slot, std::span<const ResolvedAction> acts) {
+    ++counts[static_cast<std::size_t>(acts[0].channel)];
+  });
+  for (int t = 0; t < 16'000; ++t) net.step();
+  for (int count : counts) EXPECT_NEAR(count, 2000, 300);
+}
+
+TEST(CogCast, RejectsInvalidConfig) {
+  IdentityAssignment assignment(4, 4, LabelMode::Global, Rng(1));
+  CogCastRunConfig config;
+  config.params = {5, 4, 2};  // n mismatch
+  EXPECT_THROW(run_cogcast(assignment, config), std::invalid_argument);
+  config.params = {4, 4, 2};
+  config.source = 9;
+  EXPECT_THROW(run_cogcast(assignment, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cogradio

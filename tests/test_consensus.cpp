@@ -1,0 +1,155 @@
+// Tests for CogConsensus (core/consensus.h): agreement, validity and
+// termination of the CogComp + CogCast composition.
+#include "core/consensus.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/runtime.h"
+#include "sim/assignment.h"
+
+namespace cogradio {
+namespace {
+
+struct ConsensusRun {
+  std::vector<std::unique_ptr<CogConsensusNode>> nodes;
+  Slot slots = 0;
+  bool all_decided = false;
+};
+
+ConsensusRun run_consensus(const std::string& pattern, int n, int c, int k,
+                           const std::vector<Value>& proposals,
+                           ConsensusRule rule, std::uint64_t seed) {
+  ConsensusRun run;
+  const ConsensusParams params{n, c, k, 4.0};
+  auto assignment =
+      make_assignment(pattern, n, c, k, LabelMode::LocalRandom, Rng(seed));
+  Rng seeder(seed * 131 + 7);
+  std::vector<Protocol*> protocols;
+  for (NodeId u = 0; u < n; ++u) {
+    run.nodes.push_back(std::make_unique<CogConsensusNode>(
+        u, params, u == 0, proposals[static_cast<std::size_t>(u)], rule,
+        seeder.split(static_cast<std::uint64_t>(u))));
+    protocols.push_back(run.nodes.back().get());
+  }
+  NetworkOptions net;
+  net.seed = seed + 5;
+  Network network(*assignment, protocols, net);
+  run.slots = network.run(params.max_slots());
+  run.all_decided = network.all_done();
+  return run;
+}
+
+using Param = std::tuple<std::string, int, int, int>;
+
+class ConsensusSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(ConsensusSweep, AgreementValidityTermination) {
+  const auto& [pattern, n, c, k] = GetParam();
+  for (std::uint64_t seed : {1ULL, 2ULL}) {
+    const auto proposals = make_values(n, seed ^ 0xC0FFEE, -500, 500);
+    const auto run =
+        run_consensus(pattern, n, c, k, proposals, min_consensus(), seed);
+    ASSERT_TRUE(run.all_decided);
+    // Termination: within the fixed slot budget.
+    EXPECT_LE(run.slots, (ConsensusParams{n, c, k, 4.0}).max_slots());
+    // Agreement: all decisions equal.
+    const Value decision = run.nodes[0]->decision();
+    for (const auto& node : run.nodes) {
+      EXPECT_TRUE(node->decided());
+      EXPECT_EQ(node->decision(), decision);
+    }
+    // Validity: the min rule decides the true minimum proposal.
+    EXPECT_EQ(decision,
+              *std::min_element(proposals.begin(), proposals.end()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, ConsensusSweep,
+    ::testing::Values(Param{"shared-core", 16, 8, 2},
+                      Param{"partitioned", 12, 6, 2},
+                      Param{"pigeonhole", 20, 8, 4},
+                      Param{"shared-core", 4, 12, 4}),
+    [](const auto& info) {
+      std::string p = std::get<0>(info.param);
+      for (auto& ch : p)
+        if (ch == '-') ch = '_';
+      return p + "_n" + std::to_string(std::get<1>(info.param)) + "_c" +
+             std::to_string(std::get<2>(info.param)) + "_k" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+TEST(Consensus, MaxRuleDecidesMaximum) {
+  const std::vector<Value> proposals{5, -3, 42, 7, 0, 13, 42, -9, 1, 2};
+  const auto run =
+      run_consensus("shared-core", 10, 6, 2, proposals, max_consensus(), 9);
+  ASSERT_TRUE(run.all_decided);
+  EXPECT_EQ(run.nodes[3]->decision(), 42);
+}
+
+TEST(Consensus, MajorityRuleBinary) {
+  // 7 ones vs 5 zeros -> decide 1.
+  std::vector<Value> proposals(12, 0);
+  for (int i = 0; i < 7; ++i) proposals[static_cast<std::size_t>(i)] = 1;
+  const auto run = run_consensus("shared-core", 12, 6, 2, proposals,
+                                 majority_consensus(), 11);
+  ASSERT_TRUE(run.all_decided);
+  for (const auto& node : run.nodes) EXPECT_EQ(node->decision(), 1);
+
+  // 5 ones vs 7 zeros -> decide 0.
+  std::vector<Value> proposals2(12, 0);
+  for (int i = 0; i < 5; ++i) proposals2[static_cast<std::size_t>(i)] = 1;
+  const auto run2 = run_consensus("shared-core", 12, 6, 2, proposals2,
+                                  majority_consensus(), 13);
+  ASSERT_TRUE(run2.all_decided);
+  for (const auto& node : run2.nodes) EXPECT_EQ(node->decision(), 0);
+}
+
+TEST(Consensus, SourceAggregationCoversEveryone) {
+  const auto proposals = make_values(18, 21, 0, 9);
+  const auto run =
+      run_consensus("pigeonhole", 18, 8, 3, proposals, min_consensus(), 21);
+  ASSERT_TRUE(run.all_decided);
+  EXPECT_TRUE(run.nodes[0]->aggregation_complete());
+}
+
+TEST(Consensus, SingleNode) {
+  const std::vector<Value> proposals{7};
+  const auto run =
+      run_consensus("identity", 1, 4, 4, proposals, min_consensus(), 1);
+  ASSERT_TRUE(run.all_decided);
+  EXPECT_EQ(run.nodes[0]->decision(), 7);
+}
+
+TEST(Consensus, LeaderElectionViaMinRule) {
+  // Everyone proposes its own id under Min: the decided value is the
+  // smallest id — an agreed leader.
+  const int n = 11;
+  std::vector<Value> proposals;
+  for (NodeId u = 0; u < n; ++u)
+    proposals.push_back(leader_election_proposal(u));
+  const auto run =
+      run_consensus("shared-core", n, 6, 2, proposals, min_consensus(), 19);
+  ASSERT_TRUE(run.all_decided);
+  for (const auto& node : run.nodes) EXPECT_EQ(node->decision(), 0);
+}
+
+TEST(Consensus, ManySeedsAlwaysAgree) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const auto proposals = make_values(14, seed, -100, 100);
+    const auto run = run_consensus("shared-core", 14, 6, 2, proposals,
+                                   min_consensus(), seed);
+    ASSERT_TRUE(run.all_decided) << "seed " << seed;
+    const Value d = run.nodes[0]->decision();
+    for (const auto& node : run.nodes) ASSERT_EQ(node->decision(), d);
+  }
+}
+
+}  // namespace
+}  // namespace cogradio

@@ -1,0 +1,223 @@
+// Tests for fault injection (sim/fault.h) and the paper's robustness claim:
+// the oblivious CogCast epidemic tolerates crashes and temporary outages.
+#include "sim/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/cogcast.h"
+#include "core/runtime.h"
+#include "sim/assignment.h"
+
+namespace cogradio {
+namespace {
+
+Message data_msg() {
+  Message m;
+  m.type = MessageType::Data;
+  return m;
+}
+
+// A probe protocol that records every call it sees.
+class Probe : public Protocol {
+ public:
+  Action on_slot(Slot slot) override {
+    slots_seen.push_back(slot);
+    return Action::listen(0);
+  }
+  void on_feedback(Slot slot, const SlotResult& result) override {
+    feedback_seen.push_back({slot, !result.received.empty()});
+  }
+  bool done() const override { return false; }
+  std::vector<Slot> slots_seen;
+  std::vector<std::pair<Slot, bool>> feedback_seen;
+};
+
+TEST(CrashFault, SilencesFromCrashSlotOn) {
+  Probe probe;
+  CrashFault crashed(probe, 3);
+  EXPECT_EQ(crashed.on_slot(1).mode, Mode::Listen);
+  EXPECT_EQ(crashed.on_slot(2).mode, Mode::Listen);
+  EXPECT_FALSE(crashed.crashed());
+  EXPECT_EQ(crashed.on_slot(3).mode, Mode::Idle);
+  EXPECT_TRUE(crashed.crashed());
+  EXPECT_TRUE(crashed.done());
+  EXPECT_EQ(crashed.on_slot(10).mode, Mode::Idle);
+  EXPECT_EQ(probe.slots_seen.size(), 2u);  // inner never saw slot >= 3
+}
+
+TEST(CrashFault, DropsFeedbackAfterCrash) {
+  Probe probe;
+  CrashFault crashed(probe, 2);
+  SlotResult result;
+  crashed.on_feedback(1, result);
+  crashed.on_feedback(2, result);
+  crashed.on_feedback(5, result);
+  EXPECT_EQ(probe.feedback_seen.size(), 1u);
+}
+
+TEST(OutageFault, SuppressesOnlyDuringTheWindow) {
+  Probe probe;
+  OutageFault outage(probe, 3, 5);  // silenced in slots 3, 4
+  EXPECT_EQ(outage.on_slot(1).mode, Mode::Listen);
+  EXPECT_EQ(outage.on_slot(3).mode, Mode::Idle);
+  EXPECT_EQ(outage.on_slot(4).mode, Mode::Idle);
+  EXPECT_EQ(outage.on_slot(5).mode, Mode::Listen);
+  // The inner protocol's clock never skipped a slot.
+  EXPECT_EQ(probe.slots_seen, (std::vector<Slot>{1, 3, 4, 5}));
+}
+
+TEST(OutageFault, FeedbackDuringOutageIsEmptied) {
+  Probe probe;
+  OutageFault outage(probe, 1, 2);
+  (void)outage.on_slot(1);
+  Message m = data_msg();
+  SlotResult result;
+  result.received = {&m, 1};
+  outage.on_feedback(1, result);
+  ASSERT_EQ(probe.feedback_seen.size(), 1u);
+  EXPECT_FALSE(probe.feedback_seen[0].second);  // heard nothing
+  (void)outage.on_slot(3);
+  outage.on_feedback(3, result);
+  EXPECT_TRUE(probe.feedback_seen[1].second);  // transparent again
+}
+
+// --- Robustness of the CogCast epidemic --------------------------------------
+
+struct FaultyRun {
+  bool completed = false;
+  Slot slots = 0;
+};
+
+// Runs CogCast where a fraction of the non-source nodes crash at the given
+// slot. Crashed nodes count as "done" (they can never be informed), so the
+// run measures time for all SURVIVING nodes to be informed.
+FaultyRun run_with_crashes(int n, int c, int k, int num_crashes,
+                           Slot crash_slot, std::uint64_t seed) {
+  SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom, Rng(seed));
+  Rng seeder(seed * 31 + 1);
+  std::vector<std::unique_ptr<CogCastNode>> nodes;
+  std::vector<std::unique_ptr<CrashFault>> crashed;
+  std::vector<Protocol*> protocols;
+  for (NodeId u = 0; u < n; ++u) {
+    nodes.push_back(std::make_unique<CogCastNode>(
+        u, c, u == 0, data_msg(), seeder.split(static_cast<std::uint64_t>(u))));
+    // Crash the last `num_crashes` node ids (never the source).
+    if (u >= n - num_crashes) {
+      crashed.push_back(std::make_unique<CrashFault>(*nodes.back(), crash_slot));
+      protocols.push_back(crashed.back().get());
+    } else {
+      protocols.push_back(nodes.back().get());
+    }
+  }
+  Network net(assignment, protocols);
+  net.run(100'000);
+  FaultyRun out;
+  out.slots = net.now();
+  out.completed = true;
+  for (NodeId u = 0; u < n - num_crashes; ++u)
+    out.completed =
+        out.completed && nodes[static_cast<std::size_t>(u)]->informed();
+  return out;
+}
+
+TEST(CogCastRobustness, SurvivorsGetInformedDespiteCrashes) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    // A third of the nodes crash early, while the epidemic is spreading.
+    const auto out = run_with_crashes(30, 8, 2, 10, /*crash_slot=*/5, seed);
+    EXPECT_TRUE(out.completed) << "seed " << seed;
+  }
+}
+
+TEST(CogCastRobustness, ToleratesTemporaryOutages) {
+  // Every node except the source goes deaf for a window mid-broadcast;
+  // because every informed node keeps broadcasting forever, the epidemic
+  // resumes when they come back.
+  const int n = 16, c = 6, k = 2;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom, Rng(seed));
+    Rng seeder(seed + 77);
+    std::vector<std::unique_ptr<CogCastNode>> nodes;
+    std::vector<std::unique_ptr<OutageFault>> outages;
+    std::vector<Protocol*> protocols;
+    for (NodeId u = 0; u < n; ++u) {
+      nodes.push_back(std::make_unique<CogCastNode>(
+          u, c, u == 0, data_msg(), seeder.split(static_cast<std::uint64_t>(u))));
+      if (u != 0) {
+        outages.push_back(
+            std::make_unique<OutageFault>(*nodes.back(), 3, 3 + static_cast<Slot>(u)));
+        protocols.push_back(outages.back().get());
+      } else {
+        protocols.push_back(nodes.back().get());
+      }
+    }
+    Network net(assignment, protocols);
+    net.run(100'000);
+    for (const auto& node : nodes)
+      EXPECT_TRUE(node->informed()) << "seed " << seed;
+  }
+}
+
+TEST(CogCastRobustness, StaggeredActivationStillCompletes) {
+  // The paper assumes simultaneous activation; in practice nodes wake up
+  // at different times. Model wake-up as an initial outage [1, w_u): the
+  // oblivious epidemic needs no synchronized start beyond a common slot
+  // clock — it completes once the last sleeper is awake.
+  const int n = 18, c = 6, k = 2;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom, Rng(seed));
+    Rng seeder(seed + 31);
+    Rng wake_rng(seed + 77);
+    std::vector<std::unique_ptr<CogCastNode>> nodes;
+    std::vector<std::unique_ptr<OutageFault>> sleepers;
+    std::vector<Protocol*> protocols;
+    Slot last_wake = 1;
+    for (NodeId u = 0; u < n; ++u) {
+      nodes.push_back(std::make_unique<CogCastNode>(
+          u, c, u == 0, data_msg(), seeder.split(static_cast<std::uint64_t>(u))));
+      if (u != 0) {
+        const Slot wake = 1 + static_cast<Slot>(wake_rng.below(40));
+        last_wake = std::max(last_wake, wake);
+        sleepers.push_back(std::make_unique<OutageFault>(*nodes.back(), 1, wake));
+        protocols.push_back(sleepers.back().get());
+      } else {
+        protocols.push_back(nodes.back().get());
+      }
+    }
+    Network net(assignment, protocols);
+    net.run(100'000);
+    for (const auto& node : nodes)
+      EXPECT_TRUE(node->informed()) << "seed " << seed;
+    EXPECT_GE(net.now(), last_wake - 1);
+  }
+}
+
+TEST(CogCastRobustness, CrashedSourceBeforeAnyBroadcastBlocksEveryone) {
+  // Sanity inverse: if the source crashes at slot 1 nobody can ever learn
+  // the message — the run must hit the cap with zero informed nodes.
+  const int n = 8, c = 6, k = 2;
+  SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom, Rng(3));
+  Rng seeder(4);
+  std::vector<std::unique_ptr<CogCastNode>> nodes;
+  std::vector<Protocol*> protocols;
+  std::unique_ptr<CrashFault> dead_source;
+  for (NodeId u = 0; u < n; ++u) {
+    nodes.push_back(std::make_unique<CogCastNode>(
+        u, c, u == 0, data_msg(), seeder.split(static_cast<std::uint64_t>(u))));
+    if (u == 0) {
+      dead_source = std::make_unique<CrashFault>(*nodes.back(), 1);
+      protocols.push_back(dead_source.get());
+    } else {
+      protocols.push_back(nodes.back().get());
+    }
+  }
+  Network net(assignment, protocols);
+  net.run(2000);
+  for (NodeId u = 1; u < n; ++u)
+    EXPECT_FALSE(nodes[static_cast<std::size_t>(u)]->informed());
+}
+
+}  // namespace
+}  // namespace cogradio

@@ -1,0 +1,123 @@
+// Tests for all-to-all gossip (core/gossip.h).
+#include "core/gossip.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "core/runtime.h"
+
+namespace cogradio {
+namespace {
+
+using Param = std::tuple<std::string, int, int, int>;
+
+class GossipSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(GossipSweep, EveryoneLearnsEverything) {
+  const auto& [pattern, n, c, k] = GetParam();
+  for (std::uint64_t seed : {1ULL, 2ULL}) {
+    auto assignment =
+        make_assignment(pattern, n, c, k, LabelMode::LocalRandom, Rng(seed));
+    const auto values = make_values(n, seed ^ 0x60551F, -99, 99);
+    GossipConfig config;
+    config.seed = seed * 17;
+    const GossipOutcome out = run_gossip(*assignment, values, config);
+    ASSERT_TRUE(out.completed) << pattern << " n=" << n << " seed=" << seed;
+    for (Slot s : out.completed_slot) {
+      EXPECT_GE(s, 0);
+      EXPECT_LE(s, out.slots);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, GossipSweep,
+    ::testing::Values(Param{"shared-core", 12, 6, 2},
+                      Param{"partitioned", 10, 5, 2},
+                      Param{"pigeonhole", 16, 8, 4},
+                      Param{"dynamic-shared-core", 10, 6, 3}),
+    [](const auto& info) {
+      std::string p = std::get<0>(info.param);
+      for (auto& ch : p)
+        if (ch == '-') ch = '_';
+      return p + "_n" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Gossip, RumorValuesArriveIntact) {
+  const int n = 8, c = 5, k = 2;
+  SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom, Rng(3));
+  const auto values = make_values(n, 7, 0, 1000);
+  Rng seeder(9);
+  std::vector<std::unique_ptr<GossipNode>> nodes;
+  std::vector<Protocol*> protocols;
+  for (NodeId u = 0; u < n; ++u) {
+    nodes.push_back(std::make_unique<GossipNode>(
+        u, c, n, values[static_cast<std::size_t>(u)],
+        seeder.split(static_cast<std::uint64_t>(u))));
+    protocols.push_back(nodes.back().get());
+  }
+  Network net(assignment, protocols);
+  net.run(1'000'000);
+  ASSERT_TRUE(net.all_done());
+  for (const auto& node : nodes) {
+    ASSERT_EQ(node->rumors().size(), static_cast<std::size_t>(n));
+    std::set<NodeId> origins;
+    for (const auto& [origin, value] : node->rumors()) {
+      origins.insert(origin);
+      EXPECT_EQ(value, values[static_cast<std::size_t>(origin)])
+          << "rumor corrupted in transit";
+    }
+    EXPECT_EQ(origins.size(), static_cast<std::size_t>(n));
+  }
+}
+
+TEST(Gossip, SingleNodeIsInstantlyDone) {
+  IdentityAssignment assignment(1, 3, LabelMode::Global, Rng(1));
+  const std::vector<Value> values{5};
+  const auto out = run_gossip(assignment, values, {});
+  EXPECT_TRUE(out.completed);
+  EXPECT_EQ(out.slots, 0);
+}
+
+TEST(Gossip, KnownCountMonotone) {
+  GossipNode node(0, 4, 5, 10, Rng(2));
+  EXPECT_EQ(node.known_count(), 1);
+  EXPECT_TRUE(node.knows(0));
+  EXPECT_FALSE(node.knows(3));
+}
+
+TEST(Gossip, MismatchedValuesRejected) {
+  IdentityAssignment assignment(3, 3, LabelMode::Global, Rng(1));
+  const std::vector<Value> two{1, 2};
+  EXPECT_THROW(run_gossip(assignment, two, {}), std::invalid_argument);
+}
+
+TEST(Gossip, CompletionScalesGentlyWithN) {
+  // Sanity: doubling n should not blow completion up by more than ~4x at
+  // fixed (c, k) — set-merging gossip converges in O(polylog) meetings.
+  auto median_for = [](int n) {
+    std::vector<double> samples;
+    for (std::uint64_t seed = 1; seed <= 9; ++seed) {
+      SharedCoreAssignment assignment(n, 6, 2, LabelMode::LocalRandom,
+                                      Rng(seed));
+      const auto values = make_values(n, seed);
+      GossipConfig config;
+      config.seed = seed * 3;
+      const auto out = run_gossip(assignment, values, config);
+      EXPECT_TRUE(out.completed);
+      samples.push_back(static_cast<double>(out.slots));
+    }
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+  };
+  const double m16 = median_for(16);
+  const double m32 = median_for(32);
+  EXPECT_LT(m32, 4.0 * m16 + 20.0);
+}
+
+}  // namespace
+}  // namespace cogradio

@@ -1,0 +1,197 @@
+// Tests for the n-uniform jamming adversaries (Theorem 18 substrate).
+#include "sim/jamming.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/assignment.h"
+
+namespace cogradio {
+namespace {
+
+TEST(BudgetedJammer, BudgetValidation) {
+  EXPECT_THROW(RandomJammer(2, 4, 4, Rng(1)), std::invalid_argument);
+  EXPECT_THROW(RandomJammer(2, 4, -1, Rng(1)), std::invalid_argument);
+  EXPECT_THROW(RandomJammer(0, 4, 1, Rng(1)), std::invalid_argument);
+}
+
+TEST(RandomJammer, RespectsBudgetEachSlot) {
+  RandomJammer jam(5, 10, 3, Rng(2));
+  for (Slot t = 1; t <= 50; ++t) {
+    jam.begin_slot(t);
+    for (NodeId u = 0; u < 5; ++u) {
+      const auto& set = jam.jam_set(u);
+      EXPECT_EQ(set.size(), 3u);
+      std::set<Channel> unique(set.begin(), set.end());
+      EXPECT_EQ(unique.size(), 3u);
+      for (Channel ch : set) {
+        EXPECT_TRUE(jam.is_jammed(u, ch));
+        EXPECT_GE(ch, 0);
+        EXPECT_LT(ch, 10);
+      }
+    }
+  }
+}
+
+TEST(RandomJammer, ZeroBudgetJamsNothing) {
+  RandomJammer jam(3, 5, 0, Rng(3));
+  jam.begin_slot(1);
+  for (NodeId u = 0; u < 3; ++u)
+    for (Channel ch = 0; ch < 5; ++ch) EXPECT_FALSE(jam.is_jammed(u, ch));
+}
+
+TEST(RandomJammer, PairwiseUnjammedOverlapAtLeastCMinus2K) {
+  // The Theorem 18 accounting: with per-node budget k over c channels,
+  // every pair keeps >= c - 2k mutually clear channels.
+  const int c = 12, k = 4;
+  RandomJammer jam(6, c, k, Rng(4));
+  for (Slot t = 1; t <= 30; ++t) {
+    jam.begin_slot(t);
+    for (NodeId u = 0; u < 6; ++u)
+      for (NodeId v = u + 1; v < 6; ++v) {
+        int clear = 0;
+        for (Channel ch = 0; ch < c; ++ch)
+          if (!jam.is_jammed(u, ch) && !jam.is_jammed(v, ch)) ++clear;
+        EXPECT_GE(clear, c - 2 * k);
+      }
+  }
+}
+
+TEST(SweepJammer, WindowAdvancesWithSlots) {
+  SweepJammer jam(2, 8, 2);
+  jam.begin_slot(1);
+  EXPECT_TRUE(jam.is_jammed(0, 0));
+  EXPECT_TRUE(jam.is_jammed(0, 1));
+  EXPECT_FALSE(jam.is_jammed(0, 2));
+  jam.begin_slot(2);
+  EXPECT_FALSE(jam.is_jammed(0, 0));
+  EXPECT_TRUE(jam.is_jammed(0, 1));
+  EXPECT_TRUE(jam.is_jammed(0, 2));
+  jam.begin_slot(8);  // wraps: base = 7, window {7, 0}
+  EXPECT_TRUE(jam.is_jammed(1, 7));
+  EXPECT_TRUE(jam.is_jammed(1, 0));
+}
+
+TEST(ReactiveJammer, JamsRecentlyObservedChannels) {
+  ReactiveJammer jam(2, 8, 2);
+  jam.begin_slot(1);
+  EXPECT_FALSE(jam.is_jammed(0, 3));  // no history yet
+
+  const std::vector<Channel> used1{3, 5};
+  jam.observe(1, used1);
+  jam.begin_slot(2);
+  EXPECT_TRUE(jam.is_jammed(0, 3));
+  EXPECT_TRUE(jam.is_jammed(1, 5));
+  EXPECT_FALSE(jam.is_jammed(0, 5));  // per-node history
+
+  // Budget 2: after observing channels 4 then 6 for node 0, channel 3
+  // falls out of the window.
+  const std::vector<Channel> used2{4, kNoChannel};
+  const std::vector<Channel> used3{6, kNoChannel};
+  jam.observe(2, used2);
+  jam.observe(3, used3);
+  jam.begin_slot(4);
+  EXPECT_TRUE(jam.is_jammed(0, 6));
+  EXPECT_TRUE(jam.is_jammed(0, 4));
+  EXPECT_FALSE(jam.is_jammed(0, 3));
+}
+
+TEST(ReactiveJammer, RepeatedChannelDoesNotDuplicate) {
+  ReactiveJammer jam(1, 4, 2);
+  const std::vector<Channel> used{2};
+  jam.observe(1, used);
+  jam.observe(2, used);
+  jam.begin_slot(3);
+  EXPECT_EQ(jam.jam_set(0).size(), 1u);
+}
+
+// A fixed "jam channel 0 for node 1" adversary for cut-off semantics.
+class PinpointJammer : public Jammer {
+ public:
+  void begin_slot(Slot) override {}
+  bool is_jammed(NodeId node, Channel channel) const override {
+    return node == 1 && channel == 0;
+  }
+};
+
+TEST(NetworkJamming, JammedNodeIsCutOff) {
+  class Beacon : public Protocol {
+   public:
+    explicit Beacon(bool talk) : talk_(talk) {}
+    Action on_slot(Slot) override {
+      if (talk_) {
+        Message m;
+        m.type = MessageType::Data;
+        return Action::broadcast(0, m);
+      }
+      return Action::listen(0);
+    }
+    void on_feedback(Slot, const SlotResult& r) override {
+      jammed = r.jammed;
+      heard = !r.received.empty();
+      won = r.tx_success;
+    }
+    bool done() const override { return true; }
+    bool talk_;
+    bool jammed = false;
+    bool heard = false;
+    bool won = false;
+  };
+
+  IdentityAssignment assignment(3, 2, LabelMode::Global, Rng(5));
+  Beacon talker(true), jammed_listener(false), clear_listener(false);
+  Network net(assignment, {&talker, &jammed_listener, &clear_listener});
+  PinpointJammer jammer;
+  net.set_jammer(&jammer);
+  net.step();
+  EXPECT_TRUE(talker.won);
+  EXPECT_TRUE(jammed_listener.jammed);
+  EXPECT_FALSE(jammed_listener.heard);
+  EXPECT_TRUE(clear_listener.heard);
+  EXPECT_EQ(net.stats().jammed_node_slots, 1);
+}
+
+TEST(NetworkJamming, JammedBroadcasterTransmitsNothing) {
+  class Beacon : public Protocol {
+   public:
+    explicit Beacon(bool talk) : talk_(talk) {}
+    Action on_slot(Slot) override {
+      if (talk_) {
+        Message m;
+        m.type = MessageType::Data;
+        return Action::broadcast(0, m);
+      }
+      return Action::listen(0);
+    }
+    void on_feedback(Slot, const SlotResult& r) override {
+      jammed = r.jammed;
+      heard = !r.received.empty();
+      attempted = r.tx_attempted;
+    }
+    bool done() const override { return true; }
+    bool talk_;
+    bool jammed = false;
+    bool heard = false;
+    bool attempted = false;
+  };
+
+  class JamNodeZero : public Jammer {
+   public:
+    void begin_slot(Slot) override {}
+    bool is_jammed(NodeId node, Channel) const override { return node == 0; }
+  };
+
+  IdentityAssignment assignment(2, 1, LabelMode::Global, Rng(6));
+  Beacon talker(true), listener(false);
+  Network net(assignment, {&talker, &listener});
+  JamNodeZero jammer;
+  net.set_jammer(&jammer);
+  net.step();
+  EXPECT_TRUE(talker.jammed);
+  EXPECT_FALSE(talker.attempted);
+  EXPECT_FALSE(listener.heard);
+}
+
+}  // namespace
+}  // namespace cogradio

@@ -1,0 +1,266 @@
+// Tests for the multi-hop engine and the lifted epidemic broadcast.
+#include "core/multihop_cast.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "sim/assignment.h"
+
+namespace cogradio {
+namespace {
+
+Message data_msg() {
+  Message m;
+  m.type = MessageType::Data;
+  return m;
+}
+
+// Scripted protocol for engine-semantics tests.
+class Fixed : public Protocol {
+ public:
+  Fixed(Mode mode, LocalLabel label) : mode_(mode), label_(label) {}
+  Action on_slot(Slot) override {
+    if (mode_ == Mode::Broadcast) return Action::broadcast(label_, data_msg());
+    if (mode_ == Mode::Listen) return Action::listen(label_);
+    return Action::idle();
+  }
+  void on_feedback(Slot, const SlotResult& r) override {
+    heard = !r.received.empty();
+    sender = heard ? r.received.front().sender : kNoNode;
+  }
+  bool done() const override { return true; }
+  Mode mode_;
+  LocalLabel label_;
+  bool heard = false;
+  NodeId sender = kNoNode;
+};
+
+TEST(MultihopEngine, OnlyNeighborsHear) {
+  // Line 0-1-2: node 0 broadcasts; 1 hears, 2 does not.
+  IdentityAssignment assignment(3, 1, LabelMode::Global, Rng(1));
+  const Topology topo = Topology::line(3);
+  Fixed talker(Mode::Broadcast, 0), near(Mode::Listen, 0), far(Mode::Listen, 0);
+  MultihopNetwork net(assignment, topo, {&talker, &near, &far});
+  net.step();
+  EXPECT_TRUE(near.heard);
+  EXPECT_EQ(near.sender, 0);
+  EXPECT_FALSE(far.heard);
+}
+
+TEST(MultihopEngine, TwoBroadcastingNeighborsCollideAtReceiver) {
+  // Line 0-1-2: nodes 0 and 2 broadcast on the same channel; 1 hears
+  // nothing (receiver-side collision).
+  IdentityAssignment assignment(3, 1, LabelMode::Global, Rng(2));
+  const Topology topo = Topology::line(3);
+  Fixed left(Mode::Broadcast, 0), mid(Mode::Listen, 0),
+      right(Mode::Broadcast, 0);
+  MultihopNetwork net(assignment, topo, {&left, &mid, &right});
+  net.step();
+  EXPECT_FALSE(mid.heard);
+  EXPECT_EQ(net.stats().collision_events, 1);
+}
+
+TEST(MultihopEngine, DifferentChannelsDoNotCollide) {
+  // Nodes 0 and 2 broadcast on different channels; 1 listens on channel 1
+  // and hears node 2 only.
+  IdentityAssignment assignment(3, 2, LabelMode::Global, Rng(3));
+  const Topology topo = Topology::line(3);
+  Fixed left(Mode::Broadcast, 0), mid(Mode::Listen, 1),
+      right(Mode::Broadcast, 1);
+  MultihopNetwork net(assignment, topo, {&left, &mid, &right});
+  net.step();
+  EXPECT_TRUE(mid.heard);
+  EXPECT_EQ(mid.sender, 2);
+}
+
+TEST(MultihopEngine, BroadcasterDoesNotHearItself) {
+  IdentityAssignment assignment(2, 1, LabelMode::Global, Rng(4));
+  const Topology topo = Topology::clique(2);
+  Fixed a(Mode::Broadcast, 0), b(Mode::Broadcast, 0);
+  MultihopNetwork net(assignment, topo, {&a, &b});
+  net.step();
+  EXPECT_FALSE(a.heard);
+  EXPECT_FALSE(b.heard);
+}
+
+TEST(MultihopEngine, ActivityAccounting) {
+  IdentityAssignment assignment(3, 1, LabelMode::Global, Rng(5));
+  const Topology topo = Topology::line(3);
+  Fixed talker(Mode::Broadcast, 0), listener(Mode::Listen, 0),
+      idler(Mode::Idle, 0);
+  MultihopNetwork net(assignment, topo, {&talker, &listener, &idler});
+  for (int i = 0; i < 4; ++i) net.step();
+  EXPECT_EQ(net.activity(0).tx, 4);
+  EXPECT_EQ(net.activity(1).listen, 4);
+  EXPECT_EQ(net.activity(1).received, 4);
+  EXPECT_EQ(net.activity(2).idle, 4);
+}
+
+TEST(MultihopEngine, RejectsSizeMismatch) {
+  IdentityAssignment assignment(3, 1, LabelMode::Global, Rng(6));
+  const Topology topo = Topology::line(2);
+  Fixed a(Mode::Idle, 0), b(Mode::Idle, 0), c(Mode::Idle, 0);
+  EXPECT_THROW(MultihopNetwork(assignment, topo, {&a, &b, &c}),
+               std::invalid_argument);
+}
+
+// --- Lifted epidemic broadcast -----------------------------------------------
+
+using Param = std::tuple<std::string, int, int, int>;  // topo, n, c, k
+
+class MultihopCastSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(MultihopCastSweep, InformsEveryReachableNode) {
+  const auto& [shape, n, c, k] = GetParam();
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    Topology topo = shape == "line"   ? Topology::line(n)
+                    : shape == "ring" ? Topology::ring(n)
+                    : shape == "grid"
+                        ? Topology::grid(n / 4, 4)
+                        : Topology::random_geometric(n, 0.45, Rng(seed));
+    SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom,
+                                    Rng(seed * 7));
+    MultihopCastConfig config;
+    config.seed = seed * 13 + 1;
+    const MultihopOutcome out =
+        run_multihop_cast(assignment, topo, config);
+    ASSERT_TRUE(out.completed)
+        << shape << " n=" << n << " seed=" << seed;
+    // Parents must be graph neighbors and informed earlier — a valid
+    // broadcast forest rooted at the source.
+    for (NodeId u = 1; u < n; ++u) {
+      const NodeId pa = out.parent[static_cast<std::size_t>(u)];
+      ASSERT_NE(pa, kNoNode);
+      EXPECT_TRUE(topo.are_neighbors(u, pa));
+      EXPECT_LT(out.informed_slot[static_cast<std::size_t>(pa)],
+                out.informed_slot[static_cast<std::size_t>(u)]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MultihopCastSweep,
+    ::testing::Values(Param{"line", 12, 6, 2}, Param{"ring", 16, 6, 2},
+                      Param{"grid", 16, 8, 3}, Param{"geometric", 20, 6, 2}),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(MultihopCast, InformedSlotsRespectHopDepth) {
+  // On a line, node i can only be informed after >= i slots.
+  const int n = 10, c = 4, k = 2;
+  SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom, Rng(9));
+  const Topology topo = Topology::line(n);
+  MultihopCastConfig config;
+  config.seed = 10;
+  const auto out = run_multihop_cast(assignment, topo, config);
+  ASSERT_TRUE(out.completed);
+  const auto depth = topo.hop_depths(0);
+  for (NodeId u = 1; u < n; ++u)
+    EXPECT_GE(out.informed_slot[static_cast<std::size_t>(u)],
+              static_cast<Slot>(depth[static_cast<std::size_t>(u)]));
+}
+
+TEST(MultihopCast, SuggestedDecayLevelsScale) {
+  EXPECT_EQ(MultihopCastNode::suggested_decay_levels(1), 2);
+  EXPECT_GE(MultihopCastNode::suggested_decay_levels(64), 7);
+}
+
+// Fuzz: random actions, externally recomputed reception oracle.
+class MultihopFuzzNode : public Protocol {
+ public:
+  MultihopFuzzNode(int c, Rng rng) : c_(c), rng_(rng) {}
+  Action on_slot(Slot) override {
+    const auto roll = rng_.below(8);
+    last_mode_ = Mode::Idle;
+    if (roll == 0) return Action::idle();
+    last_label_ = static_cast<LocalLabel>(rng_.below(static_cast<std::uint64_t>(c_)));
+    if (roll <= 3) {
+      last_mode_ = Mode::Broadcast;
+      Message m;
+      m.type = MessageType::Data;
+      return Action::broadcast(last_label_, m);
+    }
+    last_mode_ = Mode::Listen;
+    return Action::listen(last_label_);
+  }
+  void on_feedback(Slot, const SlotResult& r) override {
+    heard_ = !r.received.empty();
+    sender_ = heard_ ? r.received.front().sender : kNoNode;
+  }
+  bool done() const override { return false; }
+
+  Mode last_mode_ = Mode::Idle;
+  LocalLabel last_label_ = 0;
+  bool heard_ = false;
+  NodeId sender_ = kNoNode;
+
+ private:
+  int c_;
+  Rng rng_;
+};
+
+TEST(MultihopFuzz, ReceptionMatchesNeighborOracle) {
+  const int n = 18, c = 4, k = 2;
+  SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom, Rng(3));
+  const Topology topo = Topology::random_geometric(n, 0.4, Rng(4));
+  Rng seeder(5);
+  std::vector<std::unique_ptr<MultihopFuzzNode>> nodes;
+  std::vector<Protocol*> protocols;
+  for (NodeId u = 0; u < n; ++u) {
+    nodes.push_back(std::make_unique<MultihopFuzzNode>(
+        c, seeder.split(static_cast<std::uint64_t>(u))));
+    protocols.push_back(nodes.back().get());
+  }
+  MultihopNetwork net(assignment, topo, protocols);
+
+  for (int s = 0; s < 300; ++s) {
+    net.step();
+    // Oracle: recompute every listener's expected reception from the
+    // actions the nodes just took. Physical channels via the assignment
+    // (static, so post-slot queries agree with in-slot resolution).
+    for (NodeId u = 0; u < n; ++u) {
+      const auto& me = *nodes[static_cast<std::size_t>(u)];
+      if (me.last_mode_ != Mode::Listen) {
+        if (me.last_mode_ == Mode::Broadcast) {
+          EXPECT_FALSE(me.heard_);
+        }
+        continue;
+      }
+      const Channel my_ch = assignment.global_channel(u, me.last_label_);
+      int talkers = 0;
+      NodeId talker = kNoNode;
+      for (NodeId v : topo.neighbors(u)) {
+        const auto& peer = *nodes[static_cast<std::size_t>(v)];
+        if (peer.last_mode_ == Mode::Broadcast &&
+            assignment.global_channel(v, peer.last_label_) == my_ch) {
+          ++talkers;
+          talker = v;
+        }
+      }
+      if (talkers == 1) {
+        EXPECT_TRUE(me.heard_) << "slot " << s << " node " << u;
+        EXPECT_EQ(me.sender_, talker);
+      } else {
+        EXPECT_FALSE(me.heard_) << "slot " << s << " node " << u
+                                << " talkers=" << talkers;
+      }
+    }
+  }
+}
+
+TEST(MultihopCast, SingleNodeTrivial) {
+  IdentityAssignment assignment(1, 2, LabelMode::Global, Rng(1));
+  const Topology topo = Topology::clique(1);
+  MultihopCastConfig config;
+  const auto out = run_multihop_cast(assignment, topo, config);
+  EXPECT_TRUE(out.completed);
+  EXPECT_EQ(out.slots, 0);
+}
+
+}  // namespace
+}  // namespace cogradio

@@ -1,0 +1,141 @@
+// Tests for multi-hop convergecast (core/multihop_converge.h).
+#include "core/multihop_converge.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/runtime.h"
+#include "sim/assignment.h"
+
+namespace cogradio {
+namespace {
+
+using Param = std::tuple<std::string, int, int, int>;  // topo, n, c, k
+
+Topology make_topo(const std::string& shape, int n, std::uint64_t seed) {
+  if (shape == "line") return Topology::line(n);
+  if (shape == "ring") return Topology::ring(n);
+  if (shape == "grid") return Topology::grid(n / 4, 4);
+  if (shape == "clique") return Topology::clique(n);
+  return Topology::random_geometric(n, 0.45, Rng(seed));
+}
+
+class MultihopConvergeSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(MultihopConvergeSweep, AggregatesExactlyOverTheFloodTree) {
+  const auto& [shape, n, c, k] = GetParam();
+  for (std::uint64_t seed : {1ULL, 2ULL}) {
+    const Topology topo = make_topo(shape, n, seed);
+    SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom,
+                                    Rng(seed * 3 + 1));
+    const auto values = make_values(n, seed ^ 0xCCAA, -100, 100);
+    MultihopConvergeConfig config;
+    config.seed = seed * 7 + 2;
+    const auto out =
+        run_multihop_converge(assignment, topo, values, config);
+    ASSERT_TRUE(out.completed)
+        << shape << " n=" << n << " seed=" << seed << " covered "
+        << out.covered << "/" << n;
+    EXPECT_EQ(out.result, out.expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MultihopConvergeSweep,
+    ::testing::Values(Param{"line", 10, 6, 2}, Param{"ring", 12, 6, 2},
+                      Param{"grid", 12, 6, 3}, Param{"clique", 10, 6, 2},
+                      Param{"geometric", 14, 6, 2}),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(MultihopConverge, MinMaxOpsWork) {
+  const int n = 10, c = 6, k = 2;
+  const Topology topo = Topology::grid(2, 5);
+  const auto values = make_values(n, 5, -50, 50);
+  for (AggOp op : {AggOp::Min, AggOp::Max}) {
+    SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom, Rng(6));
+    MultihopConvergeConfig config;
+    config.seed = 7;
+    config.op = op;
+    const auto out = run_multihop_converge(assignment, topo, values, config);
+    ASSERT_TRUE(out.completed) << to_string(op);
+    EXPECT_EQ(out.result, out.expected);
+  }
+}
+
+TEST(MultihopConverge, DepthsFollowTheFloodTree) {
+  // White-box: after the run every informed node's depth is parent's + 1.
+  const int n = 12, c = 6, k = 2;
+  const Topology topo = Topology::ring(n);
+  SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom, Rng(8));
+  MultihopConvergeParams params;
+  params.n = n;
+  params.c = c;
+  params.max_depth = n - 1;
+  params.flood_slots = 600;
+  params.epoch_steps = 600;
+  params.decay_levels = 3;
+  Rng seeder(9);
+  const auto values = make_values(n, 10);
+  std::vector<std::unique_ptr<MultihopConvergeNode>> nodes;
+  std::vector<Protocol*> protocols;
+  for (NodeId u = 0; u < n; ++u) {
+    nodes.push_back(std::make_unique<MultihopConvergeNode>(
+        u, params, u == 0, values[static_cast<std::size_t>(u)],
+        Aggregator(AggOp::Sum), seeder.split(static_cast<std::uint64_t>(u))));
+    protocols.push_back(nodes.back().get());
+  }
+  MultihopNetwork net(assignment, topo, protocols);
+  net.run(params.max_slots());
+  EXPECT_EQ(nodes[0]->depth(), 0);
+  for (NodeId u = 1; u < n; ++u) {
+    const auto& node = *nodes[static_cast<std::size_t>(u)];
+    ASSERT_TRUE(node.informed());
+    const NodeId pa = node.parent();
+    ASSERT_NE(pa, kNoNode);
+    EXPECT_TRUE(topo.are_neighbors(u, pa));
+    EXPECT_EQ(node.depth(),
+              nodes[static_cast<std::size_t>(pa)]->depth() + 1);
+    EXPECT_TRUE(node.delivered()) << "node " << u;
+  }
+  EXPECT_TRUE(nodes[0]->complete());
+}
+
+TEST(MultihopConverge, SingleNodeTrivial) {
+  const Topology topo = Topology::clique(1);
+  IdentityAssignment assignment(1, 3, LabelMode::Global, Rng(1));
+  const std::vector<Value> values{23};
+  const auto out = run_multihop_converge(assignment, topo, values, {});
+  EXPECT_TRUE(out.completed);
+  EXPECT_EQ(out.result, 23);
+}
+
+TEST(MultihopConverge, ShortfallIsDetectedNotSilent) {
+  // Starve the flood budget so some nodes stay uninformed: the source must
+  // report covered < n, never a wrong "complete" aggregate.
+  const int n = 12, c = 6, k = 2;
+  const Topology topo = Topology::line(n);
+  SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom, Rng(12));
+  const auto values = make_values(n, 13);
+  MultihopConvergeConfig config;
+  config.seed = 14;
+  config.flood_slots = 2;  // cannot cross 11 hops in 2 slots
+  const auto out = run_multihop_converge(assignment, topo, values, config);
+  EXPECT_FALSE(out.completed);
+  EXPECT_LT(out.covered, n);
+}
+
+TEST(MultihopConverge, RejectsBadInput) {
+  const Topology topo = Topology::line(3);
+  IdentityAssignment assignment(4, 3, LabelMode::Global, Rng(1));
+  const std::vector<Value> values{1, 2, 3, 4};
+  EXPECT_THROW(run_multihop_converge(assignment, topo, values, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cogradio

@@ -1,0 +1,302 @@
+// Integration tests for the network engine's collision-model semantics
+// (Section 2). Scripted protocols pin nodes to fixed channels/roles so each
+// delivery rule can be checked in isolation.
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "sim/assignment.h"
+
+namespace cogradio {
+namespace {
+
+// A protocol following a fixed per-slot script, recording all feedback.
+class ScriptedNode : public Protocol {
+ public:
+  explicit ScriptedNode(std::vector<Action> script) : script_(std::move(script)) {}
+
+  Action on_slot(Slot slot) override {
+    const auto idx = static_cast<std::size_t>(slot - 1);
+    return idx < script_.size() ? script_[idx] : Action::idle();
+  }
+
+  void on_feedback(Slot, const SlotResult& result) override {
+    Feedback f;
+    f.jammed = result.jammed;
+    f.tx_attempted = result.tx_attempted;
+    f.tx_success = result.tx_success;
+    f.received.assign(result.received.begin(), result.received.end());
+    feedback_.push_back(std::move(f));
+  }
+
+  bool done() const override {
+    return feedback_.size() >= script_.size();
+  }
+
+  struct Feedback {
+    bool jammed = false;
+    bool tx_attempted = false;
+    bool tx_success = false;
+    std::vector<Message> received;
+  };
+  std::vector<Feedback> feedback_;
+
+ private:
+  std::vector<Action> script_;
+};
+
+Message data_msg(std::int64_t a) {
+  Message m;
+  m.type = MessageType::Data;
+  m.a = a;
+  return m;
+}
+
+struct Rig {
+  // All nodes share channels 0..c-1 with identity labels, so local label ==
+  // physical channel and scripts are easy to read.
+  Rig(int n, int c, std::vector<std::vector<Action>> scripts,
+      NetworkOptions options = {})
+      : assignment(n, c, LabelMode::Global, Rng(1)) {
+    for (auto& s : scripts) nodes.push_back(std::make_unique<ScriptedNode>(std::move(s)));
+    std::vector<Protocol*> protocols;
+    for (auto& node : nodes) protocols.push_back(node.get());
+    network.emplace(assignment, std::move(protocols), options);
+  }
+
+  ScriptedNode& node(int i) { return *nodes[static_cast<std::size_t>(i)]; }
+
+  IdentityAssignment assignment;
+  std::vector<std::unique_ptr<ScriptedNode>> nodes;
+  std::optional<Network> network;
+};
+
+TEST(Network, SoleBroadcasterAlwaysSucceeds) {
+  Rig rig(2, 2,
+          {{Action::broadcast(0, data_msg(7))}, {Action::listen(0)}});
+  rig.network->step();
+  EXPECT_TRUE(rig.node(0).feedback_[0].tx_attempted);
+  EXPECT_TRUE(rig.node(0).feedback_[0].tx_success);
+  ASSERT_EQ(rig.node(1).feedback_[0].received.size(), 1u);
+  EXPECT_EQ(rig.node(1).feedback_[0].received[0].a, 7);
+  EXPECT_EQ(rig.node(1).feedback_[0].received[0].sender, 0);
+}
+
+TEST(Network, ListenersOnOtherChannelsHearNothing) {
+  Rig rig(2, 2,
+          {{Action::broadcast(0, data_msg(7))}, {Action::listen(1)}});
+  rig.network->step();
+  EXPECT_TRUE(rig.node(1).feedback_[0].received.empty());
+}
+
+TEST(Network, OneWinnerExactlyOneSucceeds) {
+  Rig rig(4, 2,
+          {{Action::broadcast(0, data_msg(1))},
+           {Action::broadcast(0, data_msg(2))},
+           {Action::broadcast(0, data_msg(3))},
+           {Action::listen(0)}});
+  rig.network->step();
+  int winners = 0;
+  std::int64_t winner_payload = -1;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(rig.node(i).feedback_[0].tx_attempted);
+    if (rig.node(i).feedback_[0].tx_success) {
+      ++winners;
+      winner_payload = static_cast<std::int64_t>(i) + 1;
+    }
+  }
+  EXPECT_EQ(winners, 1);
+  ASSERT_EQ(rig.node(3).feedback_[0].received.size(), 1u);
+  EXPECT_EQ(rig.node(3).feedback_[0].received[0].a, winner_payload);
+  EXPECT_EQ(rig.network->stats().collision_events, 1);
+}
+
+TEST(Network, FailedBroadcastersReceiveTheWinningMessage) {
+  // Section 2: "failed ones receive the message that was sent."
+  Rig rig(2, 1,
+          {{Action::broadcast(0, data_msg(1))},
+           {Action::broadcast(0, data_msg(2))}});
+  rig.network->step();
+  const auto& f0 = rig.node(0).feedback_[0];
+  const auto& f1 = rig.node(1).feedback_[0];
+  ASSERT_NE(f0.tx_success, f1.tx_success);  // exactly one winner
+  const auto& loser = f0.tx_success ? f1 : f0;
+  const auto& winner = f0.tx_success ? f0 : f1;
+  const std::int64_t winner_payload = f0.tx_success ? 1 : 2;
+  ASSERT_EQ(loser.received.size(), 1u);
+  EXPECT_EQ(loser.received[0].a, winner_payload);
+  EXPECT_TRUE(winner.received.empty());
+}
+
+TEST(Network, WinnerIsRoughlyUniform) {
+  int wins[3] = {0, 0, 0};
+  for (int trial = 0; trial < 3000; ++trial) {
+    NetworkOptions opt;
+    opt.seed = static_cast<std::uint64_t>(trial) + 1;
+    Rig rig(3, 1,
+            {{Action::broadcast(0, data_msg(0))},
+             {Action::broadcast(0, data_msg(1))},
+             {Action::broadcast(0, data_msg(2))}},
+            opt);
+    rig.network->step();
+    for (int i = 0; i < 3; ++i)
+      if (rig.node(i).feedback_[0].tx_success) ++wins[i];
+  }
+  for (int w : wins) EXPECT_NEAR(w, 1000, 120);
+}
+
+TEST(Network, IdleNodesGetEmptyFeedback) {
+  Rig rig(2, 1, {{Action::idle()}, {Action::idle()}});
+  rig.network->step();
+  EXPECT_FALSE(rig.node(0).feedback_[0].tx_attempted);
+  EXPECT_TRUE(rig.node(0).feedback_[0].received.empty());
+  EXPECT_EQ(rig.network->stats().idle_node_slots, 2);
+}
+
+TEST(Network, AllDeliveredModelDeliversEverything) {
+  NetworkOptions opt;
+  opt.collision = CollisionModel::AllDelivered;
+  Rig rig(3, 1,
+          {{Action::broadcast(0, data_msg(1))},
+           {Action::broadcast(0, data_msg(2))},
+           {Action::listen(0)}},
+          opt);
+  rig.network->step();
+  EXPECT_TRUE(rig.node(0).feedback_[0].tx_success);
+  EXPECT_TRUE(rig.node(1).feedback_[0].tx_success);
+  ASSERT_EQ(rig.node(2).feedback_[0].received.size(), 2u);
+}
+
+TEST(Network, CollisionLossDestroysConcurrentBroadcasts) {
+  NetworkOptions opt;
+  opt.collision = CollisionModel::CollisionLoss;
+  Rig rig(3, 1,
+          {{Action::broadcast(0, data_msg(1))},
+           {Action::broadcast(0, data_msg(2))},
+           {Action::listen(0)}},
+          opt);
+  rig.network->step();
+  EXPECT_FALSE(rig.node(0).feedback_[0].tx_success);
+  EXPECT_FALSE(rig.node(1).feedback_[0].tx_success);
+  EXPECT_TRUE(rig.node(2).feedback_[0].received.empty());
+}
+
+TEST(Network, CollisionLossSoleBroadcastDelivers) {
+  NetworkOptions opt;
+  opt.collision = CollisionModel::CollisionLoss;
+  Rig rig(2, 1, {{Action::broadcast(0, data_msg(9))}, {Action::listen(0)}},
+          opt);
+  rig.network->step();
+  EXPECT_TRUE(rig.node(0).feedback_[0].tx_success);
+  ASSERT_EQ(rig.node(1).feedback_[0].received.size(), 1u);
+}
+
+TEST(Network, ChannelsAreIndependent) {
+  Rig rig(4, 2,
+          {{Action::broadcast(0, data_msg(1))},
+           {Action::listen(0)},
+           {Action::broadcast(1, data_msg(2))},
+           {Action::listen(1)}});
+  rig.network->step();
+  EXPECT_EQ(rig.node(1).feedback_[0].received[0].a, 1);
+  EXPECT_EQ(rig.node(3).feedback_[0].received[0].a, 2);
+  EXPECT_EQ(rig.network->stats().collision_events, 0);
+  EXPECT_EQ(rig.network->stats().successes, 2);
+  EXPECT_EQ(rig.network->stats().deliveries, 2);
+}
+
+TEST(Network, RunStopsWhenAllDone) {
+  // Scripts of different lengths; run() should stop at the longest.
+  Rig rig(2, 1,
+          {{Action::listen(0), Action::listen(0)},
+           {Action::listen(0), Action::listen(0), Action::listen(0)}});
+  const Slot end = rig.network->run(100);
+  EXPECT_EQ(end, 3);
+  EXPECT_TRUE(rig.network->all_done());
+}
+
+TEST(Network, RunHonorsSlotCap) {
+  Rig rig(1, 1, {std::vector<Action>(50, Action::listen(0))});
+  EXPECT_EQ(rig.network->run(10), 10);
+  EXPECT_FALSE(rig.network->all_done());
+}
+
+TEST(Network, ObserverSeesResolvedActions) {
+  Rig rig(2, 2,
+          {{Action::broadcast(1, data_msg(1))}, {Action::listen(1)}});
+  std::vector<ResolvedAction> seen;
+  rig.network->set_observer([&](Slot, std::span<const ResolvedAction> acts) {
+    seen.assign(acts.begin(), acts.end());
+  });
+  rig.network->step();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].mode, Mode::Broadcast);
+  EXPECT_EQ(seen[0].channel, 1);
+  EXPECT_TRUE(seen[0].tx_success);
+  EXPECT_EQ(seen[1].mode, Mode::Listen);
+}
+
+TEST(Network, SenderFieldIsStampedByNetwork) {
+  // Even if the protocol forges msg.sender, the network overwrites it.
+  Message forged = data_msg(1);
+  forged.sender = 77;
+  Rig rig(2, 1, {{Action::broadcast(0, forged)}, {Action::listen(0)}});
+  rig.network->step();
+  EXPECT_EQ(rig.node(1).feedback_[0].received[0].sender, 0);
+}
+
+TEST(Network, RejectsBadConstruction) {
+  IdentityAssignment a(2, 2, LabelMode::Global, Rng(1));
+  ScriptedNode n1({}), n2({}), n3({});
+  EXPECT_THROW(Network(a, {}), std::invalid_argument);
+  EXPECT_THROW(Network(a, {&n1}), std::invalid_argument);
+  EXPECT_THROW(Network(a, {&n1, &n2, &n3}), std::invalid_argument);
+  EXPECT_THROW(Network(a, {&n1, nullptr}), std::invalid_argument);
+}
+
+TEST(Network, FadingDropsDeliveriesIndependently) {
+  // With loss_prob = 1 nothing is ever delivered; with 0.5 roughly half
+  // the copies arrive; tx_success is unaffected either way.
+  int delivered_half = 0;
+  constexpr int kTrials = 2000;
+  for (int t = 0; t < kTrials; ++t) {
+    NetworkOptions opt;
+    opt.seed = static_cast<std::uint64_t>(t) + 1;
+    opt.loss_prob = 0.5;
+    Rig rig(2, 1, {{Action::broadcast(0, data_msg(1))}, {Action::listen(0)}},
+            opt);
+    rig.network->step();
+    EXPECT_TRUE(rig.node(0).feedback_[0].tx_success);
+    if (!rig.node(1).feedback_[0].received.empty()) ++delivered_half;
+  }
+  EXPECT_NEAR(delivered_half, kTrials / 2, kTrials / 8);
+
+  NetworkOptions total_loss;
+  total_loss.loss_prob = 1.0;
+  Rig rig(2, 1, {{Action::broadcast(0, data_msg(1))}, {Action::listen(0)}},
+          total_loss);
+  rig.network->step();
+  EXPECT_TRUE(rig.node(0).feedback_[0].tx_success);
+  EXPECT_TRUE(rig.node(1).feedback_[0].received.empty());
+}
+
+TEST(Network, DeterministicGivenSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    NetworkOptions opt;
+    opt.seed = seed;
+    Rig rig(3, 1,
+            {{Action::broadcast(0, data_msg(1))},
+             {Action::broadcast(0, data_msg(2))},
+             {Action::listen(0)}},
+            opt);
+    rig.network->step();
+    return rig.node(2).feedback_[0].received[0].a;
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+}
+
+}  // namespace
+}  // namespace cogradio

@@ -1,0 +1,75 @@
+// Tests for the Lemma 12 reduction player (lowerbounds/reduction.h).
+#include "lowerbounds/reduction.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cogradio {
+namespace {
+
+TEST(ReductionPlayer, ProposalsAreAlwaysFresh) {
+  CogCastHittingPlayer player(8, 6, Rng(1));
+  std::set<std::pair<int, int>> seen;
+  for (int i = 0; i < 30; ++i) {
+    const Edge e = player.propose();
+    EXPECT_GE(e.first, 0);
+    EXPECT_LT(e.first, 6);
+    EXPECT_GE(e.second, 0);
+    EXPECT_LT(e.second, 6);
+    EXPECT_TRUE(seen.insert(e).second) << "repeated proposal";
+  }
+}
+
+TEST(ReductionPlayer, EventuallyWinsTheGame) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const int c = 8, k = 3, n = 10;
+    HittingGameReferee ref(c, k, Rng(seed));
+    CogCastHittingPlayer player(n, c, Rng(seed + 50));
+    const GameResult result = play(ref, player, 10'000);
+    EXPECT_TRUE(result.won) << "seed " << seed;
+  }
+}
+
+TEST(ReductionPlayer, RoundAccountingMatchesLemma12) {
+  // Lemma 12: game rounds <= min{c, n} * simulated slots, because each
+  // simulated slot contributes at most min{c, n} fresh proposals.
+  const int c = 10, k = 2;
+  for (int n : {4, 10, 40}) {
+    HittingGameReferee ref(c, k, Rng(77));
+    CogCastHittingPlayer player(n, c, Rng(88));
+    const GameResult result = play(ref, player, 100'000);
+    ASSERT_TRUE(result.won);
+    EXPECT_LE(result.rounds,
+              static_cast<std::int64_t>(std::min(c, n)) * player.simulated_slots());
+  }
+}
+
+TEST(ReductionPlayer, SimulatedSlotsTrackCogCastShape) {
+  // When the player wins, the simulated-slot count corresponds to the
+  // source's first landing on a matched channel pair — so its median over
+  // trials should scale like c^2/(k n') with n' = min(c, n-1) listeners,
+  // i.e. decrease as n grows.
+  const int c = 12, k = 3;
+  auto median_slots = [&](int n) {
+    std::vector<std::int64_t> samples;
+    for (std::uint64_t t = 0; t < 200; ++t) {
+      HittingGameReferee ref(c, k, Rng(300 + t));
+      CogCastHittingPlayer player(n, c, Rng(700 + t));
+      const GameResult result = play(ref, player, 1'000'000);
+      EXPECT_TRUE(result.won);
+      samples.push_back(player.simulated_slots());
+    }
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+  };
+  EXPECT_GT(median_slots(2), median_slots(24));
+}
+
+TEST(ReductionPlayer, RejectsBadParams) {
+  EXPECT_THROW(CogCastHittingPlayer(1, 4, Rng(1)), std::invalid_argument);
+  EXPECT_THROW(CogCastHittingPlayer(4, 0, Rng(1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cogradio

@@ -1,0 +1,183 @@
+// Unit tests for the seeded PRNG substrate (util/rng.h).
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace cogradio {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  // Chi-square-style sanity check over 16 buckets.
+  Rng rng(42);
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 160'000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  double chi2 = 0.0;
+  for (int count : counts) {
+    const double d = count - expected;
+    chi2 += d * d / expected;
+  }
+  // 15 dof; chi2 > 60 is astronomically unlikely for a uniform source.
+  EXPECT_LT(chi2, 60.0);
+}
+
+TEST(Rng, BetweenInclusiveRange) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-1.0));
+    EXPECT_TRUE(rng.chance(2.0));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(6);
+  int hits = 0;
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i)
+    if (rng.chance(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndReproducible) {
+  Rng parent1(99), parent2(99);
+  Rng childa1 = parent1.split(1);
+  Rng childa2 = parent2.split(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(childa1(), childa2());
+
+  Rng parent3(99);
+  Rng child_b = parent3.split(2);
+  Rng parent4(99);
+  Rng child_a = parent4.split(1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (child_a() == child_b()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SampleWithoutReplacementIsASet) {
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto sample = rng.sample_without_replacement(30, 12);
+    ASSERT_EQ(sample.size(), 12u);
+    std::set<std::int32_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 12u);
+    for (auto v : sample) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 30);
+    }
+  }
+}
+
+TEST(Rng, SampleFullUniverseIsPermutation) {
+  Rng rng(23);
+  const auto sample = rng.sample_without_replacement(10, 10);
+  std::set<std::int32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleEmptyCount) {
+  Rng rng(29);
+  EXPECT_TRUE(rng.sample_without_replacement(5, 0).empty());
+}
+
+TEST(Rng, SampleCoversUniverseUniformly) {
+  // Element 0 should appear in a 5-of-20 sample about 25% of the time.
+  Rng rng(31);
+  int hits = 0;
+  constexpr int kTrials = 20'000;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto sample = rng.sample_without_replacement(20, 5);
+    if (std::find(sample.begin(), sample.end(), 0) != sample.end()) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.25, 0.02);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(41);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<std::size_t>(i)] = i;
+  const auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);  // probability of identity is 1/50! ~ 0
+}
+
+TEST(Splitmix, KnownGoodSequence) {
+  // Reference values from the public-domain splitmix64 implementation.
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64(state), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(splitmix64(state), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(splitmix64(state), 0x06C45D188009454FULL);
+}
+
+}  // namespace
+}  // namespace cogradio

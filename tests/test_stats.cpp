@@ -1,0 +1,124 @@
+// Unit tests for the statistics toolkit (util/stats.h).
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace cogradio {
+namespace {
+
+TEST(Summarize, EmptySampleIsZeros) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.median, 0.0);
+}
+
+TEST(Summarize, SingleValue) {
+  const std::vector<double> v{7.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 7.0);
+  EXPECT_EQ(s.max, 7.0);
+  EXPECT_EQ(s.mean, 7.0);
+  EXPECT_EQ(s.median, 7.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, KnownSample) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  const std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0 / 3.0), 20.0);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  const std::vector<double> v{40, 10, 30, 20};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 25.0);
+}
+
+TEST(Percentile, ClampsQ) {
+  const std::vector<double> v{1, 2};
+  EXPECT_DOUBLE_EQ(percentile(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.5), 2.0);
+}
+
+TEST(FitLinear, ExactLine) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{5, 7, 9, 11};  // y = 3 + 2x
+  const LinearFit f = fit_linear(x, y);
+  EXPECT_NEAR(f.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(f.slope, 2.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-9);
+}
+
+TEST(FitLinear, NoisyLineHasReasonableR2) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 20; ++i) {
+    x.push_back(i);
+    y.push_back(2.0 * i + ((i % 2 == 0) ? 0.5 : -0.5));
+  }
+  const LinearFit f = fit_linear(x, y);
+  EXPECT_NEAR(f.slope, 2.0, 0.05);
+  EXPECT_GT(f.r2, 0.99);
+}
+
+TEST(FitLinear, DegenerateInputs) {
+  EXPECT_EQ(fit_linear({}, {}).slope, 0.0);
+  const std::vector<double> one{1.0};
+  EXPECT_EQ(fit_linear(one, one).slope, 0.0);
+  // Vertical data (all same x) must not divide by zero.
+  const std::vector<double> x{2, 2, 2};
+  const std::vector<double> y{1, 2, 3};
+  EXPECT_EQ(fit_linear(x, y).slope, 0.0);
+}
+
+TEST(FitPower, RecoversExponent) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 16; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * std::pow(i, 1.7));
+  }
+  const PowerFit f = fit_power(x, y);
+  EXPECT_NEAR(f.exponent, 1.7, 1e-6);
+  EXPECT_NEAR(f.coefficient, 3.0, 1e-6);
+  EXPECT_NEAR(f.r2, 1.0, 1e-9);
+}
+
+TEST(FitPower, LinearDataHasExponentOne) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 10; ++i) {
+    x.push_back(i);
+    y.push_back(5.0 * i);
+  }
+  EXPECT_NEAR(fit_power(x, y).exponent, 1.0, 1e-9);
+}
+
+TEST(ToDoubles, Converts) {
+  const std::vector<std::int64_t> in{1, 2, 3};
+  const auto out = to_doubles(in);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[2], 3.0);
+}
+
+TEST(SafeRatio, GuardsZeroDenominator) {
+  EXPECT_DOUBLE_EQ(safe_ratio(4, 2), 2.0);
+  EXPECT_DOUBLE_EQ(safe_ratio(4, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace cogradio

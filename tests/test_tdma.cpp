@@ -1,0 +1,135 @@
+// Tests for the TDMA tournament aggregation baseline.
+#include "baselines/tdma_aggregation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/runtime.h"
+#include "sim/assignment.h"
+
+namespace cogradio {
+namespace {
+
+TEST(TdmaSchedule, SlotCountIsNOverKPlusLogRounds) {
+  // n-1 merges total, k per slot, but each round's remainder wastes at
+  // most one slot: total <= (n-1)/k + ceil(lg n).
+  for (int n : {2, 5, 8, 16, 33, 100}) {
+    for (int k : {1, 2, 4, 8}) {
+      const TdmaSchedule schedule(n, k, 0);
+      const double bound = static_cast<double>(n - 1) / k +
+                           std::ceil(std::log2(static_cast<double>(n))) + 1;
+      EXPECT_LE(schedule.total_slots(), static_cast<Slot>(bound))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(TdmaSchedule, EveryNonSourceNodeSendsExactlyOnce) {
+  const int n = 13, k = 3;
+  const TdmaSchedule schedule(n, k, 4);
+  std::set<NodeId> senders;
+  for (Slot t = 1; t <= schedule.total_slots(); ++t) {
+    for (const auto& m : schedule.merges_in(t)) {
+      EXPECT_TRUE(senders.insert(m.sender).second)
+          << "node " << m.sender << " sends twice";
+      EXPECT_NE(m.sender, 4) << "source must never send";
+      EXPECT_GE(m.channel_index, 0);
+      EXPECT_LT(m.channel_index, k);
+    }
+  }
+  EXPECT_EQ(senders.size(), static_cast<std::size_t>(n - 1));
+}
+
+TEST(TdmaSchedule, NoChannelReusedWithinASlot) {
+  const TdmaSchedule schedule(20, 4, 0);
+  for (Slot t = 1; t <= schedule.total_slots(); ++t) {
+    std::set<int> channels;
+    for (const auto& m : schedule.merges_in(t))
+      EXPECT_TRUE(channels.insert(m.channel_index).second);
+  }
+}
+
+TEST(TdmaSchedule, MergeForFindsBothEndpoints) {
+  const TdmaSchedule schedule(6, 2, 0);
+  const auto& first = schedule.merges_in(1);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(schedule.merge_for(1, first[0].sender), &first[0]);
+  EXPECT_EQ(schedule.merge_for(1, first[0].receiver), &first[0]);
+  EXPECT_EQ(schedule.merge_for(0, 0), nullptr);
+}
+
+TEST(TdmaAggregation, ExactOnPartitionedTopology) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const int n = 20, c = 6, k = 2;
+    PartitionedAssignment assignment(n, c, k, LabelMode::LocalRandom,
+                                     Rng(seed));
+    const auto values = make_values(n, seed, -500, 500);
+    const auto out = run_tdma_aggregation(assignment, values, AggOp::Sum);
+    ASSERT_TRUE(out.completed) << "seed " << seed;
+    EXPECT_EQ(out.result, out.expected);
+  }
+}
+
+TEST(TdmaAggregation, ExactOnIdentityTopologyAllOps) {
+  const int n = 12, c = 4;
+  for (AggOp op : {AggOp::Sum, AggOp::Min, AggOp::Max, AggOp::Count}) {
+    IdentityAssignment assignment(n, c, LabelMode::LocalRandom, Rng(3));
+    const auto values = make_values(n, 9, -50, 50);
+    const auto out = run_tdma_aggregation(assignment, values, op);
+    ASSERT_TRUE(out.completed);
+    EXPECT_EQ(out.result, out.expected) << to_string(op);
+  }
+}
+
+TEST(TdmaAggregation, NonZeroSource) {
+  const int n = 10, c = 5, k = 2;
+  PartitionedAssignment assignment(n, c, k, LabelMode::LocalRandom, Rng(4));
+  const auto values = make_values(n, 5);
+  const auto out = run_tdma_aggregation(assignment, values, AggOp::Sum, 7);
+  ASSERT_TRUE(out.completed);
+  EXPECT_EQ(out.result, out.expected);
+}
+
+TEST(TdmaAggregation, AchievesTheLowerBoundShape) {
+  // Slots should scale ~ n/k: quadrupling k at fixed n cuts slots ~4x
+  // (up to the lg n additive term).
+  const int n = 64, c = 12;
+  auto slots_for = [&](int k) {
+    PartitionedAssignment assignment(n, c, k, LabelMode::LocalRandom, Rng(6));
+    const auto values = make_values(n, 7);
+    return static_cast<double>(
+        run_tdma_aggregation(assignment, values, AggOp::Sum).slots);
+  };
+  const double s1 = slots_for(1);
+  const double s4 = slots_for(4);
+  EXPECT_GT(s1, 2.5 * s4 - 10);
+  EXPECT_GE(s1 + 1, static_cast<double>(n) / 1);  // >= n/k = 64 for k=1
+}
+
+TEST(TdmaAggregation, RequiresSharedChannels) {
+  // Pigeonhole sets need not share a common channel across all nodes.
+  PigeonholeAssignment assignment(30, 6, 1, LabelMode::Global, Rng(8));
+  const auto values = make_values(30, 9);
+  // Either the intersection is empty (throws) or it happens to exist and
+  // the run must then be exact.
+  try {
+    const auto out = run_tdma_aggregation(assignment, values, AggOp::Sum);
+    EXPECT_EQ(out.result, out.expected);
+  } catch (const std::invalid_argument&) {
+    SUCCEED();
+  }
+}
+
+TEST(TdmaAggregation, SingleNode) {
+  IdentityAssignment assignment(1, 3, LabelMode::Global, Rng(1));
+  const std::vector<Value> values{11};
+  const auto out = run_tdma_aggregation(assignment, values, AggOp::Sum);
+  EXPECT_TRUE(out.completed);
+  EXPECT_EQ(out.result, 11);
+  EXPECT_EQ(out.slots, 0);
+}
+
+}  // namespace
+}  // namespace cogradio

@@ -1,0 +1,91 @@
+// Tests for connectivity topologies (sim/topology.h).
+#include "sim/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cogradio {
+namespace {
+
+TEST(Topology, CliqueShape) {
+  const Topology t = Topology::clique(5);
+  EXPECT_EQ(t.num_nodes(), 5);
+  EXPECT_EQ(t.num_edges(), 10);
+  EXPECT_EQ(t.diameter(), 1);
+  EXPECT_EQ(t.max_degree(), 4);
+  EXPECT_TRUE(t.connected());
+  EXPECT_TRUE(t.are_neighbors(0, 4));
+}
+
+TEST(Topology, LineShape) {
+  const Topology t = Topology::line(6);
+  EXPECT_EQ(t.num_edges(), 5);
+  EXPECT_EQ(t.diameter(), 5);
+  EXPECT_EQ(t.max_degree(), 2);
+  EXPECT_TRUE(t.are_neighbors(2, 3));
+  EXPECT_FALSE(t.are_neighbors(0, 2));
+  const auto depth = t.hop_depths(0);
+  EXPECT_EQ(depth[5], 5);
+}
+
+TEST(Topology, RingShape) {
+  const Topology t = Topology::ring(8);
+  EXPECT_EQ(t.num_edges(), 8);
+  EXPECT_EQ(t.diameter(), 4);
+  EXPECT_TRUE(t.are_neighbors(7, 0));
+}
+
+TEST(Topology, SmallRingDegeneratesToLine) {
+  EXPECT_EQ(Topology::ring(2).num_edges(), 1);
+  EXPECT_EQ(Topology::ring(1).num_edges(), 0);
+}
+
+TEST(Topology, GridShape) {
+  const Topology t = Topology::grid(3, 4);
+  EXPECT_EQ(t.num_nodes(), 12);
+  EXPECT_EQ(t.num_edges(), 3 * 3 + 2 * 4);  // horizontal + vertical
+  EXPECT_EQ(t.diameter(), 2 + 3);
+  EXPECT_EQ(t.max_degree(), 4);
+  EXPECT_TRUE(t.are_neighbors(0, 1));
+  EXPECT_TRUE(t.are_neighbors(0, 4));
+  EXPECT_FALSE(t.are_neighbors(0, 5));
+}
+
+TEST(Topology, SingleNode) {
+  const Topology t = Topology::clique(1);
+  EXPECT_EQ(t.diameter(), 0);
+  EXPECT_TRUE(t.connected());
+  EXPECT_TRUE(t.neighbors(0).empty());
+}
+
+TEST(Topology, GeometricIsConnectedAndSymmetric) {
+  const Topology t = Topology::random_geometric(30, 0.35, Rng(7));
+  EXPECT_TRUE(t.connected());
+  for (NodeId u = 0; u < 30; ++u)
+    for (NodeId v : t.neighbors(u)) EXPECT_TRUE(t.are_neighbors(v, u));
+}
+
+TEST(Topology, GeometricTooSparseThrows) {
+  EXPECT_THROW(Topology::random_geometric(40, 0.01, Rng(8)),
+               std::runtime_error);
+}
+
+TEST(Topology, HopDepthsMatchBfsInvariant) {
+  const Topology t = Topology::grid(4, 4);
+  const auto depth = t.hop_depths(0);
+  // Manhattan distance on the grid.
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c)
+      EXPECT_EQ(depth[static_cast<std::size_t>(r * 4 + c)], r + c);
+}
+
+TEST(Topology, Validation) {
+  EXPECT_THROW(Topology::clique(0), std::invalid_argument);
+  EXPECT_THROW(Topology::grid(0, 3), std::invalid_argument);
+  EXPECT_THROW(Topology::random_geometric(3, 0.0, Rng(1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cogradio

@@ -1,0 +1,291 @@
+// cograd — unified command-line front end for the cogradio library.
+//
+//   cograd <command> [--flags]
+//
+// Commands:
+//   broadcast   CogCast local broadcast            (Theorem 4)
+//   aggregate   CogComp data aggregation           (Theorem 10)
+//   consensus   CogConsensus (min/max/majority)
+//   gossip      all-to-all rumor spreading
+//   multihop    epidemic flooding over a topology
+//   game        bipartite hitting game             (Lemmas 11/14)
+//   record      run a broadcast and dump the execution log
+//
+// Common flags: --n --c --k --pattern --seed --trials; each command adds
+// its own (see the usage text). All runs are deterministic in --seed.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/consensus.h"
+#include "core/gossip.h"
+#include "core/multihop_cast.h"
+#include "core/runtime.h"
+#include "lowerbounds/hitting_game.h"
+#include "lowerbounds/reduction.h"
+#include "sim/assignment.h"
+#include "sim/recorder.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace cogradio;
+
+namespace {
+
+int usage() {
+  std::puts(
+      "usage: cograd <command> [--flags]\n"
+      "\n"
+      "commands:\n"
+      "  broadcast  --n 32 --c 8 --k 2 [--pattern shared-core] [--trials 1]\n"
+      "  aggregate  --n 32 --c 8 --k 2 [--op sum|min|max|count|collect]\n"
+      "             [--unmediated]\n"
+      "  consensus  --n 32 --c 8 --k 2 [--rule min|max|majority]\n"
+      "  gossip     --n 32 --c 8 --k 2\n"
+      "  multihop   --n 32 --c 8 --k 2 [--topology line|ring|grid|geometric]\n"
+      "  game       --c 16 --k 4 [--player uniform|fresh|cogcast --n 16]\n"
+      "             [--trials 200]\n"
+      "  record     --n 16 --c 6 --k 2   (dumps 'slot node mode channel ...')\n"
+      "\n"
+      "common: --seed S (default 1), --pattern shared-core|partitioned|\n"
+      "        pigeonhole|identity|dynamic-shared-core|dynamic-pigeonhole");
+  return 2;
+}
+
+struct Common {
+  int n, c, k;
+  std::string pattern;
+  std::uint64_t seed;
+  int trials;
+};
+
+Common read_common(CliArgs& args) {
+  Common common;
+  common.n = static_cast<int>(args.get_int("n", 32));
+  common.c = static_cast<int>(args.get_int("c", 8));
+  common.k = static_cast<int>(args.get_int("k", 2));
+  common.pattern = args.get_string("pattern", "shared-core");
+  common.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  common.trials = static_cast<int>(args.get_int("trials", 1));
+  return common;
+}
+
+int cmd_broadcast(CliArgs& args) {
+  const Common common = read_common(args);
+  args.finish();
+  std::vector<double> slots;
+  Rng seeder(common.seed);
+  for (int t = 0; t < common.trials; ++t) {
+    auto assignment = make_assignment(common.pattern, common.n, common.c,
+                                      common.k, LabelMode::LocalRandom,
+                                      Rng(seeder()));
+    CogCastRunConfig config;
+    config.params = {common.n, common.c, common.k, 4.0};
+    config.seed = seeder();
+    const auto out = run_cogcast(*assignment, config);
+    if (!out.completed) {
+      std::printf("trial %d: INCOMPLETE after %lld slots\n", t,
+                  static_cast<long long>(out.slots));
+      continue;
+    }
+    slots.push_back(static_cast<double>(out.slots));
+    if (common.trials == 1)
+      std::printf("completed in %lld slots (horizon %lld); tree valid: %s\n",
+                  static_cast<long long>(out.slots),
+                  static_cast<long long>(config.params.horizon()),
+                  valid_distribution_tree(0, out.informed_slot, out.parent)
+                      ? "yes"
+                      : "NO");
+  }
+  if (common.trials > 1) {
+    const Summary s = summarize(slots);
+    std::printf("broadcast %s n=%d c=%d k=%d: median %.1f p95 %.1f "
+                "(%zu/%d trials)\n",
+                common.pattern.c_str(), common.n, common.c, common.k, s.median,
+                s.p95, s.count, common.trials);
+  }
+  return 0;
+}
+
+int cmd_aggregate(CliArgs& args) {
+  const Common common = read_common(args);
+  const AggOp op = parse_agg_op(args.get_string("op", "sum"));
+  const bool unmediated = args.get_flag("unmediated");
+  args.finish();
+  Rng seeder(common.seed);
+  for (int t = 0; t < common.trials; ++t) {
+    auto assignment = make_assignment(common.pattern, common.n, common.c,
+                                      common.k, LabelMode::LocalRandom,
+                                      Rng(seeder()));
+    CogCompRunConfig config;
+    config.params = {common.n, common.c, common.k, 4.0};
+    config.params.mediated = !unmediated;
+    config.seed = seeder();
+    config.op = op;
+    const auto values = make_values(common.n, seeder());
+    const auto out = run_cogcomp(*assignment, values, config);
+    std::printf("%s = %lld (expected %lld) in %lld slots "
+                "(phase4 %lld) [%s]\n",
+                to_string(op).c_str(), static_cast<long long>(out.result),
+                static_cast<long long>(out.expected),
+                static_cast<long long>(out.slots),
+                static_cast<long long>(out.phase4_slots),
+                out.completed && out.result == out.expected ? "ok" : "FAIL");
+  }
+  return 0;
+}
+
+int cmd_consensus(CliArgs& args) {
+  const Common common = read_common(args);
+  const std::string rule_name = args.get_string("rule", "min");
+  args.finish();
+  ConsensusRule rule = min_consensus();
+  if (rule_name == "max") rule = max_consensus();
+  if (rule_name == "majority") rule = majority_consensus();
+
+  const ConsensusParams params{common.n, common.c, common.k, 4.0};
+  auto assignment =
+      make_assignment(common.pattern, common.n, common.c, common.k,
+                      LabelMode::LocalRandom, Rng(common.seed));
+  const auto proposals =
+      rule_name == "majority" ? make_values(common.n, common.seed, 0, 1)
+                              : make_values(common.n, common.seed, 0, 99);
+  Rng seeder(common.seed * 3 + 1);
+  std::vector<std::unique_ptr<CogConsensusNode>> nodes;
+  std::vector<Protocol*> protocols;
+  for (NodeId u = 0; u < common.n; ++u) {
+    nodes.push_back(std::make_unique<CogConsensusNode>(
+        u, params, u == 0, proposals[static_cast<std::size_t>(u)], rule,
+        seeder.split(static_cast<std::uint64_t>(u))));
+    protocols.push_back(nodes.back().get());
+  }
+  Network network(*assignment, protocols);
+  const Slot slots = network.run(params.max_slots());
+  bool agree = true;
+  for (const auto& node : nodes)
+    agree = agree && node->decided() && node->decision() == nodes[0]->decision();
+  std::printf("consensus(%s) = %lld in %lld slots; agreement: %s\n",
+              rule_name.c_str(), static_cast<long long>(nodes[0]->decision()),
+              static_cast<long long>(slots), agree ? "yes" : "NO");
+  return agree ? 0 : 1;
+}
+
+int cmd_gossip(CliArgs& args) {
+  const Common common = read_common(args);
+  args.finish();
+  auto assignment =
+      make_assignment(common.pattern, common.n, common.c, common.k,
+                      LabelMode::LocalRandom, Rng(common.seed));
+  const auto values = make_values(common.n, common.seed);
+  GossipConfig config;
+  config.seed = common.seed + 1;
+  const auto out = run_gossip(*assignment, values, config);
+  std::printf("gossip: %s in %lld slots (n=%d rumors everywhere)\n",
+              out.completed ? "complete" : "INCOMPLETE",
+              static_cast<long long>(out.slots), common.n);
+  return out.completed ? 0 : 1;
+}
+
+int cmd_multihop(CliArgs& args) {
+  const Common common = read_common(args);
+  const std::string shape = args.get_string("topology", "grid");
+  args.finish();
+  Topology topo = shape == "line"   ? Topology::line(common.n)
+                  : shape == "ring" ? Topology::ring(common.n)
+                  : shape == "grid"
+                      ? Topology::grid(std::max(1, common.n / 8), 8)
+                      : Topology::random_geometric(common.n, 0.3,
+                                                   Rng(common.seed));
+  auto assignment =
+      make_assignment(common.pattern, topo.num_nodes(), common.c, common.k,
+                      LabelMode::LocalRandom, Rng(common.seed + 1));
+  MultihopCastConfig config;
+  config.seed = common.seed + 2;
+  const auto out = run_multihop_cast(*assignment, topo, config);
+  std::printf("multihop %s (n=%d, diameter %d): %s in %lld slots\n",
+              shape.c_str(), topo.num_nodes(), topo.diameter(),
+              out.completed ? "complete" : "INCOMPLETE",
+              static_cast<long long>(out.slots));
+  return out.completed ? 0 : 1;
+}
+
+int cmd_game(CliArgs& args) {
+  const int c = static_cast<int>(args.get_int("c", 16));
+  const int k = static_cast<int>(args.get_int("k", 4));
+  const int n = static_cast<int>(args.get_int("n", 16));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int trials = static_cast<int>(args.get_int("trials", 200));
+  const std::string who = args.get_string("player", "fresh");
+  args.finish();
+
+  std::vector<double> rounds;
+  Rng seeder(seed);
+  for (int t = 0; t < trials; ++t) {
+    HittingGameReferee referee(c, k, Rng(seeder()));
+    std::unique_ptr<HittingGamePlayer> player;
+    if (who == "uniform")
+      player = std::make_unique<UniformPlayer>(c, Rng(seeder()));
+    else if (who == "cogcast")
+      player = std::make_unique<CogCastHittingPlayer>(n, c, Rng(seeder()));
+    else
+      player = std::make_unique<FreshPlayer>(c, Rng(seeder()));
+    const GameResult result = play(referee, *player, 1'000'000);
+    if (result.won) rounds.push_back(static_cast<double>(result.rounds));
+  }
+  const Summary s = summarize(rounds);
+  std::string budget_note;
+  if (2 * k <= c)
+    budget_note =
+        ", Lemma 11 budget " + Table::num(lemma11_round_bound(c, k), 1);
+  std::printf("(%d,%d)-hitting game, %s player: median %.1f rounds "
+              "(c^2/k = %.1f%s)\n",
+              c, k, who.c_str(), s.median, static_cast<double>(c) * c / k,
+              budget_note.c_str());
+  return 0;
+}
+
+int cmd_record(CliArgs& args) {
+  const Common common = read_common(args);
+  args.finish();
+  ExecutionRecorder recorder;
+  SharedCoreAssignment assignment(common.n, common.c, common.k,
+                                  LabelMode::LocalRandom, Rng(common.seed));
+  Message payload;
+  payload.type = MessageType::Data;
+  Rng seeder(common.seed + 1);
+  std::vector<std::unique_ptr<CogCastNode>> nodes;
+  std::vector<Protocol*> protocols;
+  for (NodeId u = 0; u < common.n; ++u) {
+    nodes.push_back(std::make_unique<CogCastNode>(
+        u, common.c, u == 0, payload,
+        seeder.split(static_cast<std::uint64_t>(u))));
+    protocols.push_back(nodes.back().get());
+  }
+  Network network(assignment, protocols);
+  recorder.attach(network);
+  network.run(100'000);
+  std::fputs(recorder.serialize().c_str(), stdout);
+  std::fprintf(stderr, "# %zu actions, fingerprint %016llx\n",
+               recorder.size(),
+               static_cast<unsigned long long>(recorder.fingerprint()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  CliArgs args(argc - 1, argv + 1);
+  if (command == "broadcast") return cmd_broadcast(args);
+  if (command == "aggregate") return cmd_aggregate(args);
+  if (command == "consensus") return cmd_consensus(args);
+  if (command == "gossip") return cmd_gossip(args);
+  if (command == "multihop") return cmd_multihop(args);
+  if (command == "game") return cmd_game(args);
+  if (command == "record") return cmd_record(args);
+  return usage();
+}
