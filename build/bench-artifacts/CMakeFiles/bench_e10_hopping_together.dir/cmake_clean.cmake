@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e10_hopping_together"
+  "../bench/bench_e10_hopping_together.pdb"
+  "CMakeFiles/bench_e10_hopping_together.dir/bench_e10_hopping_together.cpp.o"
+  "CMakeFiles/bench_e10_hopping_together.dir/bench_e10_hopping_together.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_hopping_together.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e12_jamming"
+  "../bench/bench_e12_jamming.pdb"
+  "CMakeFiles/bench_e12_jamming.dir/bench_e12_jamming.cpp.o"
+  "CMakeFiles/bench_e12_jamming.dir/bench_e12_jamming.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_jamming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

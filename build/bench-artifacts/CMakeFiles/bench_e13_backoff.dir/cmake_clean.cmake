@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e13_backoff"
+  "../bench/bench_e13_backoff.pdb"
+  "CMakeFiles/bench_e13_backoff.dir/bench_e13_backoff.cpp.o"
+  "CMakeFiles/bench_e13_backoff.dir/bench_e13_backoff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_backoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e16_agg_lb"
+  "../bench/bench_e16_agg_lb.pdb"
+  "CMakeFiles/bench_e16_agg_lb.dir/bench_e16_agg_lb.cpp.o"
+  "CMakeFiles/bench_e16_agg_lb.dir/bench_e16_agg_lb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e16_agg_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

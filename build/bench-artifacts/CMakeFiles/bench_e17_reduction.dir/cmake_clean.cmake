@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e17_reduction"
+  "../bench/bench_e17_reduction.pdb"
+  "CMakeFiles/bench_e17_reduction.dir/bench_e17_reduction.cpp.o"
+  "CMakeFiles/bench_e17_reduction.dir/bench_e17_reduction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e17_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

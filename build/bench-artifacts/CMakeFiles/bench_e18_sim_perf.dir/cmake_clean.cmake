@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e18_sim_perf"
+  "../bench/bench_e18_sim_perf.pdb"
+  "CMakeFiles/bench_e18_sim_perf.dir/bench_e18_sim_perf.cpp.o"
+  "CMakeFiles/bench_e18_sim_perf.dir/bench_e18_sim_perf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e18_sim_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

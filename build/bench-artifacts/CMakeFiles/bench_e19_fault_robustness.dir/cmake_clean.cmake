@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e19_fault_robustness"
+  "../bench/bench_e19_fault_robustness.pdb"
+  "CMakeFiles/bench_e19_fault_robustness.dir/bench_e19_fault_robustness.cpp.o"
+  "CMakeFiles/bench_e19_fault_robustness.dir/bench_e19_fault_robustness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e19_fault_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

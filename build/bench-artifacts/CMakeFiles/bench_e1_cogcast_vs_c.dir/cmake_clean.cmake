@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e1_cogcast_vs_c"
+  "../bench/bench_e1_cogcast_vs_c.pdb"
+  "CMakeFiles/bench_e1_cogcast_vs_c.dir/bench_e1_cogcast_vs_c.cpp.o"
+  "CMakeFiles/bench_e1_cogcast_vs_c.dir/bench_e1_cogcast_vs_c.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_cogcast_vs_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e22_energy"
+  "../bench/bench_e22_energy.pdb"
+  "CMakeFiles/bench_e22_energy.dir/bench_e22_energy.cpp.o"
+  "CMakeFiles/bench_e22_energy.dir/bench_e22_energy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e22_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

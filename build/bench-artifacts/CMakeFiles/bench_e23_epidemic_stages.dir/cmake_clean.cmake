@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e23_epidemic_stages"
+  "../bench/bench_e23_epidemic_stages.pdb"
+  "CMakeFiles/bench_e23_epidemic_stages.dir/bench_e23_epidemic_stages.cpp.o"
+  "CMakeFiles/bench_e23_epidemic_stages.dir/bench_e23_epidemic_stages.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e23_epidemic_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

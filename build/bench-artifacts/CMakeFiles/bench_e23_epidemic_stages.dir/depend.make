@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e23_epidemic_stages.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e25_multihop"
+  "../bench/bench_e25_multihop.pdb"
+  "CMakeFiles/bench_e25_multihop.dir/bench_e25_multihop.cpp.o"
+  "CMakeFiles/bench_e25_multihop.dir/bench_e25_multihop.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e25_multihop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

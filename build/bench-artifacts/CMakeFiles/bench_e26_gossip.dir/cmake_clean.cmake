@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e26_gossip"
+  "../bench/bench_e26_gossip.pdb"
+  "CMakeFiles/bench_e26_gossip.dir/bench_e26_gossip.cpp.o"
+  "CMakeFiles/bench_e26_gossip.dir/bench_e26_gossip.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e26_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

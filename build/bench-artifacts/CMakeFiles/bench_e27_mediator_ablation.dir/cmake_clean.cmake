@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e27_mediator_ablation"
+  "../bench/bench_e27_mediator_ablation.pdb"
+  "CMakeFiles/bench_e27_mediator_ablation.dir/bench_e27_mediator_ablation.cpp.o"
+  "CMakeFiles/bench_e27_mediator_ablation.dir/bench_e27_mediator_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e27_mediator_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

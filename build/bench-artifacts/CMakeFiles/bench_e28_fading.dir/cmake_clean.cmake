@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e28_fading"
+  "../bench/bench_e28_fading.pdb"
+  "CMakeFiles/bench_e28_fading.dir/bench_e28_fading.cpp.o"
+  "CMakeFiles/bench_e28_fading.dir/bench_e28_fading.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e28_fading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

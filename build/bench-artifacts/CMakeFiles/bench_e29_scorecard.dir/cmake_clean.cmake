@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e29_scorecard"
+  "../bench/bench_e29_scorecard.pdb"
+  "CMakeFiles/bench_e29_scorecard.dir/bench_e29_scorecard.cpp.o"
+  "CMakeFiles/bench_e29_scorecard.dir/bench_e29_scorecard.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e29_scorecard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e2_cogcast_vs_k"
+  "../bench/bench_e2_cogcast_vs_k.pdb"
+  "CMakeFiles/bench_e2_cogcast_vs_k.dir/bench_e2_cogcast_vs_k.cpp.o"
+  "CMakeFiles/bench_e2_cogcast_vs_k.dir/bench_e2_cogcast_vs_k.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_cogcast_vs_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

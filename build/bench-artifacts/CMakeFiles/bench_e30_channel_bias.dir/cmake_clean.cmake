@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e30_channel_bias"
+  "../bench/bench_e30_channel_bias.pdb"
+  "CMakeFiles/bench_e30_channel_bias.dir/bench_e30_channel_bias.cpp.o"
+  "CMakeFiles/bench_e30_channel_bias.dir/bench_e30_channel_bias.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e30_channel_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

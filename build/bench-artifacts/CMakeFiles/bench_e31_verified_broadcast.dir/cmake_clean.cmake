@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e31_verified_broadcast"
+  "../bench/bench_e31_verified_broadcast.pdb"
+  "CMakeFiles/bench_e31_verified_broadcast.dir/bench_e31_verified_broadcast.cpp.o"
+  "CMakeFiles/bench_e31_verified_broadcast.dir/bench_e31_verified_broadcast.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e31_verified_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e32_gamma"
+  "../bench/bench_e32_gamma.pdb"
+  "CMakeFiles/bench_e32_gamma.dir/bench_e32_gamma.cpp.o"
+  "CMakeFiles/bench_e32_gamma.dir/bench_e32_gamma.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e32_gamma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

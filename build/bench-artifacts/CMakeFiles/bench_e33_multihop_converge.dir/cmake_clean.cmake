@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e33_multihop_converge"
+  "../bench/bench_e33_multihop_converge.pdb"
+  "CMakeFiles/bench_e33_multihop_converge.dir/bench_e33_multihop_converge.cpp.o"
+  "CMakeFiles/bench_e33_multihop_converge.dir/bench_e33_multihop_converge.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e33_multihop_converge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e33_multihop_converge.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e4_broadcast_baselines"
+  "../bench/bench_e4_broadcast_baselines.pdb"
+  "CMakeFiles/bench_e4_broadcast_baselines.dir/bench_e4_broadcast_baselines.cpp.o"
+  "CMakeFiles/bench_e4_broadcast_baselines.dir/bench_e4_broadcast_baselines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_broadcast_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

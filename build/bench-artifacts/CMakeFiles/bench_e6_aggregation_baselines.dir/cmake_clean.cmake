@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e6_aggregation_baselines"
+  "../bench/bench_e6_aggregation_baselines.pdb"
+  "CMakeFiles/bench_e6_aggregation_baselines.dir/bench_e6_aggregation_baselines.cpp.o"
+  "CMakeFiles/bench_e6_aggregation_baselines.dir/bench_e6_aggregation_baselines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_aggregation_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

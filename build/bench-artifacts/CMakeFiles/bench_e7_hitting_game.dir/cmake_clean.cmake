@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e7_hitting_game"
+  "../bench/bench_e7_hitting_game.pdb"
+  "CMakeFiles/bench_e7_hitting_game.dir/bench_e7_hitting_game.cpp.o"
+  "CMakeFiles/bench_e7_hitting_game.dir/bench_e7_hitting_game.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_hitting_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

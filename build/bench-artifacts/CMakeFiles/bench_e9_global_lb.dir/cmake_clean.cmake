@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e9_global_lb"
+  "../bench/bench_e9_global_lb.pdb"
+  "CMakeFiles/bench_e9_global_lb.dir/bench_e9_global_lb.cpp.o"
+  "CMakeFiles/bench_e9_global_lb.dir/bench_e9_global_lb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_global_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_spectrum.dir/dynamic_spectrum.cpp.o"
+  "CMakeFiles/dynamic_spectrum.dir/dynamic_spectrum.cpp.o.d"
+  "dynamic_spectrum"
+  "dynamic_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jamming_resilience.dir/jamming_resilience.cpp.o"
+  "CMakeFiles/jamming_resilience.dir/jamming_resilience.cpp.o.d"
+  "jamming_resilience"
+  "jamming_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jamming_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

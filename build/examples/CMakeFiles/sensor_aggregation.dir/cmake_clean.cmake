@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_aggregation.dir/sensor_aggregation.cpp.o"
+  "CMakeFiles/sensor_aggregation.dir/sensor_aggregation.cpp.o.d"
+  "sensor_aggregation"
+  "sensor_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

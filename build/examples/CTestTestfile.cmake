@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example.quickstart "/root/repo/build/examples/quickstart" "--n" "8" "--c" "6" "--k" "2")
+set_tests_properties(example.quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.sensor_aggregation "/root/repo/build/examples/sensor_aggregation" "--n" "12" "--c" "6" "--k" "2" "--op" "max")
+set_tests_properties(example.sensor_aggregation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.dynamic_spectrum "/root/repo/build/examples/dynamic_spectrum" "--n" "12" "--c" "8" "--k" "2" "--rounds" "4")
+set_tests_properties(example.dynamic_spectrum PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.jamming_resilience "/root/repo/build/examples/jamming_resilience" "--n" "12" "--c" "10" "--jam" "2" "--rounds" "3")
+set_tests_properties(example.jamming_resilience PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.consensus "/root/repo/build/examples/consensus" "--n" "10" "--rule" "majority")
+set_tests_properties(example.consensus PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.export_csv "/root/repo/build/examples/export_csv" "--sweep" "k" "--trials" "2" "--n" "16" "--c" "8")
+set_tests_properties(example.export_csv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agg/aggregate.cpp" "src/CMakeFiles/cogradio.dir/agg/aggregate.cpp.o" "gcc" "src/CMakeFiles/cogradio.dir/agg/aggregate.cpp.o.d"
+  "/root/repo/src/analysis/theory.cpp" "src/CMakeFiles/cogradio.dir/analysis/theory.cpp.o" "gcc" "src/CMakeFiles/cogradio.dir/analysis/theory.cpp.o.d"
+  "/root/repo/src/baselines/det_rendezvous.cpp" "src/CMakeFiles/cogradio.dir/baselines/det_rendezvous.cpp.o" "gcc" "src/CMakeFiles/cogradio.dir/baselines/det_rendezvous.cpp.o.d"
+  "/root/repo/src/baselines/hopping_together.cpp" "src/CMakeFiles/cogradio.dir/baselines/hopping_together.cpp.o" "gcc" "src/CMakeFiles/cogradio.dir/baselines/hopping_together.cpp.o.d"
+  "/root/repo/src/baselines/rendezvous_aggregation.cpp" "src/CMakeFiles/cogradio.dir/baselines/rendezvous_aggregation.cpp.o" "gcc" "src/CMakeFiles/cogradio.dir/baselines/rendezvous_aggregation.cpp.o.d"
+  "/root/repo/src/baselines/rendezvous_broadcast.cpp" "src/CMakeFiles/cogradio.dir/baselines/rendezvous_broadcast.cpp.o" "gcc" "src/CMakeFiles/cogradio.dir/baselines/rendezvous_broadcast.cpp.o.d"
+  "/root/repo/src/baselines/tdma_aggregation.cpp" "src/CMakeFiles/cogradio.dir/baselines/tdma_aggregation.cpp.o" "gcc" "src/CMakeFiles/cogradio.dir/baselines/tdma_aggregation.cpp.o.d"
+  "/root/repo/src/core/cogcast.cpp" "src/CMakeFiles/cogradio.dir/core/cogcast.cpp.o" "gcc" "src/CMakeFiles/cogradio.dir/core/cogcast.cpp.o.d"
+  "/root/repo/src/core/cogcomp.cpp" "src/CMakeFiles/cogradio.dir/core/cogcomp.cpp.o" "gcc" "src/CMakeFiles/cogradio.dir/core/cogcomp.cpp.o.d"
+  "/root/repo/src/core/consensus.cpp" "src/CMakeFiles/cogradio.dir/core/consensus.cpp.o" "gcc" "src/CMakeFiles/cogradio.dir/core/consensus.cpp.o.d"
+  "/root/repo/src/core/gossip.cpp" "src/CMakeFiles/cogradio.dir/core/gossip.cpp.o" "gcc" "src/CMakeFiles/cogradio.dir/core/gossip.cpp.o.d"
+  "/root/repo/src/core/multihop_cast.cpp" "src/CMakeFiles/cogradio.dir/core/multihop_cast.cpp.o" "gcc" "src/CMakeFiles/cogradio.dir/core/multihop_cast.cpp.o.d"
+  "/root/repo/src/core/multihop_converge.cpp" "src/CMakeFiles/cogradio.dir/core/multihop_converge.cpp.o" "gcc" "src/CMakeFiles/cogradio.dir/core/multihop_converge.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/CMakeFiles/cogradio.dir/core/runtime.cpp.o" "gcc" "src/CMakeFiles/cogradio.dir/core/runtime.cpp.o.d"
+  "/root/repo/src/core/verified_broadcast.cpp" "src/CMakeFiles/cogradio.dir/core/verified_broadcast.cpp.o" "gcc" "src/CMakeFiles/cogradio.dir/core/verified_broadcast.cpp.o.d"
+  "/root/repo/src/lowerbounds/hitting_game.cpp" "src/CMakeFiles/cogradio.dir/lowerbounds/hitting_game.cpp.o" "gcc" "src/CMakeFiles/cogradio.dir/lowerbounds/hitting_game.cpp.o.d"
+  "/root/repo/src/lowerbounds/reduction.cpp" "src/CMakeFiles/cogradio.dir/lowerbounds/reduction.cpp.o" "gcc" "src/CMakeFiles/cogradio.dir/lowerbounds/reduction.cpp.o.d"
+  "/root/repo/src/sim/assignment.cpp" "src/CMakeFiles/cogradio.dir/sim/assignment.cpp.o" "gcc" "src/CMakeFiles/cogradio.dir/sim/assignment.cpp.o.d"
+  "/root/repo/src/sim/backoff.cpp" "src/CMakeFiles/cogradio.dir/sim/backoff.cpp.o" "gcc" "src/CMakeFiles/cogradio.dir/sim/backoff.cpp.o.d"
+  "/root/repo/src/sim/jamming.cpp" "src/CMakeFiles/cogradio.dir/sim/jamming.cpp.o" "gcc" "src/CMakeFiles/cogradio.dir/sim/jamming.cpp.o.d"
+  "/root/repo/src/sim/labels.cpp" "src/CMakeFiles/cogradio.dir/sim/labels.cpp.o" "gcc" "src/CMakeFiles/cogradio.dir/sim/labels.cpp.o.d"
+  "/root/repo/src/sim/message.cpp" "src/CMakeFiles/cogradio.dir/sim/message.cpp.o" "gcc" "src/CMakeFiles/cogradio.dir/sim/message.cpp.o.d"
+  "/root/repo/src/sim/multihop.cpp" "src/CMakeFiles/cogradio.dir/sim/multihop.cpp.o" "gcc" "src/CMakeFiles/cogradio.dir/sim/multihop.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/cogradio.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/cogradio.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/recorder.cpp" "src/CMakeFiles/cogradio.dir/sim/recorder.cpp.o" "gcc" "src/CMakeFiles/cogradio.dir/sim/recorder.cpp.o.d"
+  "/root/repo/src/sim/spectrum.cpp" "src/CMakeFiles/cogradio.dir/sim/spectrum.cpp.o" "gcc" "src/CMakeFiles/cogradio.dir/sim/spectrum.cpp.o.d"
+  "/root/repo/src/sim/topology.cpp" "src/CMakeFiles/cogradio.dir/sim/topology.cpp.o" "gcc" "src/CMakeFiles/cogradio.dir/sim/topology.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/cogradio.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/cogradio.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/cogradio.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/cogradio.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/cogradio.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/cogradio.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/cogradio.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/cogradio.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/cogradio.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/cogradio.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cogcast.dir/test_cogcast.cpp.o"
+  "CMakeFiles/test_cogcast.dir/test_cogcast.cpp.o.d"
+  "test_cogcast"
+  "test_cogcast.pdb"
+  "test_cogcast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cogcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

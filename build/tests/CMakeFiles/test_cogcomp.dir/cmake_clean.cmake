@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cogcomp.dir/test_cogcomp.cpp.o"
+  "CMakeFiles/test_cogcomp.dir/test_cogcomp.cpp.o.d"
+  "test_cogcomp"
+  "test_cogcomp.pdb"
+  "test_cogcomp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cogcomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

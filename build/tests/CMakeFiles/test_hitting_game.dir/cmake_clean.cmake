@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hitting_game.dir/test_hitting_game.cpp.o"
+  "CMakeFiles/test_hitting_game.dir/test_hitting_game.cpp.o.d"
+  "test_hitting_game"
+  "test_hitting_game.pdb"
+  "test_hitting_game[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hitting_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jamming.dir/test_jamming.cpp.o"
+  "CMakeFiles/test_jamming.dir/test_jamming.cpp.o.d"
+  "test_jamming"
+  "test_jamming.pdb"
+  "test_jamming[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jamming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multihop_converge.dir/test_multihop_converge.cpp.o"
+  "CMakeFiles/test_multihop_converge.dir/test_multihop_converge.cpp.o.d"
+  "test_multihop_converge"
+  "test_multihop_converge.pdb"
+  "test_multihop_converge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multihop_converge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_multihop_converge.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verified_broadcast.dir/test_verified_broadcast.cpp.o"
+  "CMakeFiles/test_verified_broadcast.dir/test_verified_broadcast.cpp.o.d"
+  "test_verified_broadcast"
+  "test_verified_broadcast.pdb"
+  "test_verified_broadcast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verified_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

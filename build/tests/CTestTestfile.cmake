@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_table_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_aggregate[1]_include.cmake")
+include("/root/repo/build/tests/test_assignment[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_backoff[1]_include.cmake")
+include("/root/repo/build/tests/test_jamming[1]_include.cmake")
+include("/root/repo/build/tests/test_cogcast[1]_include.cmake")
+include("/root/repo/build/tests/test_cogcomp[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_hitting_game[1]_include.cmake")
+include("/root/repo/build/tests/test_reduction[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_fault[1]_include.cmake")
+include("/root/repo/build/tests/test_consensus[1]_include.cmake")
+include("/root/repo/build/tests/test_spectrum[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_multihop[1]_include.cmake")
+include("/root/repo/build/tests/test_recorder[1]_include.cmake")
+include("/root/repo/build/tests/test_gossip[1]_include.cmake")
+include("/root/repo/build/tests/test_tdma[1]_include.cmake")
+include("/root/repo/build/tests/test_theory[1]_include.cmake")
+include("/root/repo/build/tests/test_skew[1]_include.cmake")
+include("/root/repo/build/tests/test_verified_broadcast[1]_include.cmake")
+include("/root/repo/build/tests/test_multihop_converge[1]_include.cmake")

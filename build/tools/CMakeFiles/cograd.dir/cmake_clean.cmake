@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cograd.dir/cograd.cpp.o"
+  "CMakeFiles/cograd.dir/cograd.cpp.o.d"
+  "cograd"
+  "cograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cograd.broadcast "/root/repo/build/tools/cograd" "broadcast" "--n" "12" "--trials" "3")
+set_tests_properties(cograd.broadcast PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cograd.aggregate "/root/repo/build/tools/cograd" "aggregate" "--n" "12" "--op" "min")
+set_tests_properties(cograd.aggregate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cograd.aggregate_unmediated "/root/repo/build/tools/cograd" "aggregate" "--n" "12" "--unmediated")
+set_tests_properties(cograd.aggregate_unmediated PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cograd.consensus "/root/repo/build/tools/cograd" "consensus" "--n" "10" "--rule" "max")
+set_tests_properties(cograd.consensus PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cograd.gossip "/root/repo/build/tools/cograd" "gossip" "--n" "10")
+set_tests_properties(cograd.gossip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cograd.multihop "/root/repo/build/tools/cograd" "multihop" "--topology" "ring" "--n" "12")
+set_tests_properties(cograd.multihop PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cograd.game "/root/repo/build/tools/cograd" "game" "--c" "12" "--k" "3" "--trials" "40")
+set_tests_properties(cograd.game PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cograd.game_cogcast "/root/repo/build/tools/cograd" "game" "--c" "12" "--k" "3" "--player" "cogcast" "--n" "8" "--trials" "40")
+set_tests_properties(cograd.game_cogcast PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cograd.record "/root/repo/build/tools/cograd" "record" "--n" "6")
+set_tests_properties(cograd.record PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
