@@ -6,10 +6,13 @@
 // value, measured median, and their ratio. Flags shared by all harnesses:
 //   --trials N   trials per configuration (default varies per bench)
 //   --seed S     base seed (default 1)
+//   --jobs J     ParallelSweep workers (default 1; 0 = all cores). Medians
+//                are bit-identical for any J — see util/sweep.h.
 #pragma once
 
 #include <cmath>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -17,52 +20,66 @@
 #include "sim/assignment.h"
 #include "util/cli.h"
 #include "util/stats.h"
+#include "util/sweep.h"
 #include "util/table.h"
 
 namespace cogradio::bench {
 
+// The one generic Monte-Carlo entry point behind every harness trial loop:
+// runs `trials` executions of `fn(pattern, rng)` fanned out over `jobs`
+// workers and summarizes the surviving samples. `fn` returns the trial's
+// sample, or nullopt for censored trials (hit a slot cap). Trial t's `rng`
+// is a pure function of (base_seed, t), so the Summary is bit-identical
+// for any `jobs` value.
+template <typename Fn>
+inline Summary run_trials(const std::string& pattern, int trials,
+                          std::uint64_t base_seed, int jobs, Fn&& fn) {
+  return summarize(sweep_trials(
+      trials, base_seed, jobs, [&](Rng& rng) { return fn(pattern, rng); }));
+}
+
 // Median CogCast completion slots over `trials` independent topologies and
 // executions of the given static/dynamic pattern.
 inline Summary cogcast_slots(const std::string& pattern, int n, int c, int k,
-                             int trials, std::uint64_t base_seed,
+                             int trials, std::uint64_t base_seed, int jobs = 1,
                              double gamma = 4.0) {
-  std::vector<double> samples;
-  samples.reserve(static_cast<std::size_t>(trials));
-  Rng seeder(base_seed);
-  for (int t = 0; t < trials; ++t) {
-    const std::uint64_t s1 = seeder();
-    const std::uint64_t s2 = seeder();
-    auto assignment =
-        make_assignment(pattern, n, c, k, LabelMode::LocalRandom, Rng(s1));
-    CogCastRunConfig config;
-    config.params = {n, c, k, gamma};
-    config.seed = s2;
-    config.max_slots = 64 * config.params.horizon();
-    const auto out = run_cogcast(*assignment, config);
-    if (out.completed) samples.push_back(static_cast<double>(out.slots));
-  }
-  return summarize(samples);
+  return run_trials(
+      pattern, trials, base_seed, jobs,
+      [&](const std::string& pat, Rng& rng) -> std::optional<double> {
+        const std::uint64_t s1 = rng();
+        const std::uint64_t s2 = rng();
+        auto assignment =
+            make_assignment(pat, n, c, k, LabelMode::LocalRandom, Rng(s1));
+        CogCastRunConfig config;
+        config.params = {n, c, k, gamma};
+        config.seed = s2;
+        config.max_slots = 64 * config.params.horizon();
+        const auto out = run_cogcast(*assignment, config);
+        if (!out.completed) return std::nullopt;
+        return static_cast<double>(out.slots);
+      });
 }
 
 // Median completion of the rendezvous-broadcast baseline on the same kind
 // of topologies.
 inline Summary rendezvous_broadcast_slots(const std::string& pattern, int n,
                                           int c, int k, int trials,
-                                          std::uint64_t base_seed) {
-  std::vector<double> samples;
-  Rng seeder(base_seed);
-  for (int t = 0; t < trials; ++t) {
-    const std::uint64_t s1 = seeder();
-    const std::uint64_t s2 = seeder();
-    auto assignment =
-        make_assignment(pattern, n, c, k, LabelMode::LocalRandom, Rng(s1));
-    BaselineRunConfig config;
-    config.seed = s2;
-    config.max_slots = 4'000'000;
-    const auto out = run_rendezvous_broadcast(*assignment, config);
-    if (out.completed) samples.push_back(static_cast<double>(out.slots));
-  }
-  return summarize(samples);
+                                          std::uint64_t base_seed,
+                                          int jobs = 1) {
+  return run_trials(
+      pattern, trials, base_seed, jobs,
+      [&](const std::string& pat, Rng& rng) -> std::optional<double> {
+        const std::uint64_t s1 = rng();
+        const std::uint64_t s2 = rng();
+        auto assignment =
+            make_assignment(pat, n, c, k, LabelMode::LocalRandom, Rng(s1));
+        BaselineRunConfig config;
+        config.seed = s2;
+        config.max_slots = 4'000'000;
+        const auto out = run_rendezvous_broadcast(*assignment, config);
+        if (!out.completed) return std::nullopt;
+        return static_cast<double>(out.slots);
+      });
 }
 
 // Theorem 4 horizon without the constant: (c/k) * max{1, c/n} * lg n.

@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const int trials = static_cast<int>(args.get_int("trials", 25));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int jobs = args.get_jobs();
   args.finish();
 
   std::printf("E10: hopping-together vs CogCast   (Section 6 discussion, "
@@ -50,7 +51,7 @@ int main(int argc, char** argv) {
     const int big_c = k + n * (c - k);
     const Summary hop = hopping_slots(n, c, k, trials, seed + n);
     const Summary cog =
-        cogcast_slots("partitioned", n, c, k, trials, seed + 100 + n);
+        cogcast_slots("partitioned", n, c, k, trials, seed + 100 + n, jobs);
     example.add_row({Table::num(static_cast<std::int64_t>(n)),
                      Table::num(static_cast<std::int64_t>(c)),
                      Table::num(static_cast<std::int64_t>(k)),
@@ -67,7 +68,7 @@ int main(int argc, char** argv) {
     const int big_c = k + n * (c - k);
     const Summary hop = hopping_slots(n, c, k, trials, seed + 200 + k);
     const Summary cog =
-        cogcast_slots("partitioned", n, c, k, trials, seed + 300 + k);
+        cogcast_slots("partitioned", n, c, k, trials, seed + 300 + k, jobs);
     crossover.add_row({Table::num(static_cast<std::int64_t>(k)),
                        Table::num(static_cast<std::int64_t>(big_c)),
                        Table::num(hop.median, 1), Table::num(cog.median, 1),

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const int trials = static_cast<int>(args.get_int("trials", 30));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int jobs = args.get_jobs();
   const int n = static_cast<int>(args.get_int("n", 64));
   args.finish();
 
@@ -30,9 +31,9 @@ int main(int argc, char** argv) {
     const std::set<int> ks{2, std::max(1, c / 4)};
     for (int k : ks) {
       const Summary stat =
-          cogcast_slots("shared-core", n, c, k, trials, seed + c + k);
+          cogcast_slots("shared-core", n, c, k, trials, seed + c + k, jobs);
       const Summary dyn = cogcast_slots("dynamic-shared-core", n, c, k, trials,
-                                        seed + 50 + c + k);
+                                        seed + 50 + c + k, jobs);
       table.add_row({Table::num(static_cast<std::int64_t>(c)),
                      Table::num(static_cast<std::int64_t>(k)),
                      Table::num(stat.median, 1), Table::num(dyn.median, 1),
@@ -45,9 +46,9 @@ int main(int argc, char** argv) {
   for (int c : {8, 16, 32}) {
     const int k = c / 2;
     const Summary stat =
-        cogcast_slots("pigeonhole", n, c, k, trials, seed + 500 + c);
+        cogcast_slots("pigeonhole", n, c, k, trials, seed + 500 + c, jobs);
     const Summary dyn = cogcast_slots("dynamic-pigeonhole", n, c, k, trials,
-                                      seed + 600 + c);
+                                      seed + 600 + c, jobs);
     table2.add_row({Table::num(static_cast<std::int64_t>(c)),
                     Table::num(static_cast<std::int64_t>(k)),
                     Table::num(stat.median, 1), Table::num(dyn.median, 1),

@@ -17,29 +17,28 @@ using namespace cogradio::bench;
 namespace {
 
 Summary jammed_cogcast(int n, int c, int budget, const std::string& strategy,
-                       int trials, std::uint64_t base_seed) {
-  std::vector<double> samples;
-  Rng seeder(base_seed);
-  for (int t = 0; t < trials; ++t) {
-    IdentityAssignment assignment(n, c, LabelMode::LocalRandom, Rng(seeder()));
-    std::unique_ptr<Jammer> jammer;
-    if (strategy == "random")
-      jammer = std::make_unique<RandomJammer>(n, c, budget, Rng(seeder()));
-    else if (strategy == "sweep")
-      jammer = std::make_unique<SweepJammer>(n, c, budget);
-    else
-      jammer = std::make_unique<ReactiveJammer>(n, c, budget);
+                       int trials, std::uint64_t base_seed, int jobs) {
+  return summarize(sweep_trials(
+      trials, base_seed, jobs, [&](Rng& rng) -> std::optional<double> {
+        IdentityAssignment assignment(n, c, LabelMode::LocalRandom, Rng(rng()));
+        std::unique_ptr<Jammer> jammer;
+        if (strategy == "random")
+          jammer = std::make_unique<RandomJammer>(n, c, budget, Rng(rng()));
+        else if (strategy == "sweep")
+          jammer = std::make_unique<SweepJammer>(n, c, budget);
+        else
+          jammer = std::make_unique<ReactiveJammer>(n, c, budget);
 
-    CogCastRunConfig config;
-    const int k_eff = std::max(1, c - 2 * budget);
-    config.params = {n, c, k_eff, 4.0};
-    config.seed = seeder();
-    config.jammer = budget > 0 ? jammer.get() : nullptr;
-    config.max_slots = 64 * config.params.horizon();
-    const auto out = run_cogcast(assignment, config);
-    if (out.completed) samples.push_back(static_cast<double>(out.slots));
-  }
-  return summarize(samples);
+        CogCastRunConfig config;
+        const int k_eff = std::max(1, c - 2 * budget);
+        config.params = {n, c, k_eff, 4.0};
+        config.seed = rng();
+        config.jammer = budget > 0 ? jammer.get() : nullptr;
+        config.max_slots = 64 * config.params.horizon();
+        const auto out = run_cogcast(assignment, config);
+        if (!out.completed) return std::nullopt;
+        return static_cast<double>(out.slots);
+      }));
 }
 
 }  // namespace
@@ -48,6 +47,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const int trials = static_cast<int>(args.get_int("trials", 20));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int jobs = args.get_jobs();
   const int n = static_cast<int>(args.get_int("n", 32));
   const int c = static_cast<int>(args.get_int("c", 16));
   args.finish();
@@ -62,8 +62,9 @@ int main(int argc, char** argv) {
     for (int j : {0, 2, 4, 6}) {
       const int k_eff = std::max(1, c - 2 * j);
       const double theory = theorem4_shape(n, c, k_eff);
-      const Summary s =
-          jammed_cogcast(n, c, j, strategy, trials, seed + static_cast<std::uint64_t>(j * 17));
+      const Summary s = jammed_cogcast(n, c, j, strategy, trials,
+                                       seed + static_cast<std::uint64_t>(j * 17),
+                                       jobs);
       table.add_row({Table::num(static_cast<std::int64_t>(j)),
                      Table::num(static_cast<std::int64_t>(k_eff)),
                      Table::num(s.median, 1), Table::num(s.p95, 1),

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   const int trials = static_cast<int>(args.get_int("trials", 2000));
   const int cast_trials = static_cast<int>(args.get_int("cast-trials", 15));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int jobs = args.get_jobs();
   args.finish();
 
   std::printf("E13: decay backoff substrate   (footnote 4, %d trials/point)\n",
@@ -26,20 +27,30 @@ int main(int argc, char** argv) {
   Table table({"contenders m", "phase len", "budget", "decay median",
                "decay p95", "log2^2(m)", "decay failures",
                "CD-split median", "CD-split p95"});
-  Rng rng(seed);
+  ParallelSweep pool(jobs);
   for (int m : {2, 4, 8, 16, 32, 64, 128, 256, 512}) {
     const auto params = backoff_params_for(m);
+    struct Trial {
+      BackoffOutcome decay, cd;
+    };
+    std::vector<Trial> outcomes(static_cast<std::size_t>(trials));
+    pool.run(trials, [&](int t) {
+      Rng rng = trial_rng(seed + static_cast<std::uint64_t>(m),
+                          static_cast<std::uint64_t>(t));
+      Trial& o = outcomes[static_cast<std::size_t>(t)];
+      o.decay = decay_backoff(m, params, rng);
+      o.cd = cd_split_backoff(m, params.budget, rng);
+    });
     std::vector<double> slots, cd_slots;
     int failures = 0;
-    for (int t = 0; t < trials; ++t) {
-      const auto out = decay_backoff(m, params, rng);
-      if (!out.resolved) {
+    for (const Trial& o : outcomes) {
+      if (!o.decay.resolved) {
         ++failures;
       } else {
-        slots.push_back(static_cast<double>(out.micro_slots));
+        slots.push_back(static_cast<double>(o.decay.micro_slots));
       }
-      const auto cd = cd_split_backoff(m, params.budget, rng);
-      if (cd.resolved) cd_slots.push_back(static_cast<double>(cd.micro_slots));
+      if (o.cd.resolved)
+        cd_slots.push_back(static_cast<double>(o.cd.micro_slots));
     }
     const Summary s = summarize(slots);
     const Summary sc = summarize(cd_slots);
@@ -59,18 +70,23 @@ int main(int argc, char** argv) {
              "budget/chan-slot", "emulation failures"});
   for (int n : {16, 64, 256}) {
     const int c = 16, k = 4;
-    double slots_sum = 0, micro_sum = 0, success_sum = 0, fail_sum = 0;
-    int ok = 0;
-    Rng seeder(seed + static_cast<std::uint64_t>(n));
-    for (int t = 0; t < cast_trials; ++t) {
+    std::vector<BroadcastOutcome> outcomes(
+        static_cast<std::size_t>(cast_trials));
+    pool.run(cast_trials, [&](int t) {
+      Rng rng = trial_rng(seed + static_cast<std::uint64_t>(n),
+                          static_cast<std::uint64_t>(t));
       SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom,
-                                      Rng(seeder()));
+                                      Rng(rng()));
       CogCastRunConfig config;
       config.params = {n, c, k, 4.0};
-      config.seed = seeder();
+      config.seed = rng();
       config.net.emulate_backoff = true;
       config.net.backoff = backoff_params_for(n);
-      const auto out = run_cogcast(assignment, config);
+      outcomes[static_cast<std::size_t>(t)] = run_cogcast(assignment, config);
+    });
+    double slots_sum = 0, micro_sum = 0, success_sum = 0, fail_sum = 0;
+    int ok = 0;
+    for (const BroadcastOutcome& out : outcomes) {
       if (!out.completed) continue;
       ++ok;
       slots_sum += static_cast<double>(out.slots);

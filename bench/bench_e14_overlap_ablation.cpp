@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const int trials = static_cast<int>(args.get_int("trials", 30));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int jobs = args.get_jobs();
   args.finish();
 
   std::printf("E14: overlap-pattern ablation   (Claim 2, %d trials/point)\n",
@@ -36,7 +37,7 @@ int main(int argc, char** argv) {
       const double theory =
           theorem4_shape_effective(pattern, cfg.n, cfg.c, cfg.k);
       const Summary s = cogcast_slots(pattern, cfg.n, cfg.c, cfg.k, trials,
-                                      seed + static_cast<std::uint64_t>(cfg.n * 131 + cfg.c));
+                                      seed + static_cast<std::uint64_t>(cfg.n * 131 + cfg.c), jobs);
       const double normalized = safe_ratio(s.median, theory);
       lo = std::min(lo, normalized);
       hi = std::max(hi, normalized);

@@ -14,22 +14,21 @@ using namespace cogradio::bench;
 namespace {
 
 double max_words(int n, int c, int k, AggOp op, int trials,
-                 std::uint64_t base_seed) {
-  double worst = 0;
-  Rng seeder(base_seed);
-  for (int t = 0; t < trials; ++t) {
-    SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom,
-                                    Rng(seeder()));
-    CogCompRunConfig config;
-    config.params = {n, c, k, 4.0};
-    config.seed = seeder();
-    config.op = op;
-    const auto values = make_values(n, seeder());
-    const auto out = run_cogcomp(assignment, values, config);
-    if (out.completed)
-      worst = std::max(worst, static_cast<double>(out.stats.max_message_words));
-  }
-  return worst;
+                 std::uint64_t base_seed, int jobs) {
+  const auto samples = sweep_trials(
+      trials, base_seed, jobs, [&](Rng& rng) -> std::optional<double> {
+        SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom,
+                                        Rng(rng()));
+        CogCompRunConfig config;
+        config.params = {n, c, k, 4.0};
+        config.seed = rng();
+        config.op = op;
+        const auto values = make_values(n, rng());
+        const auto out = run_cogcomp(assignment, values, config);
+        if (!out.completed) return std::nullopt;
+        return static_cast<double>(out.stats.max_message_words);
+      });
+  return summarize(samples).max;
 }
 
 }  // namespace
@@ -38,6 +37,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const int trials = static_cast<int>(args.get_int("trials", 10));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int jobs = args.get_jobs();
   const int c = static_cast<int>(args.get_int("c", 12));
   const int k = static_cast<int>(args.get_int("k", 3));
   args.finish();
@@ -51,9 +51,11 @@ int main(int argc, char** argv) {
   std::vector<double> xs, ys;
   for (int n : {8, 16, 32, 64, 128}) {
     const double sum_words =
-        max_words(n, c, k, AggOp::Sum, trials, seed + static_cast<std::uint64_t>(n));
-    const double col_words = max_words(n, c, k, AggOp::CollectAll, trials,
-                                       seed + 900 + static_cast<std::uint64_t>(n));
+        max_words(n, c, k, AggOp::Sum, trials,
+                  seed + static_cast<std::uint64_t>(n), jobs);
+    const double col_words =
+        max_words(n, c, k, AggOp::CollectAll, trials,
+                  seed + 900 + static_cast<std::uint64_t>(n), jobs);
     table.add_row({Table::num(static_cast<std::int64_t>(n)),
                    Table::num(sum_words, 0), Table::num(col_words, 0),
                    Table::num(col_words / n, 2)});

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const int trials = static_cast<int>(args.get_int("trials", 12));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int jobs = args.get_jobs();
   const int n = static_cast<int>(args.get_int("n", 96));
   const int c = static_cast<int>(args.get_int("c", 16));
   args.finish();
@@ -28,26 +29,39 @@ int main(int argc, char** argv) {
 
   Table table({"k", "lower bound n/k", "tdma (global labels)", "cogcomp med",
                "phase4 med", "total/(n/k)", "phase4/(n/k)"});
+  ParallelSweep pool(jobs);
   for (int k : {1, 2, 4, 8}) {
-    std::vector<double> total, p4;
-    double tdma_slots = 0;
-    Rng seeder(seed + static_cast<std::uint64_t>(k));
-    for (int t = 0; t < trials; ++t) {
-      const auto values = make_values(n, seeder());
+    struct Trial {
+      bool ok = false;
+      double total = 0, p4 = 0;
+    };
+    std::vector<Trial> outcomes(static_cast<std::size_t>(trials));
+    double tdma_slots = 0;  // written by trial 0 only
+    pool.run(trials, [&](int t) {
+      Rng rng = trial_rng(seed + static_cast<std::uint64_t>(k),
+                          static_cast<std::uint64_t>(t));
+      const auto values = make_values(n, rng());
       PartitionedAssignment assignment(n, c, k, LabelMode::LocalRandom,
-                                       Rng(seeder()));
+                                       Rng(rng()));
       CogCompRunConfig config;
       config.params = {n, c, k, 4.0};
-      config.seed = seeder();
+      config.seed = rng();
       const auto out = run_cogcomp(assignment, values, config);
       if (t == 0) {
         // The optimal global-label schedule: deterministic, one run enough.
         const auto tdma = run_tdma_aggregation(assignment, values, AggOp::Sum);
         tdma_slots = tdma.completed ? static_cast<double>(tdma.slots) : -1;
       }
-      if (!out.completed) continue;
-      total.push_back(static_cast<double>(out.slots));
-      p4.push_back(static_cast<double>(out.phase4_slots));
+      if (!out.completed) return;
+      outcomes[static_cast<std::size_t>(t)] = {
+          true, static_cast<double>(out.slots),
+          static_cast<double>(out.phase4_slots)};
+    });
+    std::vector<double> total, p4;
+    for (const Trial& o : outcomes) {
+      if (!o.ok) continue;
+      total.push_back(o.total);
+      p4.push_back(o.p4);
     }
     const double lb = static_cast<double>(n) / k;
     const double tm = summarize(total).median;

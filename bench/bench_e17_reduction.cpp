@@ -19,28 +19,44 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const int trials = static_cast<int>(args.get_int("trials", 300));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int jobs = args.get_jobs();
   args.finish();
 
   std::printf("E17: Lemma 12 reduction player   (%d trials/point)\n", trials);
 
   Table table({"c", "k", "n", "median rounds", "median sim slots",
                "min{c,n}*slots", "rounds within budget", "lemma11 budget"});
+  ParallelSweep pool(jobs);
   for (int c : {16, 32}) {
     for (int k : {2, c / 4}) {
       for (int n : {4, 16, 64}) {
+        struct Trial {
+          bool won = false;
+          double rounds = 0, slots = 0;
+          bool within = false;
+        };
+        std::vector<Trial> outcomes(static_cast<std::size_t>(trials));
+        pool.run(trials, [&](int t) {
+          Rng rng =
+              trial_rng(seed + static_cast<std::uint64_t>(c * 1000 + k * 100 + n),
+                        static_cast<std::uint64_t>(t));
+          HittingGameReferee ref(c, k, Rng(rng()));
+          CogCastHittingPlayer player(n, c, Rng(rng()));
+          const GameResult result = play(ref, player, 1'000'000);
+          if (!result.won) return;
+          outcomes[static_cast<std::size_t>(t)] = {
+              true, static_cast<double>(result.rounds),
+              static_cast<double>(player.simulated_slots()),
+              result.rounds <= static_cast<std::int64_t>(std::min(c, n)) *
+                                   player.simulated_slots()};
+        });
         std::vector<double> rounds, slots;
         int within = 0;
-        Rng seeder(seed + static_cast<std::uint64_t>(c * 1000 + k * 100 + n));
-        for (int t = 0; t < trials; ++t) {
-          HittingGameReferee ref(c, k, Rng(seeder()));
-          CogCastHittingPlayer player(n, c, Rng(seeder()));
-          const GameResult result = play(ref, player, 1'000'000);
-          if (!result.won) continue;
-          rounds.push_back(static_cast<double>(result.rounds));
-          slots.push_back(static_cast<double>(player.simulated_slots()));
-          if (result.rounds <=
-              static_cast<std::int64_t>(std::min(c, n)) * player.simulated_slots())
-            ++within;
+        for (const Trial& o : outcomes) {
+          if (!o.won) continue;
+          rounds.push_back(o.rounds);
+          slots.push_back(o.slots);
+          if (o.within) ++within;
         }
         table.add_row(
             {Table::num(static_cast<std::int64_t>(c)),

@@ -1,35 +1,94 @@
-// E18 — simulator throughput (google-benchmark).
+// E18 — simulator throughput (google-benchmark) + steady-state probes.
 //
 // Not a paper claim but the enabler of all sweeps: the slot engine must
 // push millions of node-slots per second so that the E1-E17 Monte-Carlo
 // harnesses run in seconds on a laptop.
+//
+// Besides the google-benchmark timings, a custom main() runs two direct
+// probes before handing over to the benchmark runner and records the
+// results in BENCH_sim.json (util/bench_report.h):
+//   * allocation probe — a global operator new/delete counter verifies
+//     that Network::step() performs ZERO heap allocations in steady state
+//     (after the first warm-up slots sized the member scratch buffers);
+//   * ParallelSweep scaling — the same Monte-Carlo workload at --jobs 1
+//     and --jobs hardware_concurrency must produce bit-identical medians,
+//     and the wall-clock ratio measures the pool's scaling headroom.
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <thread>
 
 #include "core/cogcast.h"
 #include "core/runtime.h"
 #include "sim/assignment.h"
 #include "sim/backoff.h"
 #include "sim/network.h"
+#include "util/bench_report.h"
+#include "util/sweep.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter. Replacing the global operator new/delete pairs
+// is the one portable way to observe every heap allocation the slot engine
+// makes, including those inside standard containers.
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t) {
+  return counted_alloc(size);
+}
+void* operator new[](std::size_t size, std::align_val_t) {
+  return counted_alloc(size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+// ---------------------------------------------------------------------------
 
 namespace cogradio {
 namespace {
 
-void BM_NetworkStepCogCast(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  const int c = 16, k = 4;
-  SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom, Rng(1));
-  Message payload;
-  payload.type = MessageType::Data;
-  Rng seeder(2);
+struct CogCastFixture {
+  CogCastFixture(int n, int c, int k)
+      : assignment(n, c, k, LabelMode::LocalRandom, Rng(1)) {
+    Message payload;
+    payload.type = MessageType::Data;
+    Rng seeder(2);
+    for (NodeId u = 0; u < n; ++u) {
+      nodes.push_back(std::make_unique<CogCastNode>(
+          u, c, u == 0, payload, seeder.split(static_cast<std::uint64_t>(u))));
+      protocols.push_back(nodes.back().get());
+    }
+    network = std::make_unique<Network>(assignment, protocols);
+  }
+
+  SharedCoreAssignment assignment;
   std::vector<std::unique_ptr<CogCastNode>> nodes;
   std::vector<Protocol*> protocols;
-  for (NodeId u = 0; u < n; ++u) {
-    nodes.push_back(std::make_unique<CogCastNode>(
-        u, c, u == 0, payload, seeder.split(static_cast<std::uint64_t>(u))));
-    protocols.push_back(nodes.back().get());
-  }
-  Network network(assignment, std::move(protocols));
-  for (auto _ : state) network.step();
+  std::unique_ptr<Network> network;
+};
+
+void BM_NetworkStepCogCast(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  CogCastFixture fx(n, /*c=*/16, /*k=*/4);
+  for (auto _ : state) fx.network->step();
   state.SetItemsProcessed(state.iterations() * n);  // node-slots/sec
 }
 BENCHMARK(BM_NetworkStepCogCast)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
@@ -80,7 +139,110 @@ void BM_FullCogCompRun(benchmark::State& state) {
 }
 BENCHMARK(BM_FullCogCompRun)->Arg(32)->Arg(128);
 
+void BM_ParallelSweepCogCast(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto samples =
+        sweep_trials(32, /*base_seed=*/7, jobs, [](Rng& rng) {
+          SharedCoreAssignment assignment(64, 16, 4, LabelMode::LocalRandom,
+                                          Rng(rng()));
+          CogCastRunConfig config;
+          config.params = {64, 16, 4, 4.0};
+          config.seed = rng();
+          const auto out = run_cogcast(assignment, config);
+          return static_cast<double>(out.slots);
+        });
+    benchmark::DoNotOptimize(samples.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_ParallelSweepCogCast)->Arg(1)->Arg(2)->Arg(4);
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Direct steady-state probe: after a warm-up (which sizes the engine's
+// member scratch), a window of steps must allocate nothing and its timing
+// gives node-slots/sec without google-benchmark's harness overhead.
+void run_step_probes(BenchReport& report) {
+  std::printf("steady-state probe (warmup 512 slots, measure 2048 slots):\n");
+  std::printf("  %6s  %18s  %16s\n", "n", "node-slots/sec", "allocs/2048 slots");
+  for (const int n : {64, 256, 1024, 4096}) {
+    CogCastFixture fx(n, /*c=*/16, /*k=*/4);
+    for (int s = 0; s < 512; ++s) fx.network->step();
+    const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+    const auto start = std::chrono::steady_clock::now();
+    constexpr int kWindow = 2048;
+    for (int s = 0; s < kWindow; ++s) fx.network->step();
+    const double elapsed = seconds_since(start);
+    const std::uint64_t allocs =
+        g_allocs.load(std::memory_order_relaxed) - before;
+    const double rate = static_cast<double>(n) * kWindow / elapsed;
+    std::printf("  %6d  %18.3e  %16llu\n", n, rate,
+                static_cast<unsigned long long>(allocs));
+    const std::string prefix = "step.n" + std::to_string(n) + ".";
+    report.set(prefix + "node_slots_per_sec", rate);
+    report.set_int(prefix + "steady_state_allocs",
+                   static_cast<std::int64_t>(allocs));
+  }
+}
+
+// ParallelSweep probe: the same fixed workload at jobs=1 and jobs=hw must
+// produce bit-identical samples; the wall-clock ratio is the pool speedup.
+void run_sweep_probe(BenchReport& report) {
+  const int hw = resolve_jobs(0);
+  constexpr int kTrials = 64;
+  auto workload = [](Rng& rng) {
+    SharedCoreAssignment assignment(96, 16, 4, LabelMode::LocalRandom,
+                                    Rng(rng()));
+    CogCastRunConfig config;
+    config.params = {96, 16, 4, 4.0};
+    config.seed = rng();
+    const auto out = run_cogcast(assignment, config);
+    return static_cast<double>(out.slots);
+  };
+  auto timed = [&](int jobs, double* elapsed) {
+    const auto start = std::chrono::steady_clock::now();
+    auto samples = sweep_trials(kTrials, /*base_seed=*/11, jobs, workload);
+    *elapsed = seconds_since(start);
+    return samples;
+  };
+  double t1 = 0, tn = 0;
+  const auto serial = timed(1, &t1);
+  const auto parallel = timed(hw, &tn);
+  const bool identical = serial == parallel;
+  std::printf("\nParallelSweep probe (%d trials): jobs=1 %.3fs, jobs=%d %.3fs, "
+              "speedup %.2fx, samples %s\n",
+              kTrials, t1, hw, tn, t1 / tn,
+              identical ? "bit-identical" : "MISMATCH");
+  report.set_int("sweep.jobs", hw);
+  report.set("sweep.jobs1_seconds", t1);
+  report.set("sweep.jobsN_seconds", tn);
+  report.set("sweep.speedup", t1 / tn);
+  report.set_int("sweep.deterministic", identical ? 1 : 0);
+}
+
 }  // namespace
 }  // namespace cogradio
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::printf("E18: simulator performance probes\n\n");
+  cogradio::BenchReport report("sim_perf");
+  report.set_int("probe.hardware_threads",
+                 static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  cogradio::run_step_probes(report);
+  cogradio::run_sweep_probe(report);
+  const char* out_path = "BENCH_sim.json";
+  if (report.write(out_path))
+    std::printf("wrote %s\n\n", out_path);
+  else
+    std::printf("WARNING: could not write %s\n\n", out_path);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -68,12 +68,16 @@ FaultOutcome run_faulty(int n, int c, int k, FaultKind kind, int affected,
 
 Summary sweep(int n, int c, int k, FaultKind kind, int affected,
               Slot fault_slot, Slot fault_len, int trials,
-              std::uint64_t base_seed, int* failures) {
+              std::uint64_t base_seed, int jobs, int* failures) {
+  std::vector<FaultOutcome> outcomes(static_cast<std::size_t>(trials));
+  ParallelSweep pool(jobs);
+  pool.run(trials, [&](int t) {
+    Rng rng = trial_rng(base_seed, static_cast<std::uint64_t>(t));
+    outcomes[static_cast<std::size_t>(t)] =
+        run_faulty(n, c, k, kind, affected, fault_slot, fault_len, rng());
+  });
   std::vector<double> samples;
-  Rng seeder(base_seed);
-  for (int t = 0; t < trials; ++t) {
-    const auto out =
-        run_faulty(n, c, k, kind, affected, fault_slot, fault_len, seeder());
+  for (const FaultOutcome& out : outcomes) {
     if (out.survivors_informed)
       samples.push_back(static_cast<double>(out.slots));
     else
@@ -88,6 +92,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const int trials = static_cast<int>(args.get_int("trials", 25));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int jobs = args.get_jobs();
   const int n = static_cast<int>(args.get_int("n", 48));
   const int c = static_cast<int>(args.get_int("c", 12));
   const int k = static_cast<int>(args.get_int("k", 3));
@@ -99,7 +104,7 @@ int main(int argc, char** argv) {
 
   int failures = 0;
   const Summary base =
-      sweep(n, c, k, FaultKind::None, 0, 0, 0, trials, seed, &failures);
+      sweep(n, c, k, FaultKind::None, 0, 0, 0, trials, seed, jobs, &failures);
 
   Table crash({"crashed nodes", "crash slot", "median (survivors)", "p95",
                "vs fault-free", "failed runs"});
@@ -108,7 +113,9 @@ int main(int argc, char** argv) {
   for (int affected : {n / 8, n / 4, n / 2}) {
     failures = 0;
     const Summary s = sweep(n, c, k, FaultKind::Crash, affected,
-                            /*fault_slot=*/5, 0, trials, seed + static_cast<std::uint64_t>(affected), &failures);
+                            /*fault_slot=*/5, 0, trials,
+                            seed + static_cast<std::uint64_t>(affected), jobs,
+                            &failures);
     crash.add_row({Table::num(static_cast<std::int64_t>(affected)), "5",
                    Table::num(s.median, 1), Table::num(s.p95, 1),
                    Table::num(safe_ratio(s.median, base.median), 2),
@@ -122,7 +129,8 @@ int main(int argc, char** argv) {
     failures = 0;
     const Summary s = sweep(n, c, k, FaultKind::Outage, affected,
                             /*fault_slot=*/3, /*fault_len=*/20, trials,
-                            seed + 500 + static_cast<std::uint64_t>(affected), &failures);
+                            seed + 500 + static_cast<std::uint64_t>(affected),
+                            jobs, &failures);
     char window[32];
     std::snprintf(window, sizeof(window), "[3, 23)");
     outage.add_row({Table::num(static_cast<std::int64_t>(affected)), window,

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const int trials = static_cast<int>(args.get_int("trials", 25));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int jobs = args.get_jobs();
   const int n = static_cast<int>(args.get_int("n", 256));
   const int k = static_cast<int>(args.get_int("k", 2));
   args.finish();
@@ -31,7 +32,7 @@ int main(int argc, char** argv) {
     std::vector<double> xs, ys;
     for (int c : {8, 16, 32, 64, 128}) {
       const double theory = theorem4_shape_effective(pattern, n, c, k);
-      const Summary s = cogcast_slots(pattern, n, c, k, trials, seed + c);
+      const Summary s = cogcast_slots(pattern, n, c, k, trials, seed + c, jobs);
       table.add_row({Table::num(static_cast<std::int64_t>(c)),
                      Table::num(effective_overlap(pattern, c, k), 1),
                      Table::num(theory, 1), Table::num(s.median, 1),

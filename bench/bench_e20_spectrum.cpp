@@ -19,25 +19,24 @@ using namespace cogradio::bench;
 namespace {
 
 Summary spectrum_cogcast(int n, int c, int k, double duty, int trials,
-                         std::uint64_t base_seed) {
+                         std::uint64_t base_seed, int jobs) {
   // duty = stationary busy probability; fix departure rate, solve arrival.
   SpectrumParams sp;
   sp.band = 2 * c;
   sp.p_busy_to_free = 0.25;
   sp.p_free_to_busy =
       duty >= 1.0 ? 1.0 : std::min(1.0, 0.25 * duty / (1.0 - duty));
-  std::vector<double> samples;
-  Rng seeder(base_seed);
-  for (int t = 0; t < trials; ++t) {
-    MarkovSpectrumAssignment assignment(n, c, k, sp, Rng(seeder()));
-    CogCastRunConfig config;
-    config.params = {n, c, k, 4.0};
-    config.seed = seeder();
-    config.max_slots = 64 * config.params.horizon();
-    const auto out = run_cogcast(assignment, config);
-    if (out.completed) samples.push_back(static_cast<double>(out.slots));
-  }
-  return summarize(samples);
+  return summarize(sweep_trials(
+      trials, base_seed, jobs, [&](Rng& rng) -> std::optional<double> {
+        MarkovSpectrumAssignment assignment(n, c, k, sp, Rng(rng()));
+        CogCastRunConfig config;
+        config.params = {n, c, k, 4.0};
+        config.seed = rng();
+        config.max_slots = 64 * config.params.horizon();
+        const auto out = run_cogcast(assignment, config);
+        if (!out.completed) return std::nullopt;
+        return static_cast<double>(out.slots);
+      }));
 }
 
 }  // namespace
@@ -46,6 +45,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const int trials = static_cast<int>(args.get_int("trials", 25));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int jobs = args.get_jobs();
   const int n = static_cast<int>(args.get_int("n", 48));
   const int c = static_cast<int>(args.get_int("c", 12));
   const int k = static_cast<int>(args.get_int("k", 3));
@@ -59,8 +59,9 @@ int main(int argc, char** argv) {
   Table table({"PU duty cycle", "median", "p95", "theory envelope (k)",
                "median/envelope"});
   for (double duty : {0.0, 0.2, 0.4, 0.6, 0.8, 0.95}) {
-    const Summary s = spectrum_cogcast(n, c, k, duty, trials,
-                                       seed + static_cast<std::uint64_t>(duty * 100));
+    const Summary s =
+        spectrum_cogcast(n, c, k, duty, trials,
+                         seed + static_cast<std::uint64_t>(duty * 100), jobs);
     table.add_row({Table::num(duty, 2), Table::num(s.median, 1),
                    Table::num(s.p95, 1), Table::num(envelope, 1),
                    Table::num(safe_ratio(s.median, envelope), 3)});

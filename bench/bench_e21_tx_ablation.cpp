@@ -22,33 +22,34 @@ using namespace cogradio::bench;
 namespace {
 
 Summary ablate(int n, int c, int k, double p, CollisionModel model,
-               bool emulate_backoff, int trials, std::uint64_t base_seed) {
-  std::vector<double> samples;
-  Rng seeder(base_seed);
+               bool emulate_backoff, int trials, std::uint64_t base_seed,
+               int jobs) {
   Message payload;
   payload.type = MessageType::Data;
-  for (int t = 0; t < trials; ++t) {
-    SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom,
-                                    Rng(seeder()));
-    Rng node_seeder(seeder());
-    std::vector<std::unique_ptr<CogCastNode>> nodes;
-    std::vector<Protocol*> protocols;
-    for (NodeId u = 0; u < n; ++u) {
-      nodes.push_back(std::make_unique<CogCastNode>(
-          u, c, u == 0, payload, node_seeder.split(static_cast<std::uint64_t>(u))));
-      nodes.back()->set_tx_probability(p);
-      protocols.push_back(nodes.back().get());
-    }
-    NetworkOptions opt;
-    opt.collision = model;
-    opt.seed = seeder();
-    opt.emulate_backoff = emulate_backoff;
-    if (emulate_backoff) opt.backoff = backoff_params_for(n);
-    Network net(assignment, protocols, opt);
-    net.run(200'000);
-    if (net.all_done()) samples.push_back(static_cast<double>(net.now()));
-  }
-  return summarize(samples);
+  return summarize(sweep_trials(
+      trials, base_seed, jobs, [&](Rng& rng) -> std::optional<double> {
+        SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom,
+                                        Rng(rng()));
+        Rng node_seeder(rng());
+        std::vector<std::unique_ptr<CogCastNode>> nodes;
+        std::vector<Protocol*> protocols;
+        for (NodeId u = 0; u < n; ++u) {
+          nodes.push_back(std::make_unique<CogCastNode>(
+              u, c, u == 0, payload,
+              node_seeder.split(static_cast<std::uint64_t>(u))));
+          nodes.back()->set_tx_probability(p);
+          protocols.push_back(nodes.back().get());
+        }
+        NetworkOptions opt;
+        opt.collision = model;
+        opt.seed = rng();
+        opt.emulate_backoff = emulate_backoff;
+        if (emulate_backoff) opt.backoff = backoff_params_for(n);
+        Network net(assignment, protocols, opt);
+        net.run(200'000);
+        if (!net.all_done()) return std::nullopt;
+        return static_cast<double>(net.now());
+      }));
 }
 
 }  // namespace
@@ -57,6 +58,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const int trials = static_cast<int>(args.get_int("trials", 20));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int jobs = args.get_jobs();
   const int n = static_cast<int>(args.get_int("n", 48));
   const int c = static_cast<int>(args.get_int("c", 12));
   const int k = static_cast<int>(args.get_int("k", 3));
@@ -71,13 +73,13 @@ int main(int argc, char** argv) {
   for (double p : {0.05, 0.1, 0.25, 0.5, 0.75, 1.0}) {
     const Summary ow =
         ablate(n, c, k, p, CollisionModel::OneWinner, false, trials,
-               seed + static_cast<std::uint64_t>(p * 1000));
+               seed + static_cast<std::uint64_t>(p * 1000), jobs);
     const Summary cl =
         ablate(n, c, k, p, CollisionModel::CollisionLoss, false, trials,
-               seed + 5000 + static_cast<std::uint64_t>(p * 1000));
+               seed + 5000 + static_cast<std::uint64_t>(p * 1000), jobs);
     const Summary bo =
         ablate(n, c, k, p, CollisionModel::OneWinner, true, trials,
-               seed + 9000 + static_cast<std::uint64_t>(p * 1000));
+               seed + 9000 + static_cast<std::uint64_t>(p * 1000), jobs);
     auto cell = [](const Summary& s, int trials_run) {
       return s.count < static_cast<std::size_t>(trials_run) / 2
                  ? std::string("stall")

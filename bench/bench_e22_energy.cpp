@@ -61,6 +61,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const int trials = static_cast<int>(args.get_int("trials", 15));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int jobs = args.get_jobs();
   const int c = static_cast<int>(args.get_int("c", 12));
   const int k = static_cast<int>(args.get_int("k", 3));
   args.finish();
@@ -71,15 +72,16 @@ int main(int argc, char** argv) {
 
   Table table({"n", "protocol", "slots", "total TX", "total RX",
                "max node energy", "energy/node"});
+  ParallelSweep pool(jobs);
   for (int n : {16, 64}) {
     for (const std::string proto : {"cogcast", "rendezvous", "cogcomp"}) {
-      double slots = 0, tx = 0, rx = 0, worst = 0;
-      int ok = 0;
-      Rng seeder(seed + static_cast<std::uint64_t>(n));
-      for (int t = 0; t < trials; ++t) {
+      std::vector<EnergyProfile> outcomes(static_cast<std::size_t>(trials));
+      pool.run(trials, [&](int t) {
+        Rng rng = trial_rng(seed + static_cast<std::uint64_t>(n),
+                            static_cast<std::uint64_t>(t));
         SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom,
-                                        Rng(seeder()));
-        Rng node_seeder(seeder());
+                                        Rng(rng()));
+        Rng node_seeder(rng());
         EnergyProfile p;
         if (proto == "cogcast") {
           p = profile(
@@ -92,7 +94,7 @@ int main(int argc, char** argv) {
                       node_seeder.split(static_cast<std::uint64_t>(u))));
                 return v;
               },
-              200'000, seeder());
+              200'000, rng());
         } else if (proto == "rendezvous") {
           p = profile(
               assignment,
@@ -104,10 +106,10 @@ int main(int argc, char** argv) {
                       node_seeder.split(static_cast<std::uint64_t>(u))));
                 return v;
               },
-              2'000'000, seeder());
+              2'000'000, rng());
         } else {
           const CogCompParams params{n, c, k, 4.0};
-          const auto values = make_values(n, seeder());
+          const auto values = make_values(n, rng());
           p = profile(
               assignment,
               [&] {
@@ -119,8 +121,13 @@ int main(int argc, char** argv) {
                       node_seeder.split(static_cast<std::uint64_t>(u))));
                 return v;
               },
-              params.max_slots(), seeder());
+              params.max_slots(), rng());
         }
+        outcomes[static_cast<std::size_t>(t)] = p;
+      });
+      double slots = 0, tx = 0, rx = 0, worst = 0;
+      int ok = 0;
+      for (const EnergyProfile& p : outcomes) {
         ++ok;
         slots += p.slots;
         tx += p.total_tx;

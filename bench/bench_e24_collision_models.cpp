@@ -24,33 +24,33 @@ using namespace cogradio::bench;
 namespace {
 
 Summary run_model(int n, int c, int k, CollisionModel model,
-                  bool emulate_backoff, int trials, std::uint64_t base_seed) {
-  std::vector<double> samples;
-  Rng seeder(base_seed);
+                  bool emulate_backoff, int trials, std::uint64_t base_seed,
+                  int jobs) {
   Message payload;
   payload.type = MessageType::Data;
-  for (int t = 0; t < trials; ++t) {
-    SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom,
-                                    Rng(seeder()));
-    Rng node_seeder(seeder());
-    std::vector<std::unique_ptr<CogCastNode>> nodes;
-    std::vector<Protocol*> protocols;
-    for (NodeId u = 0; u < n; ++u) {
-      nodes.push_back(std::make_unique<CogCastNode>(
-          u, c, u == 0, payload,
-          node_seeder.split(static_cast<std::uint64_t>(u))));
-      protocols.push_back(nodes.back().get());
-    }
-    NetworkOptions opt;
-    opt.collision = model;
-    opt.seed = seeder();
-    opt.emulate_backoff = emulate_backoff;
-    if (emulate_backoff) opt.backoff = backoff_params_for(n);
-    Network net(assignment, protocols, opt);
-    net.run(500'000);
-    if (net.all_done()) samples.push_back(static_cast<double>(net.now()));
-  }
-  return summarize(samples);
+  return summarize(sweep_trials(
+      trials, base_seed, jobs, [&](Rng& rng) -> std::optional<double> {
+        SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom,
+                                        Rng(rng()));
+        Rng node_seeder(rng());
+        std::vector<std::unique_ptr<CogCastNode>> nodes;
+        std::vector<Protocol*> protocols;
+        for (NodeId u = 0; u < n; ++u) {
+          nodes.push_back(std::make_unique<CogCastNode>(
+              u, c, u == 0, payload,
+              node_seeder.split(static_cast<std::uint64_t>(u))));
+          protocols.push_back(nodes.back().get());
+        }
+        NetworkOptions opt;
+        opt.collision = model;
+        opt.seed = rng();
+        opt.emulate_backoff = emulate_backoff;
+        if (emulate_backoff) opt.backoff = backoff_params_for(n);
+        Network net(assignment, protocols, opt);
+        net.run(500'000);
+        if (!net.all_done()) return std::nullopt;
+        return static_cast<double>(net.now());
+      }));
 }
 
 }  // namespace
@@ -59,6 +59,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const int trials = static_cast<int>(args.get_int("trials", 25));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int jobs = args.get_jobs();
   args.finish();
 
   std::printf("E24: collision-model sensitivity   (footnote 3, "
@@ -72,15 +73,15 @@ int main(int argc, char** argv) {
   };
   for (const Config cfg : {Config{32, 8, 2}, Config{64, 16, 4},
                            Config{128, 16, 2}, Config{16, 32, 8}}) {
-    const Summary ow = run_model(cfg.n, cfg.c, cfg.k,
-                                 CollisionModel::OneWinner, false, trials,
-                                 seed + static_cast<std::uint64_t>(cfg.n));
-    const Summary ad = run_model(cfg.n, cfg.c, cfg.k,
-                                 CollisionModel::AllDelivered, false, trials,
-                                 seed + 100 + static_cast<std::uint64_t>(cfg.n));
-    const Summary bo = run_model(cfg.n, cfg.c, cfg.k,
-                                 CollisionModel::OneWinner, true, trials,
-                                 seed + 200 + static_cast<std::uint64_t>(cfg.n));
+    const Summary ow =
+        run_model(cfg.n, cfg.c, cfg.k, CollisionModel::OneWinner, false,
+                  trials, seed + static_cast<std::uint64_t>(cfg.n), jobs);
+    const Summary ad =
+        run_model(cfg.n, cfg.c, cfg.k, CollisionModel::AllDelivered, false,
+                  trials, seed + 100 + static_cast<std::uint64_t>(cfg.n), jobs);
+    const Summary bo =
+        run_model(cfg.n, cfg.c, cfg.k, CollisionModel::OneWinner, true, trials,
+                  seed + 200 + static_cast<std::uint64_t>(cfg.n), jobs);
     table.add_row({Table::num(static_cast<std::int64_t>(cfg.n)),
                    Table::num(static_cast<std::int64_t>(cfg.c)),
                    Table::num(static_cast<std::int64_t>(cfg.k)),

@@ -17,24 +17,40 @@ using namespace cogradio::bench;
 
 namespace {
 
+struct HopTrial {
+  bool completed = false;
+  double slots = 0;
+  int diameter = 0;
+};
+
 Summary multihop_slots(const std::string& shape, int n, int c, int k,
-                       int trials, std::uint64_t base_seed, int* diameter) {
-  std::vector<double> samples;
-  Rng seeder(base_seed);
-  for (int t = 0; t < trials; ++t) {
-    const std::uint64_t s1 = seeder();
+                       int trials, std::uint64_t base_seed, int jobs,
+                       int* diameter) {
+  std::vector<HopTrial> outcomes(static_cast<std::size_t>(trials));
+  ParallelSweep pool(jobs);
+  pool.run(trials, [&](int t) {
+    Rng rng = trial_rng(base_seed, static_cast<std::uint64_t>(t));
+    const std::uint64_t s1 = rng();
     Topology topo = shape == "line"   ? Topology::line(n)
                     : shape == "ring" ? Topology::ring(n)
                     : shape == "grid"
                         ? Topology::grid(n / 8, 8)
                         : Topology::random_geometric(n, 0.3, Rng(s1));
-    *diameter = topo.diameter();
+    HopTrial trial;
+    trial.diameter = topo.diameter();
     SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom,
-                                    Rng(seeder()));
+                                    Rng(rng()));
     MultihopCastConfig config;
-    config.seed = seeder();
+    config.seed = rng();
     const auto out = run_multihop_cast(assignment, topo, config);
-    if (out.completed) samples.push_back(static_cast<double>(out.slots));
+    trial.completed = out.completed;
+    trial.slots = static_cast<double>(out.slots);
+    outcomes[static_cast<std::size_t>(t)] = trial;
+  });
+  std::vector<double> samples;
+  for (const HopTrial& trial : outcomes) {
+    *diameter = trial.diameter;
+    if (trial.completed) samples.push_back(trial.slots);
   }
   return summarize(samples);
 }
@@ -45,6 +61,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const int trials = static_cast<int>(args.get_int("trials", 15));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int jobs = args.get_jobs();
   const int c = static_cast<int>(args.get_int("c", 8));
   const int k = static_cast<int>(args.get_int("k", 2));
   args.finish();
@@ -66,7 +83,7 @@ int main(int argc, char** argv) {
     int diameter = 0;
     const Summary s = multihop_slots(cfg.shape, cfg.n, c, k, trials,
                                      seed + static_cast<std::uint64_t>(cfg.n),
-                                     &diameter);
+                                     jobs, &diameter);
     table.add_row({cfg.shape, Table::num(static_cast<std::int64_t>(cfg.n)),
                    Table::num(static_cast<std::int64_t>(diameter)),
                    Table::num(s.median, 1), Table::num(s.p95, 1),

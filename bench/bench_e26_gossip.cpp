@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const int trials = static_cast<int>(args.get_int("trials", 15));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int jobs = args.get_jobs();
   const int c = static_cast<int>(args.get_int("c", 8));
   const int k = static_cast<int>(args.get_int("k", 2));
   args.finish();
@@ -42,7 +43,7 @@ int main(int argc, char** argv) {
     }
     const Summary gossip = summarize(gossip_slots);
     const Summary one_cast =
-        cogcast_slots("shared-core", n, c, k, trials, seed + 500 + static_cast<std::uint64_t>(n));
+        cogcast_slots("shared-core", n, c, k, trials, seed + 500 + static_cast<std::uint64_t>(n), jobs);
     const double sequential = one_cast.median * n;
     table.add_row({Table::num(static_cast<std::int64_t>(n)),
                    Table::num(gossip.median, 1), Table::num(gossip.p95, 1),

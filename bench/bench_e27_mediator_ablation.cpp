@@ -21,21 +21,33 @@ using namespace cogradio::bench;
 
 namespace {
 
+struct Phase4Trial {
+  bool ok = false;
+  double slots = 0;
+};
+
 Summary phase4_slots(int n, int c, int k, bool mediated, int trials,
-                     std::uint64_t base_seed, int* incomplete) {
-  std::vector<double> samples;
-  Rng seeder(base_seed);
-  for (int t = 0; t < trials; ++t) {
+                     std::uint64_t base_seed, int jobs, int* incomplete) {
+  std::vector<Phase4Trial> outcomes(static_cast<std::size_t>(trials));
+  ParallelSweep pool(jobs);
+  pool.run(trials, [&](int t) {
+    Rng rng = trial_rng(base_seed, static_cast<std::uint64_t>(t));
     PartitionedAssignment assignment(n, c, k, LabelMode::LocalRandom,
-                                     Rng(seeder()));
+                                     Rng(rng()));
     CogCompRunConfig config;
     config.params = {n, c, k, 4.0};
     config.params.mediated = mediated;
-    config.seed = seeder();
-    const auto values = make_values(n, seeder());
+    config.seed = rng();
+    const auto values = make_values(n, rng());
     const auto out = run_cogcomp(assignment, values, config);
-    if (out.completed && out.result == out.expected)
-      samples.push_back(static_cast<double>(out.phase4_slots));
+    outcomes[static_cast<std::size_t>(t)] = {
+        out.completed && out.result == out.expected,
+        static_cast<double>(out.phase4_slots)};
+  });
+  std::vector<double> samples;
+  for (const Phase4Trial& trial : outcomes) {
+    if (trial.ok)
+      samples.push_back(trial.slots);
     else
       ++*incomplete;
   }
@@ -48,6 +60,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const int trials = static_cast<int>(args.get_int("trials", 12));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int jobs = args.get_jobs();
   args.finish();
 
   std::printf("E27: phase-4 mediator ablation   (Section 5, %d trials/point)\n",
@@ -69,10 +82,11 @@ int main(int argc, char** argv) {
     int incomplete_med = 0, incomplete_unmed = 0;
     const Summary med = phase4_slots(cfg.n, cfg.c, cfg.k, true, trials,
                                      seed + static_cast<std::uint64_t>(cfg.n),
-                                     &incomplete_med);
-    const Summary unmed = phase4_slots(cfg.n, cfg.c, cfg.k, false, trials,
-                                       seed + 100 + static_cast<std::uint64_t>(cfg.n),
-                                       &incomplete_unmed);
+                                     jobs, &incomplete_med);
+    const Summary unmed =
+        phase4_slots(cfg.n, cfg.c, cfg.k, false, trials,
+                     seed + 100 + static_cast<std::uint64_t>(cfg.n), jobs,
+                     &incomplete_unmed);
     const double med_steps = med.median / 3.0;
     const double unmed_steps = unmed.median / 2.0;
     table.add_row({Table::num(static_cast<std::int64_t>(cfg.n)),

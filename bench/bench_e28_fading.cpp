@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const int trials = static_cast<int>(args.get_int("trials", 20));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int jobs = args.get_jobs();
   const int n = static_cast<int>(args.get_int("n", 32));
   const int c = static_cast<int>(args.get_int("c", 8));
   const int k = static_cast<int>(args.get_int("k", 2));
@@ -32,37 +33,53 @@ int main(int argc, char** argv) {
   Table table({"loss q", "cogcast med", "vs q=0", "1/(1-q)",
                "cogcomp completed", "cogcomp wrong&claimed-ok"});
   double base_median = 0;
+  ParallelSweep pool(jobs);
   for (double q : {0.0, 0.1, 0.25, 0.5, 0.75}) {
-    std::vector<double> cast_slots;
-    int comp_ok = 0, comp_silent_wrong = 0;
-    Rng seeder(seed + static_cast<std::uint64_t>(q * 100));
-    for (int t = 0; t < trials; ++t) {
+    struct FadeTrial {
+      bool cast_ok = false;
+      double cast_slots = 0;
+      bool comp_ok = false;
+      bool comp_silent_wrong = false;
+    };
+    std::vector<FadeTrial> outcomes(static_cast<std::size_t>(trials));
+    pool.run(trials, [&](int t) {
+      Rng rng = trial_rng(seed + static_cast<std::uint64_t>(q * 100),
+                          static_cast<std::uint64_t>(t));
+      FadeTrial trial;
       {
         SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom,
-                                        Rng(seeder()));
+                                        Rng(rng()));
         CogCastRunConfig config;
         config.params = {n, c, k, 4.0};
-        config.seed = seeder();
+        config.seed = rng();
         config.net.loss_prob = q;
         config.max_slots = 256 * config.params.horizon();
         const auto out = run_cogcast(assignment, config);
-        if (out.completed)
-          cast_slots.push_back(static_cast<double>(out.slots));
+        trial.cast_ok = out.completed;
+        trial.cast_slots = static_cast<double>(out.slots);
       }
       {
         SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom,
-                                        Rng(seeder()));
+                                        Rng(rng()));
         CogCompRunConfig config;
         config.params = {n, c, k, 4.0};
-        config.seed = seeder();
+        config.seed = rng();
         config.net.loss_prob = q;
-        const auto values = make_values(n, seeder());
+        const auto values = make_values(n, rng());
         const auto out = run_cogcomp(assignment, values, config);
-        if (out.completed && out.result == out.expected) ++comp_ok;
+        trial.comp_ok = out.completed && out.result == out.expected;
         // The failure mode that must never occur: claiming completeness
         // with a wrong result.
-        if (out.completed && out.result != out.expected) ++comp_silent_wrong;
+        trial.comp_silent_wrong = out.completed && out.result != out.expected;
       }
+      outcomes[static_cast<std::size_t>(t)] = trial;
+    });
+    std::vector<double> cast_slots;
+    int comp_ok = 0, comp_silent_wrong = 0;
+    for (const FadeTrial& trial : outcomes) {
+      if (trial.cast_ok) cast_slots.push_back(trial.cast_slots);
+      if (trial.comp_ok) ++comp_ok;
+      if (trial.comp_silent_wrong) ++comp_silent_wrong;
     }
     const Summary s = summarize(cast_slots);
     if (q == 0.0) base_median = s.median;

@@ -32,34 +32,34 @@ using namespace cogradio::bench;
 namespace {
 
 Summary biased_cogcast(int n, int c, int k, double zipf_s, LabelMode labels,
-                       int trials, std::uint64_t base_seed) {
-  std::vector<double> samples;
-  Rng seeder(base_seed);
+                       int trials, std::uint64_t base_seed, int jobs) {
   Message payload;
   payload.type = MessageType::Data;
-  for (int t = 0; t < trials; ++t) {
-    // Under global labels pin the shared core to channels 0..k-1 so that
-    // low label rank == shared channel (the aligned regime).
-    SharedCoreAssignment assignment(n, c, k, labels, Rng(seeder()),
-                                    /*total_channels=*/4 * c,
-                                    /*low_core=*/labels == LabelMode::Global);
-    Rng node_seeder(seeder());
-    std::vector<std::unique_ptr<CogCastNode>> nodes;
-    std::vector<Protocol*> protocols;
-    for (NodeId u = 0; u < n; ++u) {
-      nodes.push_back(std::make_unique<CogCastNode>(
-          u, c, u == 0, payload,
-          node_seeder.split(static_cast<std::uint64_t>(u))));
-      nodes.back()->set_channel_bias(zipf_s);
-      protocols.push_back(nodes.back().get());
-    }
-    NetworkOptions opt;
-    opt.seed = seeder();
-    Network net(assignment, protocols, opt);
-    net.run(500'000);
-    if (net.all_done()) samples.push_back(static_cast<double>(net.now()));
-  }
-  return summarize(samples);
+  return summarize(sweep_trials(
+      trials, base_seed, jobs, [&](Rng& rng) -> std::optional<double> {
+        // Under global labels pin the shared core to channels 0..k-1 so that
+        // low label rank == shared channel (the aligned regime).
+        SharedCoreAssignment assignment(
+            n, c, k, labels, Rng(rng()),
+            /*total_channels=*/4 * c,
+            /*low_core=*/labels == LabelMode::Global);
+        Rng node_seeder(rng());
+        std::vector<std::unique_ptr<CogCastNode>> nodes;
+        std::vector<Protocol*> protocols;
+        for (NodeId u = 0; u < n; ++u) {
+          nodes.push_back(std::make_unique<CogCastNode>(
+              u, c, u == 0, payload,
+              node_seeder.split(static_cast<std::uint64_t>(u))));
+          nodes.back()->set_channel_bias(zipf_s);
+          protocols.push_back(nodes.back().get());
+        }
+        NetworkOptions opt;
+        opt.seed = rng();
+        Network net(assignment, protocols, opt);
+        net.run(500'000);
+        if (!net.all_done()) return std::nullopt;
+        return static_cast<double>(net.now());
+      }));
 }
 
 }  // namespace
@@ -68,6 +68,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const int trials = static_cast<int>(args.get_int("trials", 25));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int jobs = args.get_jobs();
   const int n = static_cast<int>(args.get_int("n", 48));
   const int c = static_cast<int>(args.get_int("c", 12));
   const int k = static_cast<int>(args.get_int("k", 3));
@@ -85,7 +86,8 @@ int main(int argc, char** argv) {
       const Summary summary =
           biased_cogcast(n, c, k, s, mode, trials,
                          seed + static_cast<std::uint64_t>(s * 10) +
-                             (local ? 0 : 7000));
+                             (local ? 0 : 7000),
+                         jobs);
       if (s == 0.0) base = summary.median;
       table.add_row({Table::num(s, 1), Table::num(summary.median, 1),
                      Table::num(summary.p95, 1),

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const int trials = static_cast<int>(args.get_int("trials", 15));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int jobs = args.get_jobs();
   const int c = static_cast<int>(args.get_int("c", 8));
   const int k = static_cast<int>(args.get_int("k", 2));
   args.finish();
@@ -35,7 +36,7 @@ int main(int argc, char** argv) {
               "certificates correct"});
   for (int n : {8, 16, 32, 64}) {
     const Summary plain =
-        cogcast_slots("shared-core", n, c, k, trials, seed + static_cast<std::uint64_t>(n));
+        cogcast_slots("shared-core", n, c, k, trials, seed + static_cast<std::uint64_t>(n), jobs);
     std::vector<double> slots;
     int correct = 0;
     Rng seeder(seed + 400 + static_cast<std::uint64_t>(n));

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const int trials = static_cast<int>(args.get_int("trials", 200));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int jobs = args.get_jobs();
   args.finish();
 
   std::printf("E32: Theorem 4 constant calibration   (%d trials/cell; cell = "
@@ -42,18 +43,21 @@ int main(int argc, char** argv) {
                                  Table::num(static_cast<std::int64_t>(cfg.c)),
                                  Table::num(static_cast<std::int64_t>(cfg.k))};
     // One set of completion samples per config; thresholds re-used.
-    std::vector<double> slots;
-    Rng seeder(seed + static_cast<std::uint64_t>(cfg.n * 7 + cfg.c));
-    for (int t = 0; t < trials; ++t) {
+    std::vector<double> slots(static_cast<std::size_t>(trials));
+    ParallelSweep pool(jobs);
+    pool.run(trials, [&](int t) {
+      Rng rng = trial_rng(seed + static_cast<std::uint64_t>(cfg.n * 7 + cfg.c),
+                          static_cast<std::uint64_t>(t));
       auto assignment = make_assignment(cfg.pattern, cfg.n, cfg.c, cfg.k,
-                                        LabelMode::LocalRandom, Rng(seeder()));
+                                        LabelMode::LocalRandom, Rng(rng()));
       CogCastRunConfig config;
       config.params = {cfg.n, cfg.c, cfg.k, 4.0};
-      config.seed = seeder();
+      config.seed = rng();
       config.max_slots = 256 * config.params.horizon();
       const auto out = run_cogcast(*assignment, config);
-      slots.push_back(out.completed ? static_cast<double>(out.slots) : 1e18);
-    }
+      slots[static_cast<std::size_t>(t)] =
+          out.completed ? static_cast<double>(out.slots) : 1e18;
+    });
     const double shape =
         theorem4_shape_effective(cfg.pattern, cfg.n, cfg.c, cfg.k);
     for (double gamma : {0.5, 1.0, 2.0, 4.0, 8.0}) {

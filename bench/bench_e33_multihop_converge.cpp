@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const int trials = static_cast<int>(args.get_int("trials", 8));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int jobs = args.get_jobs();
   const int c = static_cast<int>(args.get_int("c", 6));
   const int k = static_cast<int>(args.get_int("k", 2));
   args.finish();
@@ -34,30 +35,47 @@ int main(int argc, char** argv) {
   for (const Config cfg : {Config{"line", 12}, Config{"line", 24},
                            Config{"ring", 16}, Config{"grid", 16},
                            Config{"grid", 32}, Config{"clique", 16}}) {
-    std::vector<double> slots;
-    int exact = 0, shortfall = 0;
-    int diameter = 0;
-    Rng seeder(seed + static_cast<std::uint64_t>(cfg.n));
-    for (int t = 0; t < trials; ++t) {
+    struct ConvergeTrial {
+      bool completed = false;
+      bool exact = false;
+      double slots = 0;
+      int diameter = 0;
+    };
+    std::vector<ConvergeTrial> outcomes(static_cast<std::size_t>(trials));
+    ParallelSweep pool(jobs);
+    pool.run(trials, [&](int t) {
+      Rng rng = trial_rng(seed + static_cast<std::uint64_t>(cfg.n),
+                          static_cast<std::uint64_t>(t));
       const std::string shape = cfg.shape;
       Topology topo = shape == "line"   ? Topology::line(cfg.n)
                       : shape == "ring" ? Topology::ring(cfg.n)
                       : shape == "grid"
                           ? Topology::grid(cfg.n / 4, 4)
                           : Topology::clique(cfg.n);
-      diameter = topo.diameter();
+      ConvergeTrial trial;
+      trial.diameter = topo.diameter();
       SharedCoreAssignment assignment(cfg.n, c, k, LabelMode::LocalRandom,
-                                      Rng(seeder()));
-      const auto values = make_values(cfg.n, seeder());
+                                      Rng(rng()));
+      const auto values = make_values(cfg.n, rng());
       MultihopConvergeConfig config;
-      config.seed = seeder();
+      config.seed = rng();
       const auto out = run_multihop_converge(assignment, topo, values, config);
-      if (!out.completed) {
+      trial.completed = out.completed;
+      trial.exact = out.completed && out.result == out.expected;
+      trial.slots = static_cast<double>(out.slots);
+      outcomes[static_cast<std::size_t>(t)] = trial;
+    });
+    std::vector<double> slots;
+    int exact = 0, shortfall = 0;
+    int diameter = 0;
+    for (const ConvergeTrial& trial : outcomes) {
+      diameter = trial.diameter;
+      if (!trial.completed) {
         ++shortfall;
         continue;
       }
-      if (out.result == out.expected) ++exact;
-      slots.push_back(static_cast<double>(out.slots));
+      if (trial.exact) ++exact;
+      slots.push_back(trial.slots);
     }
     table.add_row({cfg.shape, Table::num(static_cast<std::int64_t>(cfg.n)),
                    Table::num(static_cast<std::int64_t>(diameter)),

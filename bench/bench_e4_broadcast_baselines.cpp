@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const int trials = static_cast<int>(args.get_int("trials", 20));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int jobs = args.get_jobs();
   const int n = static_cast<int>(args.get_int("n", 64));
   const int k = static_cast<int>(args.get_int("k", 2));
   args.finish();
@@ -52,9 +53,9 @@ int main(int argc, char** argv) {
   // the ratio should track the claimed factor c cleanly.
   Table table({"c", "cogcast med", "rendezvous med", "ratio", "ratio/c"});
   for (int c : {8, 16, 32, 64}) {
-    const Summary cog = cogcast_slots("partitioned", n, c, k, trials, seed + c);
+    const Summary cog = cogcast_slots("partitioned", n, c, k, trials, seed + c, jobs);
     const Summary rv =
-        rendezvous_broadcast_slots("partitioned", n, c, k, trials, seed + c);
+        rendezvous_broadcast_slots("partitioned", n, c, k, trials, seed + c, jobs);
     const double ratio = safe_ratio(rv.median, cog.median);
     table.add_row({Table::num(static_cast<std::int64_t>(c)),
                    Table::num(cog.median, 1), Table::num(rv.median, 1),

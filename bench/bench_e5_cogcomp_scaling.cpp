@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const int trials = static_cast<int>(args.get_int("trials", 15));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int jobs = args.get_jobs();
   const int c = static_cast<int>(args.get_int("c", 16));
   const int k = static_cast<int>(args.get_int("k", 4));
   args.finish();
@@ -26,24 +27,37 @@ int main(int argc, char** argv) {
   Table table({"n", "phase1 (bcast)", "phase2 (n)", "phase3 (rewind)",
                "phase4 med", "phase4 bound 3(n+1)", "total med",
                "theory shape", "ok"});
+  ParallelSweep pool(jobs);
   for (int n : {8, 16, 32, 64, 128, 256}) {
-    std::vector<double> total, p4;
-    int failures = 0;
-    Rng seeder(seed + static_cast<std::uint64_t>(n));
-    for (int t = 0; t < trials; ++t) {
+    struct Trial {
+      bool ok = false;
+      double total = 0, p4 = 0;
+    };
+    std::vector<Trial> outcomes(static_cast<std::size_t>(trials));
+    pool.run(trials, [&](int t) {
+      Rng rng = trial_rng(seed + static_cast<std::uint64_t>(n),
+                          static_cast<std::uint64_t>(t));
       SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom,
-                                      Rng(seeder()));
+                                      Rng(rng()));
       CogCompRunConfig config;
       config.params = {n, c, k, 4.0};
-      config.seed = seeder();
-      const auto values = make_values(n, seeder());
+      config.seed = rng();
+      const auto values = make_values(n, rng());
       const auto out = run_cogcomp(assignment, values, config);
-      if (!out.completed || out.result != out.expected) {
+      if (!out.completed || out.result != out.expected) return;
+      outcomes[static_cast<std::size_t>(t)] = {
+          true, static_cast<double>(out.slots),
+          static_cast<double>(out.phase4_slots)};
+    });
+    std::vector<double> total, p4;
+    int failures = 0;
+    for (const Trial& o : outcomes) {
+      if (!o.ok) {
         ++failures;
         continue;
       }
-      total.push_back(static_cast<double>(out.slots));
-      p4.push_back(static_cast<double>(out.phase4_slots));
+      total.push_back(o.total);
+      p4.push_back(o.p4);
     }
     const CogCompParams params{n, c, k, 4.0};
     const double theory = theorem4_shape(n, c, k) + n;

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const int trials = static_cast<int>(args.get_int("trials", 10));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int jobs = args.get_jobs();
   const int c = static_cast<int>(args.get_int("c", 16));
   const int k = static_cast<int>(args.get_int("k", 4));
   args.finish();
@@ -25,29 +26,40 @@ int main(int argc, char** argv) {
 
   Table table({"n", "cogcomp med", "rendezvous med", "ratio",
                "theory c^2n/k", "baseline/theory"});
+  ParallelSweep pool(jobs);
+  struct Trial {
+    std::optional<double> cog, rv;
+  };
   for (int n : {8, 16, 32, 64, 128}) {
-    std::vector<double> cog, rv;
-    Rng seeder(seed + static_cast<std::uint64_t>(n));
-    for (int t = 0; t < trials; ++t) {
-      const auto values = make_values(n, seeder());
+    std::vector<Trial> outcomes(static_cast<std::size_t>(trials));
+    pool.run(trials, [&](int t) {
+      Rng rng = trial_rng(seed + static_cast<std::uint64_t>(n),
+                          static_cast<std::uint64_t>(t));
+      Trial& o = outcomes[static_cast<std::size_t>(t)];
+      const auto values = make_values(n, rng());
       {
         SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom,
-                                        Rng(seeder()));
+                                        Rng(rng()));
         CogCompRunConfig config;
         config.params = {n, c, k, 4.0};
-        config.seed = seeder();
+        config.seed = rng();
         const auto out = run_cogcomp(assignment, values, config);
-        if (out.completed) cog.push_back(static_cast<double>(out.slots));
+        if (out.completed) o.cog = static_cast<double>(out.slots);
       }
       {
         SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom,
-                                        Rng(seeder()));
+                                        Rng(rng()));
         BaselineRunConfig config;
-        config.seed = seeder();
+        config.seed = rng();
         config.max_slots = 8'000'000;
         const auto out = run_rendezvous_aggregation(assignment, values, config);
-        if (out.completed) rv.push_back(static_cast<double>(out.slots));
+        if (out.completed) o.rv = static_cast<double>(out.slots);
       }
+    });
+    std::vector<double> cog, rv;
+    for (const Trial& o : outcomes) {
+      if (o.cog) cog.push_back(*o.cog);
+      if (o.rv) rv.push_back(*o.rv);
     }
     const double cm = summarize(cog).median;
     const double rm = summarize(rv).median;
@@ -70,28 +82,35 @@ int main(int argc, char** argv) {
               "baseline theory tail c^2"});
   for (int n : {8, 16, 32, 64}) {
     const int cc = 32, kk = 1;
-    std::vector<double> cog, rv;
-    Rng seeder(seed + 7000 + static_cast<std::uint64_t>(n));
-    for (int t = 0; t < trials; ++t) {
-      const auto values = make_values(n, seeder());
+    std::vector<Trial> outcomes(static_cast<std::size_t>(trials));
+    pool.run(trials, [&](int t) {
+      Rng rng = trial_rng(seed + 7000 + static_cast<std::uint64_t>(n),
+                          static_cast<std::uint64_t>(t));
+      Trial& o = outcomes[static_cast<std::size_t>(t)];
+      const auto values = make_values(n, rng());
       {
         PartitionedAssignment assignment(n, cc, kk, LabelMode::LocalRandom,
-                                         Rng(seeder()));
+                                         Rng(rng()));
         CogCompRunConfig config;
         config.params = {n, cc, kk, 4.0};
-        config.seed = seeder();
+        config.seed = rng();
         const auto out = run_cogcomp(assignment, values, config);
-        if (out.completed) cog.push_back(static_cast<double>(out.slots));
+        if (out.completed) o.cog = static_cast<double>(out.slots);
       }
       {
         PartitionedAssignment assignment(n, cc, kk, LabelMode::LocalRandom,
-                                         Rng(seeder()));
+                                         Rng(rng()));
         BaselineRunConfig config;
-        config.seed = seeder();
+        config.seed = rng();
         config.max_slots = 16'000'000;
         const auto out = run_rendezvous_aggregation(assignment, values, config);
-        if (out.completed) rv.push_back(static_cast<double>(out.slots));
+        if (out.completed) o.rv = static_cast<double>(out.slots);
       }
+    });
+    std::vector<double> cog, rv;
+    for (const Trial& o : outcomes) {
+      if (o.cog) cog.push_back(*o.cog);
+      if (o.rv) rv.push_back(*o.rv);
     }
     const double cm = summarize(cog).median;
     const double rm = summarize(rv).median;

@@ -17,11 +17,13 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const int trials = static_cast<int>(args.get_int("trials", 400));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int jobs = args.get_jobs();
   args.finish();
 
   std::printf("E7: (c,k)-bipartite hitting game   (Lemma 11, %d trials/point)\n",
               trials);
 
+  ParallelSweep pool(jobs);
   for (const bool fresh : {false, true}) {
     Table table({"c", "k", "lemma11 budget", "win rate in budget",
                  "median win round", "median/(c^2/k)"});
@@ -30,18 +32,22 @@ int main(int argc, char** argv) {
         if (k < 1 || 2 * k > c) continue;
         const auto budget =
             static_cast<std::int64_t>(lemma11_round_bound(c, k));
-        int wins_in_budget = 0;
-        std::vector<double> win_rounds;
-        Rng seeder(seed + static_cast<std::uint64_t>(c * 100 + k));
-        for (int t = 0; t < trials; ++t) {
-          HittingGameReferee ref(c, k, Rng(seeder()));
+        std::vector<GameResult> outcomes(static_cast<std::size_t>(trials));
+        pool.run(trials, [&](int t) {
+          Rng rng = trial_rng(seed + static_cast<std::uint64_t>(c * 100 + k),
+                              static_cast<std::uint64_t>(t));
+          HittingGameReferee ref(c, k, Rng(rng()));
           std::unique_ptr<HittingGamePlayer> player;
           if (fresh)
-            player = std::make_unique<FreshPlayer>(c, Rng(seeder()));
+            player = std::make_unique<FreshPlayer>(c, Rng(rng()));
           else
-            player = std::make_unique<UniformPlayer>(c, Rng(seeder()));
-          const GameResult result =
+            player = std::make_unique<UniformPlayer>(c, Rng(rng()));
+          outcomes[static_cast<std::size_t>(t)] =
               play(ref, *player, 64LL * c * c);  // generous cap
+        });
+        int wins_in_budget = 0;
+        std::vector<double> win_rounds;
+        for (const GameResult& result : outcomes) {
           if (result.won && result.rounds <= budget) ++wins_in_budget;
           if (result.won)
             win_rounds.push_back(static_cast<double>(result.rounds));

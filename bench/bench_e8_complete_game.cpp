@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const int trials = static_cast<int>(args.get_int("trials", 600));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int jobs = args.get_jobs();
   args.finish();
 
   std::printf("E8: c-complete bipartite hitting game   (Lemma 14, "
@@ -24,14 +25,19 @@ int main(int argc, char** argv) {
 
   Table table({"c", "budget c/3", "win rate in budget", "median win round",
                "median/c"});
+  ParallelSweep pool(jobs);
   for (int c : {12, 24, 48, 96, 192}) {
+    std::vector<GameResult> outcomes(static_cast<std::size_t>(trials));
+    pool.run(trials, [&](int t) {
+      Rng rng = trial_rng(seed + static_cast<std::uint64_t>(c),
+                          static_cast<std::uint64_t>(t));
+      HittingGameReferee ref(c, c, Rng(rng()));
+      FreshPlayer player(c, Rng(rng()));
+      outcomes[static_cast<std::size_t>(t)] = play(ref, player, 64LL * c);
+    });
     int wins_in_budget = 0;
     std::vector<double> win_rounds;
-    Rng seeder(seed + static_cast<std::uint64_t>(c));
-    for (int t = 0; t < trials; ++t) {
-      HittingGameReferee ref(c, c, Rng(seeder()));
-      FreshPlayer player(c, Rng(seeder()));
-      const GameResult result = play(ref, player, 64LL * c);
+    for (const GameResult& result : outcomes) {
       if (result.won && result.rounds <= c / 3) ++wins_in_budget;
       if (result.won) win_rounds.push_back(static_cast<double>(result.rounds));
     }

@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
   const int trials = static_cast<int>(args.get_int("trials", 4000));
   const int cast_trials = static_cast<int>(args.get_int("cast-trials", 20));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int jobs = args.get_jobs();
   const int n = static_cast<int>(args.get_int("n", 32));
   args.finish();
 
@@ -75,7 +76,7 @@ int main(int argc, char** argv) {
   for (int c : {16, 32}) {
     for (int k : {2, 4}) {
       const Summary s =
-          cogcast_slots("partitioned", n, c, k, cast_trials, seed + c + k);
+          cogcast_slots("partitioned", n, c, k, cast_trials, seed + c + k, jobs);
       const double lb = static_cast<double>(c + 1) / (k + 1);
       gap.add_row({Table::num(static_cast<std::int64_t>(c)),
                    Table::num(static_cast<std::int64_t>(k)),

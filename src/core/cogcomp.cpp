@@ -276,10 +276,12 @@ void CogCompNode::phase4_feedback(Slot slot, const SlotResult& result) {
     }
     default: {
       // Receiver: the ack we just broadcast was the sole transmission on
-      // the channel, so the delivery is committed — count it.
-      if (role_ == Role::Receiver && pending_ack_ != kNoNode) {
-        assert(result.tx_success);
-        receiver_ack_committed();
+      // the channel (guaranteed in the loss-free model), so the delivery
+      // is committed — count it. Under fading a desynchronized re-ack can
+      // lose the channel; keep it pending and retry next step.
+      if (role_ == Role::Receiver && pending_ack_ != kNoNode &&
+          result.tx_attempted) {
+        if (result.tx_success) receiver_ack_committed();
       }
       // Sender: hearing its own id acknowledged means its subtree is
       // delivered; a plain sender terminates, a mediator keeps serving.
@@ -298,15 +300,19 @@ void CogCompNode::phase4_feedback(Slot slot, const SlotResult& result) {
       if (mediator_active()) {
         for (const Message& m : result.received) {
           if (m.type != MessageType::Ack) continue;
-          assert(m.r == mediator_clusters_[med_idx_].first);
+          // In the loss-free model only the active cluster's acks can be
+          // heard; under fading (E28) retransmissions desynchronize the
+          // drain, so stray acks are dropped — costing liveness (the run
+          // reports incompleteness), never correctness.
+          if (m.r != mediator_clusters_[med_idx_].first) continue;
           ++med_delivered_;
           if (med_delivered_ == mediator_clusters_[med_idx_].second) {
             ++med_idx_;
             med_delivered_ = 0;
             if (med_idx_ == mediator_clusters_.size()) {
               // Channel drained; the mediator's own delivery happened while
-              // draining its own (first) cluster, so it can terminate.
-              assert(delivered_);
+              // draining its own (first) cluster (guaranteed loss-free,
+              // possibly skipped under fading), so it can stop serving.
               done_ = true;
             }
           }

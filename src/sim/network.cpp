@@ -20,11 +20,66 @@ Network::Network(ChannelAssignment& assignment,
         "network: protocol count must match assignment node count");
   for (const Protocol* p : protocols_)
     if (p == nullptr) throw std::invalid_argument("network: null protocol");
+
+  // Size all per-slot scratch up front; step() only ever writes into this
+  // capacity, so the steady-state hot path is allocation-free.
+  const std::size_t n = protocols_.size();
+  resolved_.resize(n);
+  messages_.resize(n);
+  used_channel_.resize(n);
+  received_.resize(n);
+  fed_.resize(n);
+  order_.reserve(n);
+  broadcasters_.reserve(n);
+  listeners_.reserve(n);
+  channel_bucket_.resize(static_cast<std::size_t>(assignment_.total_channels()) + 1);
 }
 
 bool Network::all_done() const {
   return std::all_of(protocols_.begin(), protocols_.end(),
                      [](const Protocol* p) { return p->done(); });
+}
+
+void Network::group_by_channel() {
+  const auto n = protocols_.size();
+  order_.clear();
+  if (options_.grouping == GroupingStrategy::ComparisonSort) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const ResolvedAction& r = resolved_[i];
+      if (r.mode != Mode::Idle && !r.jammed) order_.push_back(static_cast<int>(i));
+    }
+    std::stable_sort(order_.begin(), order_.end(), [&](int a, int b) {
+      return resolved_[static_cast<std::size_t>(a)].channel <
+             resolved_[static_cast<std::size_t>(b)].channel;
+    });
+    return;
+  }
+  // Counting sort keyed by physical channel: histogram, exclusive prefix
+  // sums, then a stable scatter in node-index order. O(n + C) with C small.
+  std::fill(channel_bucket_.begin(), channel_bucket_.end(), 0);
+  std::size_t participants = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const ResolvedAction& r = resolved_[i];
+    if (r.mode == Mode::Idle || r.jammed) continue;
+    assert(r.channel >= 0 &&
+           static_cast<std::size_t>(r.channel) + 1 < channel_bucket_.size());
+    ++channel_bucket_[static_cast<std::size_t>(r.channel)];
+    ++participants;
+  }
+  order_.resize(participants);
+  int offset = 0;
+  for (int& bucket : channel_bucket_) {
+    const int count = bucket;
+    bucket = offset;
+    offset += count;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const ResolvedAction& r = resolved_[i];
+    if (r.mode == Mode::Idle || r.jammed) continue;
+    order_[static_cast<std::size_t>(
+        channel_bucket_[static_cast<std::size_t>(r.channel)]++)] =
+        static_cast<int>(i);
+  }
 }
 
 void Network::step() {
@@ -34,9 +89,12 @@ void Network::step() {
   assignment_.begin_slot(slot);
   if (jammer_ != nullptr) jammer_->begin_slot(slot);
 
-  resolved_.assign(n, ResolvedAction{});
-  messages_.assign(n, Message{});
-  used_channel_.assign(n, kNoChannel);
+  // Reset per-slot scratch in place. messages_ is skipped on purpose: only
+  // broadcaster entries are read, and those are overwritten below.
+  std::fill(resolved_.begin(), resolved_.end(), ResolvedAction{});
+  std::fill(used_channel_.begin(), used_channel_.end(), kNoChannel);
+  std::fill(received_.begin(), received_.end(), std::span<const Message>{});
+  std::fill(fed_.begin(), fed_.end(), char{0});
 
   // 1. Collect and resolve actions.
   for (std::size_t i = 0; i < n; ++i) {
@@ -67,21 +125,7 @@ void Network::step() {
   }
 
   // 2. Group participating nodes by physical channel.
-  order_.clear();
-  for (std::size_t i = 0; i < n; ++i) {
-    const ResolvedAction& r = resolved_[i];
-    if (r.mode != Mode::Idle && !r.jammed) order_.push_back(static_cast<int>(i));
-  }
-  std::sort(order_.begin(), order_.end(), [&](int a, int b) {
-    return resolved_[static_cast<std::size_t>(a)].channel <
-           resolved_[static_cast<std::size_t>(b)].channel;
-  });
-
-  // Feedback bookkeeping: per-node received span, filled group by group.
-  std::vector<std::span<const Message>> received(n);
-  std::vector<char> fed(n, 0);  // feedback already delivered in-loop
-  std::vector<Message> group_messages;  // AllDelivered scratch per group —
-  // deliver within the group loop so spans into it stay valid.
+  group_by_channel();
 
   auto account_success = [&](const Message& msg) {
     ++stats_.successes;
@@ -99,21 +143,22 @@ void Network::step() {
       ++end;
 
     // Partition the group into broadcasters and listeners.
-    std::vector<int> broadcasters, listeners;
+    broadcasters_.clear();
+    listeners_.clear();
     for (std::size_t i = begin; i < end; ++i) {
       const auto idx = static_cast<std::size_t>(order_[i]);
-      (resolved_[idx].mode == Mode::Broadcast ? broadcasters : listeners)
+      (resolved_[idx].mode == Mode::Broadcast ? broadcasters_ : listeners_)
           .push_back(order_[i]);
     }
-    if (broadcasters.size() >= 2) ++stats_.collision_events;
+    if (broadcasters_.size() >= 2) ++stats_.collision_events;
 
     switch (options_.collision) {
       case CollisionModel::OneWinner: {
-        if (broadcasters.empty()) break;
+        if (broadcasters_.empty()) break;
         std::size_t pick = 0;
         if (options_.emulate_backoff) {
           const BackoffOutcome outcome = decay_backoff(
-              static_cast<int>(broadcasters.size()), options_.backoff, rng_);
+              static_cast<int>(broadcasters_.size()), options_.backoff, rng_);
           stats_.micro_slots += outcome.micro_slots;
           if (!outcome.resolved) {
             ++stats_.backoff_failures;
@@ -121,60 +166,60 @@ void Network::step() {
           }
           pick = static_cast<std::size_t>(outcome.winner);
         } else {
-          pick = rng_.below(broadcasters.size());
+          pick = rng_.below(broadcasters_.size());
         }
-        const auto winner = static_cast<std::size_t>(broadcasters[pick]);
+        const auto winner = static_cast<std::size_t>(broadcasters_[pick]);
         resolved_[winner].tx_success = true;
         account_success(messages_[winner]);
         const std::span<const Message> win{&messages_[winner], 1};
         auto faded = [&] {
           return options_.loss_prob > 0.0 && rng_.chance(options_.loss_prob);
         };
-        for (int l : listeners) {
+        for (int l : listeners_) {
           if (faded()) continue;
-          received[static_cast<std::size_t>(l)] = win;
+          received_[static_cast<std::size_t>(l)] = win;
           ++stats_.deliveries;
         }
         // Failed broadcasters also receive the winning message (Section 2).
-        for (int b : broadcasters)
+        for (int b : broadcasters_)
           if (static_cast<std::size_t>(b) != winner) {
             if (faded()) continue;
-            received[static_cast<std::size_t>(b)] = win;
+            received_[static_cast<std::size_t>(b)] = win;
             ++stats_.deliveries;
           }
         break;
       }
       case CollisionModel::AllDelivered: {
-        if (broadcasters.empty()) break;
-        group_messages.clear();
-        for (int b : broadcasters) {
+        if (broadcasters_.empty()) break;
+        group_messages_.clear();
+        for (int b : broadcasters_) {
           resolved_[static_cast<std::size_t>(b)].tx_success = true;
-          group_messages.push_back(messages_[static_cast<std::size_t>(b)]);
+          group_messages_.push_back(messages_[static_cast<std::size_t>(b)]);
           account_success(messages_[static_cast<std::size_t>(b)]);
         }
-        const std::span<const Message> all{group_messages};
+        const std::span<const Message> all{group_messages_};
         stats_.deliveries +=
-            static_cast<std::int64_t>(listeners.size() * group_messages.size());
-        // Deliver inside the group loop: group_messages is reused next group.
-        for (int l : listeners) {
+            static_cast<std::int64_t>(listeners_.size() * group_messages_.size());
+        // Deliver inside the group loop: group_messages_ is reused next group.
+        for (int l : listeners_) {
           const auto idx = static_cast<std::size_t>(l);
           SlotResult res;
           res.received = all;
           protocols_[idx]->on_feedback(slot, res);
-          fed[idx] = 1;
-          // Accounted here because received[] stays empty for these nodes.
+          fed_[idx] = 1;
+          // Accounted here because received_[] stays empty for these nodes.
           activity_[idx].received += static_cast<std::int64_t>(all.size());
         }
         break;
       }
       case CollisionModel::CollisionLoss: {
-        if (broadcasters.size() == 1) {
-          const auto winner = static_cast<std::size_t>(broadcasters.front());
+        if (broadcasters_.size() == 1) {
+          const auto winner = static_cast<std::size_t>(broadcasters_.front());
           resolved_[winner].tx_success = true;
           account_success(messages_[winner]);
           const std::span<const Message> win{&messages_[winner], 1};
-          for (int l : listeners) {
-            received[static_cast<std::size_t>(l)] = win;
+          for (int l : listeners_) {
+            received_[static_cast<std::size_t>(l)] = win;
             ++stats_.deliveries;
           }
         }
@@ -186,13 +231,13 @@ void Network::step() {
 
   // 4. Feedback. (AllDelivered listeners were already fed inside the loop.)
   for (std::size_t i = 0; i < n; ++i) {
-    if (fed[i]) continue;
+    if (fed_[i]) continue;
     const ResolvedAction& r = resolved_[i];
     SlotResult res;
     res.jammed = r.jammed;
     res.tx_attempted = r.mode == Mode::Broadcast && !r.jammed;
     res.tx_success = r.tx_success;
-    res.received = received[i];
+    res.received = received_[i];
     protocols_[i]->on_feedback(slot, res);
   }
 
@@ -207,10 +252,10 @@ void Network::step() {
     } else if (r.mode == Mode::Broadcast) {
       ++act.tx;
       if (r.tx_success) ++act.tx_success;
-      if (!received[i].empty()) act.received += static_cast<std::int64_t>(received[i].size());
+      if (!received_[i].empty()) act.received += static_cast<std::int64_t>(received_[i].size());
     } else {
       ++act.listen;
-      act.received += static_cast<std::int64_t>(received[i].size());
+      act.received += static_cast<std::int64_t>(received_[i].size());
     }
   }
 

@@ -34,6 +34,16 @@ namespace cogradio {
 
 enum class CollisionModel : std::uint8_t { OneWinner, AllDelivered, CollisionLoss };
 
+// How step() groups participating nodes by physical channel.
+//   CountingSort    default — stable two-pass bucket sort keyed by channel;
+//                   O(n + C) per slot with no comparator indirection.
+//   ComparisonSort  the reference path: std::stable_sort on channel. Kept
+//                   for differential testing (test_network.cpp runs both
+//                   and asserts bit-identical executions).
+// Both are stable by node index within a channel, so the two paths resolve
+// collisions identically for the same seed.
+enum class GroupingStrategy : std::uint8_t { CountingSort, ComparisonSort };
+
 // Adversarial interference (Theorem 18). An n-uniform jammer may cut off
 // any (node, channel) pairs each slot; concrete strategies live in
 // sim/jamming.h and are responsible for honoring their per-node budget.
@@ -71,6 +81,8 @@ struct NetworkOptions {
   // CogComp's deterministic phases lose their guarantees (and report
   // incompleteness rather than a silently wrong aggregate).
   double loss_prob = 0.0;
+
+  GroupingStrategy grouping = GroupingStrategy::CountingSort;
 };
 
 // Post-resolution view of one node's slot, for test oracles and observers.
@@ -123,11 +135,25 @@ class Network {
   TraceStats stats_;
   std::vector<NodeActivity> activity_;
 
-  // Per-slot scratch, kept across slots to avoid reallocation.
+  // Groups the participating nodes of `resolved_` into `order_` (stable by
+  // node index within each physical channel) using options_.grouping.
+  void group_by_channel();
+
+  // Per-slot scratch, sized once in the constructor and reused every slot
+  // so that step() performs zero heap allocations in steady state (the E18
+  // allocation probe enforces this).
   std::vector<ResolvedAction> resolved_;
-  std::vector<Message> messages_;   // broadcast message per node (by index)
-  std::vector<int> order_;          // node indices sorted by channel
+  std::vector<Message> messages_;   // broadcast message per node (by index);
+                                    // only broadcaster entries are live — stale
+                                    // slots are never read, so no per-slot reset
+  std::vector<int> order_;          // participating node indices, grouped by channel
   std::vector<Channel> used_channel_;  // per node, for jammer observe()
+  std::vector<std::span<const Message>> received_;  // per-node delivery view
+  std::vector<char> fed_;           // feedback already delivered in-loop
+  std::vector<Message> group_messages_;  // AllDelivered per-group scratch
+  std::vector<int> broadcasters_;   // per-group partition scratch
+  std::vector<int> listeners_;
+  std::vector<int> channel_bucket_;  // counting-sort histogram / offsets
 };
 
 }  // namespace cogradio

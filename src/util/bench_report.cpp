@@ -1,0 +1,58 @@
+#include "util/bench_report.h"
+
+#include <cstdio>
+
+#include "util/version.h"
+
+namespace cogradio {
+
+BenchReport::Metric& BenchReport::upsert(const std::string& key) {
+  for (auto& m : metrics_)
+    if (m.key == key) return m;
+  metrics_.push_back(Metric{key, 0.0, false});
+  return metrics_.back();
+}
+
+void BenchReport::set(const std::string& key, double value) {
+  Metric& m = upsert(key);
+  m.value = value;
+  m.integral = false;
+}
+
+void BenchReport::set_int(const std::string& key, std::int64_t value) {
+  Metric& m = upsert(key);
+  m.value = static_cast<double>(value);
+  m.integral = true;
+}
+
+std::string BenchReport::to_json() const {
+  std::string out = "{\n";
+  out += "  \"name\": \"" + name_ + "\",\n";
+  out += "  \"generated_by\": \"cogradio " + std::string(kVersionString) +
+         "\",\n";
+  out += "  \"metrics\": {";
+  char buf[64];
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    const Metric& m = metrics_[i];
+    if (m.integral)
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(m.value));
+    else
+      std::snprintf(buf, sizeof(buf), "%.17g", m.value);
+    out += (i == 0 ? "\n" : ",\n");
+    out += "    \"" + m.key + "\": " + buf;
+  }
+  out += metrics_.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+bool BenchReport::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace cogradio

@@ -1,0 +1,49 @@
+// Machine-readable benchmark reporter.
+//
+// Harnesses that feed dashboards or regression gates (E18 today) record
+// named numeric metrics here and flush them as one flat JSON object, e.g.
+//
+//   BenchReport report("sim_perf");
+//   report.set("step.n1024.node_slots_per_sec", 4.1e7);
+//   report.set_int("alloc_probe.n1024.allocs_per_slot", 0);
+//   report.write("BENCH_sim.json");
+//
+// The output is {"name": ..., "generated_by": ..., "metrics": {...}} with
+// metrics in insertion order, so diffs between runs stay line-aligned.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cogradio {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  // Records (or overwrites) one metric. Values must be finite.
+  void set(const std::string& key, double value);
+  void set_int(const std::string& key, std::int64_t value);
+
+  // Serializes the report as pretty-printed JSON.
+  std::string to_json() const;
+
+  // Writes to_json() to `path`; returns false on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  struct Metric {
+    std::string key;
+    double value = 0.0;
+    bool integral = false;
+  };
+
+  Metric& upsert(const std::string& key);
+
+  std::string name_;
+  std::vector<Metric> metrics_;
+};
+
+}  // namespace cogradio

@@ -68,6 +68,12 @@ bool CliArgs::get_flag(const std::string& name) {
   return it->second != "false" && it->second != "0";
 }
 
+int CliArgs::get_jobs() {
+  const auto jobs = get_int("jobs", 1);
+  if (jobs < 0) die("flag --jobs expects a count >= 0 (0 = all cores)");
+  return static_cast<int>(jobs);
+}
+
 void CliArgs::finish() const {
   for (const auto& [name, value] : values_) {
     (void)value;

@@ -25,6 +25,11 @@ class CliArgs {
   // True if --name was given (optionally --name=false to disable).
   bool get_flag(const std::string& name);
 
+  // The shared --jobs flag of the bench/example harnesses: worker count for
+  // ParallelSweep sweeps. Defaults to 1 (sequential); 0 = all hardware
+  // threads. Results are bit-identical for any value (see util/sweep.h).
+  int get_jobs();
+
   // Exits with a diagnostic if any provided flag was never queried —
   // catches typos like --trails instead of --trials.
   void finish() const;

@@ -5,9 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "core/cogcast.h"
 #include "sim/assignment.h"
 
 namespace cogradio {
@@ -281,6 +283,123 @@ TEST(Network, FadingDropsDeliveriesIndependently) {
   rig.network->step();
   EXPECT_TRUE(rig.node(0).feedback_[0].tx_success);
   EXPECT_TRUE(rig.node(1).feedback_[0].received.empty());
+}
+
+// Differential test for the two grouping paths: the counting sort that
+// step() uses by default must reproduce the reference std::stable_sort
+// execution bit for bit — same winners, same deliveries, same per-node
+// accounting — under every collision model.
+TEST(Network, GroupingStrategiesBitIdentical) {
+  struct RunTrace {
+    std::vector<ResolvedAction> actions;
+    TraceStats stats;
+    std::vector<NodeActivity> activity;
+    Slot done_at = 0;
+  };
+  const auto run_once = [](GroupingStrategy grouping, CollisionModel model) {
+    const int n = 48, c = 8, k = 2;
+    SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom, Rng(21));
+    Message payload;
+    payload.type = MessageType::Data;
+    payload.a = 7;
+    Rng seeder(22);
+    std::vector<std::unique_ptr<CogCastNode>> nodes;
+    std::vector<Protocol*> protocols;
+    for (NodeId u = 0; u < n; ++u) {
+      nodes.push_back(std::make_unique<CogCastNode>(
+          u, c, u == 0, payload,
+          seeder.split(static_cast<std::uint64_t>(u))));
+      protocols.push_back(nodes.back().get());
+    }
+    NetworkOptions opt;
+    opt.grouping = grouping;
+    opt.collision = model;
+    opt.seed = 23;
+    Network net(assignment, protocols, opt);
+    RunTrace trace;
+    net.set_observer([&](Slot, std::span<const ResolvedAction> actions) {
+      trace.actions.insert(trace.actions.end(), actions.begin(),
+                           actions.end());
+    });
+    trace.done_at = net.run(5000);
+    trace.stats = net.stats();
+    for (NodeId u = 0; u < n; ++u) trace.activity.push_back(net.activity(u));
+    return trace;
+  };
+
+  for (const CollisionModel model :
+       {CollisionModel::OneWinner, CollisionModel::AllDelivered,
+        CollisionModel::CollisionLoss}) {
+    SCOPED_TRACE(static_cast<int>(model));
+    const RunTrace counting = run_once(GroupingStrategy::CountingSort, model);
+    const RunTrace comparison =
+        run_once(GroupingStrategy::ComparisonSort, model);
+
+    EXPECT_EQ(counting.done_at, comparison.done_at);
+    EXPECT_EQ(counting.stats.slots, comparison.stats.slots);
+    EXPECT_EQ(counting.stats.broadcasts, comparison.stats.broadcasts);
+    EXPECT_EQ(counting.stats.successes, comparison.stats.successes);
+    EXPECT_EQ(counting.stats.deliveries, comparison.stats.deliveries);
+    EXPECT_EQ(counting.stats.collision_events,
+              comparison.stats.collision_events);
+    EXPECT_EQ(counting.stats.idle_node_slots, comparison.stats.idle_node_slots);
+    EXPECT_EQ(counting.stats.total_message_words,
+              comparison.stats.total_message_words);
+
+    ASSERT_EQ(counting.activity.size(), comparison.activity.size());
+    for (std::size_t u = 0; u < counting.activity.size(); ++u) {
+      const NodeActivity& a = counting.activity[u];
+      const NodeActivity& b = comparison.activity[u];
+      EXPECT_EQ(a.tx, b.tx) << "node " << u;
+      EXPECT_EQ(a.tx_success, b.tx_success) << "node " << u;
+      EXPECT_EQ(a.listen, b.listen) << "node " << u;
+      EXPECT_EQ(a.received, b.received) << "node " << u;
+      EXPECT_EQ(a.idle, b.idle) << "node " << u;
+    }
+
+    ASSERT_EQ(counting.actions.size(), comparison.actions.size());
+    for (std::size_t i = 0; i < counting.actions.size(); ++i) {
+      const ResolvedAction& a = counting.actions[i];
+      const ResolvedAction& b = comparison.actions[i];
+      EXPECT_EQ(a.node, b.node) << "action " << i;
+      EXPECT_EQ(a.mode, b.mode) << "action " << i;
+      EXPECT_EQ(a.channel, b.channel) << "action " << i;
+      EXPECT_EQ(a.tx_success, b.tx_success) << "action " << i;
+    }
+  }
+}
+
+// Steady-state step() must not disturb semantics when scratch buffers are
+// reused across slots: a long run through the same network object matches a
+// fresh network replayed to the same slot.
+TEST(Network, ScratchReuseMatchesFreshReplay) {
+  const auto run_to = [](Slot slots) {
+    const int n = 24, c = 6, k = 2;
+    SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom, Rng(31));
+    Message payload;
+    payload.type = MessageType::Data;
+    Rng seeder(32);
+    std::vector<std::unique_ptr<CogCastNode>> nodes;
+    std::vector<Protocol*> protocols;
+    for (NodeId u = 0; u < n; ++u) {
+      nodes.push_back(std::make_unique<CogCastNode>(
+          u, c, u == 0, payload,
+          seeder.split(static_cast<std::uint64_t>(u))));
+      protocols.push_back(nodes.back().get());
+    }
+    NetworkOptions opt;
+    opt.seed = 33;
+    Network net(assignment, protocols, opt);
+    for (Slot s = 0; s < slots; ++s) net.step();
+    TraceStats stats = net.stats();
+    return stats;
+  };
+  const TraceStats full = run_to(200);
+  const TraceStats replay = run_to(200);
+  EXPECT_EQ(full.broadcasts, replay.broadcasts);
+  EXPECT_EQ(full.successes, replay.successes);
+  EXPECT_EQ(full.deliveries, replay.deliveries);
+  EXPECT_EQ(full.collision_events, replay.collision_events);
 }
 
 TEST(Network, DeterministicGivenSeed) {
