@@ -21,6 +21,7 @@
 // oblivious epidemic, and the bench quantifies that).
 #pragma once
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -95,6 +96,77 @@ class OutageFault : public Protocol {
   Slot from_;
   Slot to_;
   bool suppressed_ = false;
+};
+
+// Assigns crash/outage schedules to many nodes at once, drawn
+// deterministically from a seed. Each node gets at most one fault; the
+// plan owns the decorators, so keep it alive as long as the network runs.
+//
+//   FaultPlan plan(n, horizon, rng);
+//   plan.add_random_crashes(2);
+//   plan.add_random_outages(1);
+//   protocols.push_back(&plan.wrap(u, *node));  // per node
+class FaultPlan {
+ public:
+  FaultPlan(int n, Slot horizon, Rng rng)
+      : n_(n), horizon_(horizon < 2 ? 2 : horizon), rng_(rng) {}
+
+  // Schedules `count` distinct not-yet-faulty nodes to crash at a uniform
+  // slot in [1, horizon]. Requests beyond the remaining healthy nodes are
+  // truncated.
+  void add_random_crashes(int count) {
+    for (NodeId u : pick_healthy(count))
+      faults_[u] = Entry{rng_.between(1, horizon_), kNoSlot, kNoSlot};
+  }
+
+  // Schedules `count` distinct not-yet-faulty nodes for a temporary outage
+  // over a uniform sub-interval [from, to) of [1, horizon].
+  void add_random_outages(int count) {
+    for (NodeId u : pick_healthy(count)) {
+      const Slot from = rng_.between(1, horizon_ - 1);
+      const Slot to = rng_.between(from + 1, horizon_);
+      faults_[u] = Entry{kNoSlot, from, to};
+    }
+  }
+
+  // Wraps `inner` per the plan; fault-free nodes pass through unchanged.
+  Protocol& wrap(NodeId node, Protocol& inner) {
+    const auto it = faults_.find(node);
+    if (it == faults_.end()) return inner;
+    if (it->second.crash != kNoSlot)
+      wrappers_.push_back(
+          std::make_unique<CrashFault>(inner, it->second.crash));
+    else
+      wrappers_.push_back(std::make_unique<OutageFault>(
+          inner, it->second.from, it->second.to));
+    return *wrappers_.back();
+  }
+
+  bool is_faulty(NodeId node) const { return faults_.count(node) != 0; }
+  int faulty_count() const { return static_cast<int>(faults_.size()); }
+
+ private:
+  struct Entry {
+    Slot crash = kNoSlot;
+    Slot from = kNoSlot;
+    Slot to = kNoSlot;
+  };
+
+  std::vector<NodeId> pick_healthy(int count) {
+    std::vector<NodeId> healthy;
+    for (NodeId u = 0; u < n_; ++u)
+      if (faults_.count(u) == 0) healthy.push_back(u);
+    rng_.shuffle(healthy);
+    if (count < static_cast<int>(healthy.size()))
+      healthy.resize(static_cast<std::size_t>(count < 0 ? 0 : count));
+    return healthy;
+  }
+
+  int n_;
+  Slot horizon_;
+  Rng rng_;
+  std::map<NodeId, Entry> faults_;
+  std::vector<std::unique_ptr<Protocol>> wrappers_;
 };
 
 }  // namespace cogradio

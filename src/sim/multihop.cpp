@@ -38,9 +38,16 @@ void MultihopNetwork::step() {
   broadcasting_.assign(n, 0);
   messages_.assign(n, Message{});
 
+  if (observer_) {
+    resolved_.assign(n, ResolvedAction{});
+    for (std::size_t i = 0; i < n; ++i)
+      resolved_[i].node = static_cast<NodeId>(i);
+  }
+
   // 1. Collect actions.
   for (std::size_t i = 0; i < n; ++i) {
     Action action = protocols_[i]->on_slot(slot);
+    if (observer_) resolved_[i].mode = action.mode;
     if (action.mode == Mode::Idle) {
       ++stats_.idle_node_slots;
       ++activity_[i].idle;
@@ -50,6 +57,7 @@ void MultihopNetwork::step() {
            action.channel < assignment_.channels_per_node());
     channel_of_[i] =
         assignment_.global_channel(static_cast<NodeId>(i), action.channel);
+    if (observer_) resolved_[i].channel = channel_of_[i];
     if (action.mode == Mode::Broadcast) {
       broadcasting_[i] = 1;
       messages_[i] = std::move(action.msg);
@@ -90,6 +98,7 @@ void MultihopNetwork::step() {
   }
 
   stats_.slots = slot;
+  if (observer_) observer_(slot, resolved_);
 }
 
 Slot MultihopNetwork::run(Slot max_slots) {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sim/assignment.h"
+#include "sim/network.h"  // ResolvedAction / SlotObserver, shared engines
 #include "sim/protocol.h"
 #include "sim/topology.h"
 #include "sim/trace.h"
@@ -41,6 +42,14 @@ class MultihopNetwork {
     return activity_[static_cast<std::size_t>(node)];
   }
 
+  // Observer invoked after each slot with the resolved actions, exactly as
+  // in the single-hop engine (tx_success is always false here — multi-hop
+  // broadcasters get no delivery feedback). Lets ExecutionRecorder pin
+  // deterministic replay down for the multi-hop protocols too.
+  void set_observer(Network::SlotObserver observer) {
+    observer_ = std::move(observer);
+  }
+
   bool all_done() const;
   void step();
   Slot run(Slot max_slots);
@@ -52,10 +61,13 @@ class MultihopNetwork {
   TraceStats stats_;
   std::vector<NodeActivity> activity_;
 
+  Network::SlotObserver observer_;
+
   // Per-slot scratch.
   std::vector<Channel> channel_of_;   // kNoChannel when idle
   std::vector<char> broadcasting_;
   std::vector<Message> messages_;
+  std::vector<ResolvedAction> resolved_;  // observer view
 };
 
 // NodeActivity comes from the single-hop engine's header.

@@ -171,6 +171,9 @@ void Network::step() {
         const auto winner = static_cast<std::size_t>(broadcasters_[pick]);
         resolved_[winner].tx_success = true;
         account_success(messages_[winner]);
+        if (options_.testonly_duplicate_winner && broadcasters_.size() >= 2)
+          resolved_[static_cast<std::size_t>(broadcasters_[pick == 0 ? 1 : 0])]
+              .tx_success = true;
         const std::span<const Message> win{&messages_[winner], 1};
         auto faded = [&] {
           return options_.loss_prob > 0.0 && rng_.chance(options_.loss_prob);

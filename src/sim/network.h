@@ -83,6 +83,13 @@ struct NetworkOptions {
   double loss_prob = 0.0;
 
   GroupingStrategy grouping = GroupingStrategy::CountingSort;
+
+  // TEST-ONLY mutation hook (never set outside tests): when true, a
+  // contended OneWinner channel marks a second broadcaster successful
+  // without accounting it — a deliberate model violation used by the
+  // mutation smoke test to prove the invariant oracle is live, not
+  // vacuous (tests/test_invariants.cpp).
+  bool testonly_duplicate_winner = false;
 };
 
 // Post-resolution view of one node's slot, for test oracles and observers.
@@ -110,6 +117,8 @@ class Network {
   void set_observer(SlotObserver observer) { observer_ = std::move(observer); }
 
   int num_nodes() const { return static_cast<int>(protocols_.size()); }
+  int total_channels() const { return assignment_.total_channels(); }
+  const NetworkOptions& options() const { return options_; }
   Slot now() const { return stats_.slots; }
   const TraceStats& stats() const { return stats_; }
   const NodeActivity& activity(NodeId node) const {

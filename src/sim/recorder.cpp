@@ -36,6 +36,17 @@ void ExecutionRecorder::attach(Network& network, bool record_idle) {
   });
 }
 
+void ExecutionRecorder::attach(MultihopNetwork& network, bool record_idle) {
+  record_idle_ = record_idle;
+  network.set_observer([this](Slot slot, std::span<const ResolvedAction> acts) {
+    for (const ResolvedAction& a : acts) {
+      if (a.mode == Mode::Idle && !record_idle_) continue;
+      log_.push_back(RecordedAction{slot, a.node, a.mode, a.channel, a.jammed,
+                                    a.tx_success});
+    }
+  });
+}
+
 std::uint64_t ExecutionRecorder::fingerprint() const {
   std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
   auto mix = [&h](std::uint64_t v) {

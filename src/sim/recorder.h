@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/multihop.h"
 #include "sim/network.h"
 
 namespace cogradio {
@@ -38,8 +39,10 @@ struct RecordedAction {
 class ExecutionRecorder {
  public:
   // Attaches to the network (replaces any existing observer). Idle nodes
-  // are skipped unless record_idle is true.
+  // are skipped unless record_idle is true. The multi-hop overload logs
+  // the same schema (tx_success is always false on that engine).
   void attach(Network& network, bool record_idle = false);
+  void attach(MultihopNetwork& network, bool record_idle = false);
 
   const std::vector<RecordedAction>& log() const { return log_; }
   std::size_t size() const { return log_.size(); }

@@ -1,0 +1,432 @@
+#include "util/proptest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+#include "core/cogcast.h"
+#include "core/gossip.h"
+#include "sim/assignment.h"
+#include "sim/fault.h"
+#include "sim/invariants.h"
+#include "sim/jamming.h"
+#include "sim/network.h"
+#include "util/sweep.h"
+
+namespace cogradio {
+
+namespace {
+
+const char* name_of(ScnPattern p) {
+  switch (p) {
+    case ScnPattern::SharedCore: return "shared-core";
+    case ScnPattern::Partitioned: return "partitioned";
+    case ScnPattern::Pigeonhole: return "pigeonhole";
+    case ScnPattern::Identity: return "identity";
+    case ScnPattern::DynamicSharedCore: return "dynamic-shared-core";
+    case ScnPattern::DynamicPigeonhole: return "dynamic-pigeonhole";
+  }
+  return "?";
+}
+
+const char* name_of(ScnProtocol p) {
+  switch (p) {
+    case ScnProtocol::Random: return "random";
+    case ScnProtocol::CogCast: return "cogcast";
+    case ScnProtocol::Gossip: return "gossip";
+  }
+  return "?";
+}
+
+const char* name_of(ScnJammer j) {
+  switch (j) {
+    case ScnJammer::None: return "none";
+    case ScnJammer::Random: return "random";
+    case ScnJammer::Sweep: return "sweep";
+    case ScnJammer::Reactive: return "reactive";
+  }
+  return "?";
+}
+
+const char* name_of(ScnEngine e) {
+  switch (e) {
+    case ScnEngine::Plain: return "plain";
+    case ScnEngine::Backoff: return "backoff";
+    case ScnEngine::AllDelivered: return "all-delivered";
+    case ScnEngine::CollisionLoss: return "collision-loss";
+  }
+  return "?";
+}
+
+std::unique_ptr<ChannelAssignment> build_assignment(const Scenario& s,
+                                                    Rng rng) {
+  const LabelMode labels = LabelMode::LocalRandom;
+  switch (s.pattern) {
+    case ScnPattern::SharedCore:
+      return std::make_unique<SharedCoreAssignment>(s.n, s.c, s.k, labels, rng);
+    case ScnPattern::Partitioned:
+      return std::make_unique<PartitionedAssignment>(s.n, s.c, s.k, labels,
+                                                     rng);
+    case ScnPattern::Pigeonhole:
+      return std::make_unique<PigeonholeAssignment>(s.n, s.c, s.k, labels, rng);
+    case ScnPattern::Identity:
+      return std::make_unique<IdentityAssignment>(s.n, s.c, labels, rng);
+    case ScnPattern::DynamicSharedCore:
+      return DynamicAssignment::shared_core(s.n, s.c, s.k, rng);
+    case ScnPattern::DynamicPigeonhole:
+      return DynamicAssignment::pigeonhole(s.n, s.c, s.k, rng);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Jammer> build_jammer(const Scenario& s, int total_channels,
+                                     Rng rng) {
+  switch (s.jammer) {
+    case ScnJammer::None:
+      return nullptr;
+    case ScnJammer::Random:
+      return std::make_unique<RandomJammer>(s.n, total_channels, s.jam_budget,
+                                            rng);
+    case ScnJammer::Sweep:
+      return std::make_unique<SweepJammer>(s.n, total_channels, s.jam_budget);
+    case ScnJammer::Reactive:
+      return std::make_unique<ReactiveJammer>(s.n, total_channels,
+                                              s.jam_budget);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Protocol> build_node(const Scenario& s, NodeId u, Rng rng) {
+  switch (s.protocol) {
+    case ScnProtocol::Random:
+      return std::make_unique<RandomTrafficNode>(s.c, rng);
+    case ScnProtocol::CogCast: {
+      Message payload;
+      payload.type = MessageType::Data;
+      payload.a = 7;
+      return std::make_unique<CogCastNode>(u, s.c, u == 0, payload, rng);
+    }
+    case ScnProtocol::Gossip:
+      return std::make_unique<GossipNode>(u, s.c, s.n,
+                                          static_cast<Value>(u) * 3 + 1, rng);
+  }
+  return nullptr;
+}
+
+struct RunOutcome {
+  std::string violation;
+  std::uint64_t fingerprint = 0;
+};
+
+// Materializes the scenario with `engine` (which may override scn.engine
+// for the differential check) and runs it to scn.slots under the oracle.
+// Every coin — assignment, protocols, jammer, faults, winner draws — is a
+// fixed stream of scn.salt, so the same scenario replays bit-identically.
+RunOutcome run_once(const Scenario& scn, ScnEngine engine) {
+  Rng root(scn.salt);
+  Rng assign_rng = root.split(1);
+  Rng proto_seeder = root.split(2);
+  Rng jam_rng = root.split(3);
+  Rng fault_rng = root.split(4);
+  const std::uint64_t net_seed = root.split(5)();
+
+  auto assignment = build_assignment(scn, assign_rng);
+  auto jammer = build_jammer(scn, assignment->total_channels(), jam_rng);
+
+  FaultPlan plan(scn.n, scn.slots, fault_rng);
+  plan.add_random_crashes(scn.crashes);
+  plan.add_random_outages(scn.outages);
+
+  NetworkOptions opt;
+  opt.seed = net_seed;
+  opt.loss_prob = scn.loss_prob;
+  switch (engine) {
+    case ScnEngine::Plain:
+      break;
+    case ScnEngine::Backoff:
+      opt.emulate_backoff = true;
+      opt.backoff = backoff_params_for(scn.n);
+      break;
+    case ScnEngine::AllDelivered:
+      opt.collision = CollisionModel::AllDelivered;
+      break;
+    case ScnEngine::CollisionLoss:
+      opt.collision = CollisionModel::CollisionLoss;
+      break;
+  }
+
+  InvariantChecker checker;
+  std::vector<std::unique_ptr<Protocol>> nodes;
+  std::vector<Protocol*> protocols;
+  for (NodeId u = 0; u < scn.n; ++u) {
+    nodes.push_back(build_node(
+        scn, u, proto_seeder.split(static_cast<std::uint64_t>(u))));
+    protocols.push_back(checker.tap(plan.wrap(u, *nodes.back())));
+  }
+
+  Network net(*assignment, protocols, opt);
+  if (jammer) net.set_jammer(jammer.get());
+  checker.attach(net);
+  for (int s = 0; s < scn.slots; ++s) net.step();
+
+  RunOutcome out;
+  out.fingerprint = checker.action_fingerprint();
+  if (!checker.ok()) out.violation = checker.first_violation();
+  return out;
+}
+
+}  // namespace
+
+Action RandomTrafficNode::on_slot(Slot) {
+  const auto roll = rng_.below(10);
+  if (roll == 0) return Action::idle();
+  const auto label =
+      static_cast<LocalLabel>(rng_.below(static_cast<std::uint64_t>(c_)));
+  if (roll <= 4) {
+    Message m;
+    m.type = MessageType::Data;
+    m.a = static_cast<std::int64_t>(rng_.below(1000));
+    return Action::broadcast(label, m);
+  }
+  return Action::listen(label);
+}
+
+Scenario canonicalize(Scenario s) {
+  s.n = std::clamp(s.n, 1, 64);
+  s.c = std::clamp(s.c, 1, 8);
+  s.k = std::clamp(s.k, 1, s.c);
+  if (s.pattern == ScnPattern::Identity) s.k = s.c;
+  // Jammers need budget < total channels, and Identity has exactly c of
+  // them, so c - 1 is the safe cap across every assignment family.
+  if (s.c <= 1) s.jammer = ScnJammer::None;
+  if (s.jammer == ScnJammer::None)
+    s.jam_budget = 0;
+  else
+    s.jam_budget = std::clamp(s.jam_budget, 1, s.c - 1);
+  // Fading exists only on the one-winner engines; quantize so describe()
+  // round-trips and shrinking is stable.
+  if (s.engine == ScnEngine::AllDelivered ||
+      s.engine == ScnEngine::CollisionLoss)
+    s.loss_prob = 0.0;
+  s.loss_prob =
+      std::clamp(std::round(s.loss_prob * 16.0) / 16.0, 0.0, 0.5);
+  s.slots = std::clamp(s.slots, 8, 512);
+  s.crashes = std::clamp(s.crashes, 0, s.n);
+  s.outages = std::clamp(s.outages, 0, std::max(0, s.n - s.crashes));
+  return s;
+}
+
+Scenario generate_scenario(Rng& rng) {
+  Scenario s;
+  s.n = 1 + static_cast<int>(rng.below(20));
+  s.c = 1 + static_cast<int>(rng.below(6));
+  s.k = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(s.c)));
+  s.pattern = static_cast<ScnPattern>(rng.below(6));
+  s.protocol = static_cast<ScnProtocol>(rng.below(3));
+  s.jammer = static_cast<ScnJammer>(rng.below(4));
+  s.jam_budget = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(s.c)));
+  s.engine = static_cast<ScnEngine>(rng.below(4));
+  s.loss_prob =
+      rng.below(2) == 0 ? 0.0 : static_cast<double>(1 + rng.below(8)) / 16.0;
+  s.slots = 16 + static_cast<int>(rng.below(240));
+  s.crashes = static_cast<int>(rng.below(3));
+  s.outages = static_cast<int>(rng.below(3));
+  s.salt = rng();
+  return canonicalize(s);
+}
+
+Scenario scenario_for(std::uint64_t seed, int trial) {
+  Rng rng = trial_rng(seed, static_cast<std::uint64_t>(trial));
+  return generate_scenario(rng);
+}
+
+std::string describe(const Scenario& s) {
+  std::ostringstream os;
+  os << "n=" << s.n << " c=" << s.c << " k=" << s.k
+     << " pattern=" << name_of(s.pattern) << " proto=" << name_of(s.protocol)
+     << " jam=" << name_of(s.jammer);
+  if (s.jammer != ScnJammer::None) os << "/" << s.jam_budget;
+  os << " engine=" << name_of(s.engine) << " loss=" << s.loss_prob
+     << " slots=" << s.slots << " crash=" << s.crashes
+     << " outage=" << s.outages << " salt=0x" << std::hex << s.salt;
+  return os.str();
+}
+
+std::string check_scenario(const Scenario& raw) {
+  const Scenario scn = canonicalize(raw);
+  const RunOutcome primary = run_once(scn, scn.engine);
+  if (!primary.violation.empty())
+    return primary.violation + " [" + name_of(scn.engine) + " engine]";
+
+  // Differential engine agreement: oblivious traffic must produce the
+  // same action stream whether contention is resolved by a uniform winner
+  // draw or by emulated decay backoff — the engines may only disagree on
+  // coin-dependent outcomes (winner identity, deliveries), never on what
+  // the nodes did.
+  if (scn.protocol == ScnProtocol::Random &&
+      (scn.engine == ScnEngine::Plain || scn.engine == ScnEngine::Backoff)) {
+    const ScnEngine other = scn.engine == ScnEngine::Plain
+                                ? ScnEngine::Backoff
+                                : ScnEngine::Plain;
+    const RunOutcome alt = run_once(scn, other);
+    if (!alt.violation.empty())
+      return alt.violation + " [" + std::string(name_of(other)) + " engine]";
+    if (alt.fingerprint != primary.fingerprint)
+      return "plain and backoff-emulating engines diverged on oblivious "
+             "traffic";
+  }
+  return "";
+}
+
+std::string reproducer_line(std::uint64_t seed, int trial) {
+  std::ostringstream os;
+  os << "cograd check --seed " << seed << " --trial " << trial;
+  return os.str();
+}
+
+namespace {
+
+// Size-reducing transformations, biggest cuts first. Every candidate is
+// canonical and differs from `s`; every transformation strictly reduces a
+// component or flips a one-way simplification switch, so greedy descent
+// terminates.
+std::vector<Scenario> shrink_candidates(const Scenario& s) {
+  std::vector<Scenario> out;
+  auto push = [&](Scenario t) {
+    t = canonicalize(t);
+    if (!(t == s)) out.push_back(t);
+  };
+  {
+    Scenario t = s;
+    t.slots = s.slots / 2;
+    push(t);
+    t = s;
+    t.slots = s.slots - 1;
+    push(t);
+  }
+  {
+    Scenario t = s;
+    t.n = s.n / 2;
+    push(t);
+    t = s;
+    t.n = s.n - 1;
+    push(t);
+  }
+  if (s.crashes > 0 || s.outages > 0) {
+    Scenario t = s;
+    t.crashes = 0;
+    t.outages = 0;
+    push(t);
+  }
+  if (s.jammer != ScnJammer::None) {
+    Scenario t = s;
+    t.jammer = ScnJammer::None;
+    push(t);
+  }
+  if (s.loss_prob > 0.0) {
+    Scenario t = s;
+    t.loss_prob = 0.0;
+    push(t);
+  }
+  if (s.engine != ScnEngine::Plain) {
+    Scenario t = s;
+    t.engine = ScnEngine::Plain;
+    push(t);
+  }
+  if (s.protocol != ScnProtocol::Random) {
+    Scenario t = s;
+    t.protocol = ScnProtocol::Random;
+    push(t);
+  }
+  if (s.pattern != ScnPattern::SharedCore) {
+    Scenario t = s;
+    t.pattern = ScnPattern::SharedCore;
+    push(t);
+  }
+  {
+    Scenario t = s;
+    t.c = s.c - 1;
+    push(t);
+    t = s;
+    t.k = s.k - 1;
+    push(t);
+  }
+  if (s.jam_budget > 1) {
+    Scenario t = s;
+    t.jam_budget = s.jam_budget - 1;
+    push(t);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::pair<Scenario, int> shrink_scenario(const Property& prop,
+                                         Scenario failing, int budget) {
+  Scenario cur = canonicalize(failing);
+  int steps = 0;
+  int evals = 0;
+  bool progress = true;
+  while (progress && evals < budget) {
+    progress = false;
+    for (const Scenario& cand : shrink_candidates(cur)) {
+      if (evals >= budget) break;
+      ++evals;
+      if (!prop(cand).empty()) {
+        cur = cand;
+        ++steps;
+        progress = true;
+        break;  // restart from the biggest cuts
+      }
+    }
+  }
+  return {cur, steps};
+}
+
+PropReport run_property(const Property& prop, int trials, std::uint64_t seed,
+                        int jobs, int max_reported, int shrink_budget) {
+  // A throwing property counts as a failure, never an abort — shrinking
+  // re-evaluates the property many times, so every call site needs this.
+  const Property safe = [&prop](const Scenario& s) -> std::string {
+    try {
+      return prop(s);
+    } catch (const std::exception& e) {
+      return std::string("unexpected exception: ") + e.what();
+    } catch (...) {
+      return "unexpected non-standard exception";
+    }
+  };
+  std::vector<std::string> results(
+      static_cast<std::size_t>(trials > 0 ? trials : 0));
+  ParallelSweep pool(jobs);
+  pool.run(trials, [&](int t) {
+    Rng rng = trial_rng(seed, static_cast<std::uint64_t>(t));
+    const Scenario scn = generate_scenario(rng);
+    results[static_cast<std::size_t>(t)] = safe(scn);
+  });
+
+  PropReport rep;
+  rep.trials = trials;
+  for (int t = 0; t < trials; ++t) {
+    const std::string& msg = results[static_cast<std::size_t>(t)];
+    if (msg.empty()) continue;
+    ++rep.failures;
+    if (static_cast<int>(rep.failing.size()) >= max_reported) continue;
+    PropFailure f;
+    f.trial = t;
+    f.original = scenario_for(seed, t);
+    auto [shrunk, steps] = shrink_scenario(safe, f.original, shrink_budget);
+    f.shrunk = shrunk;
+    f.shrink_steps = steps;
+    const std::string shrunk_msg = safe(shrunk);
+    // A flaky property can lose the failure under re-execution; report the
+    // original message rather than pretending the shrunk form is clean.
+    f.message = shrunk_msg.empty() ? msg : shrunk_msg;
+    f.repro = reproducer_line(seed, t);
+    rep.failing.push_back(std::move(f));
+  }
+  return rep;
+}
+
+}  // namespace cogradio

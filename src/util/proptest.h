@@ -1,0 +1,164 @@
+// Seeded property-based testing for the slot engines.
+//
+// A *scenario* is a fully-specified randomized execution — topology size,
+// channel structure, assignment family, traffic protocol, jammer, engine
+// variant, fading, fault plan, slot count, and one salt that seeds every
+// run-time coin. Scenarios are drawn from util/sweep.h's trial_rng, so a
+// failing trial is reproducible forever from just (seed, trial); the
+// harness prints that pair as a one-line `cograd check` reproducer.
+//
+// The default property, check_scenario, materializes the scenario, runs
+// it under sim/invariants.h's InvariantChecker (with every protocol
+// tapped), and — for oblivious random traffic on the paper's model —
+// additionally runs the *differential* engine check: the plain one-winner
+// engine and the backoff-emulating engine must produce bit-identical
+// action streams for the same seeds, because oblivious nodes never see
+// the coin flips that differ between the two contention resolvers.
+//
+// On failure the harness shrinks greedily toward a minimal counterexample
+// (fewer slots, fewer nodes, no faults, no jammer, no fading, plain
+// engine, simplest traffic and assignment) and reports both the original
+// and the shrunk scenario. run_property fans trials across ParallelSweep
+// and keeps its report bit-identical for any job count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/protocol.h"
+#include "util/rng.h"
+
+namespace cogradio {
+
+// --- Scenario space ---------------------------------------------------------
+
+enum class ScnPattern : std::uint8_t {
+  SharedCore,
+  Partitioned,
+  Pigeonhole,
+  Identity,           // forces k == c
+  DynamicSharedCore,  // re-drawn every slot
+  DynamicPigeonhole,
+};
+
+enum class ScnProtocol : std::uint8_t {
+  Random,   // oblivious uniform traffic (the fuzz hammer)
+  CogCast,  // the paper's epidemic broadcast
+  Gossip,   // all-to-all rumor spreading
+};
+
+enum class ScnJammer : std::uint8_t { None, Random, Sweep, Reactive };
+
+enum class ScnEngine : std::uint8_t {
+  Plain,          // OneWinner, uniform winner draw
+  Backoff,        // OneWinner rebuilt via decay backoff on the raw radio
+  AllDelivered,   // footnote-3 stronger model
+  CollisionLoss,  // raw radio, no winner resolution
+};
+
+struct Scenario {
+  int n = 8;
+  int c = 4;
+  int k = 2;
+  ScnPattern pattern = ScnPattern::SharedCore;
+  ScnProtocol protocol = ScnProtocol::Random;
+  ScnJammer jammer = ScnJammer::None;
+  int jam_budget = 0;
+  ScnEngine engine = ScnEngine::Plain;
+  // Per-delivery fading probability, quantized to sixteenths; nonzero only
+  // on the OneWinner engines (the raw/AllDelivered paths ignore it).
+  double loss_prob = 0.0;
+  int slots = 64;
+  int crashes = 0;  // FaultPlan: nodes silenced permanently mid-run
+  int outages = 0;  // FaultPlan: nodes silenced over a sub-interval
+  std::uint64_t salt = 1;  // seeds every run-time coin of the execution
+
+  bool operator==(const Scenario&) const = default;
+};
+
+// Clamps every field into its legal range and resolves cross-field
+// constraints (k <= c, Identity forces k = c, fading only on OneWinner,
+// faults never outnumber nodes...). generate/shrink both go through this,
+// so any Scenario the harness touches materializes cleanly.
+Scenario canonicalize(Scenario scn);
+
+// Draws a canonical scenario. Pure in the rng state: feed it
+// trial_rng(seed, t) and the scenario is a function of (seed, t).
+Scenario generate_scenario(Rng& rng);
+
+// Convenience: the scenario `cograd check --seed S --trial T` reruns.
+Scenario scenario_for(std::uint64_t seed, int trial);
+
+// One-line human-readable form, stable across runs (used in reports).
+std::string describe(const Scenario& scn);
+
+// --- Properties -------------------------------------------------------------
+
+// A property maps a scenario to a failure message ("" = holds).
+using Property = std::function<std::string(const Scenario&)>;
+
+// The model audit: run under the InvariantChecker (all protocols tapped),
+// plus the plain-vs-backoff differential agreement check for oblivious
+// traffic. Returns "" or the first violation.
+std::string check_scenario(const Scenario& scn);
+
+// --- Harness ----------------------------------------------------------------
+
+struct PropFailure {
+  int trial = -1;
+  Scenario original;
+  Scenario shrunk;
+  int shrink_steps = 0;    // accepted shrink transformations
+  std::string message;     // failure message of the *shrunk* scenario
+  std::string repro;       // one-line reproducer: cograd check --seed --trial
+};
+
+struct PropReport {
+  int trials = 0;
+  int failures = 0;                   // total failing trials
+  std::vector<PropFailure> failing;   // first few, shrunk, in trial order
+  bool ok() const { return failures == 0; }
+};
+
+// Greedy counterexample shrinking: repeatedly tries size-reducing
+// transformations (halve/decrement slots and n, drop faults, jammer,
+// fading, engine emulation, simplify traffic and assignment, shrink c/k)
+// and keeps any transform under which `prop` still fails, until a fixed
+// point or `budget` property evaluations. Returns the shrunk scenario and
+// the number of accepted steps.
+std::pair<Scenario, int> shrink_scenario(const Property& prop,
+                                         Scenario failing, int budget = 256);
+
+// Runs `trials` scenarios drawn from trial_rng(seed, t) across `jobs`
+// workers (ParallelSweep), then shrinks up to `max_reported` failures
+// sequentially in trial order. The report — including shrunk scenarios —
+// is bit-identical for any `jobs` value.
+PropReport run_property(const Property& prop, int trials, std::uint64_t seed,
+                        int jobs, int max_reported = 8,
+                        int shrink_budget = 256);
+
+std::string reproducer_line(std::uint64_t seed, int trial);
+
+// --- Traffic generators ------------------------------------------------------
+
+// Oblivious uniform random traffic: each slot idle with probability 1/10,
+// otherwise broadcast (4/9) or listen (5/9) on a uniform local label. Its
+// action stream never depends on feedback, which is exactly what the
+// differential engine check needs. Shared by tests/test_fuzz.cpp.
+class RandomTrafficNode : public Protocol {
+ public:
+  RandomTrafficNode(int c, Rng rng) : c_(c), rng_(rng) {}
+
+  Action on_slot(Slot) override;
+  void on_feedback(Slot, const SlotResult&) override {}
+  bool done() const override { return false; }
+
+ private:
+  int c_;
+  Rng rng_;
+};
+
+}  // namespace cogradio

@@ -455,6 +455,112 @@ TEST(CogComp, ModerateScaleStress) {
   EXPECT_LE(out.phase4_slots, 3 * (static_cast<Slot>(n) + 2));
 }
 
+// --- Regressions: defensive ack filtering in the mediator drain ------------
+//
+// The mediator counts the active cluster's drain by the acks it hears on
+// its channel and drops any ack whose round tag doesn't match
+// (core/cogcomp.cpp). Under fading, retransmitted and desynchronized acks
+// reach mediators out of order; before the filter existed that aborted the
+// drain. These tests pin the repaired behavior: stray and duplicate acks
+// may cost liveness (the run reports incompleteness) but never abort the
+// process, never hang it, and never yield a wrong completed aggregate.
+
+TEST(CogComp, FadingNeverAbortsAndNeverMiscounts) {
+  for (const double loss : {0.15, 0.4}) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      SharedCoreAssignment assignment(16, 6, 2, LabelMode::LocalRandom,
+                                      Rng(seed));
+      CogCompRunConfig config;
+      config.params = {16, 6, 2, 4.0};
+      config.seed = seed * 31 + 7;
+      config.net.loss_prob = loss;
+      const auto values = make_values(16, seed ^ 0x5A5A, -40, 40);
+      const auto out = run_cogcomp(assignment, values, config);
+      // Termination within the slot budget is unconditional...
+      EXPECT_LE(out.slots, config.params.max_slots())
+          << "loss " << loss << " seed " << seed;
+      // ...and a completed run is exact even when most acks faded away.
+      if (out.completed)
+        EXPECT_EQ(out.result, out.expected)
+            << "loss " << loss << " seed " << seed;
+    }
+  }
+}
+
+// In-band saboteur: broadcasts bogus and duplicate Ack messages on random
+// labels for the whole run, targeting random rounds and node ids.
+class AckSpammer : public Protocol {
+ public:
+  AckSpammer(int c, int n, Slot horizon, Rng rng)
+      : c_(c), n_(n), horizon_(horizon), rng_(rng) {}
+
+  Action on_slot(Slot) override {
+    if (rng_.below(3) != 0) return Action::idle();
+    Message m;
+    m.type = MessageType::Ack;
+    if (last_.type == MessageType::Ack && rng_.below(4) == 0) {
+      m = last_;  // exact duplicate of the previous spam ack
+    } else {
+      m.r = rng_.between(1, std::max<Slot>(2, horizon_));
+      m.a = static_cast<std::int64_t>(
+          rng_.below(static_cast<std::uint64_t>(n_)));
+    }
+    last_ = m;
+    return Action::broadcast(
+        static_cast<LocalLabel>(rng_.below(static_cast<std::uint64_t>(c_))),
+        m);
+  }
+  void on_feedback(Slot, const SlotResult&) override {}
+  bool done() const override { return false; }
+
+ private:
+  int c_;
+  int n_;
+  Slot horizon_;
+  Rng rng_;
+  Message last_{};
+};
+
+TEST(CogComp, StrayAndDuplicateAcksNeverAbortOrMiscount) {
+  for (const double loss : {0.0, 0.15}) {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      const int n = 14;  // CogComp participants; node n is the saboteur
+      SharedCoreAssignment assignment(n + 1, 6, 2, LabelMode::LocalRandom,
+                                      Rng(seed));
+      const CogCompParams params{n, 6, 2, 4.0};
+      const auto values = make_values(n, seed * 13 + 5, -30, 30);
+      Rng seeder(seed * 7919 + 3);
+      std::vector<std::unique_ptr<CogCompNode>> nodes;
+      std::vector<Protocol*> protocols;
+      for (NodeId u = 0; u < n; ++u) {
+        nodes.push_back(std::make_unique<CogCompNode>(
+            u, params, u == 0, values[static_cast<std::size_t>(u)],
+            Aggregator(AggOp::Sum),
+            seeder.split(static_cast<std::uint64_t>(u))));
+        protocols.push_back(nodes.back().get());
+      }
+      AckSpammer spammer(6, n, params.max_slots(), seeder.split(999));
+      protocols.push_back(&spammer);
+      NetworkOptions opt;
+      opt.seed = seed + 99;
+      opt.loss_prob = loss;
+      Network net(assignment, protocols, opt);
+      // The saboteur never finishes, so run() stops at the slot budget;
+      // the regression is that no node aborts or wedges before that.
+      const Slot slots = net.run(params.max_slots());
+      EXPECT_LE(slots, params.max_slots());
+      const auto& source = *nodes[0];
+      if (source.complete()) {
+        Value expected = 0;
+        for (const Value v : values) expected += v;
+        EXPECT_EQ(Aggregator(AggOp::Sum).result(source.accumulated()),
+                  expected)
+            << "loss " << loss << " seed " << seed;
+      }
+    }
+  }
+}
+
 TEST(CogComp, RejectsInvalidConfig) {
   IdentityAssignment assignment(4, 4, LabelMode::Global, Rng(1));
   CogCompRunConfig config;

@@ -1,171 +1,46 @@
-// Engine fuzzing: random protocols hammer the network for many slots while
-// an observer cross-checks the collision-model invariants externally.
-//
-// Invariants checked every slot (OneWinner model, Section 2):
-//   * at most one tx_success per physical channel;
-//   * a channel with >= 1 broadcaster has exactly one success;
-//   * jam-free listeners on a channel with a winner all receive exactly
-//     that winner's message; listeners on silent channels receive nothing;
-//   * failed broadcasters receive the winner's message;
-//   * per-node activity counters tally exactly with the observed actions.
+// Engine fuzzing: oblivious random traffic hammers the network for many
+// slots while sim/invariants.h's InvariantChecker — attached as the slot
+// observer, with every protocol tapped — cross-checks the collision model
+// externally: winner uniqueness, delivery semantics, jamming opacity, and
+// the TraceStats/NodeActivity accounting identities (docs/MODEL.md,
+// "Checked invariants"). The checker replaces this file's original
+// hand-rolled oracle; the coverage here is a superset (all three collision
+// models, backoff emulation, and fading are exercised).
 #include <gtest/gtest.h>
 
-#include <map>
 #include <memory>
 #include <vector>
 
 #include "sim/assignment.h"
+#include "sim/invariants.h"
 #include "sim/jamming.h"
 #include "sim/network.h"
+#include "util/proptest.h"
 
 namespace cogradio {
 namespace {
 
-// Acts uniformly at random each slot; records what it saw for the oracle.
-class FuzzNode : public Protocol {
- public:
-  FuzzNode(int c, Rng rng) : c_(c), rng_(rng) {}
-
-  Action on_slot(Slot) override {
-    const auto roll = rng_.below(10);
-    last_ = {};
-    if (roll == 0) {
-      last_.mode = Mode::Idle;
-      return Action::idle();
-    }
-    const auto label = static_cast<LocalLabel>(rng_.below(static_cast<std::uint64_t>(c_)));
-    if (roll <= 4) {
-      last_.mode = Mode::Broadcast;
-      last_.label = label;
-      Message m;
-      m.type = MessageType::Data;
-      m.a = static_cast<std::int64_t>(rng_.below(1000));
-      return Action::broadcast(label, m);
-    }
-    last_.mode = Mode::Listen;
-    last_.label = label;
-    return Action::listen(label);
-  }
-
-  void on_feedback(Slot, const SlotResult& result) override {
-    last_.jammed = result.jammed;
-    last_.tx_attempted = result.tx_attempted;
-    last_.tx_success = result.tx_success;
-    last_.received.assign(result.received.begin(), result.received.end());
-  }
-
-  bool done() const override { return false; }
-
-  struct LastSlot {
-    Mode mode = Mode::Idle;
-    LocalLabel label = 0;
-    bool jammed = false;
-    bool tx_attempted = false;
-    bool tx_success = false;
-    std::vector<Message> received;
-  };
-  LastSlot last_;
-
- private:
-  int c_;
-  Rng rng_;
-};
-
-struct Tally {
-  std::int64_t tx = 0, tx_success = 0, listen = 0, received = 0, idle = 0,
-               jammed = 0;
-};
-
 void fuzz_run(int n, int c, int k, std::uint64_t seed, Jammer* jammer,
-              int slots) {
+              int slots, NetworkOptions opt = {}) {
   SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom, Rng(seed));
   Rng seeder(seed + 1);
-  std::vector<std::unique_ptr<FuzzNode>> nodes;
+  std::vector<std::unique_ptr<RandomTrafficNode>> nodes;
   std::vector<Protocol*> protocols;
+  InvariantChecker checker;
   for (NodeId u = 0; u < n; ++u) {
-    nodes.push_back(std::make_unique<FuzzNode>(
+    nodes.push_back(std::make_unique<RandomTrafficNode>(
         c, seeder.split(static_cast<std::uint64_t>(u))));
-    protocols.push_back(nodes.back().get());
+    protocols.push_back(checker.tap(*nodes.back()));
   }
-  NetworkOptions opt;
   opt.seed = seed + 2;
   Network net(assignment, protocols, opt);
   if (jammer != nullptr) net.set_jammer(jammer);
-
-  std::vector<Tally> tally(static_cast<std::size_t>(n));
-
-  net.set_observer([&](Slot slot, std::span<const ResolvedAction> acts) {
-    // Group by channel and check the model's invariants.
-    std::map<Channel, std::vector<const ResolvedAction*>> groups;
-    for (const auto& a : acts)
-      if (a.mode != Mode::Idle && !a.jammed) groups[a.channel].push_back(&a);
-
-    for (const auto& [channel, members] : groups) {
-      (void)channel;
-      int broadcasters = 0, winners = 0;
-      NodeId winner = kNoNode;
-      for (const auto* a : members) {
-        if (a->mode == Mode::Broadcast) {
-          ++broadcasters;
-          if (a->tx_success) {
-            ++winners;
-            winner = a->node;
-          }
-        }
-      }
-      if (broadcasters > 0) {
-        ASSERT_EQ(winners, 1) << "slot " << slot;
-      } else {
-        ASSERT_EQ(winners, 0);
-      }
-      for (const auto* a : members) {
-        const auto& last = nodes[static_cast<std::size_t>(a->node)]->last_;
-        if (a->node == winner) {
-          EXPECT_TRUE(last.tx_success);
-          EXPECT_TRUE(last.received.empty());
-        } else if (broadcasters > 0) {
-          // Listener or failed broadcaster: exactly the winner's message.
-          ASSERT_EQ(last.received.size(), 1u) << "slot " << slot;
-          EXPECT_EQ(last.received[0].sender, winner);
-        } else {
-          EXPECT_TRUE(last.received.empty());
-        }
-      }
-    }
-
-    // Update expected per-node tallies.
-    for (const auto& a : acts) {
-      Tally& t = tally[static_cast<std::size_t>(a.node)];
-      if (a.mode == Mode::Idle) {
-        ++t.idle;
-      } else if (a.jammed) {
-        ++t.jammed;
-      } else if (a.mode == Mode::Broadcast) {
-        ++t.tx;
-        if (a.tx_success) ++t.tx_success;
-        t.received += static_cast<std::int64_t>(
-            nodes[static_cast<std::size_t>(a.node)]->last_.received.size());
-      } else {
-        ++t.listen;
-        t.received += static_cast<std::int64_t>(
-            nodes[static_cast<std::size_t>(a.node)]->last_.received.size());
-      }
-    }
-  });
+  checker.attach(net);
 
   for (int s = 0; s < slots; ++s) net.step();
 
-  // Activity counters must match the oracle exactly.
-  for (NodeId u = 0; u < n; ++u) {
-    const NodeActivity& a = net.activity(u);
-    const Tally& t = tally[static_cast<std::size_t>(u)];
-    EXPECT_EQ(a.tx, t.tx) << "node " << u;
-    EXPECT_EQ(a.tx_success, t.tx_success) << "node " << u;
-    EXPECT_EQ(a.listen, t.listen) << "node " << u;
-    EXPECT_EQ(a.received, t.received) << "node " << u;
-    EXPECT_EQ(a.idle, t.idle) << "node " << u;
-    EXPECT_EQ(a.jammed, t.jammed) << "node " << u;
-  }
+  EXPECT_TRUE(checker.ok()) << checker.report();
+  EXPECT_EQ(checker.slots_checked(), slots);
 }
 
 TEST(NetworkFuzz, InvariantsHoldOverRandomTraffic) {
@@ -185,6 +60,39 @@ TEST(NetworkFuzz, InvariantsHoldUnderJamming) {
 
 TEST(NetworkFuzz, SingleNodeNeverReceives) {
   fuzz_run(1, 4, 2, 5, nullptr, 200);
+}
+
+TEST(NetworkFuzz, InvariantsHoldUnderBackoffEmulation) {
+  NetworkOptions opt;
+  opt.emulate_backoff = true;
+  opt.backoff = backoff_params_for(12);
+  fuzz_run(12, 5, 2, 31, nullptr, 400, opt);
+}
+
+TEST(NetworkFuzz, InvariantsHoldUnderBackoffWithJamming) {
+  NetworkOptions opt;
+  opt.emulate_backoff = true;
+  opt.backoff = backoff_params_for(16);
+  RandomJammer jammer(16, 10, 2, Rng(4));
+  fuzz_run(16, 5, 2, 57, &jammer, 300, opt);
+}
+
+TEST(NetworkFuzz, InvariantsHoldOnAllDeliveredModel) {
+  NetworkOptions opt;
+  opt.collision = CollisionModel::AllDelivered;
+  fuzz_run(14, 4, 2, 19, nullptr, 400, opt);
+}
+
+TEST(NetworkFuzz, InvariantsHoldOnCollisionLossModel) {
+  NetworkOptions opt;
+  opt.collision = CollisionModel::CollisionLoss;
+  fuzz_run(14, 4, 2, 23, nullptr, 400, opt);
+}
+
+TEST(NetworkFuzz, InvariantsHoldUnderFading) {
+  NetworkOptions opt;
+  opt.loss_prob = 0.25;
+  fuzz_run(12, 5, 2, 41, nullptr, 400, opt);
 }
 
 }  // namespace

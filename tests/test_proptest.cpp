@@ -1,0 +1,144 @@
+// Tests for the property-based testing harness (util/proptest.h):
+// generator determinism and validity, the default invariant property over
+// a seeded sweep, jobs-independence of the report, and counterexample
+// shrinking converging to the known-minimal scenario of a synthetic
+// property.
+#include "util/proptest.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/sweep.h"
+
+namespace cogradio {
+namespace {
+
+TEST(PropTest, GeneratorIsPureInSeedAndTrial) {
+  for (int t = 0; t < 20; ++t) {
+    const Scenario a = scenario_for(7, t);
+    const Scenario b = scenario_for(7, t);
+    EXPECT_TRUE(a == b) << "trial " << t;
+    EXPECT_EQ(describe(a), describe(b));
+  }
+  // Different trials must not all collapse to one scenario.
+  std::set<std::string> distinct;
+  for (int t = 0; t < 20; ++t) distinct.insert(describe(scenario_for(7, t)));
+  EXPECT_GT(distinct.size(), 10u);
+}
+
+TEST(PropTest, GeneratedScenariosAreCanonical) {
+  for (int t = 0; t < 200; ++t) {
+    const Scenario s = scenario_for(3, t);
+    EXPECT_TRUE(s == canonicalize(s)) << describe(s);
+    EXPECT_GE(s.n, 1);
+    EXPECT_GE(s.k, 1);
+    EXPECT_LE(s.k, s.c);
+    if (s.pattern == ScnPattern::Identity) EXPECT_EQ(s.k, s.c);
+    if (s.jammer == ScnJammer::None) EXPECT_EQ(s.jam_budget, 0);
+    if (s.engine == ScnEngine::AllDelivered ||
+        s.engine == ScnEngine::CollisionLoss)
+      EXPECT_EQ(s.loss_prob, 0.0);
+    EXPECT_LE(s.crashes + s.outages, s.n);
+  }
+}
+
+TEST(PropTest, EveryGeneratedScenarioMaterializes) {
+  // check_scenario must never throw, whatever the generator produces.
+  for (int t = 0; t < 24; ++t)
+    EXPECT_NO_THROW((void)check_scenario(scenario_for(11, t))) << t;
+}
+
+TEST(PropTest, DefaultPropertySweepIsClean) {
+  const PropReport rep = run_property(check_scenario, 24, 5, 2);
+  EXPECT_TRUE(rep.ok()) << (rep.failing.empty()
+                                ? "no detail"
+                                : rep.failing.front().message + " | " +
+                                      describe(rep.failing.front().shrunk));
+  EXPECT_EQ(rep.trials, 24);
+}
+
+TEST(PropTest, ReportIsIdenticalForAnyJobCount) {
+  // Use a synthetic partial-failure property so the failure path is
+  // exercised too, without an expensive simulation per trial.
+  const Property prop = [](const Scenario& s) {
+    return s.n % 3 == 0 ? "n divisible by three" : "";
+  };
+  const PropReport serial = run_property(prop, 40, 9, 1);
+  const PropReport wide = run_property(prop, 40, 9, 4);
+  EXPECT_EQ(serial.failures, wide.failures);
+  ASSERT_EQ(serial.failing.size(), wide.failing.size());
+  for (std::size_t i = 0; i < serial.failing.size(); ++i) {
+    EXPECT_EQ(serial.failing[i].trial, wide.failing[i].trial);
+    EXPECT_TRUE(serial.failing[i].shrunk == wide.failing[i].shrunk);
+    EXPECT_EQ(serial.failing[i].repro, wide.failing[i].repro);
+  }
+}
+
+TEST(PropTest, ShrinkingFindsTheMinimalCounterexample) {
+  // Fails iff n >= 6 and slots >= 20: the unique minimal failing scenario
+  // has exactly n = 6 and slots = 20 with everything else simplified.
+  const Property prop = [](const Scenario& s) {
+    return (s.n >= 6 && s.slots >= 20) ? "too big" : "";
+  };
+  Scenario big;
+  big.n = 40;
+  big.c = 5;
+  big.k = 3;
+  big.slots = 300;
+  big.protocol = ScnProtocol::Gossip;
+  big.jammer = ScnJammer::Sweep;
+  big.jam_budget = 2;
+  big.engine = ScnEngine::Backoff;
+  big.loss_prob = 0.25;
+  big.crashes = 2;
+  ASSERT_FALSE(prop(canonicalize(big)).empty());
+
+  const auto [shrunk, steps] = shrink_scenario(prop, big);
+  EXPECT_GT(steps, 0);
+  EXPECT_EQ(shrunk.n, 6);
+  EXPECT_EQ(shrunk.slots, 20);
+  EXPECT_EQ(shrunk.jammer, ScnJammer::None);
+  EXPECT_EQ(shrunk.engine, ScnEngine::Plain);
+  EXPECT_EQ(shrunk.protocol, ScnProtocol::Random);
+  EXPECT_EQ(shrunk.loss_prob, 0.0);
+  EXPECT_EQ(shrunk.crashes, 0);
+}
+
+TEST(PropTest, ShrinkRespectsItsBudget) {
+  int evals = 0;
+  const Property prop = [&evals](const Scenario& s) {
+    ++evals;
+    return s.n >= 2 ? "fails" : "";
+  };
+  Scenario big;
+  big.n = 64;
+  big.slots = 512;
+  (void)shrink_scenario(prop, big, /*budget=*/10);
+  EXPECT_LE(evals, 10);
+}
+
+TEST(PropTest, ReproducerLineRoundTrips) {
+  const PropFailure f{/*trial=*/17, {}, {}, 0, "", reproducer_line(99, 17)};
+  EXPECT_EQ(f.repro, "cograd check --seed 99 --trial 17");
+  // The scenario the line names is the one the sweep ran.
+  EXPECT_TRUE(scenario_for(99, 17) == canonicalize(scenario_for(99, 17)));
+}
+
+TEST(PropTest, FailuresCarryShrunkScenarioAndRepro) {
+  const Property prop = [](const Scenario& s) {
+    return s.slots >= 10 ? "always for canonical slots" : "";
+  };
+  const PropReport rep = run_property(prop, 6, 2, 2, /*max_reported=*/3);
+  EXPECT_EQ(rep.failures, 6);
+  ASSERT_EQ(rep.failing.size(), 3u);  // capped at max_reported
+  for (const PropFailure& f : rep.failing) {
+    EXPECT_FALSE(f.message.empty());
+    EXPECT_EQ(f.repro, reproducer_line(2, f.trial));
+    EXPECT_FALSE(prop(f.shrunk).empty()) << "shrunk scenario must still fail";
+    EXPECT_EQ(f.shrunk.slots, 10);  // slots floor under this property is 10
+  }
+}
+
+}  // namespace
+}  // namespace cogradio

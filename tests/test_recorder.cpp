@@ -3,12 +3,19 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 
 #include "core/cogcast.h"
 #include "core/cogcomp.h"
+#include "core/consensus.h"
+#include "core/gossip.h"
+#include "core/multihop_cast.h"
+#include "core/multihop_converge.h"
 #include "core/runtime.h"
+#include "core/verified_broadcast.h"
 #include "sim/assignment.h"
+#include "sim/topology.h"
 
 namespace cogradio {
 namespace {
@@ -109,6 +116,123 @@ TEST(Recorder, CogCompReplaysDeterministically) {
     NetworkOptions opt;
     opt.seed = 21;
     Network net(assignment, protocols, opt);
+    rec.attach(net);
+    net.run(params.max_slots());
+  }));
+}
+
+// Determinism coverage for every remaining protocol in the repository:
+// each workload below builds its network from explicit seeds only, so two
+// executions must produce identical action logs.
+
+TEST(Recorder, GossipReplaysDeterministically) {
+  EXPECT_TRUE(verify_replay([](ExecutionRecorder& rec) {
+    SharedCoreAssignment assignment(10, 5, 2, LabelMode::LocalRandom, Rng(6));
+    Rng seeder(13);
+    std::vector<std::unique_ptr<GossipNode>> nodes;
+    std::vector<Protocol*> protocols;
+    for (NodeId u = 0; u < 10; ++u) {
+      nodes.push_back(std::make_unique<GossipNode>(
+          u, 5, 10, static_cast<Value>(u) + 1,
+          seeder.split(static_cast<std::uint64_t>(u))));
+      protocols.push_back(nodes.back().get());
+    }
+    NetworkOptions opt;
+    opt.seed = 29;
+    Network net(assignment, protocols, opt);
+    rec.attach(net);
+    net.run(20'000);
+  }));
+}
+
+TEST(Recorder, VerifiedBroadcastReplaysDeterministically) {
+  EXPECT_TRUE(verify_replay([](ExecutionRecorder& rec) {
+    const VerifiedBroadcastParams params{10, 5, 2, 4.0};
+    SharedCoreAssignment assignment(10, 5, 2, LabelMode::LocalRandom, Rng(7));
+    Rng seeder(17);
+    std::vector<std::unique_ptr<VerifiedBroadcastNode>> nodes;
+    std::vector<Protocol*> protocols;
+    for (NodeId u = 0; u < 10; ++u) {
+      nodes.push_back(std::make_unique<VerifiedBroadcastNode>(
+          u, params, u == 0, data_msg(),
+          seeder.split(static_cast<std::uint64_t>(u))));
+      protocols.push_back(nodes.back().get());
+    }
+    NetworkOptions opt;
+    opt.seed = 31;
+    Network net(assignment, protocols, opt);
+    rec.attach(net);
+    net.run(params.max_slots());
+  }));
+}
+
+TEST(Recorder, ConsensusReplaysDeterministically) {
+  EXPECT_TRUE(verify_replay([](ExecutionRecorder& rec) {
+    const ConsensusParams params{10, 5, 2, 4.0};
+    SharedCoreAssignment assignment(10, 5, 2, LabelMode::LocalRandom, Rng(9));
+    const auto proposals = make_values(10, 3, 0, 99);
+    Rng seeder(23);
+    std::vector<std::unique_ptr<CogConsensusNode>> nodes;
+    std::vector<Protocol*> protocols;
+    for (NodeId u = 0; u < 10; ++u) {
+      nodes.push_back(std::make_unique<CogConsensusNode>(
+          u, params, u == 0, proposals[static_cast<std::size_t>(u)],
+          min_consensus(), seeder.split(static_cast<std::uint64_t>(u))));
+      protocols.push_back(nodes.back().get());
+    }
+    NetworkOptions opt;
+    opt.seed = 37;
+    Network net(assignment, protocols, opt);
+    rec.attach(net);
+    net.run(params.max_slots());
+  }));
+}
+
+TEST(Recorder, MultihopCastReplaysDeterministically) {
+  EXPECT_TRUE(verify_replay([](ExecutionRecorder& rec) {
+    const Topology topo = Topology::ring(12);
+    SharedCoreAssignment assignment(12, 4, 2, LabelMode::LocalRandom, Rng(5));
+    const int levels =
+        MultihopCastNode::suggested_decay_levels(topo.max_degree());
+    Rng seeder(19);
+    std::vector<std::unique_ptr<MultihopCastNode>> nodes;
+    std::vector<Protocol*> protocols;
+    for (NodeId u = 0; u < 12; ++u) {
+      nodes.push_back(std::make_unique<MultihopCastNode>(
+          u, 4, u == 0, data_msg(), levels,
+          seeder.split(static_cast<std::uint64_t>(u))));
+      protocols.push_back(nodes.back().get());
+    }
+    MultihopNetwork net(assignment, topo, protocols, 41);
+    rec.attach(net);
+    net.run(5'000);
+  }));
+}
+
+TEST(Recorder, MultihopConvergeReplaysDeterministically) {
+  EXPECT_TRUE(verify_replay([](ExecutionRecorder& rec) {
+    const Topology topo = Topology::ring(10);
+    SharedCoreAssignment assignment(10, 4, 2, LabelMode::LocalRandom, Rng(3));
+    MultihopConvergeParams params;
+    params.n = 10;
+    params.c = 4;
+    params.max_depth = 9;
+    params.decay_levels =
+        MultihopCastNode::suggested_decay_levels(topo.max_degree());
+    const double lg = std::log2(10.0);
+    params.flood_slots = static_cast<Slot>(
+        8.0 * (topo.diameter() + 1) * params.decay_levels * lg);
+    params.epoch_steps = static_cast<Slot>(8.0 * params.decay_levels * lg);
+    Rng seeder(27);
+    std::vector<std::unique_ptr<MultihopConvergeNode>> nodes;
+    std::vector<Protocol*> protocols;
+    for (NodeId u = 0; u < 10; ++u) {
+      nodes.push_back(std::make_unique<MultihopConvergeNode>(
+          u, params, u == 0, static_cast<Value>(u) * 2 + 1,
+          Aggregator(AggOp::Sum), seeder.split(static_cast<std::uint64_t>(u))));
+      protocols.push_back(nodes.back().get());
+    }
+    MultihopNetwork net(assignment, topo, protocols, 43);
     rec.attach(net);
     net.run(params.max_slots());
   }));

@@ -10,11 +10,13 @@
 //   multihop    epidemic flooding over a topology
 //   game        bipartite hitting game             (Lemmas 11/14)
 //   record      run a broadcast and dump the execution log
+//   check       property-based invariant sweep with shrinking
 //
 // Common flags: --n --c --k --pattern --seed --trials; each command adds
 // its own (see the usage text). All runs are deterministic in --seed.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -28,6 +30,7 @@
 #include "sim/assignment.h"
 #include "sim/recorder.h"
 #include "util/cli.h"
+#include "util/proptest.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -49,6 +52,8 @@ int usage() {
       "  game       --c 16 --k 4 [--player uniform|fresh|cogcast --n 16]\n"
       "             [--trials 200]\n"
       "  record     --n 16 --c 6 --k 2   (dumps 'slot node mode channel ...')\n"
+      "  check      [--trials 64] [--jobs J] [--trial T] [--repro-out FILE]\n"
+      "             [--shrink-budget 256]   (slot-invariant property sweep)\n"
       "\n"
       "common: --seed S (default 1), --pattern shared-core|partitioned|\n"
       "        pigeonhole|identity|dynamic-shared-core|dynamic-pigeonhole");
@@ -274,6 +279,53 @@ int cmd_record(CliArgs& args) {
   return 0;
 }
 
+// Property-based invariant sweep. The output deliberately never mentions
+// the worker count: runs with different --jobs must be byte-identical so
+// CI can diff them as a determinism check.
+int cmd_check(CliArgs& args) {
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int trials = static_cast<int>(args.get_int("trials", 64));
+  const int trial = static_cast<int>(args.get_int("trial", -1));
+  const int shrink_budget =
+      static_cast<int>(args.get_int("shrink-budget", 256));
+  const std::string repro_out = args.get_string("repro-out", "");
+  const int jobs = args.get_jobs();
+  args.finish();
+
+  if (trial >= 0) {
+    // Single-trial reproducer mode: rerun exactly what `cograd check
+    // --seed S` executed as trial T and report it.
+    const Scenario scn = scenario_for(seed, trial);
+    std::printf("trial %d: %s\n", trial, describe(scn).c_str());
+    const std::string msg = check_scenario(scn);
+    if (msg.empty()) {
+      std::printf("trial %d: ok\n", trial);
+      return 0;
+    }
+    std::printf("trial %d: FAIL: %s\n", trial, msg.c_str());
+    return 1;
+  }
+
+  const PropReport rep =
+      run_property(check_scenario, trials, seed, jobs, 8, shrink_budget);
+  for (const PropFailure& f : rep.failing) {
+    std::printf("FAIL trial %d: %s\n", f.trial, f.message.c_str());
+    std::printf("  original: %s\n", describe(f.original).c_str());
+    std::printf("  shrunk (%d steps): %s\n", f.shrink_steps,
+                describe(f.shrunk).c_str());
+    std::printf("  repro: %s\n", f.repro.c_str());
+  }
+  if (!rep.ok() && !repro_out.empty()) {
+    std::ofstream out(repro_out);
+    for (const PropFailure& f : rep.failing)
+      out << f.repro << "  # " << f.message << '\n';
+  }
+  std::printf("check: %d/%d trials ok, %d failed (seed %llu)\n",
+              rep.trials - rep.failures, rep.trials, rep.failures,
+              static_cast<unsigned long long>(seed));
+  return rep.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -287,5 +339,6 @@ int main(int argc, char** argv) {
   if (command == "multihop") return cmd_multihop(args);
   if (command == "game") return cmd_game(args);
   if (command == "record") return cmd_record(args);
+  if (command == "check") return cmd_check(args);
   return usage();
 }
