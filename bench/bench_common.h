@@ -8,22 +8,144 @@
 //   --seed S     base seed (default 1)
 //   --jobs J     ParallelSweep workers (default 1; 0 = all cores). Medians
 //                are bit-identical for any J — see util/sweep.h.
+// Every harness also emits a machine-readable BENCH_<exp>.json run manifest
+// through the BenchManifest hook below — config comes for free from the
+// CliArgs resolved-flag log, headline metrics are registered next to the
+// printf rows, and `cograd bench --validate` / the regression gate consume
+// the result. See util/bench_report.h for the manifest schema.
 #pragma once
 
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <functional>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "analysis/bench_suite.h"  // add_trace_stats
 #include "core/runtime.h"
 #include "sim/assignment.h"
+#include "util/bench_report.h"
 #include "util/cli.h"
 #include "util/stats.h"
 #include "util/sweep.h"
 #include "util/table.h"
 
 namespace cogradio::bench {
+
+// The per-harness telemetry hook: construct one at the top of main (after
+// CliArgs), register headline metrics inside the existing sweep loops, and
+// call write() before returning.
+//
+//   BenchManifest manifest("e1_cogcast_vs_c", &args);
+//   ...
+//   manifest.add_summary("partitioned.c8", summary);
+//   manifest.write();   // -> BENCH_e1_cogcast_vs_c.json
+//
+// The resolved CliArgs flags become the manifest's config section (--jobs
+// is routed to the volatile section: it never affects results, see
+// util/sweep.h, and the merged BENCH_all.json must be jobs-invariant).
+// Wall-clock and phase() timings are volatile too. Harnesses without
+// CliArgs (E18's google-benchmark main) pass nullptr and fill config
+// explicitly.
+class BenchManifest {
+ public:
+  explicit BenchManifest(std::string experiment, CliArgs* args = nullptr)
+      : manifest_(std::move(experiment)),
+        args_(args),
+        start_(std::chrono::steady_clock::now()) {}
+
+  RunManifest& manifest() { return manifest_; }
+
+  void set(const std::string& key, double value) { manifest_.set(key, value); }
+  void set_int(const std::string& key, std::int64_t value) {
+    manifest_.set_int(key, value);
+  }
+
+  // The headline slice of a sweep Summary: sample count (pins censoring),
+  // median and p95.
+  void add_summary(const std::string& prefix, const Summary& s) {
+    manifest_.set_int(prefix + ".count", static_cast<std::int64_t>(s.count));
+    manifest_.set(prefix + ".median", s.median);
+    manifest_.set(prefix + ".p95", s.p95);
+  }
+
+  void add_trace_stats(const std::string& prefix, const TraceStats& stats) {
+    cogradio::add_trace_stats(manifest_, prefix, stats);
+  }
+
+  // Scoped wall-clock timer for a harness section; records the volatile
+  // metric phase.<name>.seconds when the returned guard dies.
+  class PhaseTimer {
+   public:
+    PhaseTimer(BenchManifest& owner, std::string name)
+        : owner_(owner),
+          name_(std::move(name)),
+          start_(std::chrono::steady_clock::now()) {}
+    ~PhaseTimer() {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start_;
+      owner_.manifest_.set_volatile("phase." + name_ + ".seconds",
+                                    elapsed.count());
+    }
+    PhaseTimer(const PhaseTimer&) = delete;
+    PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+   private:
+    BenchManifest& owner_;
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  [[nodiscard]] PhaseTimer phase(std::string name) {
+    return PhaseTimer(*this, std::move(name));
+  }
+
+  // Captures config + volatile timing and writes BENCH_<exp>.json.
+  bool write() {
+    if (args_ != nullptr) {
+      for (const auto& flag : args_->resolved()) {
+        if (flag.name == "jobs") {
+          manifest_.set_volatile_int("jobs", std::atoll(flag.value.c_str()));
+          continue;
+        }
+        switch (flag.kind) {
+          case CliArgs::ResolvedFlag::Kind::Int:
+            manifest_.set_config_int(flag.name,
+                                     std::atoll(flag.value.c_str()));
+            break;
+          case CliArgs::ResolvedFlag::Kind::Double:
+            manifest_.set_config_double(flag.name,
+                                        std::atof(flag.value.c_str()));
+            break;
+          case CliArgs::ResolvedFlag::Kind::Bool:
+            manifest_.set_config_bool(flag.name, flag.value == "true");
+            break;
+          case CliArgs::ResolvedFlag::Kind::String:
+            manifest_.set_config_string(flag.name, flag.value);
+            break;
+        }
+      }
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    manifest_.set_volatile("wall_clock_seconds", elapsed.count());
+    const std::string path = manifest_.default_path();
+    if (!manifest_.write(path)) {
+      std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+      return false;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  RunManifest manifest_;
+  CliArgs* args_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 // The one generic Monte-Carlo entry point behind every harness trial loop:
 // runs `trials` executions of `fn(pattern, rng)` fanned out over `jobs`

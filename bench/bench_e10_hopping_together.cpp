@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const int jobs = args.get_jobs();
   args.finish();
+  BenchManifest manifest("e10_hopping_together", &args);
 
   std::printf("E10: hopping-together vs CogCast   (Section 6 discussion, "
               "%d trials/point)\n",
@@ -52,6 +53,8 @@ int main(int argc, char** argv) {
     const Summary hop = hopping_slots(n, c, k, trials, seed + n);
     const Summary cog =
         cogcast_slots("partitioned", n, c, k, trials, seed + 100 + n, jobs);
+    manifest.add_summary("example.n" + std::to_string(n) + ".hopping", hop);
+    manifest.add_summary("example.n" + std::to_string(n) + ".cogcast", cog);
     example.add_row({Table::num(static_cast<std::int64_t>(n)),
                      Table::num(static_cast<std::int64_t>(c)),
                      Table::num(static_cast<std::int64_t>(k)),
@@ -69,11 +72,14 @@ int main(int argc, char** argv) {
     const Summary hop = hopping_slots(n, c, k, trials, seed + 200 + k);
     const Summary cog =
         cogcast_slots("partitioned", n, c, k, trials, seed + 300 + k, jobs);
+    manifest.add_summary("crossover.k" + std::to_string(k) + ".hopping", hop);
+    manifest.add_summary("crossover.k" + std::to_string(k) + ".cogcast", cog);
     crossover.add_row({Table::num(static_cast<std::int64_t>(k)),
                        Table::num(static_cast<std::int64_t>(big_c)),
                        Table::num(hop.median, 1), Table::num(cog.median, 1),
                        hop.median < cog.median ? "hopping" : "cogcast"});
   }
   crossover.print_with_title("crossover sweep (n=8, c=32, Theorem 16 network)");
+  manifest.write();
   return 0;
 }

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   const int jobs = args.get_jobs();
   const int n = static_cast<int>(args.get_int("n", 64));
   args.finish();
+  BenchManifest manifest("e11_dynamic", &args);
 
   std::printf("E11: CogCast under dynamic channel assignments   (Section 7, "
               "n=%d, %d trials/point)\n",
@@ -34,6 +35,10 @@ int main(int argc, char** argv) {
           cogcast_slots("shared-core", n, c, k, trials, seed + c + k, jobs);
       const Summary dyn = cogcast_slots("dynamic-shared-core", n, c, k, trials,
                                         seed + 50 + c + k, jobs);
+      const std::string tag =
+          "shared-core.c" + std::to_string(c) + ".k" + std::to_string(k);
+      manifest.add_summary(tag + ".static", stat);
+      manifest.add_summary(tag + ".dynamic", dyn);
       table.add_row({Table::num(static_cast<std::int64_t>(c)),
                      Table::num(static_cast<std::int64_t>(k)),
                      Table::num(stat.median, 1), Table::num(dyn.median, 1),
@@ -49,6 +54,8 @@ int main(int argc, char** argv) {
         cogcast_slots("pigeonhole", n, c, k, trials, seed + 500 + c, jobs);
     const Summary dyn = cogcast_slots("dynamic-pigeonhole", n, c, k, trials,
                                       seed + 600 + c, jobs);
+    manifest.add_summary("pigeonhole.c" + std::to_string(c) + ".static", stat);
+    manifest.add_summary("pigeonhole.c" + std::to_string(c) + ".dynamic", dyn);
     table2.add_row({Table::num(static_cast<std::int64_t>(c)),
                     Table::num(static_cast<std::int64_t>(k)),
                     Table::num(stat.median, 1), Table::num(dyn.median, 1),
@@ -56,5 +63,6 @@ int main(int argc, char** argv) {
   }
   table2.print_with_title("pigeonhole pattern, static vs per-slot re-drawn");
   std::printf("\nTheory: ratios ~ 1 (Theorem 4's proof never uses staticness).\n");
+  manifest.write();
   return 0;
 }

@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
   const int n = static_cast<int>(args.get_int("n", 32));
   const int c = static_cast<int>(args.get_int("c", 16));
   args.finish();
+  BenchManifest manifest("e12_jamming", &args);
 
   std::printf("E12: CogCast vs n-uniform jamming   (Theorem 18, n=%d, c=%d, "
               "%d trials/point)\n",
@@ -65,6 +66,7 @@ int main(int argc, char** argv) {
       const Summary s = jammed_cogcast(n, c, j, strategy, trials,
                                        seed + static_cast<std::uint64_t>(j * 17),
                                        jobs);
+      manifest.add_summary(strategy + ".j" + std::to_string(j), s);
       table.add_row({Table::num(static_cast<std::int64_t>(j)),
                      Table::num(static_cast<std::int64_t>(k_eff)),
                      Table::num(s.median, 1), Table::num(s.p95, 1),
@@ -73,5 +75,6 @@ int main(int argc, char** argv) {
     }
     table.print_with_title("jammer strategy: " + strategy);
   }
+  manifest.write();
   return 0;
 }

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const int jobs = args.get_jobs();
   args.finish();
+  BenchManifest manifest("e13_backoff", &args);
 
   std::printf("E13: decay backoff substrate   (footnote 4, %d trials/point)\n",
               trials);
@@ -55,6 +56,10 @@ int main(int argc, char** argv) {
     const Summary s = summarize(slots);
     const Summary sc = summarize(cd_slots);
     const double lg = std::log2(static_cast<double>(m));
+    const std::string tag = "m" + std::to_string(m);
+    manifest.add_summary(tag + ".decay.micro_slots", s);
+    manifest.add_summary(tag + ".cd.micro_slots", sc);
+    manifest.set_int(tag + ".decay.failures", failures);
     table.add_row({Table::num(static_cast<std::int64_t>(m)),
                    Table::num(static_cast<std::int64_t>(params.phase_length)),
                    Table::num(params.budget), Table::num(s.median, 1),
@@ -94,6 +99,10 @@ int main(int argc, char** argv) {
       success_sum += static_cast<double>(out.stats.successes);
       fail_sum += static_cast<double>(out.stats.backoff_failures);
     }
+    const std::string tag = "e2e.n" + std::to_string(n);
+    manifest.set(tag + ".slots_mean", slots_sum / std::max(1, ok));
+    manifest.set(tag + ".micro_slots_mean", micro_sum / std::max(1, ok));
+    manifest.set_int(tag + ".completed", ok);
     e2e.add_row({Table::num(static_cast<std::int64_t>(n)),
                  Table::num(static_cast<std::int64_t>(c)),
                  Table::num(static_cast<std::int64_t>(k)),
@@ -104,5 +113,6 @@ int main(int argc, char** argv) {
                  Table::num(fail_sum / std::max(1, ok), 2)});
   }
   e2e.print_with_title("CogCast end-to-end over the emulated radio");
+  manifest.write();
   return 0;
 }

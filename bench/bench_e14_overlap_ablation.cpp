@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const int jobs = args.get_jobs();
   args.finish();
+  BenchManifest manifest("e14_overlap_ablation", &args);
 
   std::printf("E14: overlap-pattern ablation   (Claim 2, %d trials/point)\n",
               trials);
@@ -41,6 +42,10 @@ int main(int argc, char** argv) {
       const double normalized = safe_ratio(s.median, theory);
       lo = std::min(lo, normalized);
       hi = std::max(hi, normalized);
+      manifest.add_summary("n" + std::to_string(cfg.n) + ".c" +
+                               std::to_string(cfg.c) + ".k" +
+                               std::to_string(cfg.k) + "." + pattern,
+                           s);
       table.add_row({pattern,
                      Table::num(effective_overlap(pattern, cfg.c, cfg.k), 1),
                      Table::num(s.median, 1), Table::num(s.p95, 1),
@@ -52,5 +57,6 @@ int main(int argc, char** argv) {
                   cfg.n, cfg.c, cfg.k, safe_ratio(hi, lo));
     table.print_with_title(title);
   }
+  manifest.write();
   return 0;
 }

@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
   const int c = static_cast<int>(args.get_int("c", 12));
   const int k = static_cast<int>(args.get_int("k", 3));
   args.finish();
+  BenchManifest manifest("e15_message_overhead", &args);
 
   std::printf("E15: aggregation message overhead   (Section 5 discussion, "
               "c=%d, k=%d, %d trials/point)\n",
@@ -56,6 +57,8 @@ int main(int argc, char** argv) {
     const double col_words =
         max_words(n, c, k, AggOp::CollectAll, trials,
                   seed + 900 + static_cast<std::uint64_t>(n), jobs);
+    manifest.set("n" + std::to_string(n) + ".sum.max_words", sum_words);
+    manifest.set("n" + std::to_string(n) + ".collect.max_words", col_words);
     table.add_row({Table::num(static_cast<std::int64_t>(n)),
                    Table::num(sum_words, 0), Table::num(col_words, 0),
                    Table::num(col_words / n, 2)});
@@ -65,5 +68,6 @@ int main(int argc, char** argv) {
   table.print_with_title("largest single message on air during CogComp");
   print_fit("n", xs, ys, 1.0);
   std::printf("theory: sum column is O(1) words; collect column is Theta(n).\n");
+  manifest.write();
   return 0;
 }

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   const int n = static_cast<int>(args.get_int("n", 96));
   const int c = static_cast<int>(args.get_int("c", 16));
   args.finish();
+  BenchManifest manifest("e16_agg_lb", &args);
 
   std::printf("E16: aggregation lower bound   (Section 5, n=%d, c=%d, "
               "%d trials/point)\n",
@@ -66,6 +67,10 @@ int main(int argc, char** argv) {
     const double lb = static_cast<double>(n) / k;
     const double tm = summarize(total).median;
     const double pm = summarize(p4).median;
+    const std::string tag = "k" + std::to_string(k);
+    manifest.add_summary(tag + ".total", summarize(total));
+    manifest.add_summary(tag + ".phase4", summarize(p4));
+    manifest.set(tag + ".tdma_slots", tdma_slots);
     table.add_row({Table::num(static_cast<std::int64_t>(k)),
                    Table::num(lb, 1), Table::num(tdma_slots, 0),
                    Table::num(tm, 1), Table::num(pm, 1),
@@ -78,5 +83,6 @@ int main(int argc, char** argv) {
       "\ntheory: near-optimal (O(lg n) gap) at k=1; gap grows ~k. The tdma\n"
       "column shows Omega(n/k) is achievable once global labels and known\n"
       "membership are granted — the gap is the price of the paper's model.\n");
+  manifest.write();
   return 0;
 }

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const int jobs = args.get_jobs();
   args.finish();
+  BenchManifest manifest("e17_reduction", &args);
 
   std::printf("E17: Lemma 12 reduction player   (%d trials/point)\n", trials);
 
@@ -58,6 +59,12 @@ int main(int argc, char** argv) {
           slots.push_back(o.slots);
           if (o.within) ++within;
         }
+        const std::string tag = "c" + std::to_string(c) + ".k" +
+                                std::to_string(k) + ".n" + std::to_string(n);
+        manifest.set(tag + ".median_rounds", summarize(rounds).median);
+        manifest.set(tag + ".median_sim_slots", summarize(slots).median);
+        manifest.set(tag + ".within_budget_rate",
+                     static_cast<double>(within) / trials);
         table.add_row(
             {Table::num(static_cast<std::int64_t>(c)),
              Table::num(static_cast<std::int64_t>(k)),
@@ -73,5 +80,6 @@ int main(int argc, char** argv) {
   table.print_with_title("CogCast as a (c,k)-hitting-game player");
   std::printf("\n'rounds within budget' must be 1.000 (Lemma 12 accounting), and\n"
               "median rounds must exceed the Lemma 11 budget in the c<=n rows.\n");
+  manifest.write();
   return 0;
 }

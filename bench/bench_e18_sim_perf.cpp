@@ -6,7 +6,9 @@
 //
 // Besides the google-benchmark timings, a custom main() runs two direct
 // probes before handing over to the benchmark runner and records the
-// results in BENCH_sim.json (util/bench_report.h):
+// results in BENCH_e18_sim_perf.json (a RunManifest, util/bench_report.h;
+// throughput rates and timings go in the volatile section, the allocation
+// count and sweep-determinism verdict are deterministic metrics):
 //   * allocation probe — a global operator new/delete counter verifies
 //     that Network::step() performs ZERO heap allocations in steady state
 //     (after the first warm-up slots sized the member scratch buffers);
@@ -166,7 +168,7 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 // Direct steady-state probe: after a warm-up (which sizes the engine's
 // member scratch), a window of steps must allocate nothing and its timing
 // gives node-slots/sec without google-benchmark's harness overhead.
-void run_step_probes(BenchReport& report) {
+void run_step_probes(RunManifest& report) {
   std::printf("steady-state probe (warmup 512 slots, measure 2048 slots):\n");
   std::printf("  %6s  %18s  %16s\n", "n", "node-slots/sec", "allocs/2048 slots");
   for (const int n : {64, 256, 1024, 4096}) {
@@ -183,7 +185,7 @@ void run_step_probes(BenchReport& report) {
     std::printf("  %6d  %18.3e  %16llu\n", n, rate,
                 static_cast<unsigned long long>(allocs));
     const std::string prefix = "step.n" + std::to_string(n) + ".";
-    report.set(prefix + "node_slots_per_sec", rate);
+    report.set_volatile(prefix + "node_slots_per_sec", rate);
     report.set_int(prefix + "steady_state_allocs",
                    static_cast<std::int64_t>(allocs));
   }
@@ -191,7 +193,7 @@ void run_step_probes(BenchReport& report) {
 
 // ParallelSweep probe: the same fixed workload at jobs=1 and jobs=hw must
 // produce bit-identical samples; the wall-clock ratio is the pool speedup.
-void run_sweep_probe(BenchReport& report) {
+void run_sweep_probe(RunManifest& report) {
   const int hw = resolve_jobs(0);
   constexpr int kTrials = 64;
   auto workload = [](Rng& rng) {
@@ -217,10 +219,10 @@ void run_sweep_probe(BenchReport& report) {
               "speedup %.2fx, samples %s\n",
               kTrials, t1, hw, tn, t1 / tn,
               identical ? "bit-identical" : "MISMATCH");
-  report.set_int("sweep.jobs", hw);
-  report.set("sweep.jobs1_seconds", t1);
-  report.set("sweep.jobsN_seconds", tn);
-  report.set("sweep.speedup", t1 / tn);
+  report.set_volatile_int("sweep.jobs", hw);
+  report.set_volatile("sweep.jobs1_seconds", t1);
+  report.set_volatile("sweep.jobsN_seconds", tn);
+  report.set_volatile("sweep.speedup", t1 / tn);
   report.set_int("sweep.deterministic", identical ? 1 : 0);
 }
 
@@ -229,16 +231,19 @@ void run_sweep_probe(BenchReport& report) {
 
 int main(int argc, char** argv) {
   std::printf("E18: simulator performance probes\n\n");
-  cogradio::BenchReport report("sim_perf");
-  report.set_int("probe.hardware_threads",
-                 static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  cogradio::RunManifest report("e18_sim_perf");
+  report.set_config_int("warmup_slots", 512);
+  report.set_config_int("window_slots", 2048);
+  report.set_volatile_int(
+      "hardware_threads",
+      static_cast<std::int64_t>(std::thread::hardware_concurrency()));
   cogradio::run_step_probes(report);
   cogradio::run_sweep_probe(report);
-  const char* out_path = "BENCH_sim.json";
+  const std::string out_path = report.default_path();
   if (report.write(out_path))
-    std::printf("wrote %s\n\n", out_path);
+    std::printf("wrote %s\n\n", out_path.c_str());
   else
-    std::printf("WARNING: could not write %s\n\n", out_path);
+    std::printf("WARNING: could not write %s\n\n", out_path.c_str());
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

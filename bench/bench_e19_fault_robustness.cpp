@@ -97,6 +97,7 @@ int main(int argc, char** argv) {
   const int c = static_cast<int>(args.get_int("c", 12));
   const int k = static_cast<int>(args.get_int("k", 3));
   args.finish();
+  BenchManifest manifest("e19_fault_robustness", &args);
 
   std::printf("E19: CogCast fault robustness   (n=%d, c=%d, k=%d, "
               "%d trials/point)\n",
@@ -105,6 +106,7 @@ int main(int argc, char** argv) {
   int failures = 0;
   const Summary base =
       sweep(n, c, k, FaultKind::None, 0, 0, 0, trials, seed, jobs, &failures);
+  manifest.add_summary("fault_free", base);
 
   Table crash({"crashed nodes", "crash slot", "median (survivors)", "p95",
                "vs fault-free", "failed runs"});
@@ -116,6 +118,9 @@ int main(int argc, char** argv) {
                             /*fault_slot=*/5, 0, trials,
                             seed + static_cast<std::uint64_t>(affected), jobs,
                             &failures);
+    manifest.add_summary("crash.a" + std::to_string(affected), s);
+    manifest.set_int("crash.a" + std::to_string(affected) + ".failures",
+                     failures);
     crash.add_row({Table::num(static_cast<std::int64_t>(affected)), "5",
                    Table::num(s.median, 1), Table::num(s.p95, 1),
                    Table::num(safe_ratio(s.median, base.median), 2),
@@ -131,6 +136,9 @@ int main(int argc, char** argv) {
                             /*fault_slot=*/3, /*fault_len=*/20, trials,
                             seed + 500 + static_cast<std::uint64_t>(affected),
                             jobs, &failures);
+    manifest.add_summary("outage.a" + std::to_string(affected), s);
+    manifest.set_int("outage.a" + std::to_string(affected) + ".failures",
+                     failures);
     char window[32];
     std::snprintf(window, sizeof(window), "[3, 23)");
     outage.add_row({Table::num(static_cast<std::int64_t>(affected)), window,
@@ -141,5 +149,6 @@ int main(int argc, char** argv) {
   outage.print_with_title("temporary outages (nodes deaf then recover)");
   std::printf("\ntheory: survivors always complete; outages add at most the\n"
               "window length (the epidemic resumes, Section 4 discussion).\n");
+  manifest.write();
   return 0;
 }

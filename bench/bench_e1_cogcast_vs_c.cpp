@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   const int n = static_cast<int>(args.get_int("n", 256));
   const int k = static_cast<int>(args.get_int("k", 2));
   args.finish();
+  BenchManifest manifest("e1_cogcast_vs_c", &args);
 
   std::printf("E1: CogCast completion vs c   (Theorem 4, n=%d >= c, k=%d, "
               "%d trials/point)\n",
@@ -33,6 +34,7 @@ int main(int argc, char** argv) {
     for (int c : {8, 16, 32, 64, 128}) {
       const double theory = theorem4_shape_effective(pattern, n, c, k);
       const Summary s = cogcast_slots(pattern, n, c, k, trials, seed + c, jobs);
+      manifest.add_summary(pattern + ".c" + std::to_string(c), s);
       table.add_row({Table::num(static_cast<std::int64_t>(c)),
                      Table::num(effective_overlap(pattern, c, k), 1),
                      Table::num(theory, 1), Table::num(s.median, 1),
@@ -44,5 +46,6 @@ int main(int argc, char** argv) {
     table.print_with_title("pattern: " + pattern);
     if (pattern == "partitioned") print_fit("c", xs, ys, 1.0);
   }
+  manifest.write();
   return 0;
 }

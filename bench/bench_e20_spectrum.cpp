@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
   const int c = static_cast<int>(args.get_int("c", 12));
   const int k = static_cast<int>(args.get_int("k", 3));
   args.finish();
+  BenchManifest manifest("e20_spectrum", &args);
 
   std::printf("E20: CogCast under primary-user dynamics   (n=%d, c=%d, k=%d, "
               "%d trials/point)\n",
@@ -62,6 +63,8 @@ int main(int argc, char** argv) {
     const Summary s =
         spectrum_cogcast(n, c, k, duty, trials,
                          seed + static_cast<std::uint64_t>(duty * 100), jobs);
+    manifest.add_summary(
+        "duty" + std::to_string(static_cast<int>(duty * 100)), s);
     table.add_row({Table::num(duty, 2), Table::num(s.median, 1),
                    Table::num(s.p95, 1), Table::num(envelope, 1),
                    Table::num(safe_ratio(s.median, envelope), 3)});
@@ -69,5 +72,6 @@ int main(int argc, char** argv) {
   table.print_with_title("primary-user load sweep (Markov on/off channels)");
   std::printf("\ntheory: ratios stay O(1) for every duty cycle — the paper's\n"
               "dynamic-model guarantee depends only on the k-overlap invariant.\n");
+  manifest.write();
   return 0;
 }

@@ -63,6 +63,7 @@ int main(int argc, char** argv) {
   const int c = static_cast<int>(args.get_int("c", 12));
   const int k = static_cast<int>(args.get_int("k", 3));
   args.finish();
+  BenchManifest manifest("e21_tx_ablation", &args);
 
   std::printf("E21: transmit-probability ablation   (n=%d, c=%d, k=%d, "
               "%d trials/point)\n",
@@ -80,6 +81,10 @@ int main(int argc, char** argv) {
     const Summary bo =
         ablate(n, c, k, p, CollisionModel::OneWinner, true, trials,
                seed + 9000 + static_cast<std::uint64_t>(p * 1000), jobs);
+    const std::string tag = "p" + std::to_string(static_cast<int>(p * 100));
+    manifest.add_summary(tag + ".one_winner", ow);
+    manifest.add_summary(tag + ".collision_loss", cl);
+    manifest.add_summary(tag + ".backoff", bo);
     auto cell = [](const Summary& s, int trials_run) {
       return s.count < static_cast<std::size_t>(trials_run) / 2
                  ? std::string("stall")
@@ -95,5 +100,6 @@ int main(int argc, char** argv) {
       "still finish (two nodes rarely collide on c channels early on) but\n"
       "large informed sets on few channels favor intermediate p. The decay\n"
       "backoff layer (footnote 4) restores p=1 as optimal end-to-end.\n");
+  manifest.write();
   return 0;
 }

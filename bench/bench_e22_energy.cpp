@@ -65,6 +65,7 @@ int main(int argc, char** argv) {
   const int c = static_cast<int>(args.get_int("c", 12));
   const int k = static_cast<int>(args.get_int("k", 3));
   args.finish();
+  BenchManifest manifest("e22_energy", &args);
 
   std::printf("E22: energy / duty-cycle profile   (c=%d, k=%d, "
               "%d trials/point; energy = TX+RX node-slots)\n",
@@ -134,6 +135,11 @@ int main(int argc, char** argv) {
         rx += p.total_listen;
         worst = std::max(worst, p.max_node_energy);
       }
+      const std::string tag = "n" + std::to_string(n) + "." + proto;
+      manifest.set(tag + ".slots_mean", slots / ok);
+      manifest.set(tag + ".tx_mean", tx / ok);
+      manifest.set(tag + ".rx_mean", rx / ok);
+      manifest.set(tag + ".max_node_energy", worst);
       table.add_row({Table::num(static_cast<std::int64_t>(n)), proto,
                      Table::num(slots / ok, 1), Table::num(tx / ok, 0),
                      Table::num(rx / ok, 0), Table::num(worst, 0),
@@ -144,5 +150,6 @@ int main(int argc, char** argv) {
   std::printf("\nreading: CogCast transmits from every informed node yet its\n"
               "early finish keeps per-node energy below the rendezvous\n"
               "baseline's long listening vigil; CogComp adds its O(n) phases.\n");
+  manifest.write();
   return 0;
 }

@@ -85,6 +85,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const int jobs = args.get_jobs();
   args.finish();
+  BenchManifest manifest("e23_epidemic_stages", &args);
 
   std::printf("E23: the two epidemic stages of Theorem 4's proof   "
               "(%d trials/point)\n",
@@ -122,6 +123,12 @@ int main(int argc, char** argv) {
         std::log2(std::max(2.0, static_cast<double>(cfg.n)));
     const double floor = static_cast<double>(cfg.k) / cfg.c;
     const double hz = summarize(hazard).median;
+    const std::string tag = "n" + std::to_string(cfg.n) + ".c" +
+                            std::to_string(cfg.c) + ".k" +
+                            std::to_string(cfg.k);
+    manifest.set(tag + ".reach_half_c.median", summarize(half).median);
+    manifest.set(tag + ".stage2_hazard.median", hz);
+    manifest.set(tag + ".completion.median", summarize(total).median);
     table.add_row({Table::num(static_cast<std::int64_t>(cfg.n)),
                    Table::num(static_cast<std::int64_t>(cfg.c)),
                    Table::num(static_cast<std::int64_t>(cfg.k)),
@@ -134,5 +141,6 @@ int main(int argc, char** argv) {
   std::printf("\ntheory: 'to c/2' <= O(stage bound); stage-2 hazard >= "
               "Omega(k/c)\n(hazard/floor is the hidden constant of "
               "Claim 3 — expect O(1) and >= ~0.3).\n");
+  manifest.write();
   return 0;
 }

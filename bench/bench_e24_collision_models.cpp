@@ -61,6 +61,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const int jobs = args.get_jobs();
   args.finish();
+  BenchManifest manifest("e24_collision_models", &args);
 
   std::printf("E24: collision-model sensitivity   (footnote 3, "
               "%d trials/point)\n",
@@ -82,6 +83,12 @@ int main(int argc, char** argv) {
     const Summary bo =
         run_model(cfg.n, cfg.c, cfg.k, CollisionModel::OneWinner, true, trials,
                   seed + 200 + static_cast<std::uint64_t>(cfg.n), jobs);
+    const std::string tag = "n" + std::to_string(cfg.n) + ".c" +
+                            std::to_string(cfg.c) + ".k" +
+                            std::to_string(cfg.k);
+    manifest.add_summary(tag + ".one_winner", ow);
+    manifest.add_summary(tag + ".all_delivered", ad);
+    manifest.add_summary(tag + ".backoff", bo);
     table.add_row({Table::num(static_cast<std::int64_t>(cfg.n)),
                    Table::num(static_cast<std::int64_t>(cfg.c)),
                    Table::num(static_cast<std::int64_t>(cfg.k)),
@@ -92,5 +99,6 @@ int main(int argc, char** argv) {
   table.print_with_title("CogCast completion under the three radio models");
   std::printf("\ntheory: ratios ~ 1 — for broadcast the paper loses nothing\n"
               "by assuming the weaker one-winner model.\n");
+  manifest.write();
   return 0;
 }

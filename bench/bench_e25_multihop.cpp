@@ -65,6 +65,7 @@ int main(int argc, char** argv) {
   const int c = static_cast<int>(args.get_int("c", 8));
   const int k = static_cast<int>(args.get_int("k", 2));
   args.finish();
+  BenchManifest manifest("e25_multihop", &args);
 
   std::printf("E25: multi-hop epidemic broadcast   (c=%d, k=%d, "
               "%d trials/point)\n",
@@ -84,6 +85,8 @@ int main(int argc, char** argv) {
     const Summary s = multihop_slots(cfg.shape, cfg.n, c, k, trials,
                                      seed + static_cast<std::uint64_t>(cfg.n),
                                      jobs, &diameter);
+    manifest.add_summary(
+        std::string(cfg.shape) + ".n" + std::to_string(cfg.n), s);
     table.add_row({cfg.shape, Table::num(static_cast<std::int64_t>(cfg.n)),
                    Table::num(static_cast<std::int64_t>(diameter)),
                    Table::num(s.median, 1), Table::num(s.p95, 1),
@@ -93,5 +96,6 @@ int main(int argc, char** argv) {
   table.print_with_title("flooding time across topologies");
   std::printf("\ntheory: completion ~ D x per-hop epoch; the 'median/D' column\n"
               "(slots per hop) should be roughly constant per topology family.\n");
+  manifest.write();
   return 0;
 }

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   const int c = static_cast<int>(args.get_int("c", 8));
   const int k = static_cast<int>(args.get_int("k", 2));
   args.finish();
+  BenchManifest manifest("e26_gossip", &args);
 
   std::printf("E26: all-to-all gossip   (c=%d, k=%d, %d trials/point)\n", c, k,
               trials);
@@ -45,6 +46,11 @@ int main(int argc, char** argv) {
     const Summary one_cast =
         cogcast_slots("shared-core", n, c, k, trials, seed + 500 + static_cast<std::uint64_t>(n), jobs);
     const double sequential = one_cast.median * n;
+    const std::string tag = "n" + std::to_string(n);
+    manifest.add_summary(tag + ".gossip", gossip);
+    manifest.set(tag + ".one_cast_median", one_cast.median);
+    manifest.set(tag + ".gossip_vs_sequential",
+                 safe_ratio(gossip.median, sequential));
     table.add_row({Table::num(static_cast<std::int64_t>(n)),
                    Table::num(gossip.median, 1), Table::num(gossip.p95, 1),
                    Table::num(one_cast.median, 1), Table::num(sequential, 1),
@@ -53,5 +59,6 @@ int main(int argc, char** argv) {
   table.print_with_title("all rumors at all nodes (shared-core pattern)");
   std::printf("\ntheory: the gossip/sequential ratio should *fall* with n —\n"
               "meetings are shared across all n rumors simultaneously.\n");
+  manifest.write();
   return 0;
 }

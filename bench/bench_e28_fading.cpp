@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   const int c = static_cast<int>(args.get_int("c", 8));
   const int k = static_cast<int>(args.get_int("k", 2));
   args.finish();
+  BenchManifest manifest("e28_fading", &args);
 
   std::printf("E28: per-delivery fading   (n=%d, c=%d, k=%d, "
               "%d trials/point)\n",
@@ -83,6 +84,10 @@ int main(int argc, char** argv) {
     }
     const Summary s = summarize(cast_slots);
     if (q == 0.0) base_median = s.median;
+    const std::string tag = "q" + std::to_string(static_cast<int>(q * 100));
+    manifest.add_summary(tag + ".cogcast", s);
+    manifest.set_int(tag + ".cogcomp_ok", comp_ok);
+    manifest.set_int(tag + ".cogcomp_silent_wrong", comp_silent_wrong);
     table.add_row(
         {Table::num(q, 2), Table::num(s.median, 1),
          Table::num(safe_ratio(s.median, base_median), 2),
@@ -94,5 +99,6 @@ int main(int argc, char** argv) {
   table.print_with_title("CogCast vs CogComp under fading");
   std::printf("\ntheory: cogcast inflation ~ 1/(1-q); cogcomp loses its\n"
               "guarantee under loss but must never be silently wrong.\n");
+  manifest.write();
   return 0;
 }

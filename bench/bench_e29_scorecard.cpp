@@ -8,6 +8,7 @@
 // tight where it fixes a number (Theorem 16's (c+1)/(k+1)). Exit code =
 // number of failing rows, so CI can gate on it.
 #include <cstdio>
+#include <iterator>
 
 #include "analysis/theory.h"
 #include "baselines/tdma_aggregation.h"
@@ -24,6 +25,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const int jobs = args.get_jobs();
   args.finish();
+  BenchManifest manifest("e29_scorecard", &args);
 
   std::printf("E29: scorecard — every paper claim, predicted vs measured "
               "(%d trials/row)\n",
@@ -160,6 +162,18 @@ int main(int argc, char** argv) {
   }
 
   const int failures = theory::print_scorecard(rows, "paper scorecard");
+  static const char* kRowKeys[] = {
+      "theorem4_broadcast", "theorem4_k_ratio",  "theorem10_phase4",
+      "lemma11_hitting",    "lemma14_complete",  "theorem16_scan",
+      "section5_tdma",      "section6_hopping",  "footnote4_backoff",
+      "section1_rendezvous"};
+  for (std::size_t i = 0; i < rows.size() && i < std::size(kRowKeys); ++i) {
+    manifest.set(std::string(kRowKeys[i]) + ".measured", rows[i].measured);
+    manifest.set_int(std::string(kRowKeys[i]) + ".pass",
+                     rows[i].pass() ? 1 : 0);
+  }
+  manifest.set_int("failures", failures);
+  manifest.write();
   std::printf("\n%d/%zu rows pass.\n", static_cast<int>(rows.size()) - failures,
               rows.size());
   return failures;

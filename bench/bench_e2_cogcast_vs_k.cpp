@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   const int n = static_cast<int>(args.get_int("n", 128));
   const int c = static_cast<int>(args.get_int("c", 32));
   args.finish();
+  BenchManifest manifest("e2_cogcast_vs_k", &args);
 
   std::printf("E2: CogCast completion vs k   (Theorem 4, n=%d, c=%d, "
               "%d trials/point)\n",
@@ -34,6 +35,7 @@ int main(int argc, char** argv) {
       if (k > c) continue;
       const double theory = theorem4_shape_effective(pattern, n, c, k);
       const Summary s = cogcast_slots(pattern, n, c, k, trials, seed + k, jobs);
+      manifest.add_summary(pattern + ".k" + std::to_string(k), s);
       table.add_row({Table::num(static_cast<std::int64_t>(k)),
                      Table::num(effective_overlap(pattern, c, k), 1),
                      Table::num(theory, 1), Table::num(s.median, 1),
@@ -45,5 +47,6 @@ int main(int argc, char** argv) {
     table.print_with_title("pattern: " + pattern);
     if (pattern == "partitioned") print_fit("k", xs, ys, -1.0);
   }
+  manifest.write();
   return 0;
 }

@@ -73,6 +73,7 @@ int main(int argc, char** argv) {
   const int c = static_cast<int>(args.get_int("c", 12));
   const int k = static_cast<int>(args.get_int("k", 3));
   args.finish();
+  BenchManifest manifest("e30_channel_bias", &args);
 
   std::printf("E30: channel-selection bias ablation   (n=%d, c=%d, k=%d, "
               "%d trials/point)\n",
@@ -89,6 +90,9 @@ int main(int argc, char** argv) {
                              (local ? 0 : 7000),
                          jobs);
       if (s == 0.0) base = summary.median;
+      manifest.add_summary(std::string(local ? "local" : "global") + ".s" +
+                               std::to_string(static_cast<int>(s * 10)),
+                           summary);
       table.add_row({Table::num(s, 1), Table::num(summary.median, 1),
                      Table::num(summary.p95, 1),
                      Table::num(safe_ratio(summary.median, base), 2)});
@@ -101,5 +105,6 @@ int main(int argc, char** argv) {
   std::printf("\ntheory: under local labels bias only adds variance (ratios "
               ">= 1,\ngrowing with s); under aligned global labels it "
               "*helps* (ratios < 1).\n");
+  manifest.write();
   return 0;
 }

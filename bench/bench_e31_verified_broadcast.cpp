@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   const int c = static_cast<int>(args.get_int("c", 8));
   const int k = static_cast<int>(args.get_int("k", 2));
   args.finish();
+  BenchManifest manifest("e31_verified_broadcast", &args);
 
   std::printf("E31: verified & multi-source broadcast   (c=%d, k=%d, "
               "%d trials/point)\n",
@@ -67,6 +68,10 @@ int main(int argc, char** argv) {
       if (nodes[0]->verified() == all_informed) ++correct;
     }
     const Summary ver = summarize(slots);
+    const std::string tag = "cert.n" + std::to_string(n);
+    manifest.set(tag + ".plain_median", plain.median);
+    manifest.set(tag + ".verified_median", ver.median);
+    manifest.set_int(tag + ".certificates_correct", correct);
     cert.add_row({Table::num(static_cast<std::int64_t>(n)),
                   Table::num(plain.median, 1), Table::num(ver.median, 1),
                   Table::num(safe_ratio(ver.median, plain.median), 2),
@@ -93,6 +98,7 @@ int main(int argc, char** argv) {
     }
     const Summary s = summarize(slots);
     if (m == 1) base = s.median;
+    manifest.add_summary("multi.m" + std::to_string(m), s);
     multi.add_row({Table::num(static_cast<std::int64_t>(m)),
                    Table::num(s.median, 1), Table::num(s.p95, 1),
                    Table::num(safe_ratio(s.median, base), 2)});
@@ -100,5 +106,6 @@ int main(int argc, char** argv) {
   multi.print_with_title("multi-source epidemic (n=96)");
   std::printf("\ntheory: certification costs a fixed additive CogComp budget;\n"
               "m sources save ~lg m doubling steps.\n");
+  manifest.write();
   return 0;
 }

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const int jobs = args.get_jobs();
   args.finish();
+  BenchManifest manifest("e32_gamma", &args);
 
   std::printf("E32: Theorem 4 constant calibration   (%d trials/cell; cell = "
               "fraction of runs exceeding gamma * shape)\n",
@@ -60,10 +61,17 @@ int main(int argc, char** argv) {
     });
     const double shape =
         theorem4_shape_effective(cfg.pattern, cfg.n, cfg.c, cfg.k);
+    const std::string tag = std::string(cfg.pattern) + ".n" +
+                            std::to_string(cfg.n) + ".c" +
+                            std::to_string(cfg.c) + ".k" +
+                            std::to_string(cfg.k);
     for (double gamma : {0.5, 1.0, 2.0, 4.0, 8.0}) {
       int late = 0;
       for (double s : slots)
         if (s > gamma * shape) ++late;
+      manifest.set(
+          tag + ".late_frac.gamma" + std::to_string(static_cast<int>(gamma * 10)),
+          static_cast<double>(late) / trials);
       row.push_back(Table::num(static_cast<double>(late) / trials, 3));
     }
     table.add_row(row);
@@ -72,5 +80,6 @@ int main(int argc, char** argv) {
       "empirical P[completion > gamma * (c/k_eff) max{1,c/n} lg n]");
   std::printf("\nreading: the gamma=4 column (the repository default) should\n"
               "be ~0 everywhere — the 'high probability' made concrete.\n");
+  manifest.write();
   return 0;
 }

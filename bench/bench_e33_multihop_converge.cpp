@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   const int c = static_cast<int>(args.get_int("c", 6));
   const int k = static_cast<int>(args.get_int("k", 2));
   args.finish();
+  BenchManifest manifest("e33_multihop_converge", &args);
 
   std::printf("E33: multi-hop convergecast   (c=%d, k=%d, %d trials/point)\n",
               c, k, trials);
@@ -77,6 +78,11 @@ int main(int argc, char** argv) {
       if (trial.exact) ++exact;
       slots.push_back(trial.slots);
     }
+    const std::string tag =
+        std::string(cfg.shape) + ".n" + std::to_string(cfg.n);
+    manifest.set(tag + ".median_slots", summarize(slots).median);
+    manifest.set_int(tag + ".exact", exact);
+    manifest.set_int(tag + ".shortfall", shortfall);
     table.add_row({cfg.shape, Table::num(static_cast<std::int64_t>(cfg.n)),
                    Table::num(static_cast<std::int64_t>(diameter)),
                    Table::num(summarize(slots).median, 1),
@@ -87,5 +93,6 @@ int main(int argc, char** argv) {
   table.print_with_title("aggregation back to the source over the flood tree");
   std::printf("\nreading: exact results whenever coverage completes; slots\n"
               "scale with the scheduled epochs (n-1 levels x epoch length).\n");
+  manifest.write();
   return 0;
 }

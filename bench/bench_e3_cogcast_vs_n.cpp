@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   const int c = static_cast<int>(args.get_int("c", 32));
   const int k = static_cast<int>(args.get_int("k", 4));
   args.finish();
+  BenchManifest manifest("e3_cogcast_vs_n", &args);
 
   std::printf("E3: CogCast completion vs n   (Theorem 4 crossover at n=c=%d, "
               "k=%d, %d trials/point)\n",
@@ -29,6 +30,7 @@ int main(int argc, char** argv) {
     for (int n : {4, 8, 16, 32, 64, 128, 256, 512}) {
       const double theory = theorem4_shape_effective(pattern, n, c, k);
       const Summary s = cogcast_slots(pattern, n, c, k, trials, seed + n, jobs);
+      manifest.add_summary(pattern + ".n" + std::to_string(n), s);
       table.add_row({Table::num(static_cast<std::int64_t>(n)),
                      n < c ? "c>n (x c/n)" : "n>=c",
                      Table::num(theory, 1), Table::num(s.median, 1),
@@ -37,5 +39,6 @@ int main(int argc, char** argv) {
     }
     table.print_with_title("pattern: " + pattern);
   }
+  manifest.write();
   return 0;
 }

@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
   const int n = static_cast<int>(args.get_int("n", 64));
   const int k = static_cast<int>(args.get_int("k", 2));
   args.finish();
+  BenchManifest manifest("e4_broadcast_baselines", &args);
 
   std::printf("E4: CogCast vs rendezvous broadcast   (n=%d, k=%d, "
               "%d trials/point; expected ratio ~ c)\n",
@@ -57,6 +58,10 @@ int main(int argc, char** argv) {
     const Summary rv =
         rendezvous_broadcast_slots("partitioned", n, c, k, trials, seed + c, jobs);
     const double ratio = safe_ratio(rv.median, cog.median);
+    const std::string tag = "c" + std::to_string(c);
+    manifest.add_summary(tag + ".cogcast", cog);
+    manifest.add_summary(tag + ".rendezvous", rv);
+    manifest.set(tag + ".ratio", ratio);
     table.add_row({Table::num(static_cast<std::int64_t>(c)),
                    Table::num(cog.median, 1), Table::num(rv.median, 1),
                    Table::num(ratio, 2), Table::num(ratio / c, 3)});
@@ -76,6 +81,10 @@ int main(int argc, char** argv) {
       rnd.push_back(static_cast<double>(out.slots));
       det.push_back(det_rendezvous_slots(c, k, seeder()));
     }
+    manifest.add_summary("pairwise.c" + std::to_string(c) + ".random",
+                         summarize(rnd));
+    manifest.add_summary("pairwise.c" + std::to_string(c) + ".deterministic",
+                         summarize(det));
     pairwise.add_row(
         {Table::num(static_cast<std::int64_t>(c)),
          Table::num(summarize(rnd).median, 1),
@@ -84,5 +93,6 @@ int main(int argc, char** argv) {
          Table::num(static_cast<double>(c) * c * 20, 0)});
   }
   pairwise.print_with_title("pairwise rendezvous (n = 2)");
+  manifest.write();
   return 0;
 }

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   const int c = static_cast<int>(args.get_int("c", 16));
   const int k = static_cast<int>(args.get_int("k", 4));
   args.finish();
+  BenchManifest manifest("e5_cogcomp_scaling", &args);
 
   std::printf("E5: CogComp scaling vs n   (Theorem 10, c=%d, k=%d, "
               "%d trials/point)\n",
@@ -61,6 +62,10 @@ int main(int argc, char** argv) {
     }
     const CogCompParams params{n, c, k, 4.0};
     const double theory = theorem4_shape(n, c, k) + n;
+    const std::string tag = "n" + std::to_string(n);
+    manifest.add_summary(tag + ".total", summarize(total));
+    manifest.add_summary(tag + ".phase4", summarize(p4));
+    manifest.set_int(tag + ".failures", failures);
     table.add_row(
         {Table::num(static_cast<std::int64_t>(n)),
          Table::num(params.phase1_end()),
@@ -71,5 +76,6 @@ int main(int argc, char** argv) {
          failures == 0 ? "yes" : "FAIL"});
   }
   table.print_with_title("CogComp phase breakdown (shared-core pattern)");
+  manifest.write();
   return 0;
 }

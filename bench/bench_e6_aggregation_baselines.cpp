@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   const int c = static_cast<int>(args.get_int("c", 16));
   const int k = static_cast<int>(args.get_int("k", 4));
   args.finish();
+  BenchManifest manifest("e6_aggregation_baselines", &args);
 
   std::printf("E6: CogComp vs rendezvous aggregation   (c=%d, k=%d, "
               "%d trials/point)\n",
@@ -64,6 +65,9 @@ int main(int argc, char** argv) {
     const double cm = summarize(cog).median;
     const double rm = summarize(rv).median;
     const double theory = static_cast<double>(c) * c * n / k;
+    manifest.add_summary("n" + std::to_string(n) + ".cogcomp", summarize(cog));
+    manifest.add_summary("n" + std::to_string(n) + ".rendezvous",
+                         summarize(rv));
     table.add_row({Table::num(static_cast<std::int64_t>(n)),
                    Table::num(cm, 1), Table::num(rm, 1),
                    Table::num(safe_ratio(rm, cm), 2), Table::num(theory, 0),
@@ -114,6 +118,10 @@ int main(int argc, char** argv) {
     }
     const double cm = summarize(cog).median;
     const double rm = summarize(rv).median;
+    manifest.add_summary("tail.n" + std::to_string(n) + ".cogcomp",
+                         summarize(cog));
+    manifest.add_summary("tail.n" + std::to_string(n) + ".rendezvous",
+                         summarize(rv));
     tail.add_row({Table::num(static_cast<std::int64_t>(n)),
                   Table::num(cm, 1), Table::num(rm, 1),
                   Table::num(safe_ratio(rm, cm), 2),
@@ -121,5 +129,6 @@ int main(int argc, char** argv) {
   }
   tail.print_with_title(
       "straggler-bound regime: partitioned, c=32, k=1 (overlap exactly 1)");
+  manifest.write();
   return 0;
 }

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const int jobs = args.get_jobs();
   args.finish();
+  BenchManifest manifest("e7_hitting_game", &args);
 
   std::printf("E7: (c,k)-bipartite hitting game   (Lemma 11, %d trials/point)\n",
               trials);
@@ -54,6 +55,11 @@ int main(int argc, char** argv) {
         }
         const double rate = static_cast<double>(wins_in_budget) / trials;
         const double median = summarize(win_rounds).median;
+        const std::string tag = std::string(fresh ? "fresh" : "uniform") +
+                                ".c" + std::to_string(c) + ".k" +
+                                std::to_string(k);
+        manifest.set(tag + ".win_rate_in_budget", rate);
+        manifest.set(tag + ".median_win_round", median);
         table.add_row({Table::num(static_cast<std::int64_t>(c)),
                        Table::num(static_cast<std::int64_t>(k)),
                        Table::num(budget), Table::num(rate, 3),
@@ -65,5 +71,6 @@ int main(int argc, char** argv) {
                                  : "uniform player");
   }
   std::printf("\nLemma 11 predicts every row's 'win rate in budget' < 0.5.\n");
+  manifest.write();
   return 0;
 }

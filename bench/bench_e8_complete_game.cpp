@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const int jobs = args.get_jobs();
   args.finish();
+  BenchManifest manifest("e8_complete_game", &args);
 
   std::printf("E8: c-complete bipartite hitting game   (Lemma 14, "
               "%d trials/point)\n",
@@ -42,6 +43,10 @@ int main(int argc, char** argv) {
       if (result.won) win_rounds.push_back(static_cast<double>(result.rounds));
     }
     const double median = summarize(win_rounds).median;
+    const std::string tag = "c" + std::to_string(c);
+    manifest.set(tag + ".win_rate_in_budget",
+                 static_cast<double>(wins_in_budget) / trials);
+    manifest.set(tag + ".median_win_round", median);
     table.add_row({Table::num(static_cast<std::int64_t>(c)),
                    Table::num(static_cast<std::int64_t>(c / 3)),
                    Table::num(static_cast<double>(wins_in_budget) / trials, 3),
@@ -49,5 +54,6 @@ int main(int argc, char** argv) {
   }
   table.print_with_title("fresh player vs uniform perfect matching");
   std::printf("\nLemma 14 predicts every 'win rate in budget' < 0.5.\n");
+  manifest.write();
   return 0;
 }

@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
   const int jobs = args.get_jobs();
   const int n = static_cast<int>(args.get_int("n", 32));
   args.finish();
+  BenchManifest manifest("e9_global_lb", &args);
 
   std::printf("E9: global-label lower bound   (Theorem 16, %d trials/point)\n",
               trials);
@@ -61,6 +62,10 @@ int main(int argc, char** argv) {
         scan_sum += first_hit_scan(c, k, rng);
         uni_sum += first_hit_uniform(c, k, rng);
       }
+      const std::string tag =
+          "c" + std::to_string(c) + ".k" + std::to_string(k);
+      manifest.set(tag + ".scan_mean", scan_sum / trials);
+      manifest.set(tag + ".uniform_mean", uni_sum / trials);
       table.add_row({Table::num(static_cast<std::int64_t>(c)),
                      Table::num(static_cast<std::int64_t>(k)),
                      Table::num(static_cast<double>(c + 1) / (k + 1), 2),
@@ -78,6 +83,8 @@ int main(int argc, char** argv) {
       const Summary s =
           cogcast_slots("partitioned", n, c, k, cast_trials, seed + c + k, jobs);
       const double lb = static_cast<double>(c + 1) / (k + 1);
+      manifest.add_summary(
+          "cogcast.c" + std::to_string(c) + ".k" + std::to_string(k), s);
       gap.add_row({Table::num(static_cast<std::int64_t>(c)),
                    Table::num(static_cast<std::int64_t>(k)),
                    Table::num(lb, 2), Table::num(s.median, 1),
@@ -87,5 +94,6 @@ int main(int argc, char** argv) {
   gap.print_with_title(
       "CogCast completion vs the lower bound on the Theorem 16 network (n=" +
       std::to_string(n) + ")");
+  manifest.write();
   return 0;
 }

@@ -1,0 +1,212 @@
+#include "util/bench_gate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace cogradio {
+
+namespace {
+
+bool pattern_matches(const std::string& pattern, const std::string& id) {
+  if (!pattern.empty() && pattern.back() == '*')
+    return id.compare(0, pattern.size() - 1, pattern, 0, pattern.size() - 1) ==
+           0;
+  return pattern == id;
+}
+
+// Collects one experiment object's metrics as (exp.key, value).
+void flatten_experiment(const JsonValue& exp,
+                        std::vector<std::pair<std::string, double>>& out) {
+  const JsonValue* name = exp.find("name");
+  const JsonValue* metrics = exp.find("metrics");
+  if (name == nullptr || !name->is_string() || metrics == nullptr ||
+      !metrics->is_object())
+    return;
+  for (const auto& [key, value] : metrics->members()) {
+    const double v = value.is_number()
+                         ? value.as_number()
+                         : std::numeric_limits<double>::quiet_NaN();
+    out.emplace_back(name->as_string() + "." + key, v);
+  }
+}
+
+}  // namespace
+
+double GateTolerances::tolerance_for(const std::string& metric_id) const {
+  double best = default_rel_tol;
+  std::size_t best_len = 0;
+  bool found = false;
+  for (const auto& [pattern, tol] : per_metric) {
+    if (!pattern_matches(pattern, metric_id)) continue;
+    if (!found || pattern.size() > best_len) {
+      best = tol;
+      best_len = pattern.size();
+      found = true;
+    }
+  }
+  return best;
+}
+
+std::optional<GateTolerances> parse_tolerances(const JsonValue& doc,
+                                               std::string* error) {
+  const auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+  if (!doc.is_object()) return fail("tolerance document must be an object");
+  GateTolerances out;
+  if (const JsonValue* def = doc.find("default_rel_tol")) {
+    if (!def->is_number() || def->as_number() < 0)
+      return fail("default_rel_tol must be a non-negative number");
+    out.default_rel_tol = def->as_number();
+  }
+  if (const JsonValue* metrics = doc.find("metrics")) {
+    if (!metrics->is_object()) return fail("metrics must be an object");
+    for (const auto& [pattern, tol] : metrics->members()) {
+      if (!tol.is_number() || tol.as_number() < 0)
+        return fail("tolerance for '" + pattern +
+                    "' must be a non-negative number");
+      out.per_metric.emplace_back(pattern, tol.as_number());
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> flatten_metrics(
+    const JsonValue& doc) {
+  std::vector<std::pair<std::string, double>> out;
+  if (const JsonValue* exps = doc.find("experiments");
+      exps != nullptr && exps->is_array()) {
+    for (const JsonValue& exp : exps->items()) flatten_experiment(exp, out);
+  } else {
+    flatten_experiment(doc, out);
+  }
+  return out;
+}
+
+std::string validate_manifest(const JsonValue& doc) {
+  if (!doc.is_object()) return "manifest must be a JSON object";
+  const JsonValue* name = doc.find("name");
+  if (name == nullptr || !name->is_string() || name->as_string().empty())
+    return "manifest requires a non-empty string 'name'";
+  const auto check_metrics = [](const JsonValue& exp) -> std::string {
+    const JsonValue* metrics = exp.find("metrics");
+    if (metrics == nullptr || !metrics->is_object())
+      return "manifest requires a 'metrics' object";
+    for (const auto& [key, value] : metrics->members())
+      if (!value.is_number() && !value.is_null())
+        return "metric '" + key + "' must be a number or null";
+    return "";
+  };
+  if (const JsonValue* exps = doc.find("experiments")) {
+    if (!exps->is_array()) return "'experiments' must be an array";
+    for (const JsonValue& exp : exps->items()) {
+      const std::string err = validate_manifest(exp);
+      if (!err.empty()) return err;
+    }
+    return "";
+  }
+  return check_metrics(doc);
+}
+
+GateResult compare_bench_manifests(const JsonValue& current,
+                                   const JsonValue& baseline,
+                                   const GateTolerances& tolerances) {
+  const auto base = flatten_metrics(baseline);
+  const auto cur = flatten_metrics(current);
+  GateResult out;
+  for (const auto& [id, base_value] : base) {
+    GateDiff diff;
+    diff.metric_id = id;
+    diff.baseline = base_value;
+    diff.rel_tol = tolerances.tolerance_for(id);
+    const auto it =
+        std::find_if(cur.begin(), cur.end(),
+                     [&id = id](const auto& kv) { return kv.first == id; });
+    if (it == cur.end() || std::isnan(it->second)) {
+      // A baseline null stays null-comparable: both missing/null is Ok.
+      if (std::isnan(base_value) && it != cur.end()) {
+        diff.status = GateDiff::Status::Ok;
+        ++out.compared;
+      } else {
+        diff.status = GateDiff::Status::MissingInRun;
+        ++out.breaches;
+      }
+      out.diffs.push_back(diff);
+      continue;
+    }
+    diff.current = it->second;
+    ++out.compared;
+    if (std::isnan(base_value)) {
+      // Baseline pinned a null (non-finite) value; a numeric current value
+      // is a behavior change worth flagging.
+      diff.status = GateDiff::Status::Breach;
+      ++out.breaches;
+      out.diffs.push_back(diff);
+      continue;
+    }
+    const double denom = std::max(std::fabs(base_value), 1e-12);
+    diff.rel_dev = std::fabs(diff.current - base_value) / denom;
+    if (diff.rel_dev > diff.rel_tol) {
+      diff.status = GateDiff::Status::Breach;
+      ++out.breaches;
+    } else {
+      diff.status = GateDiff::Status::Ok;
+    }
+    out.diffs.push_back(diff);
+  }
+  for (const auto& [id, value] : cur) {
+    const bool in_base =
+        std::any_of(base.begin(), base.end(),
+                    [&id = id](const auto& kv) { return kv.first == id; });
+    if (in_base) continue;
+    GateDiff diff;
+    diff.metric_id = id;
+    diff.current = value;
+    diff.status = GateDiff::Status::NewInRun;
+    out.diffs.push_back(diff);
+  }
+  return out;
+}
+
+std::string GateResult::report() const {
+  std::string out;
+  char line[256];
+  for (const GateDiff& d : diffs) {
+    switch (d.status) {
+      case GateDiff::Status::Ok:
+        std::snprintf(line, sizeof(line),
+                      "OK      %-56s  %.10g -> %.10g  (rel %.3e <= tol %.3e)\n",
+                      d.metric_id.c_str(), d.baseline, d.current, d.rel_dev,
+                      d.rel_tol);
+        break;
+      case GateDiff::Status::Breach:
+        std::snprintf(line, sizeof(line),
+                      "BREACH  %-56s  %.10g -> %.10g  (rel %.3e >  tol %.3e)\n",
+                      d.metric_id.c_str(), d.baseline, d.current, d.rel_dev,
+                      d.rel_tol);
+        break;
+      case GateDiff::Status::MissingInRun:
+        std::snprintf(line, sizeof(line),
+                      "MISSING %-56s  baseline %.10g has no numeric value in "
+                      "the current run\n",
+                      d.metric_id.c_str(), d.baseline);
+        break;
+      case GateDiff::Status::NewInRun:
+        std::snprintf(line, sizeof(line),
+                      "NEW     %-56s  %.10g (not pinned by the baseline)\n",
+                      d.metric_id.c_str(), d.current);
+        break;
+    }
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "bench gate: %d metric(s) compared, %d breach(es)\n", compared,
+                breaches);
+  out += line;
+  return out;
+}
+
+}  // namespace cogradio

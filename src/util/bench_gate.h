@@ -1,0 +1,90 @@
+// Bench regression gate: compares a merged benchmark manifest
+// (BENCH_all.json, or a single BENCH_<exp>.json) against a committed
+// baseline with per-metric relative tolerances, for `cograd bench
+// --compare` and the CI bench-gate step.
+//
+// Metric identity is "<experiment>.<metric key>". A metric present in the
+// baseline but absent (or null / non-numeric) in the current run is a
+// breach — a silently dropped metric must not pass the gate. Metrics new
+// in the current run are reported but do not fail; regenerate the
+// baseline to start pinning them.
+//
+// Tolerances come from a JSON file:
+//
+//   {
+//     "default_rel_tol": 1e-9,
+//     "metrics": {
+//       "e1_cogcast_vs_c.partitioned.*": 0.05,
+//       "smoke_trace_counters.deliveries": 0
+//     }
+//   }
+//
+// Patterns are exact metric ids or a prefix followed by '*'; the longest
+// matching pattern wins.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace cogradio {
+
+struct GateTolerances {
+  double default_rel_tol = 1e-9;
+  // (pattern, rel_tol) pairs, most specific match (longest pattern) wins.
+  std::vector<std::pair<std::string, double>> per_metric;
+
+  double tolerance_for(const std::string& metric_id) const;
+};
+
+// Parses a tolerance document (see header comment). Returns nullopt and
+// fills `error` on malformed input.
+std::optional<GateTolerances> parse_tolerances(const JsonValue& doc,
+                                               std::string* error);
+
+struct GateDiff {
+  enum class Status {
+    Ok,            // within tolerance
+    Breach,        // relative deviation beyond tolerance
+    MissingInRun,  // baseline metric absent/non-numeric in current run
+    NewInRun,      // current metric not pinned by the baseline (informative)
+  };
+  std::string metric_id;
+  double baseline = 0.0;
+  double current = 0.0;
+  double rel_dev = 0.0;  // |current-baseline| / max(|baseline|, tiny)
+  double rel_tol = 0.0;
+  Status status = Status::Ok;
+};
+
+struct GateResult {
+  std::vector<GateDiff> diffs;
+  int breaches = 0;
+  int compared = 0;
+
+  bool ok() const { return breaches == 0; }
+  // Human-readable per-metric report (one line per diff + summary), the
+  // CI artifact uploaded next to BENCH_all.json.
+  std::string report() const;
+};
+
+// Compares every metric of `current` against `baseline`. Both documents
+// may be a merged manifest ({"experiments": [...]}) or a single
+// experiment manifest ({"name": ..., "metrics": {...}}).
+GateResult compare_bench_manifests(const JsonValue& current,
+                                   const JsonValue& baseline,
+                                   const GateTolerances& tolerances);
+
+// Flattens a manifest document into (metric_id, value) pairs; null-encoded
+// metrics surface as NaN. Exposed for tests and `cograd bench --validate`.
+std::vector<std::pair<std::string, double>> flatten_metrics(
+    const JsonValue& doc);
+
+// Structural validity check for a manifest document: required fields
+// present, metrics numeric-or-null. Returns an empty string when valid,
+// else a diagnostic.
+std::string validate_manifest(const JsonValue& doc);
+
+}  // namespace cogradio

@@ -1,0 +1,69 @@
+// Minimal JSON value tree + recursive-descent parser.
+//
+// Exists so the bench regression gate (util/bench_gate.h) can *parse* the
+// manifests that util/bench_report.h emits instead of diffing text, and so
+// tests can certify that every BENCH_<exp>.json is valid JSON. Supports
+// the full JSON grammar (objects, arrays, strings with escapes, numbers,
+// booleans, null); object members preserve insertion order, matching the
+// writer's line-aligned-diffs contract.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cogradio {
+
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_number() const { return kind_ == Kind::Number; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_object() const { return kind_ == Kind::Object; }
+  bool is_array() const { return kind_ == Kind::Array; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+
+  static JsonValue make_null();
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+// Parses `text` as one JSON document (trailing whitespace allowed, trailing
+// garbage rejected). On failure returns nullopt and, if `error` is non-null,
+// stores a one-line diagnostic with the byte offset.
+std::optional<JsonValue> parse_json(const std::string& text,
+                                    std::string* error = nullptr);
+
+// Escapes `s` for embedding inside a JSON string literal (adds no quotes).
+std::string json_escape(const std::string& s);
+
+}  // namespace cogradio

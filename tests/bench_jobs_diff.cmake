@@ -1,0 +1,21 @@
+# Determinism check for `cograd bench`: the merged manifest must be
+# byte-identical no matter how many sweep workers produced it (the
+# util/sweep.h contract, exercised end to end through the smoke suite).
+#
+# Invoked by ctest as:
+#   cmake -DCOGRAD=<path-to-cograd> -P bench_jobs_diff.cmake
+foreach(jobs 1 4)
+  execute_process(
+    COMMAND ${COGRAD} bench --jobs ${jobs} --out BENCH_jobs${jobs}.json
+    RESULT_VARIABLE result
+    OUTPUT_QUIET)
+  if(NOT result EQUAL 0)
+    message(FATAL_ERROR "cograd bench --jobs ${jobs} failed (${result})")
+  endif()
+endforeach()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files BENCH_jobs1.json BENCH_jobs4.json
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "BENCH_all.json differs between --jobs 1 and --jobs 4")
+endif()

@@ -11,16 +11,22 @@
 //   game        bipartite hitting game             (Lemmas 11/14)
 //   record      run a broadcast and dump the execution log
 //   check       property-based invariant sweep with shrinking
+//   bench       smoke benchmark suite + regression gate
 //
 // Common flags: --n --c --k --pattern --seed --trials; each command adds
 // its own (see the usage text). All runs are deterministic in --seed.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/bench_suite.h"
 #include "core/consensus.h"
 #include "core/gossip.h"
 #include "core/multihop_cast.h"
@@ -29,7 +35,10 @@
 #include "lowerbounds/reduction.h"
 #include "sim/assignment.h"
 #include "sim/recorder.h"
+#include "util/bench_gate.h"
+#include "util/bench_report.h"
 #include "util/cli.h"
+#include "util/json.h"
 #include "util/proptest.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -54,6 +63,11 @@ int usage() {
       "  record     --n 16 --c 6 --k 2   (dumps 'slot node mode channel ...')\n"
       "  check      [--trials 64] [--jobs J] [--trial T] [--repro-out FILE]\n"
       "             [--shrink-budget 256]   (slot-invariant property sweep)\n"
+      "  bench      [--jobs J] [--trials T] [--only e1,e2,...]\n"
+      "             [--out BENCH_all.json] [--compare BASELINE.json]\n"
+      "             [--tolerances TOL.json] [--diff-out FILE]\n"
+      "             [--list] [--validate F1,F2,...]\n"
+      "             (smoke benchmark suite + regression gate)\n"
       "\n"
       "common: --seed S (default 1), --pattern shared-core|partitioned|\n"
       "        pigeonhole|identity|dynamic-shared-core|dynamic-pigeonhole");
@@ -326,6 +340,161 @@ int cmd_check(CliArgs& args) {
   return rep.ok() ? 0 : 1;
 }
 
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::istringstream in(csv);
+  while (std::getline(in, part, ','))
+    if (!part.empty()) parts.push_back(part);
+  return parts;
+}
+
+// Smoke benchmark suite + regression gate. Runs the deterministic
+// in-process experiments of analysis/bench_suite.h, merges their
+// manifests (volatile sections stripped, so the output is bit-identical
+// for any --jobs) into --out, and optionally compares against a committed
+// baseline, exiting nonzero on any tolerance breach.
+int cmd_bench(CliArgs& args) {
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int trials = static_cast<int>(args.get_int("trials", 0));
+  const int jobs = args.get_jobs();
+  const std::string only = args.get_string("only", "");
+  const std::string out_path = args.get_string("out", "BENCH_all.json");
+  const std::string compare_path = args.get_string("compare", "");
+  const std::string tolerances_path = args.get_string("tolerances", "");
+  const std::string diff_out = args.get_string("diff-out", "");
+  const bool list = args.get_flag("list");
+  const std::string validate = args.get_string("validate", "");
+  args.finish();
+
+  if (list) {
+    for (const std::string& name : smoke_experiment_names())
+      std::puts(name.c_str());
+    return 0;
+  }
+
+  if (!validate.empty()) {
+    int bad = 0;
+    for (const std::string& path : split_csv(validate)) {
+      const auto text = read_file(path);
+      if (!text) {
+        std::printf("%s: cannot read\n", path.c_str());
+        ++bad;
+        continue;
+      }
+      std::string error;
+      const auto doc = parse_json(*text, &error);
+      if (!doc) {
+        std::printf("%s: invalid JSON: %s\n", path.c_str(), error.c_str());
+        ++bad;
+        continue;
+      }
+      const std::string diagnostic = validate_manifest(*doc);
+      if (!diagnostic.empty()) {
+        std::printf("%s: %s\n", path.c_str(), diagnostic.c_str());
+        ++bad;
+        continue;
+      }
+      std::printf("%s: ok (%zu metrics)\n", path.c_str(),
+                  flatten_metrics(*doc).size());
+    }
+    return bad == 0 ? 0 : 1;
+  }
+
+  SmokeOptions options;
+  options.seed = seed;
+  options.jobs = jobs;
+  options.trials = trials;
+
+  std::vector<std::string> selected = smoke_experiment_names();
+  if (!only.empty()) {
+    const std::vector<std::string> known = selected;
+    selected.clear();
+    for (const std::string& name : split_csv(only)) {
+      if (std::find(known.begin(), known.end(), name) == known.end()) {
+        std::fprintf(stderr, "cograd bench: unknown experiment '%s'\n",
+                     name.c_str());
+        return 2;
+      }
+      selected.push_back(name);
+    }
+  }
+
+  std::vector<RunManifest> runs;
+  for (const std::string& name : selected) {
+    const auto start = std::chrono::steady_clock::now();
+    RunManifest manifest = run_smoke_experiment(name, options);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    manifest.set_volatile("wall_clock_seconds", elapsed.count());
+    std::printf("bench: %-22s %6.2fs\n", name.c_str(), elapsed.count());
+    runs.push_back(std::move(manifest));
+  }
+  const std::string merged = merge_manifests("smoke", runs);
+  if (!write_file_atomic(out_path, merged)) {
+    std::fprintf(stderr, "cograd bench: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu experiments)\n", out_path.c_str(), runs.size());
+
+  if (compare_path.empty()) return 0;
+
+  std::string error;
+  const auto current = parse_json(merged, &error);
+  if (!current) {
+    std::fprintf(stderr, "cograd bench: merged output invalid: %s\n",
+                 error.c_str());
+    return 1;
+  }
+  const auto baseline_text = read_file(compare_path);
+  if (!baseline_text) {
+    std::fprintf(stderr, "cograd bench: cannot read baseline %s\n",
+                 compare_path.c_str());
+    return 1;
+  }
+  const auto baseline = parse_json(*baseline_text, &error);
+  if (!baseline) {
+    std::fprintf(stderr, "cograd bench: baseline %s invalid: %s\n",
+                 compare_path.c_str(), error.c_str());
+    return 1;
+  }
+  GateTolerances tolerances;
+  if (!tolerances_path.empty()) {
+    const auto tolerances_text = read_file(tolerances_path);
+    if (!tolerances_text) {
+      std::fprintf(stderr, "cograd bench: cannot read tolerances %s\n",
+                   tolerances_path.c_str());
+      return 1;
+    }
+    const auto doc = parse_json(*tolerances_text, &error);
+    std::optional<GateTolerances> parsed;
+    if (doc) parsed = parse_tolerances(*doc, &error);
+    if (!parsed) {
+      std::fprintf(stderr, "cograd bench: tolerances %s invalid: %s\n",
+                   tolerances_path.c_str(), error.c_str());
+      return 1;
+    }
+    tolerances = *parsed;
+  }
+  const GateResult result =
+      compare_bench_manifests(*current, *baseline, tolerances);
+  const std::string report = result.report();
+  std::fputs(report.c_str(), stdout);
+  if (!diff_out.empty() && !write_file_atomic(diff_out, report)) {
+    std::fprintf(stderr, "cograd bench: cannot write %s\n", diff_out.c_str());
+    return 1;
+  }
+  return result.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -340,5 +509,6 @@ int main(int argc, char** argv) {
   if (command == "game") return cmd_game(args);
   if (command == "record") return cmd_record(args);
   if (command == "check") return cmd_check(args);
+  if (command == "bench") return cmd_bench(args);
   return usage();
 }
