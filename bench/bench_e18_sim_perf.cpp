@@ -18,7 +18,6 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <new>
@@ -160,11 +159,6 @@ void BM_ParallelSweepCogCast(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelSweepCogCast)->Arg(1)->Arg(2)->Arg(4);
 
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-      .count();
-}
-
 // Direct steady-state probe: after a warm-up (which sizes the engine's
 // member scratch), a window of steps must allocate nothing and its timing
 // gives node-slots/sec without google-benchmark's harness overhead.
@@ -175,10 +169,10 @@ void run_step_probes(RunManifest& report) {
     CogCastFixture fx(n, /*c=*/16, /*k=*/4);
     for (int s = 0; s < 512; ++s) fx.network->step();
     const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
-    const auto start = std::chrono::steady_clock::now();
+    const double start = monotonic_seconds();
     constexpr int kWindow = 2048;
     for (int s = 0; s < kWindow; ++s) fx.network->step();
-    const double elapsed = seconds_since(start);
+    const double elapsed = monotonic_seconds() - start;
     const std::uint64_t allocs =
         g_allocs.load(std::memory_order_relaxed) - before;
     const double rate = static_cast<double>(n) * kWindow / elapsed;
@@ -206,9 +200,9 @@ void run_sweep_probe(RunManifest& report) {
     return static_cast<double>(out.slots);
   };
   auto timed = [&](int jobs, double* elapsed) {
-    const auto start = std::chrono::steady_clock::now();
+    const double start = monotonic_seconds();
     auto samples = sweep_trials(kTrials, /*base_seed=*/11, jobs, workload);
-    *elapsed = seconds_since(start);
+    *elapsed = monotonic_seconds() - start;
     return samples;
   };
   double t1 = 0, tn = 0;

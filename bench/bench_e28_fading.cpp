@@ -83,6 +83,7 @@ int main(int argc, char** argv) {
       if (trial.comp_silent_wrong) ++comp_silent_wrong;
     }
     const Summary s = summarize(cast_slots);
+    // cograd-lint: allow(R6) q iterates exact sweep grid values; 0.0 is the literal baseline point
     if (q == 0.0) base_median = s.median;
     const std::string tag = "q" + std::to_string(static_cast<int>(q * 100));
     manifest.add_summary(tag + ".cogcast", s);

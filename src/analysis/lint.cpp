@@ -1,0 +1,882 @@
+#include "analysis/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/json.h"
+
+namespace cogradio {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+// Collapses whitespace runs to single spaces; the normalization behind
+// finding_key, so reindenting a baselined site does not re-fire it.
+std::string normalize_ws(const std::string& s) {
+  std::string out;
+  bool in_ws = false;
+  for (char c : trim(s)) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      in_ws = true;
+      continue;
+    }
+    if (in_ws && !out.empty()) out.push_back(' ');
+    in_ws = false;
+    out.push_back(c);
+  }
+  return out;
+}
+
+// Invokes fn(name, begin, end) for every maximal identifier in `line`.
+template <typename Fn>
+void for_each_identifier(const std::string& line, Fn&& fn) {
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (!ident_start(line[i])) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < line.size() && ident_char(line[j])) ++j;
+    fn(line.substr(i, j - i), i, j);
+    i = j;
+  }
+}
+
+std::size_t skip_ws(const std::string& line, std::size_t i) {
+  while (i < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[i])))
+    ++i;
+  return i;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool preprocessor_line(const std::string& code) {
+  const std::size_t i = skip_ws(code, 0);
+  return i < code.size() && code[i] == '#';
+}
+
+// True for integer-literal tokens: 1, 0x9e37, 16'384, 42ULL.
+bool integer_literal(const std::string& token) {
+  if (token.empty() || !std::isdigit(static_cast<unsigned char>(token[0])))
+    return false;
+  for (char c : token) {
+    if (std::isxdigit(static_cast<unsigned char>(c)) || c == 'x' ||
+        c == 'X' || c == 'u' || c == 'U' || c == 'l' || c == 'L' || c == '\'')
+      continue;
+    return false;
+  }
+  return true;
+}
+
+// True for floating-literal tokens: 0.0, 1e9, .5, 2.5f — but not 0x1e.
+bool floating_literal(const std::string& token) {
+  if (token.empty()) return false;
+  const bool dot_start =
+      token[0] == '.' && token.size() > 1 &&
+      std::isdigit(static_cast<unsigned char>(token[1]));
+  if (!std::isdigit(static_cast<unsigned char>(token[0])) && !dot_start)
+    return false;
+  if (starts_with(token, "0x") || starts_with(token, "0X")) return false;
+  return token.find('.') != std::string::npos ||
+         token.find('e') != std::string::npos ||
+         token.find('E') != std::string::npos;
+}
+
+// Reads the [A-Za-z0-9_.]* token touching position `i` going forward.
+std::string token_at(const std::string& line, std::size_t i) {
+  std::size_t j = i;
+  while (j < line.size() && (ident_char(line[j]) || line[j] == '.')) ++j;
+  return line.substr(i, j - i);
+}
+
+// Reads the token ending at (exclusive) position `end` going backward.
+std::string token_before(const std::string& line, std::size_t end) {
+  std::size_t b = end;
+  while (b > 0 && (ident_char(line[b - 1]) || line[b - 1] == '.')) --b;
+  return line.substr(b, end - b);
+}
+
+// Skips a single-line template argument list starting at the '<' at `i`;
+// returns the index past the matching '>', or npos when unbalanced or
+// spanning lines.
+std::size_t skip_template_args(const std::string& line, std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i; j < line.size(); ++j) {
+    if (line[j] == '<') ++depth;
+    if (line[j] == '>' && --depth == 0) return j + 1;
+  }
+  return std::string::npos;
+}
+
+// First top-level template argument of the list opening at the '<' at `i`
+// ("" when the list is malformed or spans lines).
+std::string first_template_arg(const std::string& line, std::size_t i) {
+  int angle = 0, paren = 0;
+  std::string arg;
+  for (std::size_t j = i; j < line.size(); ++j) {
+    const char c = line[j];
+    if (c == '<') {
+      if (++angle == 1) continue;
+    }
+    if (c == '>' && --angle == 0) return trim(arg);
+    if (c == '(') ++paren;
+    if (c == ')') --paren;
+    if (c == ',' && angle == 1 && paren == 0) return trim(arg);
+    if (angle >= 1) arg.push_back(c);
+  }
+  return "";
+}
+
+const char* const kSerializationHeaders[] = {
+    "sim/types.h",    "sim/trace.h",   "sim/message.h",  "sim/protocol.h",
+    "sim/network.h",  "sim/backoff.h", "sim/recorder.h", "util/bench_report.h",
+};
+
+bool in_r5_scope(const std::string& rel_path) {
+  for (const char* suffix : kSerializationHeaders)
+    if (ends_with(rel_path, suffix)) return true;
+  return false;
+}
+
+bool in_r6_scope(const std::string& rel_path) {
+  return starts_with(rel_path, "src/util/") ||
+         starts_with(rel_path, "src/analysis/") ||
+         starts_with(rel_path, "bench/");
+}
+
+// Scalar-typed member heuristic for R5: the type's first meaningful token.
+bool scalar_type_token(const std::string& token) {
+  static const std::set<std::string> kScalars = {
+      "bool",     "char",        "short",          "int",
+      "long",     "unsigned",    "signed",         "float",
+      "double",   "size_t",      "ptrdiff_t",      "NodeId",
+      "Channel",  "LocalLabel",  "Slot",           "Mode",
+      "MessageType", "CollisionModel", "GroupingStrategy", "AggOp",
+  };
+  return kScalars.count(token) > 0 || ends_with(token, "_t");
+}
+
+struct FileScan {
+  std::string rel_path;
+  std::vector<std::string> original;  // raw source lines, for snippets
+  StrippedSource stripped;
+  std::vector<std::string> tracked_unordered;  // variable/member names
+  std::vector<LintFinding> findings;
+
+  void add(const std::string& rule, int line_idx, const std::string& message) {
+    LintFinding f;
+    f.rule = rule;
+    f.file = rel_path;
+    f.line = line_idx + 1;
+    f.snippet = line_idx < static_cast<int>(original.size())
+                    ? trim(original[static_cast<std::size_t>(line_idx)])
+                    : "";
+    f.message = message;
+    const auto& comments = stripped.comments;
+    f.suppressed =
+        has_suppression(comments[static_cast<std::size_t>(line_idx)], rule) ||
+        (line_idx > 0 &&
+         has_suppression(comments[static_cast<std::size_t>(line_idx) - 1],
+                         rule));
+    findings.push_back(std::move(f));
+  }
+};
+
+// --- R1: banned nondeterminism sources -----------------------------------
+
+void scan_r1(FileScan& scan) {
+  if (ends_with(scan.rel_path, "util/bench_report.cpp"))
+    return;  // the volatile-manifest allowlist: monotonic_seconds lives here
+  static const std::set<std::string> kBannedExact = {
+      "rand",          "srand",        "drand48",     "lrand48",
+      "random_device", "gettimeofday", "timespec_get",
+  };
+  for (std::size_t l = 0; l < scan.stripped.code.size(); ++l) {
+    const std::string& code = scan.stripped.code[l];
+    for_each_identifier(code, [&](const std::string& name, std::size_t,
+                                  std::size_t end) {
+      bool hit = false;
+      if (kBannedExact.count(name) > 0) hit = true;
+      if (ends_with(name, "_clock")) hit = true;
+      if (name == "time" || name == "clock") {
+        const std::size_t next = skip_ws(code, end);
+        if (next < code.size() && code[next] == '(') hit = true;
+      }
+      if (hit)
+        scan.add("R1", static_cast<int>(l),
+                 "banned nondeterminism source '" + name +
+                     "': wall clocks and global RNGs break (seed, trial) "
+                     "determinism; route timing through "
+                     "monotonic_seconds() (util/bench_report.h) and "
+                     "randomness through trial_rng (util/sweep.h)");
+    });
+  }
+}
+
+// --- R2: unordered containers in result-affecting code -------------------
+
+void collect_tracked_unordered(FileScan& scan) {
+  for (const std::string& code : scan.stripped.code) {
+    if (preprocessor_line(code)) continue;
+    for_each_identifier(code, [&](const std::string& name, std::size_t,
+                                  std::size_t end) {
+      if (!starts_with(name, "unordered_")) return;
+      std::size_t i = skip_ws(code, end);
+      if (i >= code.size() || code[i] != '<') return;
+      i = skip_template_args(code, i);
+      if (i == std::string::npos) return;
+      i = skip_ws(code, i);
+      if (i >= code.size() || !ident_start(code[i])) return;
+      std::size_t j = i;
+      while (j < code.size() && ident_char(code[j])) ++j;
+      scan.tracked_unordered.push_back(code.substr(i, j - i));
+    });
+  }
+}
+
+// Position of the range-for ':' of the `for (...)` whose '(' is at `open`
+// (npos when this is not a range-for or it spans lines).
+std::size_t range_for_colon(const std::string& code, std::size_t open) {
+  int paren = 0, angle = 0;
+  for (std::size_t j = open; j < code.size(); ++j) {
+    const char c = code[j];
+    if (c == '(') ++paren;
+    if (c == ')' && --paren == 0) return std::string::npos;
+    if (c == '<') ++angle;
+    if (c == '>' && angle > 0) --angle;
+    if (c == ':' && paren == 1 && angle == 0) {
+      const bool double_colon = (j + 1 < code.size() && code[j + 1] == ':') ||
+                                (j > 0 && code[j - 1] == ':');
+      if (!double_colon) return j;
+    }
+  }
+  return std::string::npos;
+}
+
+void scan_r2(FileScan& scan) {
+  const bool result_affecting = starts_with(scan.rel_path, "src/");
+  const std::string advice =
+      "; iteration order is implementation-defined — use a sorted "
+      "structure, or prove membership-only use with "
+      "'// cograd-lint: allow(R2) <reason>'";
+  for (std::size_t l = 0; l < scan.stripped.code.size(); ++l) {
+    const std::string& code = scan.stripped.code[l];
+    if (preprocessor_line(code)) continue;
+    for_each_identifier(code, [&](const std::string& name, std::size_t,
+                                  std::size_t end) {
+      if (result_affecting && starts_with(name, "unordered_")) {
+        scan.add("R2", static_cast<int>(l),
+                 "'" + name + "' in result-affecting code" + advice);
+        return;
+      }
+      // Range-for whose sequence names an unordered container.
+      if (name == "for") {
+        const std::size_t open = skip_ws(code, end);
+        if (open >= code.size() || code[open] != '(') return;
+        const std::size_t colon = range_for_colon(code, open);
+        if (colon == std::string::npos) return;
+        const std::string seq = code.substr(colon + 1);
+        bool seq_is_unordered = seq.find("unordered_") != std::string::npos;
+        for_each_identifier(seq, [&](const std::string& id, std::size_t,
+                                     std::size_t) {
+          if (std::find(scan.tracked_unordered.begin(),
+                        scan.tracked_unordered.end(),
+                        id) != scan.tracked_unordered.end())
+            seq_is_unordered = true;
+        });
+        if (seq_is_unordered)
+          scan.add("R2", static_cast<int>(l),
+                   "range-for over an unordered container" + advice);
+        return;
+      }
+      // Explicit iterator accumulation over a tracked unordered name.
+      if (std::find(scan.tracked_unordered.begin(),
+                    scan.tracked_unordered.end(),
+                    name) != scan.tracked_unordered.end()) {
+        std::size_t i = skip_ws(code, end);
+        if (i < code.size() && code[i] == '.') {
+          const std::string member = token_at(code, skip_ws(code, i + 1));
+          if (member == "begin" || member == "cbegin" || member == "rbegin")
+            scan.add("R2", static_cast<int>(l),
+                     "iterator walk over unordered container '" + name + "'" +
+                         advice);
+        }
+      }
+    });
+  }
+}
+
+// --- R3: RNG discipline ---------------------------------------------------
+
+void scan_r3(FileScan& scan) {
+  if (!starts_with(scan.rel_path, "src/")) return;  // tests may pin seeds
+  if (ends_with(scan.rel_path, "util/rng.h"))
+    return;  // the engine definition itself (documented default seed)
+  static const std::set<std::string> kForeignEngines = {
+      "mt19937",  "mt19937_64", "minstd_rand", "minstd_rand0",
+      "ranlux24", "ranlux48",   "knuth_b",     "default_random_engine",
+  };
+  for (std::size_t l = 0; l < scan.stripped.code.size(); ++l) {
+    const std::string& code = scan.stripped.code[l];
+    if (preprocessor_line(code)) continue;
+    for_each_identifier(code, [&](const std::string& name, std::size_t,
+                                  std::size_t end) {
+      if (kForeignEngines.count(name) > 0) {
+        scan.add("R3", static_cast<int>(l),
+                 "non-project RNG engine '" + name +
+                     "': all randomness must flow through cogradio::Rng "
+                     "so (seed, trial) reproduces a run bit for bit");
+        return;
+      }
+      if (name != "Rng") return;
+      // Rng(<literal>) or `Rng name(<literal>)` — a fixed-seed engine.
+      std::size_t i = skip_ws(code, end);
+      if (i < code.size() && ident_start(code[i])) {
+        while (i < code.size() && ident_char(code[i])) ++i;
+        i = skip_ws(code, i);
+      }
+      if (i >= code.size() || (code[i] != '(' && code[i] != '{')) return;
+      i = skip_ws(code, i + 1);
+      const std::string arg = token_at(code, i);
+      if (!integer_literal(arg)) return;
+      const std::size_t after = skip_ws(code, i + arg.size());
+      if (after < code.size() &&
+          (code[after] == ')' || code[after] == '}' || code[after] == ','))
+        scan.add("R3", static_cast<int>(l),
+                 "literal-seeded Rng(" + arg +
+                     ") in src/: seeds must flow from trial_rng(seed, t) "
+                     "or a caller-provided seed");
+    });
+  }
+}
+
+// --- R4: pointer-keyed containers ----------------------------------------
+
+void scan_r4(FileScan& scan) {
+  static const std::set<std::string> kKeyedContainers = {
+      "map",           "set",           "multimap",           "multiset",
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset",
+  };
+  for (std::size_t l = 0; l < scan.stripped.code.size(); ++l) {
+    const std::string& code = scan.stripped.code[l];
+    if (preprocessor_line(code)) continue;
+    for_each_identifier(code, [&](const std::string& name, std::size_t,
+                                  std::size_t end) {
+      if (kKeyedContainers.count(name) == 0) return;
+      const std::size_t i = skip_ws(code, end);
+      if (i >= code.size() || code[i] != '<') return;
+      const std::string key = first_template_arg(code, i);
+      if (!key.empty() && key.back() == '*')
+        scan.add("R4", static_cast<int>(l),
+                 "pointer-keyed container " + name + "<" + key +
+                     ", ...>: address order varies across runs and ASLR, "
+                     "so any ordered walk or tie-break over it is "
+                     "nondeterministic");
+    });
+  }
+}
+
+// --- R5: uninitialized scalar members in serialization structs -----------
+
+void scan_r5(FileScan& scan) {
+  if (!in_r5_scope(scan.rel_path)) return;
+  struct OpenStruct {
+    int depth = 0;          // brace depth of the struct body
+    bool fields_active = true;  // false inside private:/protected:
+  };
+  std::vector<OpenStruct> stack;
+  int depth = 0;
+  bool pending_struct = false;
+  for (std::size_t l = 0; l < scan.stripped.code.size(); ++l) {
+    const std::string& code = scan.stripped.code[l];
+    if (preprocessor_line(code)) continue;
+
+    bool struct_head = pending_struct;
+    for_each_identifier(code, [&](const std::string& name, std::size_t,
+                                  std::size_t end) {
+      if (name != "struct") return;
+      const std::size_t i = skip_ws(code, end);
+      if (i < code.size() && ident_start(code[i])) struct_head = true;
+    });
+    if (struct_head && code.find(';') != std::string::npos &&
+        code.find('{') == std::string::npos)
+      struct_head = false;  // forward declaration
+
+    if (!stack.empty() && depth == stack.back().depth) {
+      const std::string flat = normalize_ws(code);
+      if (flat.find("private:") != std::string::npos ||
+          flat.find("protected:") != std::string::npos)
+        stack.back().fields_active = false;
+      else if (flat.find("public:") != std::string::npos)
+        stack.back().fields_active = true;
+    }
+
+    // Member-candidate check happens against the pre-brace-update depth.
+    const bool member_context =
+        !stack.empty() && depth == stack.back().depth &&
+        stack.back().fields_active && !struct_head;
+    if (member_context) {
+      const std::string flat = trim(code);
+      // A lone ':' marks a bitfield or access label; "::" is just scope
+      // qualification (std::int64_t) and must not disqualify the line.
+      bool lone_colon = false;
+      for (std::size_t i = 0; i < flat.size(); ++i) {
+        if (flat[i] != ':') continue;
+        const bool left = i > 0 && flat[i - 1] == ':';
+        const bool right = i + 1 < flat.size() && flat[i + 1] == ':';
+        if (!left && !right) lone_colon = true;
+      }
+      const bool decl_shape =
+          !flat.empty() && flat.back() == ';' &&
+          flat.find('(') == std::string::npos &&
+          flat.find('=') == std::string::npos &&
+          flat.find('{') == std::string::npos && !lone_colon;
+      if (decl_shape) {
+        std::vector<std::string> idents;
+        for_each_identifier(flat, [&](const std::string& name, std::size_t,
+                                      std::size_t) {
+          idents.push_back(name);
+        });
+        static const std::set<std::string> kSkipLead = {
+            "static", "using",  "typedef", "friend",
+            "struct", "class",  "enum",    "template",
+            "mutable", "inline", "constexpr",
+        };
+        std::size_t t = 0;
+        while (t < idents.size() &&
+               (idents[t] == "std" || idents[t] == "const" ||
+                idents[t] == "volatile"))
+          ++t;
+        if (idents.size() >= 2 && t < idents.size() &&
+            kSkipLead.count(idents[0]) == 0 &&
+            scalar_type_token(idents[t]))
+          scan.add("R5", static_cast<int>(l),
+                   "scalar member '" + idents.back() +
+                       "' of a serialization-facing struct has no default "
+                       "initializer: indeterminate bytes can leak into "
+                       "Trace/manifest output");
+      }
+    }
+
+    for (char c : code) {
+      if (c == '{') {
+        ++depth;
+        if (struct_head) {
+          stack.push_back({depth, true});
+          struct_head = false;
+        }
+      }
+      if (c == '}') {
+        if (!stack.empty() && depth == stack.back().depth) stack.pop_back();
+        --depth;
+      }
+    }
+    pending_struct = struct_head;
+  }
+}
+
+// --- R6: float equality in metric/gate code ------------------------------
+
+void scan_r6(FileScan& scan) {
+  if (!in_r6_scope(scan.rel_path)) return;
+  for (std::size_t l = 0; l < scan.stripped.code.size(); ++l) {
+    const std::string& code = scan.stripped.code[l];
+    for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+      const bool eq = code[i] == '=' && code[i + 1] == '=';
+      const bool ne = code[i] == '!' && code[i + 1] == '=';
+      if (!eq && !ne) continue;
+      if (i + 2 < code.size() && code[i + 2] == '=') continue;
+      if (eq && i > 0 &&
+          std::string("=<>!+-*/%&|^").find(code[i - 1]) != std::string::npos)
+        continue;
+      const std::string right = token_at(code, skip_ws(code, i + 2));
+      std::size_t before = i;
+      while (before > 0 &&
+             std::isspace(static_cast<unsigned char>(code[before - 1])))
+        --before;
+      const std::string left = token_before(code, before);
+      if (floating_literal(right) || floating_literal(left)) {
+        scan.add("R6", static_cast<int>(l),
+                 "float equality against a literal in metric/gate code: "
+                 "exact comparison of computed doubles is a latent flake; "
+                 "compare with a tolerance or suppress with a reason");
+        i += 1;
+      }
+    }
+  }
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string line;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(line);
+      line.clear();
+    } else if (c != '\r') {
+      line.push_back(c);
+    }
+  }
+  lines.push_back(line);
+  return lines;
+}
+
+const char* status_name(const LintFinding& f) {
+  if (f.suppressed) return "suppressed";
+  if (f.baselined) return "baselined";
+  return "active";
+}
+
+}  // namespace
+
+StrippedSource strip_source(const std::string& text) {
+  enum class State { Normal, LineComment, BlockComment, Str, Chr, RawStr };
+  StrippedSource out;
+  std::string code, comment, raw_delim;
+  State state = State::Normal;
+  const auto flush_line = [&] {
+    out.code.push_back(code);
+    out.comments.push_back(comment);
+    code.clear();
+    comment.clear();
+  };
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      // A line comment continues across a spliced newline (trailing '\').
+      if (state == State::LineComment) state = State::Normal;
+      flush_line();
+      continue;
+    }
+    switch (state) {
+      case State::Normal:
+        if (c == '/' && next == '/') {
+          state = State::LineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::BlockComment;
+          ++i;
+        } else if (c == '"') {
+          // Raw-string detection: the identifier run directly before the
+          // quote must be R, uR, UR, LR or u8R.
+          std::size_t b = code.size();
+          while (b > 0 && ident_char(code[b - 1])) --b;
+          const std::string prefix = code.substr(b);
+          if (prefix == "R" || prefix == "uR" || prefix == "UR" ||
+              prefix == "LR" || prefix == "u8R") {
+            raw_delim.clear();
+            std::size_t j = i + 1;
+            while (j < text.size() && text[j] != '(') {
+              raw_delim.push_back(text[j]);
+              ++j;
+            }
+            i = j;  // consume up to and including '('
+            code.push_back('"');
+            state = State::RawStr;
+          } else {
+            code.push_back('"');
+            state = State::Str;
+          }
+        } else if (c == '\'') {
+          code.push_back('\'');
+          state = State::Chr;
+        } else {
+          code.push_back(c);
+        }
+        break;
+      case State::LineComment:
+        if (c == '\\' && next == '\n') {
+          // Spliced comment: swallow the newline, stay in the comment but
+          // still account the physical line.
+          comment.push_back(c);
+          flush_line();
+          ++i;
+        } else {
+          comment.push_back(c);
+        }
+        break;
+      case State::BlockComment:
+        if (c == '*' && next == '/') {
+          state = State::Normal;
+          ++i;
+        } else {
+          comment.push_back(c);
+        }
+        break;
+      case State::Str:
+        if (c == '\\' && next != '\0') {
+          code.push_back(' ');
+          if (next != '\n') {
+            code.push_back(' ');
+            ++i;
+          }
+        } else if (c == '"') {
+          code.push_back('"');
+          state = State::Normal;
+        } else {
+          code.push_back(' ');
+        }
+        break;
+      case State::Chr:
+        if (c == '\\' && next != '\0') {
+          code.push_back(' ');
+          code.push_back(' ');
+          ++i;
+        } else if (c == '\'') {
+          code.push_back('\'');
+          state = State::Normal;
+        } else {
+          code.push_back(' ');
+        }
+        break;
+      case State::RawStr: {
+        const std::string closer = ")" + raw_delim + "\"";
+        if (c == ')' && text.compare(i, closer.size(), closer) == 0) {
+          i += closer.size() - 1;
+          code.push_back('"');
+          state = State::Normal;
+        } else {
+          code.push_back(' ');
+        }
+        break;
+      }
+    }
+  }
+  flush_line();
+  return out;
+}
+
+bool has_suppression(const std::string& comment, const std::string& rule,
+                     std::string* reason) {
+  const std::string marker = "cograd-lint:";
+  const std::size_t at = comment.find(marker);
+  if (at == std::string::npos) return false;
+  std::size_t i = skip_ws(comment, at + marker.size());
+  const std::string allow = "allow(";
+  if (comment.compare(i, allow.size(), allow) != 0) return false;
+  i += allow.size();
+  const std::size_t close = comment.find(')', i);
+  if (close == std::string::npos) return false;
+  if (trim(comment.substr(i, close - i)) != rule) return false;
+  const std::string rest = trim(comment.substr(close + 1));
+  if (rest.empty()) return false;  // a reason is mandatory
+  if (reason != nullptr) *reason = rest;
+  return true;
+}
+
+std::vector<LintFinding> lint_source(const std::string& rel_path,
+                                     const std::string& text) {
+  FileScan scan;
+  scan.rel_path = rel_path;
+  scan.original = split_lines(text);
+  scan.stripped = strip_source(text);
+  collect_tracked_unordered(scan);
+  scan_r1(scan);
+  scan_r2(scan);
+  scan_r3(scan);
+  scan_r4(scan);
+  scan_r5(scan);
+  scan_r6(scan);
+  return std::move(scan.findings);
+}
+
+namespace {
+
+namespace fs = std::filesystem;
+
+void collect_files(const fs::path& dir, std::vector<fs::path>& out) {
+  std::vector<fs::path> entries;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec))
+    entries.push_back(entry.path());
+  std::sort(entries.begin(), entries.end());
+  for (const fs::path& path : entries) {
+    const std::string name = path.filename().string();
+    if (fs::is_directory(path)) {
+      // Skip dotdirs, build trees, and the committed violation fixtures
+      // (they are linted on purpose by the WILL_FAIL ctest leg).
+      if (name.empty() || name[0] == '.' || name == "build" ||
+          name == "lint_fixtures")
+        continue;
+      collect_files(path, out);
+      continue;
+    }
+    const std::string ext = path.extension().string();
+    if (ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp")
+      out.push_back(path);
+  }
+}
+
+}  // namespace
+
+std::vector<LintFinding> lint_tree(const std::string& tree_root,
+                                   LintStats* stats) {
+  const fs::path root(tree_root);
+  std::vector<fs::path> files;
+  for (const char* sub : {"src", "bench", "tools", "tests"}) {
+    const fs::path dir = root / sub;
+    if (fs::is_directory(dir)) collect_files(dir, files);
+  }
+  std::vector<LintFinding> findings;
+  int scanned = 0;
+  for (const fs::path& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    ++scanned;
+    const std::string rel =
+        fs::relative(path, root).generic_string();
+    for (LintFinding& f : lint_source(rel, buffer.str()))
+      findings.push_back(std::move(f));
+  }
+  if (stats != nullptr) {
+    stats->files_scanned = scanned;
+    stats->findings = static_cast<int>(findings.size());
+    stats->active = 0;
+    for (const LintFinding& f : findings)
+      if (!f.suppressed && !f.baselined) ++stats->active;
+  }
+  return findings;
+}
+
+std::string finding_key(const LintFinding& f) {
+  return f.rule + '\t' + f.file + '\t' + normalize_ws(f.snippet);
+}
+
+std::string findings_to_json(const std::vector<LintFinding>& findings) {
+  std::vector<const LintFinding*> ordered;
+  ordered.reserve(findings.size());
+  for (const LintFinding& f : findings) ordered.push_back(&f);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const LintFinding* a, const LintFinding* b) {
+              if (a->file != b->file) return a->file < b->file;
+              if (a->line != b->line) return a->line < b->line;
+              if (a->rule != b->rule) return a->rule < b->rule;
+              return a->snippet < b->snippet;
+            });
+  int active = 0, suppressed = 0, baselined = 0;
+  for (const LintFinding& f : findings) {
+    if (f.suppressed)
+      ++suppressed;
+    else if (f.baselined)
+      ++baselined;
+    else
+      ++active;
+  }
+  std::string out;
+  out += "{\n";
+  out += "  \"name\": \"cograd-lint\",\n";
+  out += "  \"schema_version\": 1,\n";
+  out += "  \"counts\": {\n";
+  out += "    \"total\": " + std::to_string(findings.size()) + ",\n";
+  out += "    \"active\": " + std::to_string(active) + ",\n";
+  out += "    \"suppressed\": " + std::to_string(suppressed) + ",\n";
+  out += "    \"baselined\": " + std::to_string(baselined) + "\n";
+  out += "  },\n";
+  out += "  \"findings\": [";
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    const LintFinding& f = *ordered[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\n";
+    out += "      \"rule\": \"" + json_escape(f.rule) + "\",\n";
+    out += "      \"file\": \"" + json_escape(f.file) + "\",\n";
+    out += "      \"line\": " + std::to_string(f.line) + ",\n";
+    out += "      \"status\": \"" + std::string(status_name(f)) + "\",\n";
+    out += "      \"snippet\": \"" + json_escape(f.snippet) + "\",\n";
+    out += "      \"message\": \"" + json_escape(f.message) + "\"\n";
+    out += "    }";
+  }
+  out += ordered.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+bool parse_baseline(const std::string& text, std::vector<std::string>* keys,
+                    std::string* error) {
+  std::string parse_error;
+  const auto doc = parse_json(text, &parse_error);
+  if (!doc) {
+    if (error != nullptr) *error = parse_error;
+    return false;
+  }
+  const JsonValue* findings = doc->find("findings");
+  if (findings == nullptr || !findings->is_array()) {
+    if (error != nullptr) *error = "baseline has no \"findings\" array";
+    return false;
+  }
+  for (const JsonValue& item : findings->items()) {
+    const JsonValue* rule = item.find("rule");
+    const JsonValue* file = item.find("file");
+    const JsonValue* snippet = item.find("snippet");
+    if (rule == nullptr || !rule->is_string() || file == nullptr ||
+        !file->is_string() || snippet == nullptr || !snippet->is_string()) {
+      if (error != nullptr)
+        *error = "baseline finding lacks rule/file/snippet strings";
+      return false;
+    }
+    LintFinding f;
+    f.rule = rule->as_string();
+    f.file = file->as_string();
+    f.snippet = snippet->as_string();
+    keys->push_back(finding_key(f));
+  }
+  return true;
+}
+
+int apply_baseline(std::vector<LintFinding>& findings,
+                   const std::vector<std::string>& baseline_keys) {
+  std::map<std::string, int> budget;
+  for (const std::string& key : baseline_keys) ++budget[key];
+  // Active findings are matched in sorted order so multiplicity handling
+  // is deterministic.
+  std::vector<LintFinding*> ordered;
+  for (LintFinding& f : findings)
+    if (!f.suppressed) ordered.push_back(&f);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const LintFinding* a, const LintFinding* b) {
+              if (a->file != b->file) return a->file < b->file;
+              return a->line < b->line;
+            });
+  int matched = 0;
+  for (LintFinding* f : ordered) {
+    const auto it = budget.find(finding_key(*f));
+    if (it == budget.end() || it->second == 0) continue;
+    --it->second;
+    f->baselined = true;
+    ++matched;
+  }
+  return matched;
+}
+
+}  // namespace cogradio

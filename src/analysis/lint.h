@@ -1,0 +1,112 @@
+// cograd lint — a determinism & model-soundness linter for this tree.
+//
+// Every quantitative claim the repository reproduces rests on the promise
+// that a (seed, trial) pair fully determines a run: trial_rng (util/sweep.h)
+// makes trials pure functions of (base_seed, t), ParallelSweep keeps results
+// bit-identical for any --jobs, and the bench gate diffs manifests across
+// machines. One std::rand(), one iteration over an unordered_map, or one
+// wall-clock read in a metric path silently invalidates all of it. This
+// module statically defends the contract with a from-scratch C++ source
+// scanner (comment/string/raw-string aware, no libclang) and six project
+// rules; docs/DETERMINISM.md is the companion prose.
+//
+//   R1  banned nondeterminism sources: rand/srand/random_device/time(/
+//       clock(/gettimeofday and any *_clock identifier. The only sanctioned
+//       clock call site is util/bench_report.cpp (monotonic_seconds — the
+//       volatile-manifest allowlist).
+//   R2  unordered containers in result-affecting code (src/): iteration
+//       order is implementation-defined, so every unordered_map/set must be
+//       replaced by a sorted structure or carry a membership-only proof
+//       suppression. Range-fors over unordered values are flagged in every
+//       scanned directory.
+//   R3  RNG discipline (src/): no literal-seeded Rng construction and no
+//       <random> engines (mt19937 & co.) — randomness must flow from
+//       trial_rng(seed, t) or a caller-provided seed. util/rng.h (the
+//       engine definition itself) is allowlisted.
+//   R4  pointer-keyed containers (map<T*, ...>, set<T*>): address order
+//       varies run to run and across ASLR.
+//   R5  uninitialized scalar members in serialization-facing structs
+//       (sim/types.h, sim/trace.h, sim/message.h, sim/protocol.h,
+//       sim/network.h, sim/backoff.h, sim/recorder.h, util/bench_report.h):
+//       indeterminate bytes leak into Trace/manifest output.
+//   R6  float equality against literals in metric/gate code (src/util/,
+//       src/analysis/, bench/): exact comparison of computed doubles is a
+//       latent flake.
+//
+// Per-site suppression:  // cograd-lint: allow(R2) <non-empty reason>
+// on the finding's line or the line directly above it. Accepted legacy
+// sites can instead live in a --baseline manifest (see tools/cograd.cpp);
+// baselined findings are reported but do not fail the run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cogradio {
+
+struct LintFinding {
+  std::string rule;     // "R1".."R6"
+  std::string file;     // tree-relative path, '/'-separated
+  int line = 0;         // 1-based
+  std::string snippet;  // trimmed source line the finding anchors to
+  std::string message;  // human diagnostic with the rule's rationale
+  bool suppressed = false;  // an allow(R*) comment covers the site
+  bool baselined = false;   // matched an entry of the --baseline manifest
+};
+
+struct LintStats {
+  int files_scanned = 0;
+  int findings = 0;  // total, including suppressed and baselined
+  int active = 0;    // neither suppressed nor baselined => exit nonzero
+};
+
+// Source text after lexical stripping: per-line code with comment text
+// removed and string/char-literal *contents* blanked (delimiters kept), and
+// per-line comment text (for suppression scanning). Handles // and /* */
+// comments, line-spliced // comments (trailing backslash), escaped quotes,
+// and R"delim(...)delim" raw strings — `rand(` inside a raw string is not
+// code.
+struct StrippedSource {
+  std::vector<std::string> code;
+  std::vector<std::string> comments;
+};
+StrippedSource strip_source(const std::string& text);
+
+// True iff `comment` contains "cograd-lint: allow(<rule>)" followed by a
+// non-empty reason; the reason is returned through `reason` when non-null.
+bool has_suppression(const std::string& comment, const std::string& rule,
+                     std::string* reason = nullptr);
+
+// Lints one file's contents. `rel_path` (tree-relative, '/'-separated)
+// selects rule scopes and allowlists; findings carry it verbatim.
+std::vector<LintFinding> lint_source(const std::string& rel_path,
+                                     const std::string& text);
+
+// Walks tree_root/{src,bench,tools,tests} (skipping dot-directories and
+// any directory named "lint_fixtures"), lints every .h/.hpp/.cc/.cpp in
+// lexicographic path order, and returns the combined findings. `stats`
+// receives totals when non-null.
+std::vector<LintFinding> lint_tree(const std::string& tree_root,
+                                   LintStats* stats = nullptr);
+
+// Stable identity for baseline matching: rule + file + whitespace-normalized
+// snippet. Line numbers are excluded so unrelated edits above a site do not
+// invalidate a baseline entry.
+std::string finding_key(const LintFinding& f);
+
+// Serializes findings as the deterministic LINT.json manifest: sorted by
+// (file, line, rule), no timestamps or absolute paths — byte-identical
+// across runs on the same tree.
+std::string findings_to_json(const std::vector<LintFinding>& findings);
+
+// Parses a LINT.json document (as written by findings_to_json) into
+// baseline keys. Returns false and sets `error` on malformed input.
+bool parse_baseline(const std::string& text, std::vector<std::string>* keys,
+                    std::string* error = nullptr);
+
+// Marks findings whose key occurs in `baseline_keys` (with multiplicity)
+// as baselined; returns the number matched.
+int apply_baseline(std::vector<LintFinding>& findings,
+                   const std::vector<std::string>& baseline_keys);
+
+}  // namespace cogradio

@@ -1,5 +1,6 @@
 #include "baselines/hopping_together.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace cogradio {
@@ -15,17 +16,29 @@ HoppingTogetherNode::HoppingTogetherNode(NodeId id, int total_channels,
   if (total_channels < 1)
     throw std::invalid_argument("hopping-together: need C >= 1");
   if (is_source) informed_slot_ = 0;
+  label_of_.reserve(globals.size());
   for (LocalLabel l = 0; l < static_cast<LocalLabel>(globals.size()); ++l)
-    label_of_.emplace(globals[static_cast<std::size_t>(l)], l);
+    label_of_.emplace_back(globals[static_cast<std::size_t>(l)], l);
+  std::sort(label_of_.begin(), label_of_.end());
+}
+
+std::optional<LocalLabel> HoppingTogetherNode::label_for(Channel ch) const {
+  const auto it = std::lower_bound(
+      label_of_.begin(), label_of_.end(), ch,
+      [](const std::pair<Channel, LocalLabel>& entry, Channel target) {
+        return entry.first < target;
+      });
+  if (it == label_of_.end() || it->first != ch) return std::nullopt;
+  return it->second;
 }
 
 Action HoppingTogetherNode::on_slot(Slot slot) {
   const auto scan = static_cast<Channel>((slot - 1) % total_channels_);
-  const auto it = label_of_.find(scan);
-  if (it == label_of_.end()) return Action::idle();  // not in our set
-  if (is_source_) return Action::broadcast(it->second, payload_);
+  const auto label = label_for(scan);
+  if (!label) return Action::idle();  // not in our set
+  if (is_source_) return Action::broadcast(*label, payload_);
   if (informed_) return Action::idle();
-  return Action::listen(it->second);
+  return Action::listen(*label);
 }
 
 void HoppingTogetherNode::on_feedback(Slot slot, const SlotResult& result) {

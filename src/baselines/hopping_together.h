@@ -16,7 +16,7 @@
 #pragma once
 
 #include <optional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/protocol.h"
@@ -46,8 +46,15 @@ class HoppingTogetherNode : public Protocol {
   Message payload_;
   bool informed_;
   Slot informed_slot_ = kNoSlot;
-  // Physical channel -> our local label, for the channels we have.
-  std::unordered_map<Channel, LocalLabel> label_of_;
+  // Physical channel -> our local label, for the channels we have. Kept as
+  // a channel-sorted vector (binary-searched in on_slot) so lookups and any
+  // future walk are deterministic by construction — lint rule R2 bans
+  // unordered containers here. Behavior is invariant under permutations of
+  // the `globals` construction order (tests/test_baselines.cpp).
+  std::vector<std::pair<Channel, LocalLabel>> label_of_;
+
+  // lower_bound lookup in label_of_; nullopt when `ch` is not in our set.
+  std::optional<LocalLabel> label_for(Channel ch) const;
 };
 
 }  // namespace cogradio

@@ -8,6 +8,7 @@ CogCastHittingPlayer::CogCastHittingPlayer(int n, int c, Rng rng)
     : n_(n), c_(c), rng_(rng) {
   if (n < 2 || c < 1)
     throw std::invalid_argument("reduction player: need n >= 2, c >= 1");
+  b_stamp_.assign(static_cast<std::size_t>(c), 0);
 }
 
 void CogCastHittingPlayer::refill() {
@@ -20,10 +21,11 @@ void CogCastHittingPlayer::refill() {
   while (queue_.empty()) {
     ++simulated_slots_;
     const int a_r = static_cast<int>(rng_.below(static_cast<std::uint64_t>(c_)));
-    std::unordered_set<int> b_seen;
     for (int u = 1; u < n_; ++u) {
       const int b = static_cast<int>(rng_.below(static_cast<std::uint64_t>(c_)));
-      if (!b_seen.insert(b).second) continue;  // same guess this slot
+      auto& stamp = b_stamp_[static_cast<std::size_t>(b)];
+      if (stamp == simulated_slots_) continue;  // same guess this slot
+      stamp = simulated_slots_;
       const std::uint64_t key =
           static_cast<std::uint64_t>(a_r) * static_cast<std::uint64_t>(c_) +
           static_cast<std::uint64_t>(b);

@@ -16,6 +16,7 @@
 // checks the min{c,n} * g(c,k,n) round accounting.
 #pragma once
 
+#include <cstdint>
 #include <unordered_set>
 #include <vector>
 
@@ -43,7 +44,15 @@ class CogCastHittingPlayer : public HittingGamePlayer {
   std::int64_t simulated_slots_ = 0;
   std::vector<Edge> queue_;       // fresh proposals from the current slot
   std::size_t queue_pos_ = 0;
-  std::unordered_set<std::uint64_t> proposed_;  // dedupe across rounds
+  // Cross-round (a, b) dedupe. Membership-only: inserted and queried,
+  // never iterated, so the proposal transcript is independent of hash
+  // layout / rehash order (regression-tested in tests/test_reduction.cpp).
+  // cograd-lint: allow(R2) membership-only dedupe set, never iterated
+  std::unordered_set<std::uint64_t> proposed_;
+  // b_stamp_[b] == simulated_slots_ marks channel b as already guessed in
+  // the current simulated slot (epoch stamping: no per-slot clearing, no
+  // hash-order dependence).
+  std::vector<std::int64_t> b_stamp_;
 };
 
 }  // namespace cogradio

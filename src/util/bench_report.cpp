@@ -1,5 +1,6 @@
 #include "util/bench_report.h"
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 
@@ -7,6 +8,12 @@
 #include "util/version.h"
 
 namespace cogradio {
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 namespace detail {
 

@@ -68,6 +68,14 @@ struct MetricStore {
 // the repository is unavailable. Cached after the first call.
 const std::string& git_revision();
 
+// Monotonic wall-clock sample in seconds (arbitrary epoch); subtract two
+// samples for an elapsed time. This is the repository's ONLY sanctioned
+// clock access: wall-clock readings may feed *volatile* manifest sections
+// exclusively (never metrics), and lint rule R1 (src/analysis/lint.h)
+// allowlists util/bench_report.cpp alone — every other timing call site
+// must go through here.
+double monotonic_seconds();
+
 // Writes `content` to `path` atomically: the bytes land in `path`.tmp
 // first and are renamed into place only after a clean write+close, so a
 // partial write (ENOSPC, crash) never leaves a truncated file at `path`.

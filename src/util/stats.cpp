@@ -53,6 +53,7 @@ LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
     syy += y[i] * y[i];
   }
   const double denom = n * sxx - sx * sx;
+  // cograd-lint: allow(R6) exact-zero guard before division, not a tolerance check
   if (denom == 0.0) return fit;
   fit.slope = (n * sxy - sx * sy) / denom;
   fit.intercept = (sy - fit.slope * sx) / n;
@@ -92,6 +93,7 @@ std::vector<double> to_doubles(std::span<const std::int64_t> values) {
 }
 
 double safe_ratio(double numerator, double denominator) {
+  // cograd-lint: allow(R6) exact-zero guard before division, not a tolerance check
   return denominator != 0.0 ? numerator / denominator : 0.0;
 }
 

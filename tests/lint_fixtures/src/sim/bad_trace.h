@@ -1,0 +1,15 @@
+// Committed lint-violation fixture (never compiled): a serialization-facing
+// struct with an uninitialized scalar member, for rule R5. The sim/*.h path
+// places it inside R5's scope.
+#pragma once
+
+#include <cstdint>
+
+namespace cogradio {
+
+struct BadTraceStats {
+  std::int64_t slots = 0;
+  std::int64_t broadcasts;  // R5: no default initializer
+};
+
+}  // namespace cogradio

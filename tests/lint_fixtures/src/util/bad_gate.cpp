@@ -1,0 +1,10 @@
+// Committed lint-violation fixture (never compiled): float equality in
+// metric/gate code, for rule R6. The src/util/ path places it inside R6's
+// scope.
+namespace cogradio {
+
+bool fixture_r6_float_equality(double measured) {
+  return measured == 0.25;  // R6: exact float comparison
+}
+
+}  // namespace cogradio

@@ -1,0 +1,39 @@
+// Committed lint-violation fixture. NEVER compiled — this file exists so
+// the cograd.lint_fixture ctest leg (WILL_FAIL) can prove the linter exits
+// nonzero on a tree with real violations. One hit per rule; R5 and R6 live
+// in sibling files matching those rules' path scopes.
+//
+// The enclosing lint_fixtures/ directory is skipped when linting the real
+// tree and scanned only when passed explicitly via --tree.
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <unordered_set>
+
+namespace cogradio {
+
+int fixture_r1_wall_clock() {
+  return std::rand();  // R1: global C RNG
+}
+
+int fixture_r2_iteration() {
+  std::unordered_set<int> seen;  // R2: unordered container in src/
+  seen.insert(1);
+  int sum = 0;
+  for (int v : seen) sum += v;  // R2: range-for over unordered container
+  return sum;
+}
+
+unsigned fixture_r3_literal_seed() {
+  std::mt19937 gen(12345);  // R3: non-project, literal-seeded engine
+  return gen();
+}
+
+int fixture_r4_pointer_keys(int* a, int* b) {
+  std::map<int*, int> by_address;  // R4: pointer-keyed container
+  by_address[a] = 1;
+  by_address[b] = 2;
+  return static_cast<int>(by_address.size());
+}
+
+}  // namespace cogradio

@@ -1,0 +1,22 @@
+# Determinism check for `cograd lint` itself: two runs over the same tree
+# must produce byte-identical LINT.json manifests (sorted findings, no
+# timestamps, no absolute paths) — the linter must hold itself to the
+# contract it enforces.
+#
+# Invoked by ctest as:
+#   cmake -DCOGRAD=<path-to-cograd> -DTREE=<source-dir> -P lint_json_diff.cmake
+foreach(run 1 2)
+  execute_process(
+    COMMAND ${COGRAD} lint --tree ${TREE} --json LINT_run${run}.json
+    RESULT_VARIABLE result
+    OUTPUT_QUIET)
+  if(NOT result EQUAL 0)
+    message(FATAL_ERROR "cograd lint run ${run} failed (${result})")
+  endif()
+endforeach()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files LINT_run1.json LINT_run2.json
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "LINT.json differs between two identical lint runs")
+endif()

@@ -164,6 +164,46 @@ TEST(HoppingTogether, CompletesInOneScanOnTheorem16Setup) {
   EXPECT_LE(out.slots, assignment.total_channels());
 }
 
+TEST(HoppingTogether, PhysicalBehaviorInvariantUnderPermutedGlobals) {
+  // Regression for the label_of_ map: lookups go through a channel-sorted
+  // vector, so the node's *physical* behavior (which slots it sits out,
+  // which physical channel it tunes) must depend only on the channel *set*,
+  // not on the construction order of `globals`. Under a permutation the
+  // reported local label differs, but globals[label] must agree slot by
+  // slot.
+  const int C = 12;
+  const std::vector<Channel> fwd = {3, 7, 1, 9};
+  std::vector<Channel> rev(fwd.rbegin(), fwd.rend());
+  std::vector<Channel> rot = {9, 3, 7, 1};
+  HoppingTogetherNode a(0, C, true, data_msg(), fwd);
+  HoppingTogetherNode b(0, C, true, data_msg(), rev);
+  HoppingTogetherNode c(0, C, true, data_msg(), rot);
+  for (Slot t = 1; t <= 2 * C; ++t) {
+    const Action aa = a.on_slot(t);
+    const Action ab = b.on_slot(t);
+    const Action ac = c.on_slot(t);
+    EXPECT_EQ(ab.mode, aa.mode) << "slot " << t;
+    EXPECT_EQ(ac.mode, aa.mode) << "slot " << t;
+    if (aa.mode == Mode::Idle) continue;
+    const Channel tuned = fwd[static_cast<std::size_t>(aa.channel)];
+    EXPECT_EQ(rev[static_cast<std::size_t>(ab.channel)], tuned) << "slot " << t;
+    EXPECT_EQ(rot[static_cast<std::size_t>(ac.channel)], tuned) << "slot " << t;
+    EXPECT_EQ(tuned, static_cast<Channel>((t - 1) % C));
+  }
+}
+
+TEST(HoppingTogether, DuplicateChannelKeepsLowestLabel) {
+  // If the same physical channel appears under two labels, the sorted-vector
+  // lookup must keep resolving to the lowest label (the behavior of the
+  // original first-insert-wins map).
+  const int C = 5;
+  const std::vector<Channel> globals = {2, 4, 2, 0};
+  HoppingTogetherNode node(0, C, true, data_msg(), globals);
+  const Action act = node.on_slot(3);  // scan channel (3-1) % 5 = 2
+  ASSERT_EQ(act.mode, Mode::Broadcast);
+  EXPECT_EQ(act.channel, 0);  // label 0, not label 2
+}
+
 TEST(HoppingTogether, PaperExampleIsConstantTime) {
   // The Section 6 example: c = n^2, k = c - 1. With most channels shared,
   // the scan hits a shared channel almost immediately.

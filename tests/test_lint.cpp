@@ -1,0 +1,380 @@
+// Unit tests for the determinism linter (src/analysis/lint.h): tokenizer
+// edge cases (comments, strings, raw strings, splices), every rule R1-R6
+// positive + suppressed + out-of-scope, suppression syntax, baseline
+// round-trip, and LINT.json determinism. All fixtures are in-memory
+// snippets handed to lint_source with a synthetic tree-relative path that
+// selects the rule scope under test.
+#include "analysis/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/json.h"
+
+namespace cogradio {
+namespace {
+
+int count_rule(const std::vector<LintFinding>& findings,
+               const std::string& rule, bool include_suppressed = false) {
+  int n = 0;
+  for (const LintFinding& f : findings)
+    if (f.rule == rule && (include_suppressed || !f.suppressed)) ++n;
+  return n;
+}
+
+// --- tokenizer -----------------------------------------------------------
+
+TEST(StripSource, RemovesLineAndBlockComments) {
+  const StrippedSource s =
+      strip_source("int a; // trailing\n/* whole */ int b;\n");
+  EXPECT_EQ(s.code[0], "int a; ");
+  EXPECT_EQ(s.comments[0], " trailing");
+  EXPECT_EQ(s.code[1], " int b;");
+  EXPECT_EQ(s.comments[1], " whole ");
+}
+
+TEST(StripSource, BlockCommentSpansLines) {
+  const StrippedSource s = strip_source("a /* x\ny */ b\n");
+  EXPECT_EQ(s.code[0], "a ");
+  EXPECT_EQ(s.code[1], " b");
+}
+
+TEST(StripSource, BlanksStringContentsKeepsDelimiters) {
+  const StrippedSource s = strip_source("f(\"rand()\");\n");
+  EXPECT_EQ(s.code[0], "f(\"      \");");
+}
+
+TEST(StripSource, HandlesEscapedQuotes) {
+  const StrippedSource s = strip_source("f(\"a\\\"b\"); g();\n");
+  EXPECT_EQ(s.code[0], "f(\"    \"); g();");
+}
+
+TEST(StripSource, CharLiteralsAreBlanked) {
+  const StrippedSource s = strip_source("if (c == ':') x();\n");
+  EXPECT_EQ(s.code[0], "if (c == ' ') x();");
+}
+
+TEST(StripSource, RawStringContentIsNotCode) {
+  // `rand(` inside a raw string must not reach the rule scanners, even
+  // with a custom delimiter and a ')' inside the body.
+  const std::string text = "auto s = R\"x(rand() time(0) ))x\"; f();\n";
+  const StrippedSource s = strip_source(text);
+  EXPECT_EQ(s.code[0].find("rand"), std::string::npos);
+  EXPECT_NE(s.code[0].find("f();"), std::string::npos);
+}
+
+TEST(StripSource, LineSplicedCommentSwallowsNextLine) {
+  const StrippedSource s = strip_source("// comment \\\nstd::rand();\nok;\n");
+  // The spliced second line is still comment, not code.
+  EXPECT_EQ(s.code[1].find("rand"), std::string::npos);
+  EXPECT_NE(s.comments[1].find("rand"), std::string::npos);
+  EXPECT_EQ(s.code[2], "ok;");
+}
+
+TEST(StripSource, LineCountMatchesInput) {
+  const StrippedSource s = strip_source("a\nb\nc");
+  ASSERT_EQ(s.code.size(), 3u);
+  ASSERT_EQ(s.comments.size(), 3u);
+}
+
+// --- suppression syntax --------------------------------------------------
+
+TEST(Suppression, RequiresRuleAndReason) {
+  std::string reason;
+  EXPECT_TRUE(has_suppression(" cograd-lint: allow(R2) proven membership",
+                              "R2", &reason));
+  EXPECT_EQ(reason, "proven membership");
+  EXPECT_FALSE(has_suppression(" cograd-lint: allow(R2)", "R2"));  // no reason
+  EXPECT_FALSE(has_suppression(" cograd-lint: allow(R1) why", "R2"));
+  EXPECT_FALSE(has_suppression(" unrelated comment", "R2"));
+}
+
+// --- R1 ------------------------------------------------------------------
+
+TEST(LintR1, FlagsBannedSources) {
+  const auto f = lint_source("src/core/x.cpp",
+                             "int a = std::rand();\n"
+                             "auto t0 = std::chrono::steady_clock::now();\n"
+                             "std::random_device rd;\n"
+                             "srand(7);\n"
+                             "auto t = time(nullptr);\n");
+  EXPECT_EQ(count_rule(f, "R1"), 5);
+}
+
+TEST(LintR1, IgnoresLookalikes) {
+  const auto f = lint_source("src/core/x.cpp",
+                             "int time_point = 3;\n"
+                             "double uptime(4);\n"
+                             "int operand = 2;\n"
+                             "log(\"call rand() here\");\n"
+                             "// std::rand() in a comment\n");
+  EXPECT_EQ(count_rule(f, "R1"), 0);
+}
+
+TEST(LintR1, BenchReportIsAllowlisted) {
+  const std::string clock_call =
+      "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_EQ(count_rule(lint_source("src/util/bench_report.cpp", clock_call),
+                       "R1"),
+            0);
+  EXPECT_EQ(count_rule(lint_source("src/util/other.cpp", clock_call), "R1"),
+            1);
+}
+
+TEST(LintR1, SuppressionOnSameOrPreviousLine) {
+  const auto same = lint_source(
+      "src/x.cpp",
+      "auto t = time(nullptr);  // cograd-lint: allow(R1) boot banner only\n");
+  ASSERT_EQ(same.size(), 1u);
+  EXPECT_TRUE(same[0].suppressed);
+  const auto above = lint_source(
+      "src/x.cpp",
+      "// cograd-lint: allow(R1) boot banner only\nauto t = time(nullptr);\n");
+  ASSERT_EQ(above.size(), 1u);
+  EXPECT_TRUE(above[0].suppressed);
+}
+
+// --- R2 ------------------------------------------------------------------
+
+TEST(LintR2, FlagsUnorderedInSrcOnly) {
+  const std::string decl = "std::unordered_map<int, int> m;\n";
+  EXPECT_EQ(count_rule(lint_source("src/core/x.cpp", decl), "R2"), 1);
+  EXPECT_EQ(count_rule(lint_source("tests/test_x.cpp", decl), "R2"), 0);
+}
+
+TEST(LintR2, IncludeLinesAreNotFlagged) {
+  EXPECT_EQ(count_rule(lint_source("src/x.h", "#include <unordered_set>\n"),
+                       "R2"),
+            0);
+}
+
+TEST(LintR2, RangeForOverTrackedVariableFlaggedEverywhere) {
+  const std::string text =
+      "std::unordered_map<int, int> histogram;\n"
+      "for (const auto& kv : histogram) use(kv);\n";
+  // In bench/ the declaration itself is fine but iterating is not.
+  EXPECT_EQ(count_rule(lint_source("bench/bench_x.cpp", text), "R2"), 1);
+}
+
+TEST(LintR2, IteratorWalkOverTrackedVariable) {
+  const std::string text =
+      "std::unordered_set<int> bag;\n"
+      "auto it = bag.begin();\n";
+  EXPECT_EQ(count_rule(lint_source("tools/x.cpp", text), "R2"), 1);
+}
+
+TEST(LintR2, ProofSuppressionAccepted) {
+  const auto f = lint_source(
+      "src/x.h",
+      "// cograd-lint: allow(R2) membership-only, never iterated\n"
+      "std::unordered_set<std::uint64_t> proposed_;\n");
+  ASSERT_EQ(count_rule(f, "R2", /*include_suppressed=*/true), 1);
+  EXPECT_EQ(count_rule(f, "R2"), 0);
+}
+
+// --- R3 ------------------------------------------------------------------
+
+TEST(LintR3, FlagsLiteralSeededRngInSrc) {
+  EXPECT_EQ(count_rule(lint_source("src/x.cpp", "Rng rng(12345);\n"), "R3"),
+            1);
+  EXPECT_EQ(count_rule(lint_source("src/x.cpp", "auto r = Rng(0xdead);\n"),
+                       "R3"),
+            1);
+  EXPECT_EQ(count_rule(lint_source("src/x.cpp", "Rng rng(config.seed);\n"),
+                       "R3"),
+            0);
+  EXPECT_EQ(count_rule(lint_source("src/x.cpp", "Rng rng(seeder());\n"),
+                       "R3"),
+            0);
+}
+
+TEST(LintR3, FlagsForeignEngines) {
+  EXPECT_EQ(count_rule(lint_source("src/x.cpp", "std::mt19937_64 gen(s);\n"),
+                       "R3"),
+            1);
+}
+
+TEST(LintR3, TestsMayPinSeeds) {
+  EXPECT_EQ(count_rule(lint_source("tests/test_x.cpp", "Rng rng(42);\n"),
+                       "R3"),
+            0);
+}
+
+TEST(LintR3, RngHeaderIsAllowlisted) {
+  EXPECT_EQ(count_rule(lint_source("src/util/rng.h",
+                                   "explicit Rng(std::uint64_t seed = "
+                                   "0x9e3779b97f4a7c15ULL) noexcept;\n"),
+                       "R3"),
+            0);
+}
+
+// --- R4 ------------------------------------------------------------------
+
+TEST(LintR4, FlagsPointerKeys) {
+  EXPECT_EQ(count_rule(lint_source("src/x.cpp",
+                                   "std::map<Protocol*, int> rank;\n"),
+                       "R4"),
+            1);
+  EXPECT_EQ(count_rule(lint_source("tests/t.cpp",
+                                   "std::set<const Node*> seen;\n"),
+                       "R4"),
+            1);
+}
+
+TEST(LintR4, PointerValuesAreFine) {
+  EXPECT_EQ(count_rule(lint_source("src/x.cpp",
+                                   "std::map<int, Protocol*> by_id;\n"),
+                       "R4"),
+            0);
+  EXPECT_EQ(count_rule(lint_source("src/x.cpp",
+                                   "std::vector<Protocol*> protocols;\n"),
+                       "R4"),
+            0);
+}
+
+// --- R5 ------------------------------------------------------------------
+
+TEST(LintR5, FlagsUninitializedScalarMember) {
+  const std::string text =
+      "struct Stats {\n"
+      "  std::int64_t slots = 0;\n"
+      "  std::int64_t broadcasts;\n"
+      "  double ratio;\n"
+      "};\n";
+  EXPECT_EQ(count_rule(lint_source("src/sim/trace.h", text), "R5"), 2);
+  // Same text outside the serialization-header scope: silent.
+  EXPECT_EQ(count_rule(lint_source("src/core/cogcast.h", text), "R5"), 0);
+}
+
+TEST(LintR5, InitializedAndNonScalarMembersPass) {
+  const std::string text =
+      "struct Stats {\n"
+      "  std::int64_t slots = 0;\n"
+      "  Message msg{};\n"
+      "  std::string name;\n"
+      "  std::vector<int> values;\n"
+      "  std::int64_t energy() const;\n"
+      "};\n";
+  EXPECT_EQ(count_rule(lint_source("src/sim/trace.h", text), "R5"), 0);
+}
+
+TEST(LintR5, PrivateClassDetailsAreSkipped) {
+  const std::string text =
+      "struct Recorder {\n"
+      "  int fields = 0;\n"
+      " private:\n"
+      "  bool armed;\n"
+      "};\n";
+  EXPECT_EQ(count_rule(lint_source("src/sim/recorder.h", text), "R5"), 0);
+}
+
+// --- R6 ------------------------------------------------------------------
+
+TEST(LintR6, FlagsFloatLiteralEquality) {
+  EXPECT_EQ(count_rule(lint_source("src/util/stats.cpp",
+                                   "if (denom == 0.0) return fit;\n"),
+                       "R6"),
+            1);
+  EXPECT_EQ(count_rule(lint_source("bench/bench_x.cpp",
+                                   "bool base = q != 1.5;\n"),
+                       "R6"),
+            1);
+}
+
+TEST(LintR6, IntegerEqualityAndOtherScopesPass) {
+  EXPECT_EQ(count_rule(lint_source("src/util/stats.cpp",
+                                   "if (count == 0) return;\n"),
+                       "R6"),
+            0);
+  EXPECT_EQ(count_rule(lint_source("src/core/cogcast.cpp",
+                                   "if (gamma == 4.0) tune();\n"),
+                       "R6"),
+            0);
+  EXPECT_EQ(count_rule(lint_source("src/util/stats.cpp",
+                                   "if (a <= 0.5) return;\n"),
+                       "R6"),
+            0);
+}
+
+// --- LINT.json + baseline ------------------------------------------------
+
+std::vector<LintFinding> sample_findings() {
+  return lint_source("src/core/x.cpp",
+                     "int a = std::rand();\n"
+                     "std::unordered_set<int> seen;\n");
+}
+
+TEST(LintJson, DeterministicAndParseable) {
+  const auto findings = sample_findings();
+  ASSERT_GE(findings.size(), 2u);
+  const std::string one = findings_to_json(findings);
+  const std::string two = findings_to_json(findings);
+  EXPECT_EQ(one, two);
+  std::string error;
+  const auto doc = parse_json(one, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const JsonValue* list = doc->find("findings");
+  ASSERT_NE(list, nullptr);
+  EXPECT_EQ(list->items().size(), findings.size());
+  const JsonValue* counts = doc->find("counts");
+  ASSERT_NE(counts, nullptr);
+  EXPECT_EQ(counts->find("total")->as_number(),
+            static_cast<double>(findings.size()));
+}
+
+TEST(LintJson, SortedByFileLineRule) {
+  std::vector<LintFinding> findings = sample_findings();
+  std::reverse(findings.begin(), findings.end());
+  const std::string out = findings_to_json(findings);
+  EXPECT_LT(out.find("std::rand"), out.find("unordered_set"));
+}
+
+TEST(LintBaseline, RoundTripMasksKnownFindings) {
+  std::vector<LintFinding> findings = sample_findings();
+  const std::string json = findings_to_json(findings);
+  std::vector<std::string> keys;
+  std::string error;
+  ASSERT_TRUE(parse_baseline(json, &keys, &error)) << error;
+  EXPECT_EQ(keys.size(), findings.size());
+  EXPECT_EQ(apply_baseline(findings, keys),
+            static_cast<int>(findings.size()));
+  for (const LintFinding& f : findings) EXPECT_TRUE(f.baselined);
+}
+
+TEST(LintBaseline, LineNumberShiftsDoNotUnmask) {
+  // Baseline captured at one line number still matches after unrelated
+  // lines are inserted above the site (keys ignore line numbers).
+  const auto before = lint_source("src/x.cpp", "int a = std::rand();\n");
+  const std::string json = findings_to_json(before);
+  std::vector<std::string> keys;
+  ASSERT_TRUE(parse_baseline(json, &keys, nullptr));
+  auto after =
+      lint_source("src/x.cpp", "int pad = 0;\n\nint a = std::rand();\n");
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0].line, 3);
+  EXPECT_EQ(apply_baseline(after, keys), 1);
+}
+
+TEST(LintBaseline, NewFindingsStayActive) {
+  const auto before = lint_source("src/x.cpp", "int a = std::rand();\n");
+  std::vector<std::string> keys;
+  ASSERT_TRUE(parse_baseline(findings_to_json(before), &keys, nullptr));
+  auto after = lint_source("src/x.cpp",
+                           "int a = std::rand();\nsrand(9);\n");
+  apply_baseline(after, keys);
+  int active = 0;
+  for (const LintFinding& f : after)
+    if (!f.baselined && !f.suppressed) ++active;
+  EXPECT_EQ(active, 1);  // the new srand site
+}
+
+TEST(LintBaseline, RejectsMalformedDocuments) {
+  std::vector<std::string> keys;
+  std::string error;
+  EXPECT_FALSE(parse_baseline("not json", &keys, &error));
+  EXPECT_FALSE(parse_baseline("{\"no_findings\": 1}", &keys, &error));
+}
+
+}  // namespace
+}  // namespace cogradio

@@ -71,5 +71,78 @@ TEST(ReductionPlayer, RejectsBadParams) {
   EXPECT_THROW(CogCastHittingPlayer(4, 0, Rng(1)), std::invalid_argument);
 }
 
+TEST(ReductionPlayer, TranscriptMatchesOrderedReferenceSimulation) {
+  // The player dedupes (a, b) pairs with an unordered_set, which it only
+  // inserts into and queries — never iterates. If that invariant holds, the
+  // proposal transcript is a pure function of the Rng stream, so a reference
+  // simulation using a *sorted* std::set for the same dedupe must emit the
+  // identical transcript. A divergence here means hash-layout order leaked
+  // into results.
+  const int n = 9, c = 7;
+  const std::uint64_t seed = 4242;
+  CogCastHittingPlayer player(n, c, Rng(seed));
+
+  Rng ref_rng(seed);
+  std::set<std::uint64_t> ref_proposed;
+  std::vector<std::int64_t> b_stamp(static_cast<std::size_t>(c), 0);
+  std::int64_t ref_slots = 0;
+  std::vector<Edge> ref_queue;
+  std::size_t ref_pos = 0;
+  auto ref_propose = [&]() -> Edge {
+    while (ref_pos >= ref_queue.size()) {
+      ref_queue.clear();
+      ref_pos = 0;
+      ++ref_slots;
+      const int a_r =
+          static_cast<int>(ref_rng.below(static_cast<std::uint64_t>(c)));
+      for (int u = 1; u < n; ++u) {
+        const int b =
+            static_cast<int>(ref_rng.below(static_cast<std::uint64_t>(c)));
+        auto& stamp = b_stamp[static_cast<std::size_t>(b)];
+        if (stamp == ref_slots) continue;
+        stamp = ref_slots;
+        const std::uint64_t key =
+            static_cast<std::uint64_t>(a_r) * static_cast<std::uint64_t>(c) +
+            static_cast<std::uint64_t>(b);
+        if (ref_proposed.insert(key).second) ref_queue.emplace_back(a_r, b);
+      }
+    }
+    return ref_queue[ref_pos++];
+  };
+
+  // 49 proposals exhausts every (a, b) pair for c = 7, forcing the dedupe
+  // set through its full growth (and rehash) schedule.
+  for (int i = 0; i < c * c; ++i) {
+    const Edge got = player.propose();
+    const Edge want = ref_propose();
+    ASSERT_EQ(got, want) << "transcripts diverge at proposal " << i;
+  }
+  EXPECT_EQ(player.simulated_slots(), ref_slots);
+}
+
+TEST(ReductionPlayer, DedupeMembershipInvariantUnderInsertionOrder) {
+  // The safety argument for the unordered dedupe set: membership answers do
+  // not depend on insertion order or bucket layout. Build the same key set
+  // three ways — ascending, descending, and with an oversized pre-reserved
+  // bucket array (different rehash history) — and check every probe agrees.
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t k = 0; k < 200; k += 3) keys.push_back(k * 2654435761ULL);
+
+  // cograd-lint: allow(R2) membership-only sets probed pairwise, never iterated
+  std::unordered_set<std::uint64_t> ascending, descending, prereserved;
+  prereserved.reserve(4096);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ascending.insert(keys[i]);
+    descending.insert(keys[keys.size() - 1 - i]);
+    prereserved.insert(keys[i]);
+  }
+  for (std::uint64_t probe = 0; probe < 1000; ++probe) {
+    const std::uint64_t key = probe * 2654435761ULL / 2;
+    const bool hit = ascending.count(key) > 0;
+    EXPECT_EQ(descending.count(key) > 0, hit);
+    EXPECT_EQ(prereserved.count(key) > 0, hit);
+  }
+}
+
 }  // namespace
 }  // namespace cogradio

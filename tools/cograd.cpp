@@ -12,11 +12,11 @@
 //   record      run a broadcast and dump the execution log
 //   check       property-based invariant sweep with shrinking
 //   bench       smoke benchmark suite + regression gate
+//   lint        determinism & model-soundness source linter
 //
 // Common flags: --n --c --k --pattern --seed --trials; each command adds
 // its own (see the usage text). All runs are deterministic in --seed.
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "analysis/bench_suite.h"
+#include "analysis/lint.h"
 #include "core/consensus.h"
 #include "core/gossip.h"
 #include "core/multihop_cast.h"
@@ -68,6 +69,9 @@ int usage() {
       "             [--tolerances TOL.json] [--diff-out FILE]\n"
       "             [--list] [--validate F1,F2,...]\n"
       "             (smoke benchmark suite + regression gate)\n"
+      "  lint       [--tree DIR] [--json LINT.json] [--baseline FILE]\n"
+      "             [--update-baseline]   (determinism source linter:\n"
+      "             rules R1-R6, see docs/DETERMINISM.md)\n"
       "\n"
       "common: --seed S (default 1), --pattern shared-core|partitioned|\n"
       "        pigeonhole|identity|dynamic-shared-core|dynamic-pigeonhole");
@@ -430,12 +434,11 @@ int cmd_bench(CliArgs& args) {
 
   std::vector<RunManifest> runs;
   for (const std::string& name : selected) {
-    const auto start = std::chrono::steady_clock::now();
+    const double start = monotonic_seconds();
     RunManifest manifest = run_smoke_experiment(name, options);
-    const std::chrono::duration<double> elapsed =
-        std::chrono::steady_clock::now() - start;
-    manifest.set_volatile("wall_clock_seconds", elapsed.count());
-    std::printf("bench: %-22s %6.2fs\n", name.c_str(), elapsed.count());
+    const double elapsed = monotonic_seconds() - start;
+    manifest.set_volatile("wall_clock_seconds", elapsed);
+    std::printf("bench: %-22s %6.2fs\n", name.c_str(), elapsed);
     runs.push_back(std::move(manifest));
   }
   const std::string merged = merge_manifests("smoke", runs);
@@ -495,6 +498,91 @@ int cmd_bench(CliArgs& args) {
   return result.ok() ? 0 : 1;
 }
 
+// Determinism & model-soundness linter (src/analysis/lint.h). Scans
+// --tree's src/ bench/ tools/ tests/ against rules R1-R6, writes the
+// deterministic LINT.json manifest, and exits nonzero on any finding that
+// is neither suppressed in-source nor covered by --baseline. With
+// --update-baseline the current active findings become the new baseline
+// (accepted pre-existing sites that should not block CI).
+int cmd_lint(CliArgs& args) {
+  const std::string tree = args.get_string("tree", ".");
+  const std::string json_path = args.get_string("json", "LINT.json");
+  const std::string baseline_path = args.get_string("baseline", "");
+  const bool update_baseline = args.get_flag("update-baseline");
+  args.finish();
+
+  if (update_baseline && baseline_path.empty()) {
+    std::fprintf(stderr,
+                 "cograd lint: --update-baseline requires --baseline FILE\n");
+    return 2;
+  }
+
+  LintStats stats;
+  std::vector<LintFinding> findings = lint_tree(tree, &stats);
+  if (stats.files_scanned == 0) {
+    std::fprintf(stderr,
+                 "cograd lint: no C++ sources under %s/{src,bench,tools,"
+                 "tests}\n",
+                 tree.c_str());
+    return 2;
+  }
+
+  if (!baseline_path.empty() && !update_baseline) {
+    const auto text = read_file(baseline_path);
+    if (!text) {
+      std::fprintf(stderr, "cograd lint: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::string error;
+    std::vector<std::string> keys;
+    if (!parse_baseline(*text, &keys, &error)) {
+      std::fprintf(stderr, "cograd lint: baseline %s invalid: %s\n",
+                   baseline_path.c_str(), error.c_str());
+      return 2;
+    }
+    apply_baseline(findings, keys);
+  }
+
+  const std::string json = findings_to_json(findings);
+  if (!json_path.empty() && !write_file_atomic(json_path, json)) {
+    std::fprintf(stderr, "cograd lint: cannot write %s\n", json_path.c_str());
+    return 2;
+  }
+
+  int active = 0, suppressed = 0, baselined = 0;
+  for (const LintFinding& f : findings) {
+    if (f.suppressed) {
+      ++suppressed;
+      continue;
+    }
+    if (f.baselined) {
+      ++baselined;
+      continue;
+    }
+    ++active;
+    std::printf("%s:%d: [%s] %s\n    %s\n", f.file.c_str(), f.line,
+                f.rule.c_str(), f.message.c_str(), f.snippet.c_str());
+  }
+
+  if (update_baseline) {
+    if (!write_file_atomic(baseline_path, json)) {
+      std::fprintf(stderr, "cograd lint: cannot write baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::printf("lint: wrote baseline %s (%d accepted findings)\n",
+                baseline_path.c_str(), active);
+    return 0;
+  }
+
+  std::printf("lint: %d files, %d findings (%d active, %d suppressed, "
+              "%d baselined)\n",
+              stats.files_scanned, stats.findings, active, suppressed,
+              baselined);
+  return active == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -510,5 +598,6 @@ int main(int argc, char** argv) {
   if (command == "record") return cmd_record(args);
   if (command == "check") return cmd_check(args);
   if (command == "bench") return cmd_bench(args);
+  if (command == "lint") return cmd_lint(args);
   return usage();
 }
