@@ -83,13 +83,17 @@ int main(int argc, char** argv) {
     const bool local = mode == LabelMode::LocalRandom;
     Table table({"zipf s", "median", "p95", "vs uniform"});
     double base = 0;
+    bool first_point = true;  // the s=0.0 uniform point anchors the ratios
     for (double s : {0.0, 0.5, 1.0, 2.0, 4.0}) {
       const Summary summary =
           biased_cogcast(n, c, k, s, mode, trials,
                          seed + static_cast<std::uint64_t>(s * 10) +
                              (local ? 0 : 7000),
                          jobs);
-      if (s == 0.0) base = summary.median;
+      if (first_point) {
+        base = summary.median;
+        first_point = false;
+      }
       manifest.add_summary(std::string(local ? "local" : "global") + ".s" +
                                std::to_string(static_cast<int>(s * 10)),
                            summary);

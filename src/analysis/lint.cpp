@@ -213,8 +213,9 @@ struct FileScan {
 // --- R1: banned nondeterminism sources -----------------------------------
 
 void scan_r1(FileScan& scan) {
-  if (ends_with(scan.rel_path, "util/bench_report.cpp"))
-    return;  // the volatile-manifest allowlist: monotonic_seconds lives here
+  // The volatile-manifest allowlist: monotonic_seconds lives here. Exact
+  // path match, so e.g. tests/util/bench_report.cpp is not exempted.
+  if (scan.rel_path == "src/util/bench_report.cpp") return;
   static const std::set<std::string> kBannedExact = {
       "rand",          "srand",        "drand48",     "lrand48",
       "random_device", "gettimeofday", "timespec_get",
@@ -440,7 +441,10 @@ void scan_r5(FileScan& scan) {
         stack.back().fields_active = true;
     }
 
-    // Member-candidate check happens against the pre-brace-update depth.
+    // Member-candidate check happens against the pre-brace-update depth,
+    // so R5 assumes one declaration per physical line: a member declared
+    // on the same line as its struct's opening brace
+    // ('struct P { int x; };') is not examined.
     const bool member_context =
         !stack.empty() && depth == stack.back().depth &&
         stack.back().fields_active && !struct_head;
@@ -608,8 +612,18 @@ StrippedSource strip_source(const std::string& text) {
             state = State::Str;
           }
         } else if (c == '\'') {
+          // Digit-separator lookback (C++14): a ' glued to a token that
+          // starts with a digit (10'000, 0xc09'7ad) separates digits and
+          // does not open a char literal. Char-literal prefixes (u8'a',
+          // L'x') start with a letter and fall through to Chr.
+          std::size_t b = code.size();
+          while (b > 0 && (ident_char(code[b - 1]) || code[b - 1] == '\''))
+            --b;
+          const bool digit_separator =
+              b < code.size() &&
+              std::isdigit(static_cast<unsigned char>(code[b]));
           code.push_back('\'');
-          state = State::Chr;
+          if (!digit_separator) state = State::Chr;
         } else {
           code.push_back(c);
         }

@@ -72,6 +72,37 @@ TEST(StripSource, LineSplicedCommentSwallowsNextLine) {
   EXPECT_EQ(s.code[2], "ok;");
 }
 
+TEST(StripSource, DigitSeparatorsDoNotOpenCharLiterals) {
+  // A C++14 digit separator must not flip the lexer into char-literal
+  // state and blank the rest of the file as "string contents".
+  const StrippedSource s =
+      strip_source("int n = 10'000;\nstd::rand();\n");
+  EXPECT_EQ(s.code[0], "int n = 10'000;");
+  EXPECT_NE(s.code[1].find("rand"), std::string::npos);
+}
+
+TEST(StripSource, HexDigitSeparatorsStayInCode) {
+  const StrippedSource s =
+      strip_source("auto k = 0xc09'7ad'10;\ntime(nullptr);\n");
+  EXPECT_EQ(s.code[0], "auto k = 0xc09'7ad'10;");
+  EXPECT_NE(s.code[1].find("time"), std::string::npos);
+}
+
+TEST(StripSource, PrefixedCharLiteralsStillBlank) {
+  // u8/L prefixes start with a letter, so the ' still opens a literal.
+  const StrippedSource s = strip_source("auto c = u8'r'; rand();\n");
+  EXPECT_EQ(s.code[0], "auto c = u8' '; rand();");
+}
+
+TEST(LintR1, FiresAfterDigitSeparatedLiteral) {
+  // Regression: a separator-bearing literal earlier on the line (or file)
+  // must not hide a later banned call.
+  const auto f = lint_source("src/core/x.cpp",
+                             "wait_until(10'000);\n"
+                             "int r = std::rand();\n");
+  EXPECT_EQ(count_rule(f, "R1"), 1);
+}
+
 TEST(StripSource, LineCountMatchesInput) {
   const StrippedSource s = strip_source("a\nb\nc");
   ASSERT_EQ(s.code.size(), 3u);
