@@ -5,11 +5,14 @@
 #include <optional>
 #include <string>
 
+#include <algorithm>
+
 #include "core/multihop_cast.h"
 #include "core/runtime.h"
 #include "lowerbounds/hitting_game.h"
 #include "sim/assignment.h"
 #include "sim/backoff.h"
+#include "sim/fault_engine.h"
 #include "sim/jamming.h"
 #include "sim/topology.h"
 #include "util/stats.h"
@@ -288,6 +291,82 @@ RunManifest smoke_e25_multihop(const SmokeOptions& opt) {
   return m;
 }
 
+// Miniature of E19: a correlated churn burst mid-broadcast, with the fault
+// engine's recovery telemetry pinned — guards fault-schedule determinism
+// and the recovery accounting the full E19/E34 benches report.
+RunManifest smoke_e19_fault_recovery(const SmokeOptions& opt) {
+  const int n = 20, c = 6, k = 2;
+  const int burst_nodes = n / 4;
+  const Slot burst_from = 2, burst_len = 24;
+  const int trials = trials_or(opt, 6);
+  RunManifest m("smoke_e19_fault_recovery");
+  m.set_config_int("n", n);
+  m.set_config_int("c", c);
+  m.set_config_int("k", k);
+  m.set_config_int("burst_nodes", burst_nodes);
+  m.set_config_int("burst_from", burst_from);
+  m.set_config_int("burst_len", burst_len);
+  m.set_config_int("trials", trials);
+  m.set_config_int("seed", static_cast<std::int64_t>(opt.seed));
+  // Each trial's randomness is a pure function of (seed, t): the sweeps
+  // below all replay the same runs and read different outcome facets.
+  const auto run_one = [&](Rng& rng) {
+    const std::uint64_t s1 = rng();
+    const std::uint64_t s2 = rng();
+    const std::uint64_t s3 = rng();
+    const std::uint64_t s4 = rng();
+    auto assignment = make_assignment("shared-core", n, c, k,
+                                      LabelMode::LocalRandom, Rng(s1));
+    FaultEngine engine(n, c, Rng(s3));
+    // Random burst subset, never the source (node 0).
+    std::vector<NodeId> hit;
+    Rng picker(s4);
+    for (const auto u : picker.sample_without_replacement(n - 1, burst_nodes))
+      hit.push_back(u + 1);
+    engine.add_burst(hit, burst_from, burst_len);
+    CogCastRunConfig config;
+    config.params = {n, c, k, 4.0};
+    config.seed = s2;
+    config.max_slots = 64 * config.params.horizon() + burst_len;
+    config.fault_engine = &engine;
+    return run_cogcast(*assignment, config);
+  };
+  add_summary(m, "burst.slots",
+              summarize(sweep_trials(trials, opt.seed, opt.jobs,
+                                     [&](Rng& rng) -> std::optional<double> {
+                                       const auto out = run_one(rng);
+                                       if (!out.completed) return std::nullopt;
+                                       return static_cast<double>(out.slots);
+                                     })));
+  // Time-to-recover: completion slot minus the burst's end.
+  add_summary(
+      m, "burst.recover",
+      summarize(sweep_trials(
+          trials, opt.seed, opt.jobs, [&](Rng& rng) -> std::optional<double> {
+            const auto out = run_one(rng);
+            if (!out.completed) return std::nullopt;
+            return static_cast<double>(
+                std::max<Slot>(0, out.slots - (burst_from + burst_len)));
+          })));
+  const auto churned = sweep_trials(
+      trials, opt.seed, opt.jobs, [&](Rng& rng) -> std::optional<double> {
+        return static_cast<double>(run_one(rng).stats.churned_node_slots);
+      });
+  double churned_total = 0;
+  for (const double x : churned) churned_total += x;
+  m.set_int("burst.churned_node_slots.total",
+            static_cast<std::int64_t>(churned_total));
+  const auto drops = sweep_trials(
+      trials, opt.seed, opt.jobs, [&](Rng& rng) -> std::optional<double> {
+        return static_cast<double>(run_one(rng).stats.feedback_drops);
+      });
+  double drops_total = 0;
+  for (const double x : drops) drops_total += x;
+  m.set_int("burst.feedback_drops.total",
+            static_cast<std::int64_t>(drops_total));
+  return m;
+}
+
 // One fixed run each of CogCast and CogComp with the engine's full counter
 // set pinned exactly — the tripwire for behavior changes that leave medians
 // intact (e.g. an off-by-one in delivery accounting).
@@ -343,6 +422,7 @@ constexpr ExperimentDef kExperiments[] = {
     {"smoke_e7_hitting_game", smoke_e7_hitting_game},
     {"smoke_e12_jamming", smoke_e12_jamming},
     {"smoke_e13_backoff", smoke_e13_backoff},
+    {"smoke_e19_fault_recovery", smoke_e19_fault_recovery},
     {"smoke_e25_multihop", smoke_e25_multihop},
     {"smoke_trace_counters", smoke_trace_counters},
 };
@@ -371,6 +451,12 @@ void add_trace_stats(RunManifest& manifest, const std::string& prefix,
   manifest.set_int(prefix + ".collision_events", stats.collision_events);
   manifest.set_int(prefix + ".jammed_node_slots", stats.jammed_node_slots);
   manifest.set_int(prefix + ".idle_node_slots", stats.idle_node_slots);
+  // Fault telemetry: pinned at zero for fault-free runs, so any engine
+  // change that starts (or stops) injecting shows up in the gate.
+  manifest.set_int(prefix + ".fault_node_slots", stats.fault_node_slots);
+  manifest.set_int(prefix + ".suppressed_deliveries",
+                   stats.suppressed_deliveries);
+  manifest.set_int(prefix + ".feedback_drops", stats.feedback_drops);
 }
 
 }  // namespace cogradio

@@ -43,6 +43,8 @@ BroadcastOutcome run_cogcast(ChannelAssignment& assignment,
   net.seed = seeder.split(0xFEEDu)();
   Network network(assignment, std::move(protocols), net);
   if (config.jammer != nullptr) network.set_jammer(config.jammer);
+  if (config.fault_engine != nullptr)
+    network.set_fault_engine(config.fault_engine);
 
   const Slot cap = config.max_slots > 0 ? config.max_slots : 8 * p.horizon();
   network.run(cap);
@@ -109,6 +111,8 @@ AggregationOutcome run_cogcomp(ChannelAssignment& assignment,
   NetworkOptions net = config.net;
   net.seed = seeder.split(0xFEEDu)();
   Network network(assignment, std::move(protocols), net);
+  if (config.fault_engine != nullptr)
+    network.set_fault_engine(config.fault_engine);
   const Slot cap = config.max_slots > 0 ? config.max_slots : p.max_slots();
   network.run(cap);
 

@@ -40,6 +40,9 @@ struct CogCastRunConfig {
   bool bounded = false;
   NetworkOptions net{};
   Jammer* jammer = nullptr;
+  // Optional adversarial fault schedule (sim/fault_engine.h); windows must
+  // be added before the run. Not owned.
+  FaultEngine* fault_engine = nullptr;
 };
 
 // Runs CogCast on `assignment` and reports time-to-all-informed plus the
@@ -75,6 +78,7 @@ struct CogCompRunConfig {
   AggOp op = AggOp::Sum;
   Slot max_slots = 0;  // 0 = params.max_slots()
   NetworkOptions net{};
+  FaultEngine* fault_engine = nullptr;  // as in CogCastRunConfig
 };
 
 // Runs CogComp with the given per-node input values (values.size() == n).

@@ -1,0 +1,178 @@
+#include "core/supervisor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cogradio {
+
+SupervisedOutcome run_supervised(const AttemptFactory& factory,
+                                 const SupervisorOptions& options,
+                                 std::uint64_t seed) {
+  if (!factory) throw std::invalid_argument("supervisor: need a factory");
+  if (options.deadline <= 0 && options.stall_window <= 0)
+    throw std::invalid_argument(
+        "supervisor: need a deadline or a stall window to bound epochs");
+  if (options.backoff < 1.0)
+    throw std::invalid_argument("supervisor: backoff must be >= 1");
+  if (options.max_restarts < 0)
+    throw std::invalid_argument("supervisor: max_restarts must be >= 0");
+
+  Rng seeder(seed);
+  SupervisedOutcome out;
+  Slot deadline = options.deadline;
+  for (int attempt = 0; attempt <= options.max_restarts; ++attempt) {
+    SupervisedRun run =
+        factory(attempt, seeder.split(static_cast<std::uint64_t>(attempt))());
+    if (run.network == nullptr)
+      throw std::invalid_argument("supervisor: factory returned no network");
+
+    EpochStats epoch;
+    std::int64_t last_progress = run.progress ? run.progress() : 0;
+    Slot flat = 0;
+    Slot steps = 0;
+    while (true) {
+      if (run.success && run.success()) {
+        epoch.completed = true;
+        break;
+      }
+      if (run.network->all_done()) {
+        // Every protocol terminated; without a success predicate that IS
+        // success, with one it means the run ended incomplete.
+        epoch.completed = !run.success;
+        break;
+      }
+      if (deadline > 0 && steps >= deadline) {
+        epoch.deadline_hit = true;
+        break;
+      }
+      run.network->step();
+      ++steps;
+      if (options.stall_window > 0 && run.progress) {
+        const std::int64_t p = run.progress();
+        if (p > last_progress) {
+          last_progress = p;
+          flat = 0;
+        } else if (++flat >= options.stall_window) {
+          epoch.stalled = true;
+          break;
+        }
+      }
+    }
+    epoch.slots = steps;
+    out.total_slots += steps;
+    out.epochs.push_back(epoch);
+    if (epoch.completed) {
+      out.completed = true;
+      break;
+    }
+    if (attempt < options.max_restarts) {
+      ++out.restarts;
+      if (deadline > 0)
+        deadline = std::max<Slot>(
+            deadline + 1,
+            static_cast<Slot>(static_cast<double>(deadline) * options.backoff));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct CogCastRunState {
+  std::vector<std::unique_ptr<CogCastNode>> nodes;
+  std::unique_ptr<Network> network;
+};
+
+struct CogCompRunState {
+  Aggregator aggregator{AggOp::Sum};
+  std::vector<std::unique_ptr<CogCompNode>> nodes;
+  std::unique_ptr<Network> network;
+};
+
+}  // namespace
+
+SupervisedRun build_cogcast_run(ChannelAssignment& assignment,
+                                const CogCastRunConfig& config,
+                                std::uint64_t seed) {
+  const CogCastParams& p = config.params;
+  if (assignment.num_nodes() != p.n || assignment.channels_per_node() != p.c)
+    throw std::invalid_argument("supervised cogcast: assignment mismatch");
+
+  Message payload;
+  payload.type = MessageType::Data;
+  payload.a = 42;
+
+  auto state = std::make_shared<CogCastRunState>();
+  Rng seeder(seed);
+  std::vector<Protocol*> protocols;
+  protocols.reserve(static_cast<std::size_t>(p.n));
+  const Slot horizon = config.bounded ? p.horizon() : 0;
+  for (NodeId u = 0; u < p.n; ++u) {
+    const bool is_source =
+        u == config.source ||
+        std::find(config.extra_sources.begin(), config.extra_sources.end(),
+                  u) != config.extra_sources.end();
+    state->nodes.push_back(std::make_unique<CogCastNode>(
+        u, p.c, is_source, payload,
+        seeder.split(static_cast<std::uint64_t>(u)), horizon));
+    protocols.push_back(state->nodes.back().get());
+  }
+  NetworkOptions net = config.net;
+  net.seed = seeder.split(0xFEEDu)();
+  state->network =
+      std::make_unique<Network>(assignment, std::move(protocols), net);
+  if (config.jammer != nullptr) state->network->set_jammer(config.jammer);
+
+  SupervisedRun run;
+  run.network = state->network.get();
+  run.progress = [s = state.get()] {
+    std::int64_t informed = 0;
+    for (const auto& node : s->nodes) informed += node->informed() ? 1 : 0;
+    return informed;
+  };
+  run.success = [s = state.get()] {
+    return std::all_of(s->nodes.begin(), s->nodes.end(),
+                       [](const auto& node) { return node->informed(); });
+  };
+  run.state = state;
+  return run;
+}
+
+SupervisedRun build_cogcomp_run(ChannelAssignment& assignment,
+                                std::span<const Value> values,
+                                const CogCompRunConfig& config,
+                                std::uint64_t seed) {
+  const CogCompParams& p = config.params;
+  if (assignment.num_nodes() != p.n || assignment.channels_per_node() != p.c)
+    throw std::invalid_argument("supervised cogcomp: assignment mismatch");
+  if (static_cast<int>(values.size()) != p.n)
+    throw std::invalid_argument("supervised cogcomp: one value per node");
+
+  auto state = std::make_shared<CogCompRunState>();
+  state->aggregator = Aggregator(config.op);
+  Rng seeder(seed);
+  std::vector<Protocol*> protocols;
+  protocols.reserve(static_cast<std::size_t>(p.n));
+  for (NodeId u = 0; u < p.n; ++u) {
+    state->nodes.push_back(std::make_unique<CogCompNode>(
+        u, p, u == config.source, values[static_cast<std::size_t>(u)],
+        state->aggregator, seeder.split(static_cast<std::uint64_t>(u))));
+    protocols.push_back(state->nodes.back().get());
+  }
+  NetworkOptions net = config.net;
+  net.seed = seeder.split(0xFEEDu)();
+  state->network =
+      std::make_unique<Network>(assignment, std::move(protocols), net);
+
+  SupervisedRun run;
+  run.network = state->network.get();
+  run.progress = [s = state.get()] { return s->network->stats().successes; };
+  run.success = [s = state.get(), source = config.source] {
+    return s->nodes[static_cast<std::size_t>(source)]->complete() &&
+           s->network->all_done();
+  };
+  run.state = state;
+  return run;
+}
+
+}  // namespace cogradio

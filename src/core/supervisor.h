@@ -1,0 +1,96 @@
+// Self-healing run supervisor: a progress watchdog around protocol runs.
+//
+// The paper's robustness story is asymmetric: CogCast is oblivious — every
+// node does the same thing in every slot — so faults cost it throughput but
+// never wedge it, while CogComp's coordination-heavy phases 2-4 can be
+// left permanently incomplete by mid-run faults (a crashed cluster head is
+// never re-elected). A deployment would wrap such a protocol in a
+// supervisor: watch progress, declare the epoch dead on a stall or a
+// deadline, and restart the whole run from fresh (re-seeded) state with an
+// exponentially backed-off deadline. run_supervised implements exactly
+// that loop, and its SupervisedOutcome quantifies the asymmetry: E34
+// measures that CogCast completes with zero restarts under a churn burst
+// while CogComp needs the restart to recover.
+//
+// Determinism: attempt k draws its seed as Rng(seed).split(k), so a
+// (factory, options, seed) triple replays bit-identically — including how
+// many restarts it takes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/runtime.h"
+#include "sim/network.h"
+
+namespace cogradio {
+
+struct SupervisorOptions {
+  // Per-epoch slot budget; 0 = unbounded (then stall_window must be set).
+  Slot deadline = 0;
+  // Restart when the progress counter is flat for this many consecutive
+  // slots; 0 disables stall detection.
+  Slot stall_window = 0;
+  // The deadline is multiplied by this factor after every restart, so a
+  // run that merely needed more time eventually gets it.
+  double backoff = 2.0;
+  // Restarts allowed after the first attempt (total epochs <= 1 + this).
+  int max_restarts = 3;
+};
+
+// Why one epoch ended.
+struct EpochStats {
+  Slot slots = 0;             // slots this epoch executed
+  bool completed = false;     // success() held
+  bool stalled = false;       // progress flat for stall_window slots
+  bool deadline_hit = false;  // epoch exceeded its (backed-off) deadline
+};
+
+struct SupervisedOutcome {
+  bool completed = false;
+  int restarts = 0;           // epochs abandoned and retried
+  Slot total_slots = 0;       // summed over every epoch
+  std::vector<EpochStats> epochs;
+};
+
+// One freshly built attempt: the network to drive, a monotone progress
+// counter (more is better; used by the stall detector), the success
+// predicate, and an opaque owner keeping nodes/engines alive while the
+// epoch runs.
+struct SupervisedRun {
+  Network* network = nullptr;
+  std::function<std::int64_t()> progress;
+  std::function<bool()> success;
+  std::shared_ptr<void> state;
+};
+
+// Builds attempt `attempt` from its derived seed. The factory may attach
+// jammers or a FaultEngine to the network before returning — e.g. only on
+// attempt 0, so a restart escapes a scripted burst.
+using AttemptFactory =
+    std::function<SupervisedRun(int attempt, std::uint64_t seed)>;
+
+// The supervisor loop: run epochs until success() holds or the restart
+// budget is exhausted. Throws if neither a deadline nor a stall window
+// bounds the epoch.
+SupervisedOutcome run_supervised(const AttemptFactory& factory,
+                                 const SupervisorOptions& options,
+                                 std::uint64_t seed);
+
+// Standard supervised assemblies, mirroring core/runtime.cpp's runners:
+// nodes and network are rebuilt from `seed` (which replaces config.seed).
+// progress = number of informed nodes; success = everyone informed.
+SupervisedRun build_cogcast_run(ChannelAssignment& assignment,
+                                const CogCastRunConfig& config,
+                                std::uint64_t seed);
+// progress = cumulative channel successes (communication keeps happening);
+// success = the source holds a full-count aggregate and all nodes are done.
+SupervisedRun build_cogcomp_run(ChannelAssignment& assignment,
+                                std::span<const Value> values,
+                                const CogCompRunConfig& config,
+                                std::uint64_t seed);
+
+}  // namespace cogradio

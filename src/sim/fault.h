@@ -73,15 +73,17 @@ class OutageFault : public Protocol {
       // Keep the inner protocol's clock honest: it still gets asked and
       // told nothing, like a radio with its antenna disconnected.
       (void)inner_.on_slot(slot);
-      suppressed_ = true;
       return Action::idle();
     }
-    suppressed_ = false;
     return inner_.on_slot(slot);
   }
 
   void on_feedback(Slot slot, const SlotResult& result) override {
-    if (suppressed_) {
+    // Decide from the interval itself, not a flag left over from the last
+    // on_slot call: feedback for a suppressed slot must be blank even if
+    // the two callbacks are not strictly interleaved (a stale flag would
+    // leak real feedback into the outage, or blank a healthy slot).
+    if (slot >= from_ && slot < to_) {
       const SlotResult empty{};
       inner_.on_feedback(slot, empty);
       return;
@@ -95,7 +97,6 @@ class OutageFault : public Protocol {
   Protocol& inner_;
   Slot from_;
   Slot to_;
-  bool suppressed_ = false;
 };
 
 // Assigns crash/outage schedules to many nodes at once, drawn
@@ -130,15 +131,21 @@ class FaultPlan {
   }
 
   // Wraps `inner` per the plan; fault-free nodes pass through unchanged.
+  // Idempotent per node: a repeated call returns the wrapper built the
+  // first time instead of stacking a second decorator (which would replay
+  // the fault window twice and double-advance the inner clock).
   Protocol& wrap(NodeId node, Protocol& inner) {
     const auto it = faults_.find(node);
     if (it == faults_.end()) return inner;
+    const auto cached = wrapped_.find(node);
+    if (cached != wrapped_.end()) return *cached->second;
     if (it->second.crash != kNoSlot)
       wrappers_.push_back(
           std::make_unique<CrashFault>(inner, it->second.crash));
     else
       wrappers_.push_back(std::make_unique<OutageFault>(
           inner, it->second.from, it->second.to));
+    wrapped_[node] = wrappers_.back().get();
     return *wrappers_.back();
   }
 
@@ -166,6 +173,7 @@ class FaultPlan {
   Slot horizon_;
   Rng rng_;
   std::map<NodeId, Entry> faults_;
+  std::map<NodeId, Protocol*> wrapped_;  // wrap() idempotence cache
   std::vector<std::unique_ptr<Protocol>> wrappers_;
 };
 

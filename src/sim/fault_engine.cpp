@@ -1,0 +1,149 @@
+#include "sim/fault_engine.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace cogradio {
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::Deaf: return "deaf";
+    case FaultKind::Mute: return "mute";
+    case FaultKind::Babble: return "babble";
+    case FaultKind::FeedbackDrop: return "feedback-drop";
+    case FaultKind::Churn: return "churn";
+  }
+  return "?";
+}
+
+std::uint8_t fault_bit(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::Deaf: return faultflag::kDeaf;
+    case FaultKind::Mute: return faultflag::kMute;
+    case FaultKind::Babble: return faultflag::kBabble;
+    case FaultKind::FeedbackDrop: return faultflag::kFeedbackDrop;
+    case FaultKind::Churn: return faultflag::kChurnedOut;
+  }
+  return 0;
+}
+
+FaultEngine::FaultEngine(int n, int c, Rng rng) : n_(n), c_(c), rng_(rng) {
+  if (n <= 0) throw std::invalid_argument("fault engine: need n > 0");
+  if (c <= 0) throw std::invalid_argument("fault engine: need c > 0");
+  flags_.resize(static_cast<std::size_t>(n), 0);
+  babble_label_.resize(static_cast<std::size_t>(n), kNoChannel);
+}
+
+void FaultEngine::add(NodeId node, FaultKind kind, Slot from, Slot to) {
+  if (node < 0 || node >= n_)
+    throw std::invalid_argument("fault engine: node out of range");
+  if (from < 1) throw std::invalid_argument("fault engine: windows start >= 1");
+  Window w;
+  w.node = node;
+  w.kind = kind;
+  w.from = from;
+  w.to = to;
+  // The stuck label is a schedule coin: spend it now so begin_slot stays a
+  // pure resolution of fixed windows.
+  if (kind == FaultKind::Babble)
+    w.label = static_cast<LocalLabel>(rng_.below(static_cast<std::uint64_t>(c_)));
+  windows_.push_back(w);
+}
+
+void FaultEngine::add_random(const FaultProfile& profile, Slot horizon) {
+  const Slot h = horizon < 2 ? 2 : horizon;
+  // Distinct nodes across the five kinds, like FaultPlan::pick_healthy:
+  // each node carries at most one scripted window, so the per-kind
+  // semantics stay attributable in the log.
+  std::vector<NodeId> pool;
+  pool.reserve(static_cast<std::size_t>(n_));
+  for (NodeId u = 0; u < n_; ++u) pool.push_back(u);
+  rng_.shuffle(pool);
+  std::size_t next = 0;
+  const auto draw_windows = [&](FaultKind kind, int count) {
+    for (int i = 0; i < count && next < pool.size(); ++i) {
+      const NodeId u = pool[next++];
+      const Slot from = rng_.between(1, h - 1);
+      const Slot to = rng_.between(from + 1, h);
+      add(u, kind, from, to);
+    }
+  };
+  draw_windows(FaultKind::Deaf, profile.deaf);
+  draw_windows(FaultKind::Mute, profile.mute);
+  draw_windows(FaultKind::Babble, profile.babble);
+  draw_windows(FaultKind::FeedbackDrop, profile.feedback_drop);
+  draw_windows(FaultKind::Churn, profile.churn);
+  if (profile.burst_nodes > 0 && profile.burst_len > 0) {
+    const int hit = std::min(profile.burst_nodes, n_);
+    const Slot len = std::min<Slot>(profile.burst_len, h - 1);
+    const std::vector<std::int32_t> picks =
+        rng_.sample_without_replacement(n_, hit);
+    std::vector<NodeId> nodes(picks.begin(), picks.end());
+    const Slot from = rng_.between(1, std::max<Slot>(1, h - len));
+    add_burst(nodes, from, len);
+  }
+}
+
+void FaultEngine::add_burst(std::span<const NodeId> nodes, Slot from,
+                            Slot len) {
+  if (len <= 0) return;
+  for (const NodeId u : nodes) add(u, FaultKind::Churn, from, from + len);
+  last_burst_end_ = std::max(last_burst_end_, from + len);
+}
+
+void FaultEngine::begin_slot(Slot slot) {
+  std::fill(flags_.begin(), flags_.end(), std::uint8_t{0});
+  std::fill(babble_label_.begin(), babble_label_.end(), kNoChannel);
+  for (const Window& w : windows_) {
+    const bool active = slot >= w.from && (w.to == kNoSlot || slot < w.to);
+    if (active) {
+      flags_[static_cast<std::size_t>(w.node)] |= fault_bit(w.kind);
+      if (w.kind == FaultKind::Babble)
+        babble_label_[static_cast<std::size_t>(w.node)] = w.label;
+    }
+    // Audit log: window boundaries, in schedule order (deterministic).
+    if (w.from == slot) log_.push_back({slot, w.node, w.kind, true});
+    if (w.to == slot) log_.push_back({slot, w.node, w.kind, false});
+  }
+  for (std::size_t u = 0; u < flags_.size(); ++u) {
+    std::uint8_t& f = flags_[u];
+    // Precedence: an off radio neither babbles nor listens; a dead
+    // transmitter cannot babble.
+    if (f & faultflag::kChurnedOut) f = faultflag::kChurnedOut;
+    if ((f & faultflag::kMute) && (f & faultflag::kBabble))
+      f &= static_cast<std::uint8_t>(~faultflag::kBabble);
+    if (!(f & faultflag::kBabble))
+      babble_label_[u] = kNoChannel;
+    if (f & faultflag::kDeaf) ++injected_[static_cast<std::size_t>(FaultKind::Deaf)];
+    if (f & faultflag::kMute) ++injected_[static_cast<std::size_t>(FaultKind::Mute)];
+    if (f & faultflag::kBabble)
+      ++injected_[static_cast<std::size_t>(FaultKind::Babble)];
+    if (f & faultflag::kFeedbackDrop)
+      ++injected_[static_cast<std::size_t>(FaultKind::FeedbackDrop)];
+    if (f & faultflag::kChurnedOut)
+      ++injected_[static_cast<std::size_t>(FaultKind::Churn)];
+  }
+}
+
+std::string FaultEngine::serialize_log() const {
+  std::ostringstream os;
+  for (const FaultEvent& e : log_)
+    os << "slot=" << e.slot << " node=" << e.node
+       << " kind=" << to_string(e.kind) << (e.onset ? " onset" : " clear")
+       << "\n";
+  return os.str();
+}
+
+std::string FaultEngine::serialize_schedule() const {
+  std::ostringstream os;
+  for (const Window& w : windows_) {
+    os << "node=" << w.node << " kind=" << to_string(w.kind)
+       << " from=" << w.from << " to=" << w.to;
+    if (w.kind == FaultKind::Babble) os << " label=" << w.label;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cogradio

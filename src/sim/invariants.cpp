@@ -102,6 +102,8 @@ void InvariantChecker::check_slot(Slot slot,
 
   // --- A. Structural per-action checks + fingerprint --------------------
   int n_broadcast = 0, n_listen = 0, n_idle = 0, n_jammed = 0, n_success = 0;
+  std::int64_t n_fault = 0, n_churn = 0, n_deaf = 0, n_mute = 0, n_babble = 0,
+               n_fbdrop = 0, n_demoted = 0, n_blanked = 0;
   for (std::size_t i = 0; i < acts.size(); ++i) {
     const ResolvedAction& a = acts[i];
     if (a.node != static_cast<NodeId>(i))
@@ -112,6 +114,34 @@ void InvariantChecker::check_slot(Slot slot,
     fnv_mix(action_fp_, static_cast<std::uint64_t>(
                             static_cast<std::int64_t>(a.channel)));
     fnv_mix(action_fp_, a.jammed ? 1 : 0);
+    fnv_mix(action_fp_, a.fault);
+
+    // Fault-flag semantics (sim/fault_engine.h): the engine's precedence
+    // rules and the network's forced actions, re-derived from flags alone.
+    if (a.fault != 0) {
+      ++n_fault;
+      if (a.fault & faultflag::kChurnedOut) ++n_churn;
+      if (a.fault & faultflag::kDeaf) ++n_deaf;
+      if (a.fault & faultflag::kMute) ++n_mute;
+      if (a.fault & faultflag::kBabble) ++n_babble;
+      if (a.fault & faultflag::kFeedbackDrop) ++n_fbdrop;
+      if (a.fault & faultflag::kDemoted) ++n_demoted;
+      if (a.fault & faultflag::kBlankFeedback) ++n_blanked;
+      if ((a.fault & faultflag::kChurnedOut) &&
+          (a.fault != faultflag::kChurnedOut))
+        fail(slot, "churn must dominate every other fault kind");
+      if ((a.fault & faultflag::kMute) && (a.fault & faultflag::kBabble))
+        fail(slot, "mute must clear babble");
+      if ((a.fault & faultflag::kChurnedOut) && a.mode != Mode::Idle)
+        fail(slot, "churned-out node took an action");
+      if ((a.fault & faultflag::kBabble) && a.mode != Mode::Broadcast)
+        fail(slot, "babbling node failed to transmit");
+      if ((a.fault & faultflag::kMute) && a.mode == Mode::Broadcast)
+        fail(slot, "mute node transmitted");
+      if ((a.fault & faultflag::kDemoted) &&
+          (!(a.fault & faultflag::kMute) || a.mode != Mode::Listen))
+        fail(slot, "demotion flag without a mute listen");
+    }
 
     if (a.mode == Mode::Idle) {
       ++n_idle;
@@ -141,19 +171,23 @@ void InvariantChecker::check_slot(Slot slot,
   for (const ResolvedAction& a : acts)
     if (a.mode != Mode::Idle && !a.jammed) groups[a.channel].push_back(&a);
 
+  // A receiver with a dead rx path (sim/fault_engine.h's kRxDead kinds)
+  // must get no copies: the model suppresses them, exactly counted.
+  const auto rx_dead = [](const ResolvedAction& a) {
+    return (a.fault & faultflag::kRxDead) != 0;
+  };
+
   int collided_channels = 0;     // >= 2 broadcasters
   int unresolved_channels = 0;   // broadcasters but no winner (backoff only)
   int contended_channels = 0;    // >= 1 broadcaster
   std::int64_t expect_deliveries = 0;
+  std::int64_t expect_suppressed = 0;
   for (const auto& [channel, members] : groups) {
     std::vector<NodeId> broadcasters, winners;
-    int listeners = 0;
     for (const ResolvedAction* a : members) {
       if (a->mode == Mode::Broadcast) {
         broadcasters.push_back(a->node);
         if (a->tx_success) winners.push_back(a->node);
-      } else {
-        ++listeners;
       }
     }
     if (!broadcasters.empty()) ++contended_channels;
@@ -175,21 +209,30 @@ void InvariantChecker::check_slot(Slot slot,
           else
             fail(slot, where.str() + " had broadcasters but no winner");
         }
-        expect_deliveries += winners.empty()
-                                 ? 0
-                                 : static_cast<std::int64_t>(members.size()) - 1;
+        // Every non-winner member gets a copy unless its rx path is dead.
+        if (!winners.empty())
+          for (const ResolvedAction* a : members) {
+            if (a->node == winners.front()) continue;
+            rx_dead(*a) ? ++expect_suppressed : ++expect_deliveries;
+          }
         break;
       case CollisionModel::AllDelivered:
         if (winners.size() != broadcasters.size())
           fail(slot, where.str() + " must deliver every broadcaster");
-        expect_deliveries += static_cast<std::int64_t>(listeners) *
-                             static_cast<std::int64_t>(broadcasters.size());
+        for (const ResolvedAction* a : members) {
+          if (a->mode == Mode::Broadcast) continue;
+          (rx_dead(*a) ? expect_suppressed : expect_deliveries) +=
+              static_cast<std::int64_t>(broadcasters.size());
+        }
         break;
       case CollisionModel::CollisionLoss:
         if (broadcasters.size() == 1) {
           if (winners.size() != 1)
             fail(slot, where.str() + " lone broadcaster must succeed");
-          expect_deliveries += listeners;
+          for (const ResolvedAction* a : members) {
+            if (a->mode == Mode::Broadcast) continue;
+            rx_dead(*a) ? ++expect_suppressed : ++expect_deliveries;
+          }
         } else if (!winners.empty()) {
           fail(slot, where.str() + " delivered through a collision");
         }
@@ -208,6 +251,9 @@ void InvariantChecker::check_slot(Slot slot,
         if (a->mode == Mode::Broadcast) {
           if (!t.received_.empty())
             fail(slot, who.str() + ": broadcaster received under AllDelivered");
+        } else if (rx_dead(*a)) {
+          if (!t.received_.empty())
+            fail(slot, who.str() + ": dead receiver heard something");
         } else {
           if (t.received_.size() != broadcasters.size())
             fail(slot, who.str() + ": listener must hear every broadcaster");
@@ -223,6 +269,13 @@ void InvariantChecker::check_slot(Slot slot,
       if (a->node == winner) {
         if (!t.received_.empty())
           fail(slot, who.str() + ": winner must receive nothing");
+        continue;
+      }
+      if (rx_dead(*a)) {
+        // Deaf/churned/babbling/feedback-dropped receiver: every copy
+        // addressed to it is suppressed, winner or not.
+        if (!t.received_.empty())
+          fail(slot, who.str() + ": dead receiver heard something");
         continue;
       }
       if (winner == kNoNode ||
@@ -253,6 +306,22 @@ void InvariantChecker::check_slot(Slot slot,
   };
   if (s.slots != prev_.slots + 1) fail(slot, "slots must advance by one");
   delta(s.broadcasts, prev_.broadcasts, "broadcasts", n_broadcast);
+  delta(s.fault_node_slots, prev_.fault_node_slots, "fault_node_slots",
+        n_fault);
+  delta(s.churned_node_slots, prev_.churned_node_slots, "churned_node_slots",
+        n_churn);
+  delta(s.deaf_node_slots, prev_.deaf_node_slots, "deaf_node_slots", n_deaf);
+  delta(s.mute_node_slots, prev_.mute_node_slots, "mute_node_slots", n_mute);
+  delta(s.babble_node_slots, prev_.babble_node_slots, "babble_node_slots",
+        n_babble);
+  delta(s.feedback_drop_node_slots, prev_.feedback_drop_node_slots,
+        "feedback_drop_node_slots", n_fbdrop);
+  delta(s.mute_demotions, prev_.mute_demotions, "mute_demotions", n_demoted);
+  delta(s.feedback_drops, prev_.feedback_drops, "feedback_drops", n_blanked);
+  // Suppression is decided before the fade coin, so this delta is exact
+  // even when deliveries themselves sit inside the fading envelope.
+  delta(s.suppressed_deliveries, prev_.suppressed_deliveries,
+        "suppressed_deliveries", expect_suppressed);
   delta(s.jammed_node_slots, prev_.jammed_node_slots, "jammed_node_slots",
         n_jammed);
   delta(s.idle_node_slots, prev_.idle_node_slots, "idle_node_slots", n_idle);
@@ -320,12 +389,22 @@ void InvariantChecker::check_slot(Slot slot,
       const Tap& t = *taps_[i];
       if (t.last_slot_ != slot || t.feedback_calls_ != 1)
         fail(slot, who.str() + ": feedback not delivered exactly once");
-      if (t.jammed_ != a.jammed)
-        fail(slot, who.str() + ": SlotResult.jammed disagrees");
-      if (t.tx_attempted_ != (a.mode == Mode::Broadcast && !a.jammed))
-        fail(slot, who.str() + ": SlotResult.tx_attempted disagrees");
-      if (t.tx_success_ != a.tx_success)
-        fail(slot, who.str() + ": SlotResult.tx_success disagrees");
+      if ((a.fault & faultflag::kBlankFeedback) != 0) {
+        // Blanked feedback must equal SlotResult{} field by field — the
+        // protocol can't tell the slot from a powered-off radio's.
+        if (t.jammed_ || t.tx_attempted_ || t.tx_success_ ||
+            !t.received_.empty())
+          fail(slot, who.str() + ": blanked feedback leaked state");
+      } else {
+        if (t.jammed_ != a.jammed)
+          fail(slot, who.str() + ": SlotResult.jammed disagrees");
+        if (t.tx_attempted_ != (a.mode == Mode::Broadcast && !a.jammed))
+          fail(slot, who.str() + ": SlotResult.tx_attempted disagrees");
+        if (t.tx_success_ != a.tx_success)
+          fail(slot, who.str() + ": SlotResult.tx_success disagrees");
+        if ((a.fault & faultflag::kDeaf) && !t.received_.empty())
+          fail(slot, who.str() + ": deaf node heard something");
+      }
       if ((a.mode == Mode::Idle || a.jammed) && !t.received_.empty())
         fail(slot, who.str() + ": idle/jammed node heard something");
       if (drecv != static_cast<std::int64_t>(t.received_.size()))

@@ -21,7 +21,13 @@
 //     successes + failed broadcasts, every counter non-negative);
 //   * NodeActivity identities per node (exactly one of tx/listen/idle/
 //     jammed advances per slot; tx + listen + idle + jammed == slots;
-//     energy == tx + listen).
+//     energy == tx + listen);
+//   * FaultEngine semantics when one is attached (sim/fault_engine.h): a
+//     churned-out node idles, a babbler transmits on its stuck label, a
+//     mute node never transmits, rx-dead receivers get no copies (with
+//     TraceStats::suppressed_deliveries exact even under fading), blanked
+//     feedback equals SlotResult{} field by field, and every per-kind
+//     fault counter delta matches the flags on the resolved actions.
 //
 // With protocol *taps* installed (see tap()), the checker additionally
 // sees the exact SlotResult each node was handed and verifies the
@@ -78,10 +84,11 @@ class InvariantChecker {
   // The first few violations, one per line (empty while ok()).
   std::string report() const;
 
-  // FNV-1a fold of (slot, node, mode, channel, jammed) for every action
-  // checked so far. Winner identity and deliveries are excluded on
-  // purpose: oblivious traffic must produce the same fingerprint on the
-  // plain and backoff-emulating engines for the same seeds.
+  // FNV-1a fold of (slot, node, mode, channel, jammed, fault flags) for
+  // every action checked so far. Winner identity and deliveries are
+  // excluded on purpose: oblivious traffic must produce the same
+  // fingerprint on the plain and backoff-emulating engines for the same
+  // seeds (fault schedules are engine-independent, so the flags fold in).
   std::uint64_t action_fingerprint() const { return action_fp_; }
 
  private:

@@ -88,6 +88,7 @@ void Network::step() {
 
   assignment_.begin_slot(slot);
   if (jammer_ != nullptr) jammer_->begin_slot(slot);
+  if (fault_engine_ != nullptr) fault_engine_->begin_slot(slot);
 
   // Reset per-slot scratch in place. messages_ is skipped on purpose: only
   // broadcaster entries are read, and those are overwritten below.
@@ -96,11 +97,47 @@ void Network::step() {
   std::fill(received_.begin(), received_.end(), std::span<const Message>{});
   std::fill(fed_.begin(), fed_.end(), char{0});
 
-  // 1. Collect and resolve actions.
+  // 1. Collect and resolve actions. The fault stage may override what the
+  //    protocol asked for — its clock always advances (on_slot is always
+  //    called), but a faulted radio need not obey the returned action.
   for (std::size_t i = 0; i < n; ++i) {
     Action action = protocols_[i]->on_slot(slot);
     ResolvedAction& r = resolved_[i];
     r.node = static_cast<NodeId>(i);
+    if (fault_engine_ != nullptr) {
+      std::uint8_t f = fault_engine_->flags(static_cast<NodeId>(i));
+      if (f != 0) {
+        ++stats_.fault_node_slots;
+        if (f & faultflag::kChurnedOut) ++stats_.churned_node_slots;
+        if (f & faultflag::kDeaf) ++stats_.deaf_node_slots;
+        if (f & faultflag::kMute) ++stats_.mute_node_slots;
+        if (f & faultflag::kBabble) ++stats_.babble_node_slots;
+        if (f & faultflag::kFeedbackDrop) ++stats_.feedback_drop_node_slots;
+        const TestonlyFaultMutation mut = options_.testonly_fault_mutation;
+        if (f & faultflag::kChurnedOut) {
+          // Off radio: no action, whatever the protocol asked for.
+          if (mut != TestonlyFaultMutation::ChurnActs) action = Action::idle();
+        } else if (f & faultflag::kBabble) {
+          // Stuck transmitter: garbage on the stuck label, every slot. The
+          // garbage contends under the collision model like any broadcast.
+          if (mut != TestonlyFaultMutation::BabbleIdles)
+            action = Action::broadcast(
+                fault_engine_->babble_label(static_cast<NodeId>(i)),
+                Message{});
+          else
+            action = Action::idle();
+        } else if ((f & faultflag::kMute) && action.mode == Mode::Broadcast) {
+          // Dead transmitter: the radio stays tuned to the label the
+          // protocol picked but can only listen there.
+          if (mut != TestonlyFaultMutation::MuteTransmits) {
+            action.mode = Mode::Listen;
+            f |= faultflag::kDemoted;
+            ++stats_.mute_demotions;
+          }
+        }
+        r.fault = f;
+      }
+    }
     r.mode = action.mode;
     if (action.mode == Mode::Idle) {
       ++stats_.idle_node_slots;
@@ -132,6 +169,19 @@ void Network::step() {
     const auto words = static_cast<std::int64_t>(wire_size_words(msg));
     stats_.total_message_words += words;
     stats_.max_message_words = std::max(stats_.max_message_words, words);
+  };
+
+  // A receiver whose rx path is dead (churned, deaf, babbling, or with its
+  // feedback dropped) gets no copies. Suppression is decided BEFORE the
+  // fade coin — no coin is spent on a dead receiver — so the oracle can
+  // re-derive TraceStats::suppressed_deliveries exactly even under fading.
+  auto rx_dead = [&](std::size_t idx) {
+    const std::uint8_t f = resolved_[idx].fault;
+    if (!(f & faultflag::kRxDead)) return false;
+    if (options_.testonly_fault_mutation == TestonlyFaultMutation::DeafHears &&
+        (f & faultflag::kDeaf))
+      return false;  // mutation: the deaf node hears anyway
+    return true;
   };
 
   // 3. Apply the collision model per channel group.
@@ -179,15 +229,25 @@ void Network::step() {
           return options_.loss_prob > 0.0 && rng_.chance(options_.loss_prob);
         };
         for (int l : listeners_) {
+          const auto idx = static_cast<std::size_t>(l);
+          if (rx_dead(idx)) {
+            ++stats_.suppressed_deliveries;
+            continue;
+          }
           if (faded()) continue;
-          received_[static_cast<std::size_t>(l)] = win;
+          received_[idx] = win;
           ++stats_.deliveries;
         }
         // Failed broadcasters also receive the winning message (Section 2).
         for (int b : broadcasters_)
           if (static_cast<std::size_t>(b) != winner) {
+            const auto idx = static_cast<std::size_t>(b);
+            if (rx_dead(idx)) {
+              ++stats_.suppressed_deliveries;
+              continue;
+            }
             if (faded()) continue;
-            received_[static_cast<std::size_t>(b)] = win;
+            received_[idx] = win;
             ++stats_.deliveries;
           }
         break;
@@ -201,11 +261,17 @@ void Network::step() {
           account_success(messages_[static_cast<std::size_t>(b)]);
         }
         const std::span<const Message> all{group_messages_};
-        stats_.deliveries +=
-            static_cast<std::int64_t>(listeners_.size() * group_messages_.size());
         // Deliver inside the group loop: group_messages_ is reused next group.
+        // Rx-dead listeners are skipped here (every copy suppressed) and fall
+        // through to the fault-aware feedback loop below with nothing heard.
         for (int l : listeners_) {
           const auto idx = static_cast<std::size_t>(l);
+          if (rx_dead(idx)) {
+            stats_.suppressed_deliveries +=
+                static_cast<std::int64_t>(all.size());
+            continue;
+          }
+          stats_.deliveries += static_cast<std::int64_t>(all.size());
           SlotResult res;
           res.received = all;
           protocols_[idx]->on_feedback(slot, res);
@@ -222,7 +288,12 @@ void Network::step() {
           account_success(messages_[winner]);
           const std::span<const Message> win{&messages_[winner], 1};
           for (int l : listeners_) {
-            received_[static_cast<std::size_t>(l)] = win;
+            const auto idx = static_cast<std::size_t>(l);
+            if (rx_dead(idx)) {
+              ++stats_.suppressed_deliveries;
+              continue;
+            }
+            received_[idx] = win;
             ++stats_.deliveries;
           }
         }
@@ -233,9 +304,20 @@ void Network::step() {
   }
 
   // 4. Feedback. (AllDelivered listeners were already fed inside the loop.)
+  //    A node whose feedback is blanked (churned out, babbling, or feedback
+  //    dropped) gets a default SlotResult — indistinguishable from a
+  //    powered-off radio's slot. A deaf node keeps its real tx-side fields;
+  //    only its receive view is empty (suppressed above).
   for (std::size_t i = 0; i < n; ++i) {
     if (fed_[i]) continue;
     const ResolvedAction& r = resolved_[i];
+    if ((r.fault & faultflag::kBlankFeedback) != 0 &&
+        options_.testonly_fault_mutation !=
+            TestonlyFaultMutation::KeepDroppedFeedback) {
+      ++stats_.feedback_drops;
+      protocols_[i]->on_feedback(slot, SlotResult{});
+      continue;
+    }
     SlotResult res;
     res.jammed = r.jammed;
     res.tx_attempted = r.mode == Mode::Broadcast && !r.jammed;

@@ -26,6 +26,7 @@
 
 #include "sim/assignment.h"
 #include "sim/backoff.h"
+#include "sim/fault_engine.h"
 #include "sim/protocol.h"
 #include "sim/trace.h"
 #include "util/rng.h"
@@ -43,6 +44,21 @@ enum class CollisionModel : std::uint8_t { OneWinner, AllDelivered, CollisionLos
 // Both are stable by node index within a channel, so the two paths resolve
 // collisions identically for the same seed.
 enum class GroupingStrategy : std::uint8_t { CountingSort, ComparisonSort };
+
+// TEST-ONLY fault-rule violations, one per FaultKind (see NetworkOptions).
+//   DeafHears           deliveries to a deaf node are NOT suppressed;
+//   MuteTransmits       a mute node's broadcast is NOT demoted to a listen;
+//   BabbleIdles         a babbling node idles instead of transmitting;
+//   KeepDroppedFeedback blanked feedback is delivered intact;
+//   ChurnActs           a churned-out node still takes its protocol action.
+enum class TestonlyFaultMutation : std::uint8_t {
+  None,
+  DeafHears,
+  MuteTransmits,
+  BabbleIdles,
+  KeepDroppedFeedback,
+  ChurnActs,
+};
 
 // Adversarial interference (Theorem 18). An n-uniform jammer may cut off
 // any (node, channel) pairs each slot; concrete strategies live in
@@ -90,6 +106,12 @@ struct NetworkOptions {
   // mutation smoke test to prove the invariant oracle is live, not
   // vacuous (tests/test_invariants.cpp).
   bool testonly_duplicate_winner = false;
+
+  // TEST-ONLY fault-semantics mutations (never set outside tests): each one
+  // makes the network violate exactly one FaultEngine rule while keeping the
+  // fault flags set, so the invariant oracle's fault checks can be proven
+  // live kind-by-kind (tests/test_fault_engine.cpp, WILL_FAIL cograd legs).
+  TestonlyFaultMutation testonly_fault_mutation = TestonlyFaultMutation::None;
 };
 
 // Post-resolution view of one node's slot, for test oracles and observers.
@@ -99,6 +121,7 @@ struct ResolvedAction {
   Channel channel = kNoChannel;  // physical; kNoChannel when idle
   bool jammed = false;
   bool tx_success = false;
+  std::uint8_t fault = 0;  // faultflag bits active on this node this slot
 };
 
 class Network {
@@ -110,6 +133,12 @@ class Network {
           NetworkOptions options = {});
 
   void set_jammer(Jammer* jammer) { jammer_ = jammer; }
+
+  // Attach an adversarial fault engine (non-owning, like the jammer). Its
+  // begin_slot runs right after the jammer's; the resulting per-node flag
+  // masks override protocol actions and gate delivery/feedback in step().
+  void set_fault_engine(FaultEngine* engine) { fault_engine_ = engine; }
+  const FaultEngine* fault_engine() const { return fault_engine_; }
 
   // Observer invoked after each slot with the resolved actions; used by
   // tests to validate collision-model semantics externally.
@@ -140,6 +169,7 @@ class Network {
   NetworkOptions options_;
   Rng rng_;
   Jammer* jammer_ = nullptr;
+  FaultEngine* fault_engine_ = nullptr;
   SlotObserver observer_;
   TraceStats stats_;
   std::vector<NodeActivity> activity_;

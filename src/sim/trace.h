@@ -22,6 +22,20 @@ struct TraceStats {
   // decay backoff (NetworkOptions::emulate_backoff):
   std::int64_t micro_slots = 0;        // total micro-slots spent resolving
   std::int64_t backoff_failures = 0;   // channel-slots that failed to resolve
+
+  // Populated only when a FaultEngine is attached (sim/fault_engine.h).
+  // The per-kind counters tally node-slots with that fault active
+  // (post-precedence); the remaining three tally the fault's observable
+  // effects, which the invariant oracle re-derives per slot.
+  std::int64_t fault_node_slots = 0;     // node-slots with any fault active
+  std::int64_t churned_node_slots = 0;   // ... churned out (forced idle)
+  std::int64_t deaf_node_slots = 0;
+  std::int64_t mute_node_slots = 0;
+  std::int64_t babble_node_slots = 0;
+  std::int64_t feedback_drop_node_slots = 0;
+  std::int64_t mute_demotions = 0;         // broadcasts demoted to listens
+  std::int64_t feedback_drops = 0;         // SlotResults blanked at delivery
+  std::int64_t suppressed_deliveries = 0;  // copies dropped at dead receivers
 };
 
 // Per-node activity counters — the radio duty-cycle / energy profile

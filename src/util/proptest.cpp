@@ -119,11 +119,22 @@ struct RunOutcome {
   std::uint64_t fingerprint = 0;
 };
 
+// Builds the scenario's FaultEngine schedule (empty without faults); the
+// schedule coins are a fixed stream of scn.salt, disjoint from every
+// other coin of the run, so the same scenario replays the same windows.
+FaultEngine build_fault_engine(const Scenario& scn) {
+  Rng root(scn.salt);
+  FaultEngine engine(scn.n, scn.c, root.split(6));
+  if (scn.faults.any()) engine.add_random(scn.faults, scn.slots);
+  return engine;
+}
+
 // Materializes the scenario with `engine` (which may override scn.engine
 // for the differential check) and runs it to scn.slots under the oracle.
 // Every coin — assignment, protocols, jammer, faults, winner draws — is a
 // fixed stream of scn.salt, so the same scenario replays bit-identically.
-RunOutcome run_once(const Scenario& scn, ScnEngine engine) {
+RunOutcome run_once(const Scenario& scn, ScnEngine engine,
+                    const CheckOptions& options) {
   Rng root(scn.salt);
   Rng assign_rng = root.split(1);
   Rng proto_seeder = root.split(2);
@@ -137,10 +148,12 @@ RunOutcome run_once(const Scenario& scn, ScnEngine engine) {
   FaultPlan plan(scn.n, scn.slots, fault_rng);
   plan.add_random_crashes(scn.crashes);
   plan.add_random_outages(scn.outages);
+  FaultEngine fault_engine = build_fault_engine(scn);
 
   NetworkOptions opt;
   opt.seed = net_seed;
   opt.loss_prob = scn.loss_prob;
+  opt.testonly_fault_mutation = options.mutation;
   switch (engine) {
     case ScnEngine::Plain:
       break;
@@ -167,12 +180,15 @@ RunOutcome run_once(const Scenario& scn, ScnEngine engine) {
 
   Network net(*assignment, protocols, opt);
   if (jammer) net.set_jammer(jammer.get());
+  if (scn.faults.any()) net.set_fault_engine(&fault_engine);
   checker.attach(net);
   for (int s = 0; s < scn.slots; ++s) net.step();
 
   RunOutcome out;
   out.fingerprint = checker.action_fingerprint();
   if (!checker.ok()) out.violation = checker.first_violation();
+  if (options.injections != nullptr)
+    options.injections->record(fault_engine);
   return out;
 }
 
@@ -214,10 +230,25 @@ Scenario canonicalize(Scenario s) {
   s.slots = std::clamp(s.slots, 8, 512);
   s.crashes = std::clamp(s.crashes, 0, s.n);
   s.outages = std::clamp(s.outages, 0, std::max(0, s.n - s.crashes));
+  // FaultEngine budgets: small per-kind counts keep schedules attributable
+  // (add_random gives each faulted node one window); the burst is bounded
+  // by the run so recovery is observable. A burst needs both nodes and
+  // length — zeroing either zeroes both, so shrinking is stable.
+  s.faults.deaf = std::clamp(s.faults.deaf, 0, 3);
+  s.faults.mute = std::clamp(s.faults.mute, 0, 3);
+  s.faults.babble = std::clamp(s.faults.babble, 0, 3);
+  s.faults.feedback_drop = std::clamp(s.faults.feedback_drop, 0, 3);
+  s.faults.churn = std::clamp(s.faults.churn, 0, 3);
+  s.faults.burst_nodes = std::clamp(s.faults.burst_nodes, 0, s.n);
+  s.faults.burst_len = std::clamp<Slot>(s.faults.burst_len, 0, s.slots / 2);
+  if (s.faults.burst_nodes == 0 || s.faults.burst_len == 0) {
+    s.faults.burst_nodes = 0;
+    s.faults.burst_len = 0;
+  }
   return s;
 }
 
-Scenario generate_scenario(Rng& rng) {
+Scenario generate_scenario(Rng& rng, bool with_faults) {
   Scenario s;
   s.n = 1 + static_cast<int>(rng.below(20));
   s.c = 1 + static_cast<int>(rng.below(6));
@@ -233,12 +264,25 @@ Scenario generate_scenario(Rng& rng) {
   s.crashes = static_cast<int>(rng.below(3));
   s.outages = static_cast<int>(rng.below(3));
   s.salt = rng();
+  // Fault draws come strictly after every historical field, so enabling
+  // them never perturbs the fault-free scenario of a (seed, trial) pair.
+  if (with_faults) {
+    s.faults.deaf = static_cast<int>(rng.below(3));
+    s.faults.mute = static_cast<int>(rng.below(3));
+    s.faults.babble = static_cast<int>(rng.below(3));
+    s.faults.feedback_drop = static_cast<int>(rng.below(3));
+    s.faults.churn = static_cast<int>(rng.below(3));
+    if (rng.below(2) == 0) {
+      s.faults.burst_nodes = 1 + static_cast<int>(rng.below(8));
+      s.faults.burst_len = 4 + static_cast<Slot>(rng.below(32));
+    }
+  }
   return canonicalize(s);
 }
 
-Scenario scenario_for(std::uint64_t seed, int trial) {
+Scenario scenario_for(std::uint64_t seed, int trial, bool with_faults) {
   Rng rng = trial_rng(seed, static_cast<std::uint64_t>(trial));
-  return generate_scenario(rng);
+  return generate_scenario(rng, with_faults);
 }
 
 std::string describe(const Scenario& s) {
@@ -249,13 +293,26 @@ std::string describe(const Scenario& s) {
   if (s.jammer != ScnJammer::None) os << "/" << s.jam_budget;
   os << " engine=" << name_of(s.engine) << " loss=" << s.loss_prob
      << " slots=" << s.slots << " crash=" << s.crashes
-     << " outage=" << s.outages << " salt=0x" << std::hex << s.salt;
+     << " outage=" << s.outages;
+  if (s.faults.any()) {
+    os << " faults=[deaf=" << s.faults.deaf << " mute=" << s.faults.mute
+       << " babble=" << s.faults.babble
+       << " fbdrop=" << s.faults.feedback_drop << " churn=" << s.faults.churn;
+    if (s.faults.burst_nodes > 0)
+      os << " burst=" << s.faults.burst_nodes << "x" << s.faults.burst_len;
+    os << "]";
+  }
+  os << " salt=0x" << std::hex << s.salt;
   return os.str();
 }
 
 std::string check_scenario(const Scenario& raw) {
+  return check_scenario(raw, CheckOptions{});
+}
+
+std::string check_scenario(const Scenario& raw, const CheckOptions& options) {
   const Scenario scn = canonicalize(raw);
-  const RunOutcome primary = run_once(scn, scn.engine);
+  const RunOutcome primary = run_once(scn, scn.engine, options);
   if (!primary.violation.empty())
     return primary.violation + " [" + name_of(scn.engine) + " engine]";
 
@@ -263,13 +320,17 @@ std::string check_scenario(const Scenario& raw) {
   // same action stream whether contention is resolved by a uniform winner
   // draw or by emulated decay backoff — the engines may only disagree on
   // coin-dependent outcomes (winner identity, deliveries), never on what
-  // the nodes did.
+  // the nodes did. Fault schedules replay identically on both engines (all
+  // schedule coins are spent at add time), so forced actions agree too.
   if (scn.protocol == ScnProtocol::Random &&
       (scn.engine == ScnEngine::Plain || scn.engine == ScnEngine::Backoff)) {
     const ScnEngine other = scn.engine == ScnEngine::Plain
                                 ? ScnEngine::Backoff
                                 : ScnEngine::Plain;
-    const RunOutcome alt = run_once(scn, other);
+    // Same mutation, but injections are counted once (primary run only).
+    CheckOptions alt_options = options;
+    alt_options.injections = nullptr;
+    const RunOutcome alt = run_once(scn, other, alt_options);
     if (!alt.violation.empty())
       return alt.violation + " [" + std::string(name_of(other)) + " engine]";
     if (alt.fingerprint != primary.fingerprint)
@@ -279,9 +340,15 @@ std::string check_scenario(const Scenario& raw) {
   return "";
 }
 
-std::string reproducer_line(std::uint64_t seed, int trial) {
+std::string fault_schedule_for(const Scenario& raw) {
+  const Scenario scn = canonicalize(raw);
+  return build_fault_engine(scn).serialize_schedule();
+}
+
+std::string reproducer_line(std::uint64_t seed, int trial, bool with_faults) {
   std::ostringstream os;
   os << "cograd check --seed " << seed << " --trial " << trial;
+  if (with_faults) os << " --faults";
   return os.str();
 }
 
@@ -318,6 +385,31 @@ std::vector<Scenario> shrink_candidates(const Scenario& s) {
     t.crashes = 0;
     t.outages = 0;
     push(t);
+  }
+  if (s.faults.any()) {
+    // Biggest cut first: no engine faults at all, then drop just the
+    // burst, then peel one window of one kind at a time.
+    Scenario t = s;
+    t.faults = FaultProfile{};
+    push(t);
+    if (s.faults.burst_nodes > 0) {
+      t = s;
+      t.faults.burst_nodes = 0;
+      t.faults.burst_len = 0;
+      push(t);
+      t = s;
+      t.faults.burst_len = s.faults.burst_len / 2;
+      push(t);
+    }
+    for (int FaultProfile::*field :
+         {&FaultProfile::deaf, &FaultProfile::mute, &FaultProfile::babble,
+          &FaultProfile::feedback_drop, &FaultProfile::churn}) {
+      if (s.faults.*field > 0) {
+        t = s;
+        --(t.faults.*field);
+        push(t);
+      }
+    }
   }
   if (s.jammer != ScnJammer::None) {
     Scenario t = s;
@@ -385,7 +477,8 @@ std::pair<Scenario, int> shrink_scenario(const Property& prop,
 }
 
 PropReport run_property(const Property& prop, int trials, std::uint64_t seed,
-                        int jobs, int max_reported, int shrink_budget) {
+                        int jobs, int max_reported, int shrink_budget,
+                        bool with_faults) {
   // A throwing property counts as a failure, never an abort — shrinking
   // re-evaluates the property many times, so every call site needs this.
   const Property safe = [&prop](const Scenario& s) -> std::string {
@@ -402,7 +495,7 @@ PropReport run_property(const Property& prop, int trials, std::uint64_t seed,
   ParallelSweep pool(jobs);
   pool.run(trials, [&](int t) {
     Rng rng = trial_rng(seed, static_cast<std::uint64_t>(t));
-    const Scenario scn = generate_scenario(rng);
+    const Scenario scn = generate_scenario(rng, with_faults);
     results[static_cast<std::size_t>(t)] = safe(scn);
   });
 
@@ -415,7 +508,7 @@ PropReport run_property(const Property& prop, int trials, std::uint64_t seed,
     if (static_cast<int>(rep.failing.size()) >= max_reported) continue;
     PropFailure f;
     f.trial = t;
-    f.original = scenario_for(seed, t);
+    f.original = scenario_for(seed, t, with_faults);
     auto [shrunk, steps] = shrink_scenario(safe, f.original, shrink_budget);
     f.shrunk = shrunk;
     f.shrink_steps = steps;
@@ -423,7 +516,7 @@ PropReport run_property(const Property& prop, int trials, std::uint64_t seed,
     // A flaky property can lose the failure under re-execution; report the
     // original message rather than pretending the shrunk form is clean.
     f.message = shrunk_msg.empty() ? msg : shrunk_msg;
-    f.repro = reproducer_line(seed, t);
+    f.repro = reproducer_line(seed, t, with_faults);
     rep.failing.push_back(std::move(f));
   }
   return rep;

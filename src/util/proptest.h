@@ -22,12 +22,16 @@
 // and keeps its report bit-identical for any job count.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "sim/fault_engine.h"
+#include "sim/network.h"
 #include "sim/protocol.h"
 #include "util/rng.h"
 
@@ -74,6 +78,11 @@ struct Scenario {
   int slots = 64;
   int crashes = 0;  // FaultPlan: nodes silenced permanently mid-run
   int outages = 0;  // FaultPlan: nodes silenced over a sub-interval
+  // Engine-level fault schedule (sim/fault_engine.h): per-kind window
+  // budgets plus one correlated churn burst. Only populated when the
+  // harness runs with faults enabled (`cograd check --faults`), so the
+  // historical (seed, trial) scenario space is unchanged.
+  FaultProfile faults;
   std::uint64_t salt = 1;  // seeds every run-time coin of the execution
 
   bool operator==(const Scenario&) const = default;
@@ -86,11 +95,15 @@ struct Scenario {
 Scenario canonicalize(Scenario scn);
 
 // Draws a canonical scenario. Pure in the rng state: feed it
-// trial_rng(seed, t) and the scenario is a function of (seed, t).
-Scenario generate_scenario(Rng& rng);
+// trial_rng(seed, t) and the scenario is a function of (seed, t). With
+// `with_faults` it additionally draws a FaultProfile — those draws come
+// strictly *after* every historical field, so a (seed, trial) pair still
+// names the exact same fault-free scenario it always did.
+Scenario generate_scenario(Rng& rng, bool with_faults = false);
 
-// Convenience: the scenario `cograd check --seed S --trial T` reruns.
-Scenario scenario_for(std::uint64_t seed, int trial);
+// Convenience: the scenario `cograd check --seed S --trial T [--faults]`
+// reruns.
+Scenario scenario_for(std::uint64_t seed, int trial, bool with_faults = false);
 
 // One-line human-readable form, stable across runs (used in reports).
 std::string describe(const Scenario& scn);
@@ -100,10 +113,49 @@ std::string describe(const Scenario& scn);
 // A property maps a scenario to a failure message ("" = holds).
 using Property = std::function<std::string(const Scenario&)>;
 
+// Per-kind FaultEngine injection totals, summed across every checked
+// scenario. Atomic adds of per-run totals commute, so the counts are
+// identical for any worker count / completion order. `cograd check
+// --faults` fails a sweep in which any kind was never exercised.
+struct FaultInjectionCounts {
+  std::array<std::atomic<std::int64_t>, kNumFaultKinds> by_kind{};
+
+  void record(const FaultEngine& engine) {
+    for (int k = 0; k < kNumFaultKinds; ++k)
+      by_kind[static_cast<std::size_t>(k)].fetch_add(
+          engine.injected(static_cast<FaultKind>(k)),
+          std::memory_order_relaxed);
+  }
+  std::int64_t total(FaultKind kind) const {
+    return by_kind[static_cast<std::size_t>(kind)].load(
+        std::memory_order_relaxed);
+  }
+  bool all_kinds_exercised() const {
+    for (const auto& count : by_kind)
+      if (count.load(std::memory_order_relaxed) <= 0) return false;
+    return true;
+  }
+};
+
+// Knobs for check_scenario beyond the scenario itself. `mutation` plumbs a
+// testonly invariant-breaking radio into the network so WILL_FAIL legs can
+// prove the oracle actually polices each fault rule; `injections`, when
+// set, accumulates the primary run's per-kind injection totals.
+struct CheckOptions {
+  TestonlyFaultMutation mutation = TestonlyFaultMutation::None;
+  FaultInjectionCounts* injections = nullptr;
+};
+
 // The model audit: run under the InvariantChecker (all protocols tapped),
 // plus the plain-vs-backoff differential agreement check for oblivious
 // traffic. Returns "" or the first violation.
 std::string check_scenario(const Scenario& scn);
+std::string check_scenario(const Scenario& scn, const CheckOptions& options);
+
+// The reproducible fault schedule of a scenario (empty without faults):
+// exactly the windows run_once would install, serialized one per line.
+// Failure artifacts attach this next to the reproducer command.
+std::string fault_schedule_for(const Scenario& scn);
 
 // --- Harness ----------------------------------------------------------------
 
@@ -135,12 +187,14 @@ std::pair<Scenario, int> shrink_scenario(const Property& prop,
 // Runs `trials` scenarios drawn from trial_rng(seed, t) across `jobs`
 // workers (ParallelSweep), then shrinks up to `max_reported` failures
 // sequentially in trial order. The report — including shrunk scenarios —
-// is bit-identical for any `jobs` value.
+// is bit-identical for any `jobs` value. `with_faults` switches scenario
+// generation (and the printed reproducers) to the fault-profile space.
 PropReport run_property(const Property& prop, int trials, std::uint64_t seed,
                         int jobs, int max_reported = 8,
-                        int shrink_budget = 256);
+                        int shrink_budget = 256, bool with_faults = false);
 
-std::string reproducer_line(std::uint64_t seed, int trial);
+std::string reproducer_line(std::uint64_t seed, int trial,
+                            bool with_faults = false);
 
 // --- Traffic generators ------------------------------------------------------
 

@@ -10,6 +10,7 @@
 #include "core/cogcast.h"
 #include "core/runtime.h"
 #include "sim/assignment.h"
+#include "sim/skew.h"
 
 namespace cogradio {
 namespace {
@@ -82,6 +83,128 @@ TEST(OutageFault, FeedbackDuringOutageIsEmptied) {
   (void)outage.on_slot(3);
   outage.on_feedback(3, result);
   EXPECT_TRUE(probe.feedback_seen[1].second);  // transparent again
+}
+
+// Records every SlotResult field (the received span is reduced to its
+// size — the span's storage dies with the slot).
+class FieldProbe : public Protocol {
+ public:
+  Action on_slot(Slot slot) override {
+    slots_seen.push_back(slot);
+    return Action::listen(0);
+  }
+  void on_feedback(Slot, const SlotResult& r) override {
+    jammed.push_back(r.jammed);
+    tx_attempted.push_back(r.tx_attempted);
+    tx_success.push_back(r.tx_success);
+    received_count.push_back(r.received.size());
+  }
+  bool done() const override { return false; }
+  std::vector<Slot> slots_seen;
+  std::vector<bool> jammed, tx_attempted, tx_success;
+  std::vector<std::size_t> received_count;
+};
+
+TEST(OutageFault, SuppressedSlotFeedbackEqualsPoweredOffRadio) {
+  // During the outage the inner protocol must see exactly SlotResult{} —
+  // field by field the same feedback a genuinely idle node would get —
+  // even when the real slot was eventful (jammed, tx'd, heard traffic).
+  FieldProbe suppressed;
+  OutageFault outage(suppressed, 2, 3);  // suppressed only in slot 2
+  FieldProbe idle_twin;                  // what a powered-off radio sees
+
+  Message m = data_msg();
+  SlotResult eventful;
+  eventful.jammed = true;
+  eventful.tx_attempted = true;
+  eventful.tx_success = true;
+  eventful.received = {&m, 1};
+
+  (void)outage.on_slot(2);
+  outage.on_feedback(2, eventful);
+  (void)idle_twin.on_slot(2);
+  idle_twin.on_feedback(2, SlotResult{});
+
+  ASSERT_EQ(suppressed.jammed.size(), 1u);
+  EXPECT_EQ(suppressed.jammed, idle_twin.jammed);
+  EXPECT_EQ(suppressed.tx_attempted, idle_twin.tx_attempted);
+  EXPECT_EQ(suppressed.tx_success, idle_twin.tx_success);
+  EXPECT_EQ(suppressed.received_count, idle_twin.received_count);
+
+  // Outside the window the eventful feedback passes through untouched.
+  (void)outage.on_slot(3);
+  outage.on_feedback(3, eventful);
+  EXPECT_TRUE(suppressed.jammed.back());
+  EXPECT_TRUE(suppressed.tx_success.back());
+  EXPECT_EQ(suppressed.received_count.back(), 1u);
+}
+
+TEST(OutageFault, ZeroLengthWindowIsFullyTransparent) {
+  // [t, t) is empty: no slot is suppressed, not even t itself.
+  FieldProbe probe;
+  OutageFault outage(probe, 4, 4);
+  Message m = data_msg();
+  SlotResult eventful;
+  eventful.received = {&m, 1};
+  for (Slot s = 3; s <= 5; ++s) {
+    EXPECT_EQ(outage.on_slot(s).mode, Mode::Listen) << "slot " << s;
+    outage.on_feedback(s, eventful);
+  }
+  EXPECT_EQ(probe.received_count, (std::vector<std::size_t>{1, 1, 1}));
+}
+
+TEST(CrashFault, CrashAtSlotOneNeverRunsTheInner) {
+  Probe probe;
+  CrashFault crashed(probe, 1);
+  EXPECT_EQ(crashed.on_slot(1).mode, Mode::Idle);
+  crashed.on_feedback(1, SlotResult{});
+  EXPECT_TRUE(crashed.crashed());
+  EXPECT_TRUE(crashed.done());
+  EXPECT_TRUE(probe.slots_seen.empty());
+  EXPECT_TRUE(probe.feedback_seen.empty());
+}
+
+TEST(OutageFault, ComposesWithClockSkew) {
+  // Skew-then-outage: the outage window is in *network* slots, the skew
+  // shifts the inner clock. In network slots 1..2 the skew keeps the node
+  // dormant; the outage covers [4, 6); the inner protocol must see local
+  // slots 1, 2, 3, 4 with blank feedback exactly at local slots 2 and 3.
+  FieldProbe probe;
+  ClockSkew skewed(probe, 2);
+  OutageFault outage(skewed, 4, 6);
+  Message m = data_msg();
+  SlotResult eventful;
+  eventful.received = {&m, 1};
+  for (Slot s = 1; s <= 6; ++s) {
+    (void)outage.on_slot(s);
+    outage.on_feedback(s, eventful);
+  }
+  EXPECT_EQ(probe.slots_seen, (std::vector<Slot>{1, 2, 3, 4}));
+  EXPECT_EQ(probe.received_count, (std::vector<std::size_t>{1, 0, 0, 1}));
+}
+
+// --- FaultPlan ----------------------------------------------------------------
+
+TEST(FaultPlan, WrapIsIdempotentPerNode) {
+  Probe probe;
+  FaultPlan plan(4, 50, Rng(9));
+  plan.add_random_outages(4);  // every node gets a window
+  ASSERT_TRUE(plan.is_faulty(0));
+  Protocol& first = plan.wrap(0, probe);
+  Protocol& second = plan.wrap(0, probe);
+  EXPECT_EQ(&first, &second);  // regression: no stacked second decorator
+  // A stacked wrapper would advance the inner clock twice per slot.
+  (void)first.on_slot(1);
+  EXPECT_EQ(probe.slots_seen.size(), 1u);
+}
+
+TEST(FaultPlan, WrapPassesHealthyNodesThrough) {
+  Probe probe;
+  FaultPlan plan(8, 50, Rng(5));
+  plan.add_random_crashes(1);
+  ASSERT_EQ(plan.faulty_count(), 1);
+  for (NodeId u = 0; u < 8; ++u)
+    if (!plan.is_faulty(u)) EXPECT_EQ(&plan.wrap(u, probe), &probe);
 }
 
 // --- Robustness of the CogCast epidemic --------------------------------------

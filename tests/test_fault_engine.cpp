@@ -1,0 +1,391 @@
+// Tests for the simulator-level fault engine (sim/fault_engine.h): window
+// resolution and precedence, schedule determinism, the audit log, the
+// per-kind radio semantics inside Network::step under every collision
+// model, and — via the testonly mutations — that the invariant oracle
+// actually polices each fault rule.
+#include "sim/fault_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/assignment.h"
+#include "sim/invariants.h"
+#include "sim/network.h"
+#include "util/proptest.h"
+
+namespace cogradio {
+namespace {
+
+using faultflag::kBabble;
+using faultflag::kChurnedOut;
+using faultflag::kDeaf;
+using faultflag::kFeedbackDrop;
+using faultflag::kMute;
+
+// --- Engine semantics --------------------------------------------------------
+
+TEST(FaultEngine, WindowsAreHalfOpenAndForeverIsSupported) {
+  FaultEngine engine(2, 2, Rng(1));
+  engine.add(0, FaultKind::Deaf, 5, 7);
+  engine.add(1, FaultKind::Mute, 3);  // forever
+  engine.begin_slot(4);
+  EXPECT_EQ(engine.flags(0), 0);
+  EXPECT_EQ(engine.flags(1), kMute);
+  engine.begin_slot(5);
+  EXPECT_EQ(engine.flags(0), kDeaf);
+  engine.begin_slot(6);
+  EXPECT_EQ(engine.flags(0), kDeaf);
+  engine.begin_slot(7);
+  EXPECT_EQ(engine.flags(0), 0);
+  engine.begin_slot(1000);
+  EXPECT_EQ(engine.flags(1), kMute);
+}
+
+TEST(FaultEngine, ChurnDominatesEveryOtherKind) {
+  FaultEngine engine(1, 3, Rng(1));
+  engine.add(0, FaultKind::Deaf, 1, 5);
+  engine.add(0, FaultKind::Mute, 1, 5);
+  engine.add(0, FaultKind::Babble, 1, 5);
+  engine.add(0, FaultKind::FeedbackDrop, 1, 5);
+  engine.add(0, FaultKind::Churn, 1, 5);
+  engine.begin_slot(2);
+  EXPECT_EQ(engine.flags(0), kChurnedOut);
+  EXPECT_EQ(engine.babble_label(0), kNoChannel);
+  // Post-precedence accounting: only Churn was effectively injected.
+  EXPECT_EQ(engine.injected(FaultKind::Churn), 1);
+  EXPECT_EQ(engine.injected(FaultKind::Deaf), 0);
+  EXPECT_EQ(engine.injected(FaultKind::Babble), 0);
+}
+
+TEST(FaultEngine, MuteBeatsBabble) {
+  FaultEngine engine(1, 4, Rng(1));
+  engine.add(0, FaultKind::Babble, 1, 5);
+  engine.add(0, FaultKind::Mute, 1, 5);
+  engine.begin_slot(1);
+  EXPECT_EQ(engine.flags(0), kMute);
+  EXPECT_EQ(engine.babble_label(0), kNoChannel);
+  engine.begin_slot(5);  // both windows closed
+  EXPECT_EQ(engine.flags(0), 0);
+}
+
+TEST(FaultEngine, BabbleLabelIsStuckAcrossTheWindow) {
+  FaultEngine engine(1, 4, Rng(9));
+  engine.add(0, FaultKind::Babble, 1, 100);
+  engine.begin_slot(1);
+  const LocalLabel label = engine.babble_label(0);
+  ASSERT_NE(label, kNoChannel);
+  EXPECT_GE(label, 0);
+  EXPECT_LT(label, 4);
+  for (Slot s = 2; s < 100; s += 17) {
+    engine.begin_slot(s);
+    EXPECT_EQ(engine.babble_label(0), label) << "slot " << s;
+  }
+}
+
+TEST(FaultEngine, ValidatesArguments) {
+  EXPECT_THROW(FaultEngine(0, 1, Rng(1)), std::invalid_argument);
+  EXPECT_THROW(FaultEngine(1, 0, Rng(1)), std::invalid_argument);
+  FaultEngine engine(2, 2, Rng(1));
+  EXPECT_THROW(engine.add(2, FaultKind::Deaf, 1), std::invalid_argument);
+  EXPECT_THROW(engine.add(-1, FaultKind::Deaf, 1), std::invalid_argument);
+  EXPECT_THROW(engine.add(0, FaultKind::Deaf, 0), std::invalid_argument);
+}
+
+TEST(FaultEngine, LogRecordsOnsetAndClear) {
+  FaultEngine engine(2, 2, Rng(1));
+  engine.add(0, FaultKind::Deaf, 2, 4);
+  engine.add(1, FaultKind::Churn, 3, 4);
+  for (Slot s = 1; s <= 5; ++s) engine.begin_slot(s);
+  ASSERT_EQ(engine.log().size(), 4u);
+  EXPECT_EQ(engine.log()[0].slot, 2);
+  EXPECT_EQ(engine.log()[0].node, 0);
+  EXPECT_TRUE(engine.log()[0].onset);
+  EXPECT_EQ(engine.log()[1].slot, 3);
+  EXPECT_EQ(engine.log()[1].kind, FaultKind::Churn);
+  EXPECT_FALSE(engine.log()[2].onset);  // deaf clears at 4
+  EXPECT_FALSE(engine.log()[3].onset);  // churn clears at 4
+  EXPECT_NE(engine.serialize_log().find("slot=2 node=0 kind=deaf onset"),
+            std::string::npos);
+  EXPECT_NE(engine.serialize_schedule().find("node=0 kind=deaf from=2 to=4"),
+            std::string::npos);
+}
+
+TEST(FaultEngine, AddRandomIsDeterministicAndBudgeted) {
+  const FaultProfile profile{1, 1, 1, 1, 1, 3, 5};
+  FaultEngine a(10, 3, Rng(7));
+  FaultEngine b(10, 3, Rng(7));
+  a.add_random(profile, 50);
+  b.add_random(profile, 50);
+  EXPECT_EQ(a.serialize_schedule(), b.serialize_schedule());
+  EXPECT_EQ(a.num_windows(), 5 + 3);  // five kind windows + burst of 3
+  EXPECT_NE(a.last_burst_end(), kNoSlot);
+  EXPECT_EQ(a.last_burst_end(), b.last_burst_end());
+}
+
+TEST(FaultEngine, AddRandomTruncatesWhenBudgetExceedsNodes) {
+  FaultEngine engine(2, 2, Rng(3));
+  engine.add_random(FaultProfile{3, 3, 3, 3, 3, 0, 0}, 20);
+  EXPECT_EQ(engine.num_windows(), 2);  // the pool has only two nodes
+}
+
+TEST(FaultEngine, BurstChurnsExactlyTheGivenNodes) {
+  FaultEngine engine(4, 2, Rng(3));
+  const std::vector<NodeId> hit{1, 3};
+  engine.add_burst(hit, 10, 5);
+  EXPECT_EQ(engine.last_burst_end(), 15);
+  engine.begin_slot(12);
+  EXPECT_EQ(engine.flags(0), 0);
+  EXPECT_EQ(engine.flags(1), kChurnedOut);
+  EXPECT_EQ(engine.flags(2), 0);
+  EXPECT_EQ(engine.flags(3), kChurnedOut);
+  // A zero-length burst is a no-op.
+  FaultEngine empty(4, 2, Rng(3));
+  empty.add_burst(hit, 10, 0);
+  EXPECT_EQ(empty.num_windows(), 0);
+  EXPECT_EQ(empty.last_burst_end(), kNoSlot);
+}
+
+// --- Radio semantics inside Network::step ------------------------------------
+
+// A scripted radio: always the same intent, recording every feedback.
+class Script : public Protocol {
+ public:
+  Script(Mode mode, LocalLabel label) : mode_(mode), label_(label) {}
+
+  Action on_slot(Slot) override {
+    if (mode_ == Mode::Broadcast) {
+      Message m;
+      m.type = MessageType::Data;
+      return Action::broadcast(label_, m);
+    }
+    if (mode_ == Mode::Listen) return Action::listen(label_);
+    return Action::idle();
+  }
+  void on_feedback(Slot, const SlotResult& r) override {
+    tx_attempted.push_back(r.tx_attempted);
+    tx_success.push_back(r.tx_success);
+    std::vector<MessageType> types;
+    for (const Message& m : r.received) types.push_back(m.type);
+    received.push_back(std::move(types));
+  }
+  bool done() const override { return false; }
+
+  std::vector<bool> tx_attempted, tx_success;
+  std::vector<std::vector<MessageType>> received;
+
+ private:
+  Mode mode_;
+  LocalLabel label_;
+};
+
+// Two nodes on one shared channel (label == channel), slots 1..slots.
+struct Pair {
+  Pair(Mode a, Mode b)
+      : assignment(2, 1, LabelMode::Global, Rng(1)),
+        node_a(a, 0),
+        node_b(b, 0),
+        engine(2, 1, Rng(2)) {}
+
+  void run(int slots) {
+    NetworkOptions opt;
+    opt.seed = 99;
+    Network net(assignment, {&node_a, &node_b}, opt);
+    net.set_fault_engine(&engine);
+    for (int s = 0; s < slots; ++s) net.step();
+    stats = net.stats();
+  }
+
+  IdentityAssignment assignment;
+  Script node_a, node_b;
+  FaultEngine engine;
+  TraceStats stats;
+};
+
+TEST(FaultNetwork, ChurnForcesIdleAndBlanksFeedback) {
+  Pair rig(Mode::Broadcast, Mode::Listen);
+  rig.engine.add(0, FaultKind::Churn, 2, 4);
+  rig.run(5);
+  // The listener hears the broadcast except while the source is off.
+  ASSERT_EQ(rig.node_b.received.size(), 5u);
+  EXPECT_EQ(rig.node_b.received[0].size(), 1u);
+  EXPECT_TRUE(rig.node_b.received[1].empty());
+  EXPECT_TRUE(rig.node_b.received[2].empty());
+  EXPECT_EQ(rig.node_b.received[3].size(), 1u);
+  // The churned node learns nothing: blank feedback, no tx echo.
+  EXPECT_EQ(rig.node_a.tx_attempted,
+            (std::vector<bool>{true, false, false, true, true}));
+  EXPECT_EQ(rig.stats.churned_node_slots, 2);
+  EXPECT_EQ(rig.stats.fault_node_slots, 2);
+  EXPECT_EQ(rig.stats.feedback_drops, 2);
+}
+
+TEST(FaultNetwork, BabbleContendsWithGarbageAndHearsNothing) {
+  // The protocol asks for Idle every slot; the stuck radio broadcasts
+  // anyway (c == 1, so the stuck label is the shared channel).
+  Pair rig(Mode::Idle, Mode::Listen);
+  rig.engine.add(0, FaultKind::Babble, 1, kNoSlot);
+  rig.run(4);
+  for (int s = 0; s < 4; ++s) {
+    ASSERT_EQ(rig.node_b.received[static_cast<std::size_t>(s)].size(), 1u);
+    EXPECT_EQ(rig.node_b.received[static_cast<std::size_t>(s)][0],
+              MessageType::None);  // garbage, not a real message
+  }
+  // The babbler itself learns nothing, not even its own transmission.
+  EXPECT_EQ(rig.node_a.tx_attempted, (std::vector<bool>{false, false, false,
+                                                        false}));
+  EXPECT_EQ(rig.stats.babble_node_slots, 4);
+}
+
+TEST(FaultNetwork, DeafTransmitterStillDeliversButHearsRealTxEcho) {
+  Pair rig(Mode::Broadcast, Mode::Listen);
+  rig.engine.add(0, FaultKind::Deaf, 1, kNoSlot);
+  rig.run(3);
+  for (const auto& got : rig.node_b.received) EXPECT_EQ(got.size(), 1u);
+  // Deaf keeps the tx side of its feedback: it knows it transmitted.
+  EXPECT_EQ(rig.node_a.tx_attempted, (std::vector<bool>{true, true, true}));
+  EXPECT_EQ(rig.node_a.tx_success, (std::vector<bool>{true, true, true}));
+  for (const auto& got : rig.node_a.received) EXPECT_TRUE(got.empty());
+}
+
+TEST(FaultNetwork, DeafListenerReceivesNothingAndIsCounted) {
+  Pair rig(Mode::Broadcast, Mode::Listen);
+  rig.engine.add(1, FaultKind::Deaf, 1, kNoSlot);
+  rig.run(3);
+  for (const auto& got : rig.node_b.received) EXPECT_TRUE(got.empty());
+  EXPECT_EQ(rig.stats.suppressed_deliveries, 3);
+  EXPECT_EQ(rig.stats.deaf_node_slots, 3);
+}
+
+TEST(FaultNetwork, MuteDemotesBroadcastToListenOnTheSameLabel) {
+  // Both want to broadcast; node 0 is mute, so node 1 becomes the lone
+  // winner and the mute node hears it — rx stays alive.
+  Pair rig(Mode::Broadcast, Mode::Broadcast);
+  rig.engine.add(0, FaultKind::Mute, 1, kNoSlot);
+  rig.run(3);
+  for (const auto& got : rig.node_a.received) {
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], MessageType::Data);
+  }
+  EXPECT_EQ(rig.node_a.tx_attempted, (std::vector<bool>{false, false, false}));
+  EXPECT_EQ(rig.node_b.tx_success, (std::vector<bool>{true, true, true}));
+  EXPECT_EQ(rig.stats.mute_demotions, 3);
+  EXPECT_EQ(rig.stats.mute_node_slots, 3);
+}
+
+TEST(FaultNetwork, FeedbackDropActsNormallyButLearnsNothing) {
+  Pair rig(Mode::Broadcast, Mode::Listen);
+  rig.engine.add(0, FaultKind::FeedbackDrop, 2, 4);
+  rig.run(4);
+  // Physics is untouched: the listener hears every slot.
+  for (const auto& got : rig.node_b.received) EXPECT_EQ(got.size(), 1u);
+  // But the faulted slots' feedback is blank (no tx echo).
+  EXPECT_EQ(rig.node_a.tx_attempted,
+            (std::vector<bool>{true, false, false, true}));
+  EXPECT_EQ(rig.stats.feedback_drops, 2);
+  EXPECT_EQ(rig.stats.feedback_drop_node_slots, 2);
+}
+
+// --- Every collision model under a mixed fault schedule ----------------------
+
+TEST(FaultNetwork, InvariantsHoldUnderEveryCollisionModel) {
+  const CollisionModel models[] = {CollisionModel::OneWinner,
+                                   CollisionModel::AllDelivered,
+                                   CollisionModel::CollisionLoss};
+  for (const CollisionModel model : models) {
+    IdentityAssignment assignment(8, 2, LabelMode::Global, Rng(11));
+    InvariantChecker checker;
+    std::vector<std::unique_ptr<Protocol>> nodes;
+    std::vector<Protocol*> protocols;
+    Rng seeder(5);
+    for (NodeId u = 0; u < 8; ++u) {
+      nodes.push_back(std::make_unique<RandomTrafficNode>(
+          2, seeder.split(static_cast<std::uint64_t>(u))));
+      protocols.push_back(checker.tap(*nodes.back()));
+    }
+    FaultEngine engine(8, 2, Rng(21));
+    engine.add_random(FaultProfile{1, 1, 1, 1, 1, 3, 8}, 50);
+    NetworkOptions opt;
+    opt.seed = 99;
+    opt.collision = model;
+    Network net(assignment, protocols, opt);
+    net.set_fault_engine(&engine);
+    checker.attach(net);
+    for (int s = 0; s < 60; ++s) net.step();
+    EXPECT_TRUE(checker.ok())
+        << "model " << static_cast<int>(model) << ": "
+        << checker.first_violation();
+    EXPECT_GT(net.stats().fault_node_slots, 0);
+  }
+}
+
+TEST(FaultNetwork, SuppressionIsExactEvenUnderFading) {
+  // No fade coin is spent on a dead receiver, so suppressed_deliveries
+  // stays an exact delta the oracle can re-derive under loss_prob > 0.
+  IdentityAssignment assignment(2, 1, LabelMode::Global, Rng(1));
+  Script tx(Mode::Broadcast, 0), rx(Mode::Listen, 0);
+  InvariantChecker checker;
+  std::vector<Protocol*> protocols{checker.tap(tx), checker.tap(rx)};
+  FaultEngine engine(2, 1, Rng(2));
+  engine.add(1, FaultKind::Deaf, 2, 6);
+  NetworkOptions opt;
+  opt.seed = 7;
+  opt.loss_prob = 0.5;
+  Network net(assignment, protocols, opt);
+  net.set_fault_engine(&engine);
+  checker.attach(net);
+  for (int s = 0; s < 8; ++s) net.step();
+  EXPECT_TRUE(checker.ok()) << checker.first_violation();
+  EXPECT_EQ(net.stats().suppressed_deliveries, 4);
+}
+
+// --- The oracle catches every per-kind mutation ------------------------------
+
+// Runs a small faulted rig with `mutation` injected into the network and
+// reports whether the invariant oracle flagged it. `mode` is node 0's
+// scripted intent (the faulted node); node 1 always broadcasts so there
+// is traffic to mis-deliver.
+bool oracle_catches(TestonlyFaultMutation mutation, FaultKind kind,
+                    Mode mode) {
+  IdentityAssignment assignment(2, 1, LabelMode::Global, Rng(1));
+  Script faulted(mode, 0), rival(Mode::Broadcast, 0);
+  InvariantChecker checker;
+  std::vector<Protocol*> protocols{checker.tap(faulted), checker.tap(rival)};
+  FaultEngine engine(2, 1, Rng(2));
+  engine.add(0, kind, 2, 6);
+  NetworkOptions opt;
+  opt.seed = 99;
+  opt.testonly_fault_mutation = mutation;
+  Network net(assignment, protocols, opt);
+  net.set_fault_engine(&engine);
+  checker.attach(net);
+  for (int s = 0; s < 8; ++s) net.step();
+  return !checker.ok();
+}
+
+TEST(FaultOracle, EachTestonlyMutationIsCaught) {
+  EXPECT_TRUE(oracle_catches(TestonlyFaultMutation::ChurnActs,
+                             FaultKind::Churn, Mode::Broadcast));
+  EXPECT_TRUE(oracle_catches(TestonlyFaultMutation::MuteTransmits,
+                             FaultKind::Mute, Mode::Broadcast));
+  EXPECT_TRUE(oracle_catches(TestonlyFaultMutation::BabbleIdles,
+                             FaultKind::Babble, Mode::Idle));
+  EXPECT_TRUE(oracle_catches(TestonlyFaultMutation::KeepDroppedFeedback,
+                             FaultKind::FeedbackDrop, Mode::Broadcast));
+  EXPECT_TRUE(oracle_catches(TestonlyFaultMutation::DeafHears,
+                             FaultKind::Deaf, Mode::Listen));
+}
+
+TEST(FaultOracle, UnmutatedRigsAreClean) {
+  const FaultKind kinds[] = {FaultKind::Churn, FaultKind::Mute,
+                             FaultKind::Babble, FaultKind::FeedbackDrop,
+                             FaultKind::Deaf};
+  for (const FaultKind kind : kinds)
+    EXPECT_FALSE(oracle_catches(TestonlyFaultMutation::None, kind,
+                                Mode::Broadcast))
+        << to_string(kind);
+}
+
+}  // namespace
+}  // namespace cogradio

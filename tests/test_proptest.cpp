@@ -50,7 +50,8 @@ TEST(PropTest, EveryGeneratedScenarioMaterializes) {
 }
 
 TEST(PropTest, DefaultPropertySweepIsClean) {
-  const PropReport rep = run_property(check_scenario, 24, 5, 2);
+  const PropReport rep = run_property(
+      [](const Scenario& s) { return check_scenario(s); }, 24, 5, 2);
   EXPECT_TRUE(rep.ok()) << (rep.failing.empty()
                                 ? "no detail"
                                 : rep.failing.front().message + " | " +
@@ -121,8 +122,93 @@ TEST(PropTest, ShrinkRespectsItsBudget) {
 TEST(PropTest, ReproducerLineRoundTrips) {
   const PropFailure f{/*trial=*/17, {}, {}, 0, "", reproducer_line(99, 17)};
   EXPECT_EQ(f.repro, "cograd check --seed 99 --trial 17");
+  EXPECT_EQ(reproducer_line(99, 17, /*with_faults=*/true),
+            "cograd check --seed 99 --trial 17 --faults");
   // The scenario the line names is the one the sweep ran.
   EXPECT_TRUE(scenario_for(99, 17) == canonicalize(scenario_for(99, 17)));
+}
+
+// --- FaultProfile scenario dimension -----------------------------------------
+
+TEST(PropTest, FaultDrawsNeverPerturbHistoricalScenarios) {
+  // --faults appends draws strictly after every legacy field, so stripping
+  // the profile from a faulted scenario recovers the fault-free one.
+  int with_any = 0;
+  for (int t = 0; t < 20; ++t) {
+    const Scenario base = scenario_for(7, t);
+    Scenario faulted = scenario_for(7, t, /*with_faults=*/true);
+    if (faulted.faults.any()) ++with_any;
+    faulted.faults = FaultProfile{};
+    EXPECT_TRUE(faulted == base) << "trial " << t;
+  }
+  EXPECT_GT(with_any, 10);  // the fault dimension is actually populated
+}
+
+TEST(PropTest, FaultedScenariosAreCanonicalAndMaterialize) {
+  for (int t = 0; t < 24; ++t) {
+    const Scenario s = scenario_for(11, t, /*with_faults=*/true);
+    EXPECT_TRUE(s == canonicalize(s)) << describe(s);
+    EXPECT_LE(s.faults.burst_nodes, s.n);
+    if (s.faults.burst_nodes == 0) {
+      EXPECT_EQ(s.faults.burst_len, 0);
+    }
+    EXPECT_NO_THROW((void)check_scenario(s)) << t;
+  }
+}
+
+TEST(PropTest, FaultedPropertySweepIsClean) {
+  const PropReport rep =
+      run_property([](const Scenario& s) { return check_scenario(s); }, 24, 5,
+                   2, 8, 256, /*with_faults=*/true);
+  EXPECT_TRUE(rep.ok()) << (rep.failing.empty()
+                                ? "no detail"
+                                : rep.failing.front().message + " | " +
+                                      describe(rep.failing.front().shrunk));
+}
+
+TEST(PropTest, InjectionCountsAccumulateAcrossTrials) {
+  FaultInjectionCounts counts;
+  CheckOptions options;
+  options.injections = &counts;
+  for (int t = 0; t < 60 && !counts.all_kinds_exercised(); ++t)
+    (void)check_scenario(scenario_for(1, t, /*with_faults=*/true), options);
+  EXPECT_TRUE(counts.all_kinds_exercised());
+  for (int k = 0; k < kNumFaultKinds; ++k)
+    EXPECT_GT(counts.total(static_cast<FaultKind>(k)), 0) << k;
+}
+
+TEST(PropTest, ShrinkingReducesFaultProfilesToTheMinimalWindow) {
+  // Fails iff any churn is scheduled (windows or burst): the minimal
+  // counterexample keeps exactly one churn window and drops every other
+  // fault along with the rest of the scenario.
+  const Property prop = [](const Scenario& s) {
+    return (s.faults.churn > 0 || s.faults.burst_nodes > 0) ? "has churn" : "";
+  };
+  Scenario big;
+  big.n = 30;
+  big.slots = 200;
+  big.faults = FaultProfile{3, 3, 3, 3, 3, 8, 30};
+  ASSERT_FALSE(prop(canonicalize(big)).empty());
+  const auto [shrunk, steps] = shrink_scenario(prop, big);
+  EXPECT_GT(steps, 0);
+  EXPECT_EQ(shrunk.faults.churn + shrunk.faults.burst_nodes, 1);
+  EXPECT_EQ(shrunk.faults.deaf, 0);
+  EXPECT_EQ(shrunk.faults.mute, 0);
+  EXPECT_EQ(shrunk.faults.babble, 0);
+  EXPECT_EQ(shrunk.faults.feedback_drop, 0);
+  EXPECT_EQ(shrunk.n, 1);
+  EXPECT_EQ(shrunk.slots, 8);
+}
+
+TEST(PropTest, FaultScheduleSerializesForArtifacts) {
+  Scenario s;
+  s.faults.churn = 1;
+  const std::string schedule = fault_schedule_for(s);
+  EXPECT_NE(schedule.find("kind=churn"), std::string::npos);
+  // Same scenario, same schedule — and no faults means no schedule.
+  EXPECT_EQ(schedule, fault_schedule_for(s));
+  s.faults = FaultProfile{};
+  EXPECT_TRUE(fault_schedule_for(s).empty());
 }
 
 TEST(PropTest, FailuresCarryShrunkScenarioAndRepro) {

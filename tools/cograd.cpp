@@ -32,6 +32,7 @@
 #include "core/gossip.h"
 #include "core/multihop_cast.h"
 #include "core/runtime.h"
+#include "core/supervisor.h"
 #include "lowerbounds/hitting_game.h"
 #include "lowerbounds/reduction.h"
 #include "sim/assignment.h"
@@ -54,8 +55,11 @@ int usage() {
       "\n"
       "commands:\n"
       "  broadcast  --n 32 --c 8 --k 2 [--pattern shared-core] [--trials 1]\n"
+      "             [--supervise] [--deadline S] [--stall-window W]\n"
+      "             [--max-restarts R]   (self-healing run supervisor)\n"
       "  aggregate  --n 32 --c 8 --k 2 [--op sum|min|max|count|collect]\n"
-      "             [--unmediated]\n"
+      "             [--unmediated] [--supervise] [--deadline S]\n"
+      "             [--stall-window W] [--max-restarts R]\n"
       "  consensus  --n 32 --c 8 --k 2 [--rule min|max|majority]\n"
       "  gossip     --n 32 --c 8 --k 2\n"
       "  multihop   --n 32 --c 8 --k 2 [--topology line|ring|grid|geometric]\n"
@@ -64,6 +68,13 @@ int usage() {
       "  record     --n 16 --c 6 --k 2   (dumps 'slot node mode channel ...')\n"
       "  check      [--trials 64] [--jobs J] [--trial T] [--repro-out FILE]\n"
       "             [--shrink-budget 256]   (slot-invariant property sweep)\n"
+      "             [--faults]   (fuzz FaultEngine schedules; fails unless\n"
+      "             every fault kind was exercised at least once)\n"
+      "             [--testonly-mutation deaf-hears|mute-transmits|\n"
+      "             babble-idles|keep-dropped-feedback|churn-acts]\n"
+      "             (inject one invariant-breaking radio bug; the sweep\n"
+      "             must FAIL — used by the WILL_FAIL oracle legs)\n"
+      "             [--fault-log-out FILE]  (fault schedules of failures)\n"
       "  bench      [--jobs J] [--trials T] [--only e1,e2,...]\n"
       "             [--out BENCH_all.json] [--compare BASELINE.json]\n"
       "             [--tolerances TOL.json] [--diff-out FILE]\n"
@@ -96,9 +107,51 @@ Common read_common(CliArgs& args) {
   return common;
 }
 
+// Self-healing supervision flags shared by broadcast and aggregate. A
+// default epoch bound is filled in by the caller when neither --deadline
+// nor --stall-window is given (run_supervised requires one).
+SupervisorOptions read_supervisor(CliArgs& args) {
+  SupervisorOptions options;
+  options.deadline = args.get_int("deadline", 0);
+  options.stall_window = args.get_int("stall-window", 0);
+  options.max_restarts = static_cast<int>(args.get_int("max-restarts", 3));
+  return options;
+}
+
+void print_supervised(int trial, const SupervisedOutcome& out) {
+  std::printf("trial %d: %s after %lld slots, %d restarts (%zu epochs)\n",
+              trial, out.completed ? "completed" : "GAVE UP",
+              static_cast<long long>(out.total_slots), out.restarts,
+              out.epochs.size());
+}
+
 int cmd_broadcast(CliArgs& args) {
   const Common common = read_common(args);
+  const bool supervise = args.get_flag("supervise");
+  SupervisorOptions supervisor = read_supervisor(args);
   args.finish();
+
+  if (supervise) {
+    CogCastRunConfig config;
+    config.params = {common.n, common.c, common.k, 4.0};
+    if (supervisor.deadline <= 0 && supervisor.stall_window <= 0)
+      supervisor.deadline = 8 * config.params.horizon();
+    Rng seeder(common.seed);
+    int completed = 0;
+    for (int t = 0; t < common.trials; ++t) {
+      auto assignment = make_assignment(common.pattern, common.n, common.c,
+                                        common.k, LabelMode::LocalRandom,
+                                        Rng(seeder()));
+      const SupervisedOutcome out = run_supervised(
+          [&](int, std::uint64_t aseed) {
+            return build_cogcast_run(*assignment, config, aseed);
+          },
+          supervisor, seeder());
+      completed += out.completed ? 1 : 0;
+      print_supervised(t, out);
+    }
+    return completed == common.trials ? 0 : 1;
+  }
   std::vector<double> slots;
   Rng seeder(common.seed);
   for (int t = 0; t < common.trials; ++t) {
@@ -137,7 +190,35 @@ int cmd_aggregate(CliArgs& args) {
   const Common common = read_common(args);
   const AggOp op = parse_agg_op(args.get_string("op", "sum"));
   const bool unmediated = args.get_flag("unmediated");
+  const bool supervise = args.get_flag("supervise");
+  SupervisorOptions supervisor = read_supervisor(args);
   args.finish();
+
+  if (supervise) {
+    CogCompRunConfig config;
+    config.params = {common.n, common.c, common.k, 4.0};
+    config.params.mediated = !unmediated;
+    config.op = op;
+    if (supervisor.deadline <= 0 && supervisor.stall_window <= 0)
+      supervisor.deadline = config.params.max_slots() + 16;
+    Rng seeder(common.seed);
+    int completed = 0;
+    for (int t = 0; t < common.trials; ++t) {
+      auto assignment = make_assignment(common.pattern, common.n, common.c,
+                                        common.k, LabelMode::LocalRandom,
+                                        Rng(seeder()));
+      const auto values = make_values(common.n, seeder());
+      const SupervisedOutcome out = run_supervised(
+          [&](int, std::uint64_t aseed) {
+            return build_cogcomp_run(*assignment, values, config, aseed);
+          },
+          supervisor, seeder());
+      completed += out.completed ? 1 : 0;
+      print_supervised(t, out);
+    }
+    return completed == common.trials ? 0 : 1;
+  }
+
   Rng seeder(common.seed);
   for (int t = 0; t < common.trials; ++t) {
     auto assignment = make_assignment(common.pattern, common.n, common.c,
@@ -297,9 +378,26 @@ int cmd_record(CliArgs& args) {
   return 0;
 }
 
+// Maps a --testonly-mutation name to the NetworkOptions knob; returns
+// false on an unknown name.
+bool parse_mutation(const std::string& name, TestonlyFaultMutation* out) {
+  if (name == "none") *out = TestonlyFaultMutation::None;
+  else if (name == "deaf-hears") *out = TestonlyFaultMutation::DeafHears;
+  else if (name == "mute-transmits") *out = TestonlyFaultMutation::MuteTransmits;
+  else if (name == "babble-idles") *out = TestonlyFaultMutation::BabbleIdles;
+  else if (name == "keep-dropped-feedback")
+    *out = TestonlyFaultMutation::KeepDroppedFeedback;
+  else if (name == "churn-acts") *out = TestonlyFaultMutation::ChurnActs;
+  else return false;
+  return true;
+}
+
 // Property-based invariant sweep. The output deliberately never mentions
 // the worker count: runs with different --jobs must be byte-identical so
-// CI can diff them as a determinism check.
+// CI can diff them as a determinism check. --faults widens the scenario
+// space with FaultEngine schedules and requires every kind to have been
+// injected at least once across the sweep (the per-kind totals are atomic
+// sums of per-trial values, so they too are jobs-invariant).
 int cmd_check(CliArgs& args) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const int trials = static_cast<int>(args.get_int("trials", 64));
@@ -307,15 +405,39 @@ int cmd_check(CliArgs& args) {
   const int shrink_budget =
       static_cast<int>(args.get_int("shrink-budget", 256));
   const std::string repro_out = args.get_string("repro-out", "");
+  const bool with_faults = args.get_flag("faults");
+  const std::string mutation_name =
+      args.get_string("testonly-mutation", "none");
+  const std::string fault_log_out = args.get_string("fault-log-out", "");
   const int jobs = args.get_jobs();
   args.finish();
 
+  TestonlyFaultMutation mutation = TestonlyFaultMutation::None;
+  if (!parse_mutation(mutation_name, &mutation)) {
+    std::fprintf(stderr, "cograd check: unknown mutation '%s'\n",
+                 mutation_name.c_str());
+    return 2;
+  }
+
+  FaultInjectionCounts injections;
+  CheckOptions options;
+  options.mutation = mutation;
+  options.injections = with_faults ? &injections : nullptr;
+  const Property prop = [&options](const Scenario& scn) {
+    return check_scenario(scn, options);
+  };
+
   if (trial >= 0) {
     // Single-trial reproducer mode: rerun exactly what `cograd check
-    // --seed S` executed as trial T and report it.
-    const Scenario scn = scenario_for(seed, trial);
+    // --seed S [--faults]` executed as trial T and report it.
+    const Scenario scn = scenario_for(seed, trial, with_faults);
     std::printf("trial %d: %s\n", trial, describe(scn).c_str());
-    const std::string msg = check_scenario(scn);
+    if (!fault_log_out.empty()) {
+      std::ofstream out(fault_log_out);
+      out << "# " << reproducer_line(seed, trial, with_faults) << '\n'
+          << fault_schedule_for(scn);
+    }
+    const std::string msg = prop(scn);
     if (msg.empty()) {
       std::printf("trial %d: ok\n", trial);
       return 0;
@@ -325,7 +447,7 @@ int cmd_check(CliArgs& args) {
   }
 
   const PropReport rep =
-      run_property(check_scenario, trials, seed, jobs, 8, shrink_budget);
+      run_property(prop, trials, seed, jobs, 8, shrink_budget, with_faults);
   for (const PropFailure& f : rep.failing) {
     std::printf("FAIL trial %d: %s\n", f.trial, f.message.c_str());
     std::printf("  original: %s\n", describe(f.original).c_str());
@@ -338,10 +460,36 @@ int cmd_check(CliArgs& args) {
     for (const PropFailure& f : rep.failing)
       out << f.repro << "  # " << f.message << '\n';
   }
+  if (!rep.ok() && !fault_log_out.empty()) {
+    // Failure artifact: the exact fault schedule of every shrunk
+    // counterexample, next to its reproducer command.
+    std::ofstream out(fault_log_out);
+    for (const PropFailure& f : rep.failing) {
+      out << "# " << f.repro << '\n'
+          << "# shrunk: " << describe(f.shrunk) << '\n'
+          << fault_schedule_for(f.shrunk) << '\n';
+    }
+  }
+  int exit = rep.ok() ? 0 : 1;
+  if (with_faults) {
+    std::printf("faults: deaf=%lld mute=%lld babble=%lld feedback-drop=%lld "
+                "churn=%lld (node-slots injected)\n",
+                static_cast<long long>(injections.total(FaultKind::Deaf)),
+                static_cast<long long>(injections.total(FaultKind::Mute)),
+                static_cast<long long>(injections.total(FaultKind::Babble)),
+                static_cast<long long>(
+                    injections.total(FaultKind::FeedbackDrop)),
+                static_cast<long long>(injections.total(FaultKind::Churn)));
+    if (!injections.all_kinds_exercised()) {
+      std::printf("check: FAIL — a fault kind was never injected; raise "
+                  "--trials\n");
+      exit = 1;
+    }
+  }
   std::printf("check: %d/%d trials ok, %d failed (seed %llu)\n",
               rep.trials - rep.failures, rep.trials, rep.failures,
               static_cast<unsigned long long>(seed));
-  return rep.ok() ? 0 : 1;
+  return exit;
 }
 
 std::optional<std::string> read_file(const std::string& path) {
