@@ -161,21 +161,29 @@ BENCHMARK(BM_ParallelSweepCogCast)->Arg(1)->Arg(2)->Arg(4);
 
 // Direct steady-state probe: after a warm-up (which sizes the engine's
 // member scratch), a window of steps must allocate nothing and its timing
-// gives node-slots/sec without google-benchmark's harness overhead.
+// gives node-slots/sec without google-benchmark's harness overhead. Above
+// n=4096 the warm-up/window shrink so the large-n legs stay cheap on the
+// sanitizer CI legs; per-n rates are volatile, but the large-over-small
+// rate ratio is recorded as a gateable near-flat-scaling tripwire.
 void run_step_probes(RunManifest& report) {
-  std::printf("steady-state probe (warmup 512 slots, measure 2048 slots):\n");
-  std::printf("  %6s  %18s  %16s\n", "n", "node-slots/sec", "allocs/2048 slots");
-  for (const int n : {64, 256, 1024, 4096}) {
+  std::printf("steady-state probe (warmup 512 slots, measure 2048 slots;\n"
+              "                    128/256 above n=4096):\n");
+  std::printf("  %6s  %18s  %16s\n", "n", "node-slots/sec", "allocs/window");
+  double rate_1024 = 0.0, rate_65536 = 0.0;
+  for (const int n : {64, 256, 1024, 4096, 16384, 65536}) {
     CogCastFixture fx(n, /*c=*/16, /*k=*/4);
-    for (int s = 0; s < 512; ++s) fx.network->step();
+    const int warmup = n > 4096 ? 128 : 512;
+    const int window = n > 4096 ? 256 : 2048;
+    for (int s = 0; s < warmup; ++s) fx.network->step();
     const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
     const double start = monotonic_seconds();
-    constexpr int kWindow = 2048;
-    for (int s = 0; s < kWindow; ++s) fx.network->step();
+    for (int s = 0; s < window; ++s) fx.network->step();
     const double elapsed = monotonic_seconds() - start;
     const std::uint64_t allocs =
         g_allocs.load(std::memory_order_relaxed) - before;
-    const double rate = static_cast<double>(n) * kWindow / elapsed;
+    const double rate = static_cast<double>(n) * window / elapsed;
+    if (n == 1024) rate_1024 = rate;
+    if (n == 65536) rate_65536 = rate;
     std::printf("  %6d  %18.3e  %16llu\n", n, rate,
                 static_cast<unsigned long long>(allocs));
     const std::string prefix = "step.n" + std::to_string(n) + ".";
@@ -183,6 +191,12 @@ void run_step_probes(RunManifest& report) {
     report.set_int(prefix + "steady_state_allocs",
                    static_cast<std::int64_t>(allocs));
   }
+  // Near-flat scaling means this ratio hovers around 1; it is gated with a
+  // generous tolerance (bench/baseline/tolerances.json) purely to trip on
+  // a large-n cliff, not on machine-to-machine noise.
+  const double ratio = rate_65536 / rate_1024;
+  std::printf("  scaling ratio (rate@65536 / rate@1024): %.3f\n", ratio);
+  report.set("step.scaling_ratio", ratio);
 }
 
 // ParallelSweep probe: the same fixed workload at jobs=1 and jobs=hw must
@@ -228,6 +242,8 @@ int main(int argc, char** argv) {
   cogradio::RunManifest report("e18_sim_perf");
   report.set_config_int("warmup_slots", 512);
   report.set_config_int("window_slots", 2048);
+  report.set_config_int("large_n_warmup_slots", 128);
+  report.set_config_int("large_n_window_slots", 256);
   report.set_volatile_int(
       "hardware_threads",
       static_cast<std::int64_t>(std::thread::hardware_concurrency()));

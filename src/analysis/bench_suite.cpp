@@ -410,6 +410,40 @@ RunManifest smoke_trace_counters(const SmokeOptions& opt) {
   return m;
 }
 
+// One fixed CogCast run executed under both engine layouts: the SoA leg's
+// counters are pinned exactly, and the bit-identity verdict is a
+// deterministic 0/1 metric — the bench-gate arm of the engine-layout
+// differential suite (tests/test_engine_layouts.cpp holds the wide one).
+RunManifest smoke_e35_layouts(const SmokeOptions& opt) {
+  const int n = 40, c = 8, k = 2;
+  RunManifest m("smoke_e35_layouts");
+  m.set_config_int("n", n);
+  m.set_config_int("c", c);
+  m.set_config_int("k", k);
+  m.set_config_int("seed", static_cast<std::int64_t>(opt.seed));
+  const auto run_layout = [&](EngineLayout layout) {
+    auto assignment = make_assignment("shared-core", n, c, k,
+                                      LabelMode::LocalRandom, Rng(opt.seed));
+    CogCastRunConfig config;
+    config.params = {n, c, k, 4.0};
+    config.seed = opt.seed + 1;
+    config.max_slots = 64 * config.params.horizon();
+    config.net.layout = layout;
+    return run_cogcast(*assignment, config);
+  };
+  const auto soa = run_layout(EngineLayout::SoA);
+  const auto aos = run_layout(EngineLayout::AoS);
+  m.set_int("soa.completed", soa.completed ? 1 : 0);
+  m.set_int("soa.slots", soa.slots);
+  add_trace_stats(m, "soa", soa.stats);
+  m.set_int("layouts_bit_identical",
+            soa.completed == aos.completed && soa.slots == aos.slots &&
+                    soa.stats == aos.stats
+                ? 1
+                : 0);
+  return m;
+}
+
 struct ExperimentDef {
   const char* name;
   RunManifest (*run)(const SmokeOptions&);
@@ -424,6 +458,7 @@ constexpr ExperimentDef kExperiments[] = {
     {"smoke_e13_backoff", smoke_e13_backoff},
     {"smoke_e19_fault_recovery", smoke_e19_fault_recovery},
     {"smoke_e25_multihop", smoke_e25_multihop},
+    {"smoke_e35_layouts", smoke_e35_layouts},
     {"smoke_trace_counters", smoke_trace_counters},
 };
 

@@ -156,9 +156,10 @@ std::string first_template_arg(const std::string& line, std::size_t i) {
 }
 
 const char* const kSerializationHeaders[] = {
-    "sim/types.h",    "sim/trace.h",        "sim/message.h",
-    "sim/protocol.h", "sim/network.h",      "sim/backoff.h",
-    "sim/recorder.h", "sim/fault_engine.h", "util/bench_report.h",
+    "sim/types.h",          "sim/trace.h",        "sim/message.h",
+    "sim/protocol.h",       "sim/network.h",      "sim/backoff.h",
+    "sim/recorder.h",       "sim/fault_engine.h", "sim/channel_bitmap.h",
+    "util/bench_report.h",
 };
 
 bool in_r5_scope(const std::string& rel_path) {

@@ -70,7 +70,7 @@ GossipOutcome run_gossip(ChannelAssignment& assignment,
         seeder.split(static_cast<std::uint64_t>(u))));
     protocols.push_back(nodes.back().get());
   }
-  NetworkOptions net;
+  NetworkOptions net = config.net;
   net.seed = seeder.split(0xFEEDu)();
   Network network(assignment, std::move(protocols), net);
   network.run(config.max_slots);

@@ -73,6 +73,10 @@ struct GossipOutcome {
 struct GossipConfig {
   std::uint64_t seed = 1;
   Slot max_slots = 1'000'000;
+  // Engine knobs (EngineLayout, collision model, ...). The run's RNG seed
+  // is still derived from `seed` above, so configs differing only in
+  // layout replay bit-for-bit.
+  NetworkOptions net{};
 };
 
 // Runs gossip with rumor values `values` (one per node).

@@ -148,7 +148,7 @@ BroadcastOutcome run_rendezvous_broadcast(ChannelAssignment& assignment,
         seeder.split(static_cast<std::uint64_t>(u))));
     protocols.push_back(nodes.back().get());
   }
-  NetworkOptions net;
+  NetworkOptions net = config.net;
   net.seed = seeder.split(0xFEEDu)();
   Network network(assignment, std::move(protocols), net);
   network.run(config.max_slots);
@@ -185,7 +185,7 @@ AggregationOutcome run_rendezvous_aggregation(ChannelAssignment& assignment,
     protocols.push_back(nodes.back().get());
   }
   nodes[static_cast<std::size_t>(config.source)]->set_expected_count(n);
-  NetworkOptions net;
+  NetworkOptions net = config.net;
   net.seed = seeder.split(0xFEEDu)();
   Network network(assignment, std::move(protocols), net);
   network.run(config.max_slots);
@@ -221,7 +221,7 @@ BroadcastOutcome run_hopping_together(ChannelAssignment& assignment,
         std::move(globals)));
     protocols.push_back(nodes.back().get());
   }
-  NetworkOptions net;
+  NetworkOptions net = config.net;
   net.seed = config.seed;
   Network network(assignment, std::move(protocols), net);
   network.run(config.max_slots);

@@ -38,6 +38,9 @@ struct CogCastRunConfig {
   // When true, nodes stop at params.horizon() (the terminating variant);
   // when false they run long-lived until everyone is informed or the cap.
   bool bounded = false;
+  // Engine knobs, including the EngineLayout (sim/network.h): every runner
+  // executes identically under either layout, so runs differing only in
+  // `net.layout` replay bit-for-bit (tests/test_engine_layouts.cpp).
   NetworkOptions net{};
   Jammer* jammer = nullptr;
   // Optional adversarial fault schedule (sim/fault_engine.h); windows must
@@ -97,6 +100,11 @@ struct BaselineRunConfig {
   NodeId source = 0;
   Slot max_slots = 1'000'000;
   AggOp op = AggOp::Sum;  // aggregation baseline only
+  // Engine knobs (EngineLayout, collision model, fading, ...) flow through
+  // every runner the same way; the run's RNG seed is still derived from
+  // `seed` above, so two configs differing only in layout replay the same
+  // execution bit-for-bit.
+  NetworkOptions net{};
 };
 
 // Randomized-rendezvous broadcast straw man (Section 1): the source hops and

@@ -36,6 +36,10 @@ struct TraceStats {
   std::int64_t mute_demotions = 0;         // broadcasts demoted to listens
   std::int64_t feedback_drops = 0;         // SlotResults blanked at delivery
   std::int64_t suppressed_deliveries = 0;  // copies dropped at dead receivers
+
+  // Field-wise equality, for the engine-layout differential tests (the SoA
+  // and AoS paths must agree on every counter, bit for bit).
+  bool operator==(const TraceStats&) const = default;
 };
 
 // Per-node activity counters — the radio duty-cycle / energy profile
@@ -51,6 +55,8 @@ struct NodeActivity {
 
   // Simple energy model: TX and RX cost 1 unit per slot, idle is free.
   std::int64_t energy() const { return tx + listen; }
+
+  bool operator==(const NodeActivity&) const = default;
 };
 
 }  // namespace cogradio

@@ -117,7 +117,39 @@ std::unique_ptr<Protocol> build_node(const Scenario& s, NodeId u, Rng rng) {
 struct RunOutcome {
   std::string violation;
   std::uint64_t fingerprint = 0;
+  // Order-sensitive hash of TraceStats and every NodeActivity. The action
+  // fingerprint deliberately ignores winner identity (so plain and backoff
+  // engines can agree); the digest does not, which is what the SoA-vs-AoS
+  // layout differential needs — a diverging winner draw changes
+  // tx_success/deliveries and therefore this hash.
+  std::uint64_t digest = 0;
 };
+
+std::uint64_t mix64(std::uint64_t h, std::int64_t v) {
+  h ^= static_cast<std::uint64_t>(v) + 0x9e3779b97f4a7c15ull + (h << 6) +
+       (h >> 2);
+  return h;
+}
+
+std::uint64_t accounting_digest(const Network& net) {
+  const TraceStats& s = net.stats();
+  std::uint64_t h = 0x517cc1b727220a95ull;
+  for (const std::int64_t v :
+       {s.slots, s.broadcasts, s.successes, s.deliveries, s.collision_events,
+        s.jammed_node_slots, s.idle_node_slots, s.total_message_words,
+        s.max_message_words, s.micro_slots, s.backoff_failures,
+        s.fault_node_slots, s.churned_node_slots, s.deaf_node_slots,
+        s.mute_node_slots, s.babble_node_slots, s.feedback_drop_node_slots,
+        s.mute_demotions, s.feedback_drops, s.suppressed_deliveries})
+    h = mix64(h, v);
+  for (NodeId u = 0; u < net.num_nodes(); ++u) {
+    const NodeActivity& a = net.activity(u);
+    for (const std::int64_t v :
+         {a.tx, a.tx_success, a.listen, a.received, a.idle, a.jammed})
+      h = mix64(h, v);
+  }
+  return h;
+}
 
 // Builds the scenario's FaultEngine schedule (empty without faults); the
 // schedule coins are a fixed stream of scn.salt, disjoint from every
@@ -154,6 +186,7 @@ RunOutcome run_once(const Scenario& scn, ScnEngine engine,
   opt.seed = net_seed;
   opt.loss_prob = scn.loss_prob;
   opt.testonly_fault_mutation = options.mutation;
+  opt.layout = options.layout;
   switch (engine) {
     case ScnEngine::Plain:
       break;
@@ -186,6 +219,7 @@ RunOutcome run_once(const Scenario& scn, ScnEngine engine,
 
   RunOutcome out;
   out.fingerprint = checker.action_fingerprint();
+  out.digest = accounting_digest(net);
   if (!checker.ok()) out.violation = checker.first_violation();
   if (options.injections != nullptr)
     options.injections->record(fault_engine);
@@ -315,6 +349,26 @@ std::string check_scenario(const Scenario& raw, const CheckOptions& options) {
   const RunOutcome primary = run_once(scn, scn.engine, options);
   if (!primary.violation.empty())
     return primary.violation + " [" + name_of(scn.engine) + " engine]";
+
+  // Layout differential: the SoA hot path must reproduce the AoS reference
+  // bit for bit on EVERY scenario — same action stream AND the same
+  // stats/activity accounting. The fingerprint deliberately ignores winner
+  // identity, so the digest (which hashes tx_success/deliveries per node)
+  // is what catches a diverging winner or fade draw.
+  {
+    CheckOptions other = options;
+    other.injections = nullptr;  // counted once, on the primary run
+    other.layout = options.layout == EngineLayout::SoA ? EngineLayout::AoS
+                                                       : EngineLayout::SoA;
+    const RunOutcome alt = run_once(scn, scn.engine, other);
+    if (!alt.violation.empty())
+      return alt.violation + " [" +
+             std::string(engine_layout_name(other.layout)) + " layout]";
+    if (alt.fingerprint != primary.fingerprint ||
+        alt.digest != primary.digest)
+      return std::string("SoA and AoS engine layouts diverged (") +
+             engine_layout_name(options.layout) + " was primary)";
+  }
 
   // Differential engine agreement: oblivious traffic must produce the
   // same action stream whether contention is resolved by a uniform winner

@@ -140,10 +140,14 @@ struct FaultInjectionCounts {
 // Knobs for check_scenario beyond the scenario itself. `mutation` plumbs a
 // testonly invariant-breaking radio into the network so WILL_FAIL legs can
 // prove the oracle actually polices each fault rule; `injections`, when
-// set, accumulates the primary run's per-kind injection totals.
+// set, accumulates the primary run's per-kind injection totals. `layout`
+// pins the primary run's engine layout (`cograd check --engine`); the
+// differential re-run always uses the other layout, so both are exercised
+// on every scenario regardless of the pin.
 struct CheckOptions {
   TestonlyFaultMutation mutation = TestonlyFaultMutation::None;
   FaultInjectionCounts* injections = nullptr;
+  EngineLayout layout = EngineLayout::SoA;
 };
 
 // The model audit: run under the InvariantChecker (all protocols tapped),

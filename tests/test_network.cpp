@@ -7,6 +7,8 @@
 
 #include <memory>
 #include <optional>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "core/cogcast.h"
@@ -312,6 +314,10 @@ TEST(Network, GroupingStrategiesBitIdentical) {
       protocols.push_back(nodes.back().get());
     }
     NetworkOptions opt;
+    // Pin the AoS reference path: grouping strategies are an AoS knob (the
+    // SoA layout groups via channel bitmaps; tests/test_engine_layouts.cpp
+    // covers that differential).
+    opt.layout = EngineLayout::AoS;
     opt.grouping = grouping;
     opt.collision = model;
     opt.seed = 23;
@@ -365,6 +371,93 @@ TEST(Network, GroupingStrategiesBitIdentical) {
       EXPECT_EQ(a.mode, b.mode) << "action " << i;
       EXPECT_EQ(a.channel, b.channel) << "action " << i;
       EXPECT_EQ(a.tx_success, b.tx_success) << "action " << i;
+    }
+  }
+}
+
+// Records every observe() handoff and jams one fixed (node, channel) pair.
+class RecordingJammer : public Jammer {
+ public:
+  RecordingJammer(NodeId jam_node, Channel jam_channel)
+      : jam_node_(jam_node), jam_channel_(jam_channel) {}
+
+  void begin_slot(Slot) override {}
+  bool is_jammed(NodeId node, Channel channel) const override {
+    return node == jam_node_ && channel == jam_channel_;
+  }
+  void observe(Slot, std::span<const Channel> node_channels) override {
+    observed_.emplace_back(node_channels.begin(), node_channels.end());
+  }
+
+  std::vector<std::vector<Channel>> observed_;  // per slot
+
+ private:
+  NodeId jam_node_;
+  Channel jam_channel_;
+};
+
+// The per-slot used_channel_ fill is skipped entirely when no jammer is
+// attached; with one attached, both engine layouts must hand observe() the
+// exact physical channel per node (kNoChannel when idle) and apply jam
+// cutoffs identically.
+TEST(Network, JammerObserveHandoffIdenticalAcrossLayouts) {
+  struct JamRun {
+    std::vector<std::vector<Channel>> observed;
+    std::vector<ScriptedNode::Feedback> fb0, fb1, fb2;
+    TraceStats stats;
+  };
+  const auto run_once = [](EngineLayout layout) {
+    NetworkOptions opt;
+    opt.layout = layout;
+    opt.seed = 47;
+    Rig rig(3, 3,
+            {{Action::broadcast(0, data_msg(1)), Action::listen(1)},
+             {Action::listen(0), Action::idle()},
+             {Action::idle(), Action::broadcast(1, data_msg(2))}},
+            opt);
+    RecordingJammer jammer(/*jam_node=*/1, /*jam_channel=*/0);
+    rig.network->set_jammer(&jammer);
+    rig.network->step();
+    rig.network->step();
+    return JamRun{jammer.observed_, rig.node(0).feedback_,
+                  rig.node(1).feedback_, rig.node(2).feedback_,
+                  rig.network->stats()};
+  };
+
+  const JamRun soa = run_once(EngineLayout::SoA);
+  const JamRun aos = run_once(EngineLayout::AoS);
+
+  // Content check (both layouts): observe() sees physical channels, with
+  // kNoChannel for idle nodes, and the jammed listener is cut off.
+  for (const JamRun* run : {&soa, &aos}) {
+    ASSERT_EQ(run->observed.size(), 2u);
+    EXPECT_EQ(run->observed[0], (std::vector<Channel>{0, 0, kNoChannel}));
+    EXPECT_EQ(run->observed[1], (std::vector<Channel>{1, kNoChannel, 1}));
+    EXPECT_TRUE(run->fb0[0].tx_success);  // sole broadcaster, listener jammed
+    EXPECT_TRUE(run->fb1[0].jammed);
+    EXPECT_TRUE(run->fb1[0].received.empty());
+    ASSERT_EQ(run->fb0[1].received.size(), 1u);  // slot 2: node 2 -> node 0
+    EXPECT_EQ(run->fb0[1].received[0].a, 2);
+    EXPECT_EQ(run->stats.jammed_node_slots, 1);
+  }
+
+  // Layout differential: the jammer-attached path must be bit-identical.
+  EXPECT_EQ(soa.observed, aos.observed);
+  EXPECT_EQ(soa.stats, aos.stats);
+  for (std::size_t s = 0; s < 2; ++s) {
+    for (const auto& pair :
+         {std::pair{&soa.fb0, &aos.fb0}, std::pair{&soa.fb1, &aos.fb1},
+          std::pair{&soa.fb2, &aos.fb2}}) {
+      const ScriptedNode::Feedback& a = (*pair.first)[s];
+      const ScriptedNode::Feedback& b = (*pair.second)[s];
+      EXPECT_EQ(a.jammed, b.jammed) << "slot " << s;
+      EXPECT_EQ(a.tx_attempted, b.tx_attempted) << "slot " << s;
+      EXPECT_EQ(a.tx_success, b.tx_success) << "slot " << s;
+      ASSERT_EQ(a.received.size(), b.received.size()) << "slot " << s;
+      for (std::size_t m = 0; m < a.received.size(); ++m) {
+        EXPECT_EQ(a.received[m].a, b.received[m].a);
+        EXPECT_EQ(a.received[m].sender, b.received[m].sender);
+      }
     }
   }
 }

@@ -54,6 +54,8 @@ int usage() {
       "usage: cograd <command> [--flags]\n"
       "\n"
       "commands:\n"
+      "  (every single-hop command also accepts --engine soa|aos — the\n"
+      "  slot-engine layout; both layouts replay bit-for-bit)\n"
       "  broadcast  --n 32 --c 8 --k 2 [--pattern shared-core] [--trials 1]\n"
       "             [--supervise] [--deadline S] [--stall-window W]\n"
       "             [--max-restarts R]   (self-healing run supervisor)\n"
@@ -68,6 +70,9 @@ int usage() {
       "  record     --n 16 --c 6 --k 2   (dumps 'slot node mode channel ...')\n"
       "  check      [--trials 64] [--jobs J] [--trial T] [--repro-out FILE]\n"
       "             [--shrink-budget 256]   (slot-invariant property sweep)\n"
+      "             [--engine soa|aos]  (layout of the primary run; every\n"
+      "             scenario also re-runs under the other layout and both\n"
+      "             must agree bit for bit)\n"
       "             [--faults]   (fuzz FaultEngine schedules; fails unless\n"
       "             every fault kind was exercised at least once)\n"
       "             [--testonly-mutation deaf-hears|mute-transmits|\n"
@@ -94,6 +99,7 @@ struct Common {
   std::string pattern;
   std::uint64_t seed;
   int trials;
+  EngineLayout layout;
 };
 
 Common read_common(CliArgs& args) {
@@ -104,7 +110,16 @@ Common read_common(CliArgs& args) {
   common.pattern = args.get_string("pattern", "shared-core");
   common.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   common.trials = static_cast<int>(args.get_int("trials", 1));
+  common.layout = args.get_engine();
   return common;
+}
+
+// Single-hop engine options carrying the --engine layout choice; both
+// layouts replay bit-for-bit, so this only changes the execution speed.
+NetworkOptions common_net(const Common& common) {
+  NetworkOptions net;
+  net.layout = common.layout;
+  return net;
 }
 
 // Self-healing supervision flags shared by broadcast and aggregate. A
@@ -134,6 +149,7 @@ int cmd_broadcast(CliArgs& args) {
   if (supervise) {
     CogCastRunConfig config;
     config.params = {common.n, common.c, common.k, 4.0};
+    config.net = common_net(common);
     if (supervisor.deadline <= 0 && supervisor.stall_window <= 0)
       supervisor.deadline = 8 * config.params.horizon();
     Rng seeder(common.seed);
@@ -160,6 +176,7 @@ int cmd_broadcast(CliArgs& args) {
                                       Rng(seeder()));
     CogCastRunConfig config;
     config.params = {common.n, common.c, common.k, 4.0};
+    config.net = common_net(common);
     config.seed = seeder();
     const auto out = run_cogcast(*assignment, config);
     if (!out.completed) {
@@ -198,6 +215,7 @@ int cmd_aggregate(CliArgs& args) {
     CogCompRunConfig config;
     config.params = {common.n, common.c, common.k, 4.0};
     config.params.mediated = !unmediated;
+    config.net = common_net(common);
     config.op = op;
     if (supervisor.deadline <= 0 && supervisor.stall_window <= 0)
       supervisor.deadline = config.params.max_slots() + 16;
@@ -227,6 +245,7 @@ int cmd_aggregate(CliArgs& args) {
     CogCompRunConfig config;
     config.params = {common.n, common.c, common.k, 4.0};
     config.params.mediated = !unmediated;
+    config.net = common_net(common);
     config.seed = seeder();
     config.op = op;
     const auto values = make_values(common.n, seeder());
@@ -266,7 +285,7 @@ int cmd_consensus(CliArgs& args) {
         seeder.split(static_cast<std::uint64_t>(u))));
     protocols.push_back(nodes.back().get());
   }
-  Network network(*assignment, protocols);
+  Network network(*assignment, protocols, common_net(common));
   const Slot slots = network.run(params.max_slots());
   bool agree = true;
   for (const auto& node : nodes)
@@ -286,6 +305,7 @@ int cmd_gossip(CliArgs& args) {
   const auto values = make_values(common.n, common.seed);
   GossipConfig config;
   config.seed = common.seed + 1;
+  config.net = common_net(common);
   const auto out = run_gossip(*assignment, values, config);
   std::printf("gossip: %s in %lld slots (n=%d rumors everywhere)\n",
               out.completed ? "complete" : "INCOMPLETE",
@@ -297,6 +317,12 @@ int cmd_multihop(CliArgs& args) {
   const Common common = read_common(args);
   const std::string shape = args.get_string("topology", "grid");
   args.finish();
+  // The graph engine has a single implementation; the shared --engine flag
+  // parses but cannot change anything here — say so instead of ignoring.
+  if (common.layout != EngineLayout::SoA)
+    std::fprintf(stderr,
+                 "note: multihop runs on MultihopNetwork; --engine has no "
+                 "effect\n");
   Topology topo = shape == "line"   ? Topology::line(common.n)
                   : shape == "ring" ? Topology::ring(common.n)
                   : shape == "grid"
@@ -368,7 +394,7 @@ int cmd_record(CliArgs& args) {
         seeder.split(static_cast<std::uint64_t>(u))));
     protocols.push_back(nodes.back().get());
   }
-  Network network(assignment, protocols);
+  Network network(assignment, protocols, common_net(common));
   recorder.attach(network);
   network.run(100'000);
   std::fputs(recorder.serialize().c_str(), stdout);
@@ -409,6 +435,7 @@ int cmd_check(CliArgs& args) {
   const std::string mutation_name =
       args.get_string("testonly-mutation", "none");
   const std::string fault_log_out = args.get_string("fault-log-out", "");
+  const EngineLayout layout = args.get_engine();
   const int jobs = args.get_jobs();
   args.finish();
 
@@ -423,6 +450,7 @@ int cmd_check(CliArgs& args) {
   CheckOptions options;
   options.mutation = mutation;
   options.injections = with_faults ? &injections : nullptr;
+  options.layout = layout;
   const Property prop = [&options](const Scenario& scn) {
     return check_scenario(scn, options);
   };
