@@ -44,8 +44,9 @@ namespace cogradio::bench {
 //   manifest.write();   // -> BENCH_e1_cogcast_vs_c.json
 //
 // The resolved CliArgs flags become the manifest's config section (--jobs
-// is routed to the volatile section: it never affects results, see
-// util/sweep.h, and the merged BENCH_all.json must be jobs-invariant).
+// and --shards are routed to the volatile section: neither affects results
+// — see util/sweep.h and sim/network.h — and the merged BENCH_all.json
+// must be invariant under both).
 // Wall-clock and phase() timings are volatile too. Harnesses without
 // CliArgs (E18's google-benchmark main) pass nullptr and fill config
 // explicitly.
@@ -106,8 +107,9 @@ class BenchManifest {
   bool write() {
     if (args_ != nullptr) {
       for (const auto& flag : args_->resolved()) {
-        if (flag.name == "jobs") {
-          manifest_.set_volatile_int("jobs", std::atoll(flag.value.c_str()));
+        if (flag.name == "jobs" || flag.name == "shards") {
+          manifest_.set_volatile_int(flag.name,
+                                     std::atoll(flag.value.c_str()));
           continue;
         }
         switch (flag.kind) {
@@ -162,7 +164,7 @@ inline Summary run_trials(const std::string& pattern, int trials,
 // executions of the given static/dynamic pattern.
 inline Summary cogcast_slots(const std::string& pattern, int n, int c, int k,
                              int trials, std::uint64_t base_seed, int jobs = 1,
-                             double gamma = 4.0) {
+                             double gamma = 4.0, int shards = 1) {
   return run_trials(
       pattern, trials, base_seed, jobs,
       [&](const std::string& pat, Rng& rng) -> std::optional<double> {
@@ -174,6 +176,7 @@ inline Summary cogcast_slots(const std::string& pattern, int n, int c, int k,
         config.params = {n, c, k, gamma};
         config.seed = s2;
         config.max_slots = 64 * config.params.horizon();
+        config.net.shards = shards;
         const auto out = run_cogcast(*assignment, config);
         if (!out.completed) return std::nullopt;
         return static_cast<double>(out.slots);
@@ -185,7 +188,7 @@ inline Summary cogcast_slots(const std::string& pattern, int n, int c, int k,
 inline Summary rendezvous_broadcast_slots(const std::string& pattern, int n,
                                           int c, int k, int trials,
                                           std::uint64_t base_seed,
-                                          int jobs = 1) {
+                                          int jobs = 1, int shards = 1) {
   return run_trials(
       pattern, trials, base_seed, jobs,
       [&](const std::string& pat, Rng& rng) -> std::optional<double> {
@@ -196,6 +199,7 @@ inline Summary rendezvous_broadcast_slots(const std::string& pattern, int n,
         BaselineRunConfig config;
         config.seed = s2;
         config.max_slots = 4'000'000;
+        config.net.shards = shards;
         const auto out = run_rendezvous_broadcast(*assignment, config);
         if (!out.completed) return std::nullopt;
         return static_cast<double>(out.slots);

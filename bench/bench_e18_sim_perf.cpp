@@ -148,7 +148,7 @@ void BM_ParallelSweepCogCast(benchmark::State& state) {
           SharedCoreAssignment assignment(64, 16, 4, LabelMode::LocalRandom,
                                           Rng(rng()));
           CogCastRunConfig config;
-          config.params = {64, 16, 4, 4.0};
+                config.params = {64, 16, 4, 4.0};
           config.seed = rng();
           const auto out = run_cogcast(assignment, config);
           return static_cast<double>(out.slots);

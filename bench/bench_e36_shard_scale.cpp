@@ -1,0 +1,267 @@
+// E36 — intra-trial sharded resolve strong scaling (shard tentpole).
+//
+// E35 parallelizes *across* trials (ParallelSweep); this harness pins the
+// orthogonal axis: one trial, one big slot engine, resolve phase split
+// across worker threads by contiguous channel ranges
+// (NetworkOptions::shards, sim/network.cpp). The workload is E35's
+// duty-cycled million-node chatter fleet on the SoA batch path — the
+// regime where a single trial is the whole machine's job and per-trial
+// parallelism is the only speedup left.
+//
+// Three pins, mirroring E35's structure:
+//
+//   * equivalence — the identical workload stepped at every shard count
+//     must finish with byte-identical TraceStats (deterministic equiv.*
+//     metrics, always 1): sharding is an execution strategy, never a
+//     model change (docs/DETERMINISM.md);
+//   * strong scaling — node-slots/sec at shards in {1, 2, 4, 8, 16} over
+//     a fixed n. Per-leg rates are volatile; the best-over-fused ratio is
+//     recorded as the *deterministic* gate metric shard.scaling_ratio so
+//     the regression gate trips on a sharded-path cliff. The ratio is
+//     machine-relative: on an N-core box the engine caps its pool at N
+//     workers (Network::shard_workers), so a single-core CI runner
+//     legitimately reports ~1.0 while a 16-core box should report the
+//     near-linear figure — the committed baseline pins the box it was
+//     generated on, and the tolerance is generous;
+//   * overhead — the shards=16 leg on a *small* engine (--overhead-n),
+//     where the plan/merge machinery is pure cost; its ratio to fused is
+//     volatile telemetry for eyeballing the crossover.
+//
+// With --compare BASELINE [--tolerances FILE] the run self-gates exactly
+// like E35 (the CI perf-smoke step runs this at reduced --slots; shard
+// counts never change, so metric names stay comparable).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "sim/assignment.h"
+#include "sim/network.h"
+#include "util/bench_gate.h"
+#include "util/bench_report.h"
+#include "util/cli.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace cogradio {
+namespace {
+
+constexpr int kChannelsPerNode = 16;
+constexpr int kOverlap = 4;
+constexpr int kDutyPeriod = 100;
+constexpr int kShardCounts[] = {1, 2, 4, 8, 16};
+
+inline std::uint64_t chatter_mix(std::uint64_t x) {
+  x ^= x >> 29;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 32;
+  return x;
+}
+
+inline int chatter_phase(Slot slot) {
+  return static_cast<int>(
+      chatter_mix(static_cast<std::uint64_t>(slot) * 0x9E3779B97F4A7C15ull) %
+      static_cast<std::uint64_t>(kDutyPeriod));
+}
+
+// E35's feedback-oblivious duty-cycled chatter (bench_e35_scale.cpp): a
+// pure hash of (slot, node) decides mode, label and payload, so every
+// shard-count leg offers byte-identical load.
+class ChatterClient : public BatchClient {
+ public:
+  explicit ChatterClient(int n) : n_(n) {}
+
+  void begin_slot(Slot slot, std::span<Mode> mode,
+                  std::span<LocalLabel> label) override {
+    for (NodeId u = chatter_phase(slot); u < n_; u += kDutyPeriod) {
+      const std::uint64_t h = chatter_mix(
+          static_cast<std::uint64_t>(slot) * 0x9E3779B97F4A7C15ull +
+          static_cast<std::uint64_t>(u) * 0xBF58476D1CE4E5B9ull);
+      const std::uint64_t roll = h % 10;
+      if (roll == 0) continue;
+      mode[static_cast<std::size_t>(u)] =
+          roll < 5 ? Mode::Broadcast : Mode::Listen;
+      label[static_cast<std::size_t>(u)] = static_cast<LocalLabel>(
+          (h >> 8) % static_cast<std::uint64_t>(kChannelsPerNode));
+    }
+  }
+  Message source_message(Slot slot, NodeId node) override {
+    Message m;
+    m.type = MessageType::Data;
+    m.a = slot * 1000 + node;
+    return m;
+  }
+  void end_slot(const BatchFeedback& fb) override {
+    for (NodeId u = chatter_phase(fb.slot); u < n_; u += kDutyPeriod)
+      sink_ += (fb.flags[static_cast<std::size_t>(u)] & slotflag::kTxSuccess)
+                   ? 1
+                   : 0;
+  }
+  bool done() const override { return false; }
+
+  std::int64_t sink_ = 0;
+
+ private:
+  int n_;
+};
+
+struct LegResult {
+  double node_slots_per_sec = 0.0;
+  int workers = 0;  // threads the engine actually granted (core-capped)
+  TraceStats stats;
+};
+
+LegResult run_leg(int n, int shards, int warmup, int slots) {
+  SharedCoreAssignment assignment(n, kChannelsPerNode, kOverlap,
+                                  LabelMode::LocalRandom, Rng(1));
+  ChatterClient client(n);
+  NetworkOptions opt;
+  opt.layout = EngineLayout::SoA;
+  opt.seed = 36;
+  opt.loss_prob = 0.125;  // keeps the fade-coin plan on the measured track
+  opt.shards = shards;
+  Network net(assignment, client, opt);
+  for (int s = 0; s < warmup; ++s) net.step();
+  const double start = monotonic_seconds();
+  for (int s = 0; s < slots; ++s) net.step();
+  const double elapsed = monotonic_seconds() - start;
+  LegResult out;
+  out.node_slots_per_sec = static_cast<double>(n) * slots / elapsed;
+  out.workers = net.shard_workers();
+  out.stats = net.stats();
+  return out;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Self-gate against a committed baseline (same shape as E35's).
+int self_gate(const RunManifest& manifest, const std::string& compare_path,
+              const std::string& tolerances_path) {
+  std::string error;
+  const auto current = parse_json(manifest.to_json(), &error);
+  if (!current) {
+    std::fprintf(stderr, "e36: own manifest invalid: %s\n", error.c_str());
+    return 1;
+  }
+  const auto baseline_text = read_file(compare_path);
+  if (!baseline_text) {
+    std::fprintf(stderr, "e36: cannot read baseline %s\n",
+                 compare_path.c_str());
+    return 1;
+  }
+  const auto baseline = parse_json(*baseline_text, &error);
+  if (!baseline) {
+    std::fprintf(stderr, "e36: baseline %s invalid: %s\n",
+                 compare_path.c_str(), error.c_str());
+    return 1;
+  }
+  GateTolerances tolerances;
+  if (!tolerances_path.empty()) {
+    const auto text = read_file(tolerances_path);
+    if (!text) {
+      std::fprintf(stderr, "e36: cannot read tolerances %s\n",
+                   tolerances_path.c_str());
+      return 1;
+    }
+    const auto doc = parse_json(*text, &error);
+    std::optional<GateTolerances> parsed;
+    if (doc) parsed = parse_tolerances(*doc, &error);
+    if (!parsed) {
+      std::fprintf(stderr, "e36: tolerances %s invalid: %s\n",
+                   tolerances_path.c_str(), error.c_str());
+      return 1;
+    }
+    tolerances = *parsed;
+  }
+  const GateResult result =
+      compare_bench_manifests(*current, *baseline, tolerances);
+  const std::string report = result.report();
+  std::fputs(report.c_str(), stdout);
+  return result.ok() ? 0 : 1;
+}
+
+int run(CliArgs& args) {
+  const int n = static_cast<int>(args.get_int("n", 1 << 20));
+  const int slots = static_cast<int>(args.get_int("slots", 384));
+  const int warmup = static_cast<int>(args.get_int("warmup", 48));
+  const int overhead_n = static_cast<int>(args.get_int("overhead-n", 512));
+  const std::string compare_path = args.get_string("compare", "");
+  const std::string tolerances_path = args.get_string("tolerances", "");
+  args.finish();
+
+  std::printf("E36: sharded resolve strong scaling (n=%d, c=%d, k=%d)\n\n", n,
+              kChannelsPerNode, kOverlap);
+  bench::BenchManifest manifest("e36_shard_scale", &args);
+
+  // --- Strong-scaling sweep over shard counts ----------------------------
+  double fused_rate = 0.0;
+  double best_rate = 0.0;
+  TraceStats fused_stats;
+  {
+    auto t = manifest.phase("sweep");
+    std::printf("single-trial sweep (%d slots after %d warmup):\n", slots,
+                warmup);
+    std::printf("  %6s  %7s  %18s  %8s\n", "shards", "workers",
+                "node-slots/sec", "speedup");
+    for (const int shards : kShardCounts) {
+      const LegResult r = run_leg(n, shards, warmup, slots);
+      if (shards == 1) {
+        fused_rate = r.node_slots_per_sec;
+        fused_stats = r.stats;
+      }
+      best_rate = std::max(best_rate, r.node_slots_per_sec);
+      const std::string tag = "shards" + std::to_string(shards);
+      manifest.manifest().set_volatile(tag + ".node_slots_per_sec",
+                                       r.node_slots_per_sec);
+      // Granted threads depend on the host's core count, never on results.
+      manifest.manifest().set_volatile_int(tag + ".workers", r.workers);
+      manifest.set_int("equiv." + tag + "_matches_fused",
+                       r.stats == fused_stats ? 1 : 0);
+      std::printf("  %6d  %7d  %18.3e  %7.2fx\n", shards, r.workers,
+                  r.node_slots_per_sec, r.node_slots_per_sec / fused_rate);
+    }
+  }
+  // The headline gate metric: best sharded throughput over fused. Bounded
+  // below by ~1 minus plan/merge overhead on any box; scales with cores.
+  const double scaling_ratio = best_rate / fused_rate;
+  std::printf("\nshard.scaling_ratio (best/fused): %.3f\n", scaling_ratio);
+  manifest.set("shard.scaling_ratio", scaling_ratio);
+
+  // --- Small-engine overhead probe ---------------------------------------
+  {
+    auto t = manifest.phase("overhead");
+    const LegResult fused = run_leg(overhead_n, 1, 64, 512);
+    const LegResult wide = run_leg(overhead_n, 16, 64, 512);
+    const double ratio = wide.node_slots_per_sec / fused.node_slots_per_sec;
+    std::printf("overhead at n=%d: shards=16 runs at %.2fx of fused\n",
+                overhead_n, ratio);
+    manifest.manifest().set_volatile("overhead.shards16_vs_fused", ratio);
+    manifest.set_int("overhead.shards16_matches_fused",
+                     wide.stats == fused.stats ? 1 : 0);
+  }
+
+  manifest.write();
+
+  if (!compare_path.empty())
+    return self_gate(manifest.manifest(), compare_path, tolerances_path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace cogradio
+
+int main(int argc, char** argv) {
+  cogradio::CliArgs args(argc, argv);
+  return cogradio::run(args);
+}

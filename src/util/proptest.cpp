@@ -187,6 +187,15 @@ RunOutcome run_once(const Scenario& scn, ScnEngine engine,
   opt.loss_prob = scn.loss_prob;
   opt.testonly_fault_mutation = options.mutation;
   opt.layout = options.layout;
+  // Sharded resolve is SoA-only; the AoS reference leg is the fused serial
+  // step by definition. --shards overrides the drawn count; the skew
+  // mutation needs >= 2 shards to have two deltas to mis-merge.
+  opt.shards = options.shards > 0 ? options.shards : scn.shards;
+  if (options.shard_merge_skew) {
+    opt.testonly_shard_merge_skew = true;
+    opt.shards = std::max(opt.shards, 2);
+  }
+  if (opt.layout == EngineLayout::AoS) opt.shards = 1;
   switch (engine) {
     case ScnEngine::Plain:
       break;
@@ -279,6 +288,7 @@ Scenario canonicalize(Scenario s) {
     s.faults.burst_nodes = 0;
     s.faults.burst_len = 0;
   }
+  s.shards = std::clamp(s.shards, 1, 16);
   return s;
 }
 
@@ -311,6 +321,12 @@ Scenario generate_scenario(Rng& rng, bool with_faults) {
       s.faults.burst_len = 4 + static_cast<Slot>(rng.below(32));
     }
   }
+  // Shard count is derived from the salt instead of consuming a draw:
+  // both legacy (seed, trial) spaces — fault-free and faulted — keep their
+  // exact historical coin streams, and stripping a fault profile still
+  // recovers the fault-free scenario field for field.
+  s.shards =
+      1 + static_cast<int>((s.salt * 0x9E3779B97F4A7C15ull) >> 60);
   return canonicalize(s);
 }
 
@@ -336,6 +352,7 @@ std::string describe(const Scenario& s) {
       os << " burst=" << s.faults.burst_nodes << "x" << s.faults.burst_len;
     os << "]";
   }
+  if (s.shards != 1) os << " shards=" << s.shards;
   os << " salt=0x" << std::hex << s.salt;
   return os.str();
 }
@@ -464,6 +481,16 @@ std::vector<Scenario> shrink_candidates(const Scenario& s) {
         push(t);
       }
     }
+  }
+  if (s.shards > 1) {
+    // Toward the fused serial step first, then halving — a failure that
+    // survives shards = 1 is not a sharding bug at all.
+    Scenario t = s;
+    t.shards = 1;
+    push(t);
+    t = s;
+    t.shards = s.shards / 2;
+    push(t);
   }
   if (s.jammer != ScnJammer::None) {
     Scenario t = s;

@@ -83,6 +83,12 @@ struct Scenario {
   // harness runs with faults enabled (`cograd check --faults`), so the
   // historical (seed, trial) scenario space is unchanged.
   FaultProfile faults;
+  // Resolve-phase shard count (NetworkOptions::shards). Derived from the
+  // salt rather than drawn, so historical (seed, trial) scenarios — with
+  // or without --faults — keep their exact coin streams; any value must be
+  // bit-identical to shards = 1 (the harness pins this via the layout
+  // differential, whose AoS leg always runs fused).
+  int shards = 1;
   std::uint64_t salt = 1;  // seeds every run-time coin of the execution
 
   bool operator==(const Scenario&) const = default;
@@ -148,6 +154,16 @@ struct CheckOptions {
   TestonlyFaultMutation mutation = TestonlyFaultMutation::None;
   FaultInjectionCounts* injections = nullptr;
   EngineLayout layout = EngineLayout::SoA;
+  // Overrides the scenario's drawn shard count on the primary SoA run when
+  // > 0 (`cograd check --shards N`); 0 keeps the drawn value. Either way
+  // the AoS differential leg runs fused (shards = 1) — sharding is the
+  // SoA-only resolve-phase split, so the cross-layout agreement check is
+  // simultaneously a sharded-vs-fused differential.
+  int shards = 0;
+  // Plumbs NetworkOptions::testonly_shard_merge_skew into the primary run
+  // (forcing at least 2 shards so the skew has something to skew): the
+  // WILL_FAIL leg proving the oracle's shard-delta conservation rule bites.
+  bool shard_merge_skew = false;
 };
 
 // The model audit: run under the InvariantChecker (all protocols tapped),

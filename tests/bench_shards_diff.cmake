@@ -1,0 +1,23 @@
+# Shard-invariance check for `cograd bench`: the merged manifest must be
+# byte-identical no matter how many resolve-phase shards the slot engine
+# ran with (the sim/network.h contract — sharding is an execution
+# strategy, never a model change; see docs/DETERMINISM.md).
+#
+# Invoked by ctest as:
+#   cmake -DCOGRAD=<path-to-cograd> -P bench_shards_diff.cmake
+foreach(shards 1 4)
+  execute_process(
+    COMMAND ${COGRAD} bench --shards ${shards} --out BENCH_shards${shards}.json
+    RESULT_VARIABLE result
+    OUTPUT_QUIET)
+  if(NOT result EQUAL 0)
+    message(FATAL_ERROR "cograd bench --shards ${shards} failed (${result})")
+  endif()
+endforeach()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files BENCH_shards1.json
+          BENCH_shards4.json
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "BENCH_all.json differs between --shards 1 and --shards 4")
+endif()

@@ -1,0 +1,468 @@
+// Differential tests for intra-trial sharded slot resolution
+// (NetworkOptions::shards, sim/network.cpp): for every scenario family the
+// sharded resolve phase must be bit-identical to the fused serial step —
+// identical ResolvedAction streams, TraceStats, NodeActivity, and serialized
+// fault logs — for ANY shard count, because all per-slot randomness is spent
+// in the serial coin loop in the canonical draw order and shard merges are
+// order-fixed (DETERMINISM.md, "Sharded resolve: the two-phase act/resolve
+// pipeline"). This is the shard analogue of test_engine_layouts.cpp.
+//
+// The families cover all three collision models, backoff emulation, fading,
+// jamming, the full FaultEngine kind set, a dynamic assignment, the sparse
+// grouping fallback, and the batch-client interface (including the sharded
+// collect fast path once n >= 4096).
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/assignment.h"
+#include "sim/fault_engine.h"
+#include "sim/jamming.h"
+#include "util/proptest.h"
+#include "util/rng.h"
+
+namespace cogradio {
+namespace {
+
+constexpr int kShardCounts[] = {2, 3, 7, 16};
+
+// Everything observable from one run: the full resolved-action stream, final
+// stats, per-node activity counters, and the serialized fault log (empty
+// string when no fault engine is attached).
+struct RunTrace {
+  std::vector<ResolvedAction> actions;
+  TraceStats stats;
+  std::vector<NodeActivity> activity;
+  std::string fault_log;
+};
+
+struct Family {
+  std::string name;
+  CollisionModel collision = CollisionModel::OneWinner;
+  bool backoff = false;
+  double loss_prob = 0.0;
+  bool jammed = false;
+  bool faulted = false;
+  bool dynamic = false;
+};
+
+// One fixed randomized run of a family with the given shard count. All
+// seeds are pinned, so for a fixed family the shard count is the *only*
+// difference between the runs being compared.
+RunTrace run_family(const Family& fam, int shards) {
+  const int n = 48, c = 8, k = 2;
+  const Slot slots = 64;
+
+  std::unique_ptr<ChannelAssignment> assignment;
+  if (fam.dynamic) {
+    assignment = std::make_unique<DynamicAssignment>(
+        n, c, k, 2 * c,
+        [&](Rng slot_rng) {
+          return std::make_unique<SharedCoreAssignment>(
+              n, c, k, LabelMode::LocalRandom, slot_rng);
+        },
+        Rng(101));
+  } else {
+    assignment = std::make_unique<SharedCoreAssignment>(
+        n, c, k, LabelMode::LocalRandom, Rng(101));
+  }
+
+  Rng seeder(202);
+  std::vector<std::unique_ptr<RandomTrafficNode>> nodes;
+  std::vector<Protocol*> protocols;
+  for (NodeId u = 0; u < n; ++u) {
+    nodes.push_back(std::make_unique<RandomTrafficNode>(
+        c, seeder.split(static_cast<std::uint64_t>(u))));
+    protocols.push_back(nodes.back().get());
+  }
+
+  NetworkOptions opt;
+  opt.layout = EngineLayout::SoA;
+  opt.seed = 303;
+  opt.collision = fam.collision;
+  opt.emulate_backoff = fam.backoff;
+  opt.loss_prob = fam.loss_prob;
+  opt.shards = shards;
+  Network net(*assignment, std::move(protocols), opt);
+
+  std::optional<RandomJammer> jammer;
+  if (fam.jammed) {
+    jammer.emplace(n, assignment->total_channels(), /*budget=*/2, Rng(404));
+    net.set_jammer(&*jammer);
+  }
+  std::optional<FaultEngine> faults;
+  if (fam.faulted) {
+    faults.emplace(n, c, Rng(505));
+    FaultProfile profile;
+    profile.deaf = 3;
+    profile.mute = 3;
+    profile.babble = 3;
+    profile.feedback_drop = 3;
+    profile.churn = 2;
+    profile.burst_nodes = 4;
+    profile.burst_len = 6;
+    faults->add_random(profile, slots);
+    net.set_fault_engine(&*faults);
+  }
+
+  RunTrace out;
+  net.set_observer([&](Slot, std::span<const ResolvedAction> actions) {
+    out.actions.insert(out.actions.end(), actions.begin(), actions.end());
+  });
+  for (Slot s = 0; s < slots; ++s) net.step();
+  out.stats = net.stats();
+  for (NodeId u = 0; u < n; ++u) out.activity.push_back(net.activity(u));
+  if (faults) out.fault_log = faults->serialize_log();
+  return out;
+}
+
+void expect_identical(const RunTrace& fused, const RunTrace& sharded,
+                      int shards) {
+  EXPECT_EQ(fused.stats, sharded.stats) << "shards=" << shards;
+  EXPECT_EQ(fused.activity, sharded.activity) << "shards=" << shards;
+  EXPECT_EQ(fused.fault_log, sharded.fault_log) << "shards=" << shards;
+  ASSERT_EQ(fused.actions.size(), sharded.actions.size())
+      << "shards=" << shards;
+  for (std::size_t i = 0; i < fused.actions.size(); ++i) {
+    ASSERT_EQ(fused.actions[i], sharded.actions[i])
+        << "shards=" << shards << " action index " << i;
+  }
+}
+
+class ShardDifferential : public ::testing::TestWithParam<Family> {};
+
+TEST_P(ShardDifferential, ShardedMatchesFusedBitForBit) {
+  const Family& fam = GetParam();
+  const RunTrace fused = run_family(fam, /*shards=*/1);
+  for (const int shards : kShardCounts)
+    expect_identical(fused, run_family(fam, shards), shards);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, ShardDifferential,
+    ::testing::Values(
+        Family{.name = "plain"},
+        Family{.name = "backoff", .backoff = true},
+        Family{.name = "fading", .loss_prob = 0.25},
+        Family{.name = "jammed", .jammed = true},
+        Family{.name = "faulted", .faulted = true},
+        Family{.name = "all_delivered",
+               .collision = CollisionModel::AllDelivered},
+        Family{.name = "all_delivered_faulted",
+               .collision = CollisionModel::AllDelivered,
+               .faulted = true},
+        Family{.name = "collision_loss",
+               .collision = CollisionModel::CollisionLoss},
+        Family{.name = "dynamic", .dynamic = true},
+        Family{.name = "kitchen_sink",
+               .loss_prob = 0.125,
+               .jammed = true,
+               .faulted = true},
+        Family{.name = "kitchen_sink_backoff",
+               .backoff = true,
+               .loss_prob = 0.125,
+               .jammed = true,
+               .faulted = true}),
+    [](const ::testing::TestParamInfo<Family>& info) {
+      return info.param.name;
+    });
+
+// The sparse grouping fallback: a Partitioned universe too large for the
+// dense bitmaps forces the counting-sort plan path — sharded resolution
+// must still match the fused step exactly.
+TEST(ShardDifferentialSparse, PartitionedUniverseMatchesAcrossShardCounts) {
+  const int n = 300, c = 16, k = 2;
+  const Slot slots = 48;
+  ASSERT_FALSE(ChannelBitmaps::affordable(k + n * (c - k), n));
+
+  const auto run_once = [&](int shards) {
+    PartitionedAssignment assignment(n, c, k, LabelMode::LocalRandom, Rng(7));
+    Rng seeder(8);
+    std::vector<std::unique_ptr<RandomTrafficNode>> nodes;
+    std::vector<Protocol*> protocols;
+    for (NodeId u = 0; u < n; ++u) {
+      nodes.push_back(std::make_unique<RandomTrafficNode>(
+          c, seeder.split(static_cast<std::uint64_t>(u))));
+      protocols.push_back(nodes.back().get());
+    }
+    NetworkOptions opt;
+    opt.layout = EngineLayout::SoA;
+    opt.seed = 9;
+    opt.loss_prob = 0.125;
+    opt.shards = shards;
+    Network net(assignment, std::move(protocols), opt);
+    RunTrace out;
+    net.set_observer([&](Slot, std::span<const ResolvedAction> actions) {
+      out.actions.insert(out.actions.end(), actions.begin(), actions.end());
+    });
+    for (Slot s = 0; s < slots; ++s) net.step();
+    out.stats = net.stats();
+    for (NodeId u = 0; u < n; ++u) out.activity.push_back(net.activity(u));
+    return out;
+  };
+
+  const RunTrace fused = run_once(1);
+  for (const int shards : kShardCounts)
+    expect_identical(fused, run_once(shards), shards);
+}
+
+// --- Batch-client shard differential ------------------------------------
+
+// Deterministic feedback-oblivious traffic: a pure hash of (slot, node)
+// decides mode, label, and payload (same generator as the engine-layout
+// batch twin), so every shard count sees byte-identical offered load.
+struct ChatterDecision {
+  Mode mode = Mode::Idle;
+  LocalLabel label = 0;
+};
+
+ChatterDecision chatter(Slot slot, NodeId node, int c) {
+  std::uint64_t h = static_cast<std::uint64_t>(slot) * 0x9E3779B97F4A7C15ull +
+                    static_cast<std::uint64_t>(node) * 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 29;
+  h *= 0x94D049BB133111EBull;
+  h ^= h >> 32;
+  ChatterDecision d;
+  const std::uint64_t roll = h % 10;
+  if (roll == 0) return d;  // idle
+  d.mode = roll < 5 ? Mode::Broadcast : Mode::Listen;
+  d.label = static_cast<LocalLabel>((h >> 8) % static_cast<std::uint64_t>(c));
+  return d;
+}
+
+Message chatter_msg(Slot slot, NodeId node) {
+  Message m;
+  m.type = MessageType::Data;
+  m.a = slot * 1000 + node;
+  return m;
+}
+
+struct ChatterTally {
+  std::int64_t tx_success = 0;
+  std::int64_t jammed = 0;
+  std::int64_t received = 0;
+  std::int64_t received_payload_sum = 0;
+
+  bool operator==(const ChatterTally&) const = default;
+};
+
+class ChatterClient : public BatchClient {
+ public:
+  ChatterClient(int n, int c, Slot slots, ChatterTally* tally)
+      : n_(n), c_(c), slots_(slots), tally_(tally) {}
+
+  void begin_slot(Slot slot, std::span<Mode> mode,
+                  std::span<LocalLabel> label) override {
+    for (NodeId u = 0; u < n_; ++u) {
+      const ChatterDecision d = chatter(slot, u, c_);
+      mode[static_cast<std::size_t>(u)] = d.mode;
+      label[static_cast<std::size_t>(u)] = d.label;
+    }
+  }
+
+  Message source_message(Slot slot, NodeId node) override {
+    return chatter_msg(slot, node);
+  }
+
+  void end_slot(const BatchFeedback& fb) override {
+    for (NodeId u = 0; u < n_; ++u) {
+      const auto i = static_cast<std::size_t>(u);
+      const std::uint8_t f = fb.flags[i];
+      if (f & slotflag::kFeedbackBlank) continue;
+      if (f & slotflag::kJammed) ++tally_->jammed;
+      if (f & slotflag::kTxSuccess) ++tally_->tx_success;
+      const std::int32_t count = fb.rx_count[i];
+      tally_->received += count;
+      for (std::int32_t m = 0; m < count; ++m) {
+        tally_->received_payload_sum +=
+            fb.messages[static_cast<std::size_t>(fb.rx_offset[i] + m)].a;
+      }
+    }
+    last_slot_ = fb.slot;
+  }
+
+  bool done() const override { return last_slot_ >= slots_; }
+
+ private:
+  int n_;
+  int c_;
+  Slot slots_;
+  Slot last_slot_ = 0;
+  ChatterTally* tally_;
+};
+
+struct BatchRun {
+  TraceStats stats;
+  std::vector<NodeActivity> activity;
+  ChatterTally tally;
+  std::string fault_log;
+};
+
+BatchRun run_batch(int n, int c, int k, Slot slots, int shards,
+                   bool adversaries, CollisionModel collision) {
+  SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom, Rng(33));
+  ChatterTally tally;
+  ChatterClient client(n, c, slots, &tally);
+  NetworkOptions opt;
+  opt.layout = EngineLayout::SoA;
+  opt.seed = 77;
+  opt.collision = collision;
+  opt.loss_prob = collision == CollisionModel::OneWinner ? 0.125 : 0.0;
+  opt.shards = shards;
+  Network net(assignment, client, opt);
+  std::optional<RandomJammer> jammer;
+  std::optional<FaultEngine> faults;
+  if (adversaries) {
+    jammer.emplace(n, assignment.total_channels(), 2, Rng(44));
+    net.set_jammer(&*jammer);
+    faults.emplace(n, c, Rng(55));
+    FaultProfile profile;
+    profile.deaf = 4;
+    profile.mute = 4;
+    profile.babble = 4;
+    profile.feedback_drop = 4;
+    profile.churn = 3;
+    profile.burst_nodes = 5;
+    profile.burst_len = 8;
+    faults->add_random(profile, slots);
+    net.set_fault_engine(&*faults);
+  }
+  BatchRun out;
+  for (Slot s = 0; s < slots; ++s) net.step();
+  out.stats = net.stats();
+  for (NodeId u = 0; u < n; ++u) out.activity.push_back(net.activity(u));
+  out.tally = tally;
+  if (faults) out.fault_log = faults->serialize_log();
+  return out;
+}
+
+void expect_batch_identical(const BatchRun& fused, const BatchRun& sharded,
+                            int shards) {
+  EXPECT_EQ(fused.stats, sharded.stats) << "shards=" << shards;
+  EXPECT_EQ(fused.activity, sharded.activity) << "shards=" << shards;
+  EXPECT_EQ(fused.tally, sharded.tally) << "shards=" << shards;
+  EXPECT_EQ(fused.fault_log, sharded.fault_log) << "shards=" << shards;
+}
+
+// Batch interface under jamming, fading, and the full fault kind set:
+// sharded feedback packaging (preassigned message slots, rx views, flag
+// bytes) must agree with the fused step for every shard count.
+TEST(ShardDifferentialBatch, AdversarialBatchMatchesAcrossShardCounts) {
+  const int n = 64, c = 8, k = 2;
+  const Slot slots = 96;
+  const BatchRun fused = run_batch(n, c, k, slots, /*shards=*/1,
+                                   /*adversaries=*/true,
+                                   CollisionModel::OneWinner);
+  EXPECT_GT(fused.stats.deliveries, 0);
+  EXPECT_GT(fused.stats.jammed_node_slots, 0);
+  for (const int shards : kShardCounts)
+    expect_batch_identical(fused,
+                           run_batch(n, c, k, slots, shards,
+                                     /*adversaries=*/true,
+                                     CollisionModel::OneWinner),
+                           shards);
+}
+
+// Clean large batch run (n >= 4096, no jammer, no faults): exercises the
+// sharded parallel collect fast path, the atomic bitmap fill, and the
+// sharded accounting pass — all of which must still be bit-identical.
+TEST(ShardDifferentialBatch, LargeCleanBatchUsesShardedCollect) {
+  const int n = 4500, c = 16, k = 3;
+  const Slot slots = 24;
+  const BatchRun fused = run_batch(n, c, k, slots, /*shards=*/1,
+                                   /*adversaries=*/false,
+                                   CollisionModel::OneWinner);
+  EXPECT_GT(fused.stats.deliveries, 0);
+  for (const int shards : kShardCounts)
+    expect_batch_identical(fused,
+                           run_batch(n, c, k, slots, shards,
+                                     /*adversaries=*/false,
+                                     CollisionModel::OneWinner),
+                           shards);
+}
+
+// AllDelivered batch: the msg_base prefix-sum packaging (bcount messages per
+// channel) is the interesting case — every listener's rx view must span the
+// exact same contiguous message range as the fused path writes.
+TEST(ShardDifferentialBatch, AllDeliveredBatchMatchesAcrossShardCounts) {
+  const int n = 64, c = 8, k = 2;
+  const Slot slots = 64;
+  const BatchRun fused = run_batch(n, c, k, slots, /*shards=*/1,
+                                   /*adversaries=*/false,
+                                   CollisionModel::AllDelivered);
+  EXPECT_GT(fused.stats.deliveries, 0);
+  for (const int shards : kShardCounts)
+    expect_batch_identical(fused,
+                           run_batch(n, c, k, slots, shards,
+                                     /*adversaries=*/false,
+                                     CollisionModel::AllDelivered),
+                           shards);
+}
+
+// Sharding is a SoA feature: the AoS reference path IS the shards == 1
+// serial step by definition, so constructing AoS with shards > 1 must be
+// rejected loudly (both constructors).
+TEST(ShardDifferentialGuards, AoSRejectsShardCountsAboveOne) {
+  const int n = 4, c = 2;
+  IdentityAssignment assignment(n, c, LabelMode::Global, Rng(1));
+  NetworkOptions opt;
+  opt.layout = EngineLayout::AoS;
+  opt.shards = 2;
+  {
+    Rng seeder(2);
+    std::vector<std::unique_ptr<RandomTrafficNode>> nodes;
+    std::vector<Protocol*> protocols;
+    for (NodeId u = 0; u < n; ++u) {
+      nodes.push_back(std::make_unique<RandomTrafficNode>(c, seeder.split(u)));
+      protocols.push_back(nodes.back().get());
+    }
+    EXPECT_THROW(Network(assignment, std::move(protocols), opt),
+                 std::invalid_argument);
+  }
+}
+
+// Nonsense shard counts are rejected by both constructors.
+TEST(ShardDifferentialGuards, RejectsNonPositiveShardCounts) {
+  const int n = 4, c = 2;
+  IdentityAssignment assignment(n, c, LabelMode::Global, Rng(1));
+  NetworkOptions opt;
+  opt.layout = EngineLayout::SoA;
+  opt.shards = 0;
+  {
+    Rng seeder(2);
+    std::vector<std::unique_ptr<RandomTrafficNode>> nodes;
+    std::vector<Protocol*> protocols;
+    for (NodeId u = 0; u < n; ++u) {
+      nodes.push_back(std::make_unique<RandomTrafficNode>(c, seeder.split(u)));
+      protocols.push_back(nodes.back().get());
+    }
+    EXPECT_THROW(Network(assignment, std::move(protocols), opt),
+                 std::invalid_argument);
+  }
+  ChatterTally tally;
+  ChatterClient client(n, c, 1, &tally);
+  opt.shards = -3;
+  EXPECT_THROW(Network(assignment, client, opt), std::invalid_argument);
+}
+
+// More shards than channels, and shards == channels: degenerate partitions
+// (empty shards) must behave exactly like the fused step.
+TEST(ShardDifferentialGuards, MoreShardsThanChannelsIsExact) {
+  Family fam;
+  fam.name = "oversharded";
+  fam.loss_prob = 0.25;
+  const RunTrace fused = run_family(fam, 1);
+  expect_identical(fused, run_family(fam, 8), 8);
+  expect_identical(fused, run_family(fam, 64), 64);
+}
+
+}  // namespace
+}  // namespace cogradio
