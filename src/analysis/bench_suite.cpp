@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include <algorithm>
 
@@ -11,6 +12,8 @@
 #include "core/runtime.h"
 #include "lowerbounds/hitting_game.h"
 #include "sim/assignment.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
 #include "sim/backoff.h"
 #include "sim/fault_engine.h"
 #include "sim/jamming.h"
@@ -455,6 +458,55 @@ RunManifest smoke_e35_layouts(const SmokeOptions& opt) {
   return m;
 }
 
+// The serve daemon's bench-gate arm (E37 holds the full-size harness): an
+// in-process daemon driven through a clean loadgen wave and a
+// disconnect-injection wave. Every recorded metric is a deterministic 0/1
+// flag — byte-identity of every surviving session against a local
+// run_job, and the exact-accounting invariant accepted == completed +
+// shed_on_disconnect + aborted + failed. Counts, rates and latencies are
+// machine-dependent and stay out of the manifest entirely.
+RunManifest smoke_e37_serve(const SmokeOptions& opt) {
+  RunManifest m("smoke_e37_serve");
+  m.set_config_int("seed", static_cast<std::int64_t>(opt.seed));
+  ServeOptions options;
+  options.tcp_port = 0;  // ephemeral loopback port
+  options.workers = 2;
+  ServeServer server(options);
+  std::thread io([&server] { server.run(); });
+  LoadgenOptions load;
+  load.tcp_port = server.tcp_port();
+  load.sessions = 12;
+  load.connections = 4;
+  load.seed = opt.seed;
+  load.job.n = 24;
+  load.job.c = 6;
+  load.job.k = 2;
+  load.job.shards = opt.shards;  // sharded resolve is bit-identical
+  const LoadgenReport clean = run_loadgen(load);
+  load.kill_every = 3;
+  load.seed = opt.seed + 1;
+  const LoadgenReport churn = run_loadgen(load);
+  server.stop();
+  io.join();
+  const ServeStats stats = server.stats();
+  m.set_int("clean.all_completed",
+            clean.ok && clean.completed == clean.sessions ? 1 : 0);
+  m.set_int("clean.all_verified",
+            clean.verify_failures == 0 && clean.protocol_errors == 0 &&
+                    clean.transport_errors == 0
+                ? 1
+                : 0);
+  m.set_int("churn.daemon_survived",
+            churn.ok && churn.killed > 0 && stats.failed == 0 ? 1 : 0);
+  m.set_int("churn.surviving_verified", churn.verify_failures == 0 ? 1 : 0);
+  m.set_int("accounting_exact",
+            stats.accepted == stats.completed + stats.shed_disconnect +
+                                  stats.aborted + stats.failed
+                ? 1
+                : 0);
+  return m;
+}
+
 struct ExperimentDef {
   const char* name;
   RunManifest (*run)(const SmokeOptions&);
@@ -470,6 +522,7 @@ constexpr ExperimentDef kExperiments[] = {
     {"smoke_e19_fault_recovery", smoke_e19_fault_recovery},
     {"smoke_e25_multihop", smoke_e25_multihop},
     {"smoke_e35_layouts", smoke_e35_layouts},
+    {"smoke_e37_serve", smoke_e37_serve},
     {"smoke_trace_counters", smoke_trace_counters},
 };
 

@@ -159,7 +159,8 @@ const char* const kSerializationHeaders[] = {
     "sim/types.h",          "sim/trace.h",        "sim/message.h",
     "sim/protocol.h",       "sim/network.h",      "sim/backoff.h",
     "sim/recorder.h",       "sim/fault_engine.h", "sim/channel_bitmap.h",
-    "util/bench_report.h",
+    "util/bench_report.h",  "serve/job.h",        "serve/protocol.h",
+    "serve/server.h",       "serve/loadgen.h",
 };
 
 bool in_r5_scope(const std::string& rel_path) {

@@ -5,9 +5,23 @@
 
 namespace cogradio {
 
+Slot next_backoff_deadline(Slot deadline, double backoff, Slot max_deadline) {
+  const Slot cap = max_deadline > 0
+                       ? std::min(max_deadline, kMaxSupervisorDeadline)
+                       : kMaxSupervisorDeadline;
+  if (deadline >= cap) return cap;
+  // Grow in double and compare against the cap *before* converting back:
+  // for large deadlines the raw double -> Slot cast is the overflow that
+  // used to wrap the deadline tiny or negative.
+  const double grown = static_cast<double>(deadline) * backoff;
+  if (!(grown < static_cast<double>(cap))) return cap;
+  return std::min(cap, std::max<Slot>(deadline + 1, static_cast<Slot>(grown)));
+}
+
 SupervisedOutcome run_supervised(const AttemptFactory& factory,
                                  const SupervisorOptions& options,
-                                 std::uint64_t seed) {
+                                 std::uint64_t seed,
+                                 const EpochObserver& observer) {
   if (!factory) throw std::invalid_argument("supervisor: need a factory");
   if (options.deadline <= 0 && options.stall_window <= 0)
     throw std::invalid_argument(
@@ -16,6 +30,8 @@ SupervisedOutcome run_supervised(const AttemptFactory& factory,
     throw std::invalid_argument("supervisor: backoff must be >= 1");
   if (options.max_restarts < 0)
     throw std::invalid_argument("supervisor: max_restarts must be >= 0");
+  if (options.max_deadline < 0)
+    throw std::invalid_argument("supervisor: max_deadline must be >= 0");
 
   Rng seeder(seed);
   SupervisedOutcome out;
@@ -61,16 +77,20 @@ SupervisedOutcome run_supervised(const AttemptFactory& factory,
     epoch.slots = steps;
     out.total_slots += steps;
     out.epochs.push_back(epoch);
+    const bool keep_going = !observer || observer(attempt, epoch);
     if (epoch.completed) {
       out.completed = true;
+      break;
+    }
+    if (!keep_going) {
+      out.aborted = true;
       break;
     }
     if (attempt < options.max_restarts) {
       ++out.restarts;
       if (deadline > 0)
-        deadline = std::max<Slot>(
-            deadline + 1,
-            static_cast<Slot>(static_cast<double>(deadline) * options.backoff));
+        deadline = next_backoff_deadline(deadline, options.backoff,
+                                         options.max_deadline);
     }
   }
   return out;
@@ -170,6 +190,10 @@ SupervisedRun build_cogcomp_run(ChannelAssignment& assignment,
   run.success = [s = state.get(), source = config.source] {
     return s->nodes[static_cast<std::size_t>(source)]->complete() &&
            s->network->all_done();
+  };
+  run.aggregate = [s = state.get(), source = config.source] {
+    return s->aggregator.result(
+        s->nodes[static_cast<std::size_t>(source)]->accumulated());
   };
   run.state = state;
   return run;

@@ -28,6 +28,14 @@
 
 namespace cogradio {
 
+// Ceiling for the backed-off per-epoch deadline. Exponential growth is
+// computed in double, and for large budgets the double -> Slot conversion
+// could otherwise overflow and wrap to a tiny or negative deadline (which
+// would silently turn "more time" into "no time"). next_backoff_deadline
+// clamps here; generous enough that a real run never notices — at one
+// nanosecond per slot this is two years of slots per epoch.
+inline constexpr Slot kMaxSupervisorDeadline = Slot{1} << 56;
+
 struct SupervisorOptions {
   // Per-epoch slot budget; 0 = unbounded (then stall_window must be set).
   Slot deadline = 0;
@@ -39,7 +47,19 @@ struct SupervisorOptions {
   double backoff = 2.0;
   // Restarts allowed after the first attempt (total epochs <= 1 + this).
   int max_restarts = 3;
+  // Backed-off deadlines are clamped to min(max_deadline,
+  // kMaxSupervisorDeadline); 0 = kMaxSupervisorDeadline. A serve session
+  // sets this lower to bound its worst-case epoch.
+  Slot max_deadline = 0;
 };
+
+// The deadline for the epoch after one with per-epoch budget `deadline`:
+// grows by `backoff` (always by at least one slot) and clamps to
+// min(max_deadline > 0 ? max_deadline : kMaxSupervisorDeadline,
+// kMaxSupervisorDeadline). Total in double before converting, so a huge
+// deadline times a huge backoff clamps instead of wrapping. Exposed for
+// the boundary tests in tests/test_supervisor.cpp.
+Slot next_backoff_deadline(Slot deadline, double backoff, Slot max_deadline);
 
 // Why one epoch ended.
 struct EpochStats {
@@ -49,8 +69,16 @@ struct EpochStats {
   bool deadline_hit = false;  // epoch exceeded its (backed-off) deadline
 };
 
+// Observes every finished epoch (attempt index and its stats) before the
+// supervisor decides whether to restart. Returning false aborts the whole
+// supervised run — no further restarts — which is how a serve session's
+// cancel frame (src/serve) stops in-flight work between epochs. An empty
+// function observes nothing and never aborts.
+using EpochObserver = std::function<bool(int attempt, const EpochStats&)>;
+
 struct SupervisedOutcome {
   bool completed = false;
+  bool aborted = false;       // an EpochObserver returned false
   int restarts = 0;           // epochs abandoned and retried
   Slot total_slots = 0;       // summed over every epoch
   std::vector<EpochStats> epochs;
@@ -64,6 +92,10 @@ struct SupervisedRun {
   Network* network = nullptr;
   std::function<std::int64_t()> progress;
   std::function<bool()> success;
+  // Reads the run's scalar answer (CogComp: the source's aggregate);
+  // empty when the protocol has none. Callers that keep the run alive
+  // past run_supervised (src/serve/job.cpp) read it after completion.
+  std::function<Value()> aggregate;
   std::shared_ptr<void> state;
 };
 
@@ -73,12 +105,16 @@ struct SupervisedRun {
 using AttemptFactory =
     std::function<SupervisedRun(int attempt, std::uint64_t seed)>;
 
-// The supervisor loop: run epochs until success() holds or the restart
-// budget is exhausted. Throws if neither a deadline nor a stall window
-// bounds the epoch.
+// The supervisor loop: run epochs until success() holds, the restart
+// budget is exhausted, or `observer` (called after every epoch) asks for
+// an abort. Throws if neither a deadline nor a stall window bounds the
+// epoch. The observer never affects what an epoch computes — only whether
+// the next one starts — so an observer that always returns true leaves the
+// outcome bit-identical to the observer-free call.
 SupervisedOutcome run_supervised(const AttemptFactory& factory,
                                  const SupervisorOptions& options,
-                                 std::uint64_t seed);
+                                 std::uint64_t seed,
+                                 const EpochObserver& observer = {});
 
 // Standard supervised assemblies, mirroring core/runtime.cpp's runners:
 // nodes and network are rebuilt from `seed` (which replaces config.seed).

@@ -1,0 +1,184 @@
+#include "serve/protocol.h"
+
+namespace cogradio {
+
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+bool read_id(const JsonValue& frame, std::int64_t* id, std::string* error) {
+  const JsonValue* v = frame.find("id");
+  if (v == nullptr || !v->is_number())
+    return fail(error, "frame: missing numeric 'id'");
+  const double d = v->as_number();
+  const std::int64_t i = static_cast<std::int64_t>(d);
+  if (static_cast<double>(i) != d || i < 0)
+    return fail(error, "frame: 'id' must be a non-negative integer");
+  *id = i;
+  return true;
+}
+
+}  // namespace
+
+std::optional<Request> parse_request(const std::string& line,
+                                     std::string* error) {
+  if (line.size() >= kMaxFrameBytes) {
+    fail(error, "frame exceeds size cap");
+    return std::nullopt;
+  }
+  std::string parse_error;
+  const auto doc = parse_json(line, &parse_error);
+  if (!doc) {
+    fail(error, "bad JSON: " + parse_error);
+    return std::nullopt;
+  }
+  if (!doc->is_object()) {
+    fail(error, "frame: expected a JSON object");
+    return std::nullopt;
+  }
+  const JsonValue* type = doc->find("type");
+  if (type == nullptr || !type->is_string()) {
+    fail(error, "frame: missing string 'type'");
+    return std::nullopt;
+  }
+  Request request;
+  const std::string& name = type->as_string();
+  if (name == "submit") {
+    request.type = RequestType::Submit;
+    if (!read_id(*doc, &request.id, error)) return std::nullopt;
+    const JsonValue* job = doc->find("job");
+    if (job == nullptr) {
+      fail(error, "submit: missing 'job'");
+      return std::nullopt;
+    }
+    auto spec = parse_job_spec(*job, error);
+    if (!spec) return std::nullopt;
+    request.job = *spec;
+    return request;
+  }
+  if (name == "cancel" || name == "status") {
+    request.type =
+        name == "cancel" ? RequestType::Cancel : RequestType::Status;
+    if (!read_id(*doc, &request.id, error)) return std::nullopt;
+    return request;
+  }
+  if (name == "stats") {
+    request.type = RequestType::Stats;
+    return request;
+  }
+  if (name == "ping") {
+    request.type = RequestType::Ping;
+    return request;
+  }
+  if (name == "shutdown") {
+    request.type = RequestType::Shutdown;
+    return request;
+  }
+  fail(error, "frame: unknown type '" + json_escape(name) + "'");
+  return std::nullopt;
+}
+
+std::string encode_request(const Request& request) {
+  switch (request.type) {
+    case RequestType::Submit:
+      return "{\"type\":\"submit\",\"id\":" + std::to_string(request.id) +
+             ",\"job\":" + job_spec_to_json(request.job) + "}\n";
+    case RequestType::Cancel:
+      return "{\"type\":\"cancel\",\"id\":" + std::to_string(request.id) +
+             "}\n";
+    case RequestType::Status:
+      return "{\"type\":\"status\",\"id\":" + std::to_string(request.id) +
+             "}\n";
+    case RequestType::Stats:
+      return "{\"type\":\"stats\"}\n";
+    case RequestType::Ping:
+      return "{\"type\":\"ping\"}\n";
+    case RequestType::Shutdown:
+      return "{\"type\":\"shutdown\"}\n";
+  }
+  return "{\"type\":\"ping\"}\n";
+}
+
+std::string frame_accepted(std::int64_t id, std::int64_t queue_depth) {
+  return "{\"type\":\"accepted\",\"id\":" + std::to_string(id) +
+         ",\"queue_depth\":" + std::to_string(queue_depth) + "}\n";
+}
+
+std::string frame_shed(std::int64_t id, const std::string& reason) {
+  return "{\"type\":\"shed\",\"id\":" + std::to_string(id) + ",\"reason\":\"" +
+         json_escape(reason) + "\"}\n";
+}
+
+std::string frame_error(const std::string& message) {
+  return "{\"type\":\"error\",\"message\":\"" + json_escape(message) + "\"}\n";
+}
+
+std::string frame_epoch(std::int64_t id, int attempt,
+                        const EpochStats& epoch) {
+  std::string out = "{\"type\":\"epoch\",\"id\":" + std::to_string(id);
+  out += ",\"attempt\":" + std::to_string(attempt);
+  out += ",\"slots\":" + std::to_string(epoch.slots);
+  out += std::string(",\"completed\":") + (epoch.completed ? "true" : "false");
+  out += std::string(",\"stalled\":") + (epoch.stalled ? "true" : "false");
+  out += std::string(",\"deadline_hit\":") +
+         (epoch.deadline_hit ? "true" : "false");
+  out += "}\n";
+  return out;
+}
+
+std::string frame_done(std::int64_t id, const JobResult& result) {
+  return "{\"type\":\"done\",\"id\":" + std::to_string(id) +
+         ",\"result\":" + job_result_to_json(result) + "}\n";
+}
+
+std::string frame_status(std::int64_t id, const std::string& state) {
+  return "{\"type\":\"status\",\"id\":" + std::to_string(id) +
+         ",\"state\":\"" + json_escape(state) + "\"}\n";
+}
+
+std::string frame_pong() { return "{\"type\":\"pong\"}\n"; }
+
+std::string frame_bye() { return "{\"type\":\"bye\"}\n"; }
+
+std::string frame_stats(const ServeStats& s) {
+  std::string out = "{\"type\":\"stats\"";
+  out += ",\"sessions_opened\":" + std::to_string(s.sessions_opened);
+  out += ",\"sessions_closed\":" + std::to_string(s.sessions_closed);
+  out += ",\"disconnects\":" + std::to_string(s.disconnects);
+  out += ",\"accepted\":" + std::to_string(s.accepted);
+  out += ",\"shed\":" + std::to_string(s.shed);
+  out += ",\"shed_disconnect\":" + std::to_string(s.shed_disconnect);
+  out += ",\"completed\":" + std::to_string(s.completed);
+  out += ",\"aborted\":" + std::to_string(s.aborted);
+  out += ",\"failed\":" + std::to_string(s.failed);
+  out += ",\"protocol_errors\":" + std::to_string(s.protocol_errors);
+  out += ",\"queued_now\":" + std::to_string(s.queued_now);
+  out += ",\"running_now\":" + std::to_string(s.running_now);
+  out += ",\"workers\":" + std::to_string(s.workers);
+  out += "}\n";
+  return out;
+}
+
+std::optional<Response> parse_response(const std::string& line,
+                                       std::string* error) {
+  std::string parse_error;
+  auto doc = parse_json(line, &parse_error);
+  if (!doc) {
+    fail(error, "bad JSON: " + parse_error);
+    return std::nullopt;
+  }
+  const JsonValue* type = doc->find("type");
+  if (!doc->is_object() || type == nullptr || !type->is_string()) {
+    fail(error, "response: missing string 'type'");
+    return std::nullopt;
+  }
+  Response response;
+  response.type = type->as_string();
+  response.body = std::move(*doc);
+  return response;
+}
+
+}  // namespace cogradio

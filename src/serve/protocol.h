@@ -1,0 +1,87 @@
+// The `cograd serve` wire protocol: newline-delimited JSON frames.
+//
+// Every frame is one JSON object on one line. Clients send requests
+// (submit / cancel / status / stats / ping / shutdown); the daemon
+// answers with typed responses and, for accepted jobs, streams one
+// `epoch` frame per supervised epoch before the final `done` frame whose
+// "result" member embeds job_result_to_json verbatim — the byte-identity
+// hook clients verify against a local run_job. Frames are hard-capped at
+// kMaxFrameBytes; parsing goes through util/json's depth-capped parser,
+// so a hostile peer can neither balloon memory with an endless line nor
+// overflow the stack with "[[[[...". Malformed frames earn an `error`
+// response and count toward the session's strike limit rather than
+// killing the daemon.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "serve/job.h"
+
+namespace cogradio {
+
+// Longest accepted frame, newline included. A submit frame is a few
+// hundred bytes; a megabyte of headroom means the cap only ever trips on
+// abuse, not on real clients.
+inline constexpr std::size_t kMaxFrameBytes = std::size_t{1} << 20;
+
+// Protocol errors tolerated per session before the daemon hangs up.
+inline constexpr int kMaxProtocolStrikes = 8;
+
+enum class RequestType { Submit, Cancel, Status, Stats, Ping, Shutdown };
+
+struct Request {
+  RequestType type = RequestType::Ping;
+  std::int64_t id = 0;  // client-chosen job id (submit / cancel / status)
+  JobSpec job;          // submit only
+};
+
+// Parses one frame line (without the trailing newline). On failure
+// returns nullopt and stores a diagnostic in `error`.
+std::optional<Request> parse_request(const std::string& line,
+                                     std::string* error);
+
+// Serializes a request as a one-line frame, trailing '\n' included.
+std::string encode_request(const Request& request);
+
+// --- Response frames (daemon -> client), each one line with '\n' --------
+
+std::string frame_accepted(std::int64_t id, std::int64_t queue_depth);
+std::string frame_shed(std::int64_t id, const std::string& reason);
+std::string frame_error(const std::string& message);
+std::string frame_epoch(std::int64_t id, int attempt, const EpochStats& epoch);
+std::string frame_done(std::int64_t id, const JobResult& result);
+std::string frame_status(std::int64_t id, const std::string& state);
+std::string frame_pong();
+std::string frame_bye();
+
+// Counters the `stats` frame reports; also the daemon's public telemetry.
+struct ServeStats {
+  std::int64_t sessions_opened = 0;
+  std::int64_t sessions_closed = 0;
+  std::int64_t disconnects = 0;      // peers that vanished mid-session
+  std::int64_t accepted = 0;
+  std::int64_t shed = 0;             // refused at submit (queue full)
+  std::int64_t shed_disconnect = 0;  // queued work dropped on disconnect
+  std::int64_t completed = 0;
+  std::int64_t aborted = 0;          // cancelled or disconnected mid-run
+  std::int64_t failed = 0;           // run_job reported ok=false
+  std::int64_t protocol_errors = 0;
+  std::int64_t queued_now = 0;
+  std::int64_t running_now = 0;
+  std::int64_t workers = 0;
+};
+
+std::string frame_stats(const ServeStats& stats);
+
+// Parses a response frame line into (type, body). Used by loadgen and
+// tests; returns nullopt on malformed frames.
+struct Response {
+  std::string type;
+  JsonValue body;
+};
+std::optional<Response> parse_response(const std::string& line,
+                                       std::string* error);
+
+}  // namespace cogradio

@@ -1,0 +1,73 @@
+// The `cograd serve` daemon: one process multiplexing many concurrent
+// CogCast/CogComp sessions onto a core-capped worker pool.
+//
+// Threading model: one IO thread (the caller of run()) owns every socket
+// — it accepts, reads, frames, parses, and writes; workers never touch
+// an fd. Workers pull jobs from a shared deque and push response frames
+// into per-session outbound buffers under the server mutex, then poke a
+// self-pipe so the IO thread's poll() wakes and flushes. Each worker
+// pins set_worker_fanout(workers), so a session running a sharded
+// engine divides the machine by the pool size — sessions x shards never
+// oversubscribes, exactly like nested ParallelSweep batches.
+//
+// Robustness: a peer may vanish at any instant. Reads see EOF, writes
+// see EPIPE (SIGPIPE is ignored; see serve/socket.h) — both funnel into
+// the same disconnect path: the session is closed, its queued jobs are
+// shed, and its running jobs are cancelled at the next epoch boundary
+// via the supervisor's EpochObserver. The daemon itself never exits on
+// a peer's behavior; only a shutdown frame or stop() ends run().
+//
+// Determinism: a job's result depends only on its JobSpec (serve/job.h)
+// — never on worker count, session interleaving, or queue order — so a
+// `done` frame is byte-identical to a local `run_job` of the same spec.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace cogradio {
+
+struct ServeOptions {
+  // Listener selection: a non-empty unix path, a TCP port (0 =
+  // ephemeral), or both. At least one must be enabled.
+  std::string unix_path;
+  int tcp_port = -1;  // < 0 disables TCP
+  // Worker pool size; <= 0 means all hardware threads (resolve_jobs).
+  int workers = 0;
+  // Jobs queued (not yet running) before submits are shed.
+  int max_queue = 1024;
+  // Concurrent sessions before new connections are turned away.
+  int max_sessions = 4096;
+};
+
+class ServeServer {
+ public:
+  // Binds the listeners; throws std::runtime_error on bind failure.
+  explicit ServeServer(const ServeOptions& options);
+  ~ServeServer();
+
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  // The resolved TCP port (useful with tcp_port = 0); -1 if disabled.
+  int tcp_port() const;
+  int workers() const;
+
+  // Runs the IO loop on the calling thread until a shutdown frame or
+  // stop() arrives; starts and joins the worker pool internally.
+  void run();
+
+  // Thread-safe asynchronous stop: cancels all work, drains best-effort,
+  // and makes run() return.
+  void stop();
+
+  ServeStats stats() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace cogradio

@@ -1,0 +1,196 @@
+#include "serve/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <csignal>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace cogradio {
+
+namespace {
+
+bool set_error(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what + ": " + std::strerror(errno);
+  return false;
+}
+
+}  // namespace
+
+void ignore_sigpipe() {
+  struct sigaction action {};
+  action.sa_handler = SIG_IGN;
+  ::sigaction(SIGPIPE, &action, nullptr);
+}
+
+void OwnedFd::reset() {
+  if (fd_ >= 0) {
+    // EINTR on close is unrecoverable-by-retry on Linux; the fd is gone
+    // either way.
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+OwnedFd listen_unix(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) *error = "unix socket path too long: " + path;
+    return OwnedFd();
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  OwnedFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    set_error(error, "socket");
+    return OwnedFd();
+  }
+  ::unlink(path.c_str());  // a stale socket file from a dead daemon
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    set_error(error, "bind " + path);
+    return OwnedFd();
+  }
+  if (::listen(fd.get(), 128) != 0) {
+    set_error(error, "listen " + path);
+    return OwnedFd();
+  }
+  return fd;
+}
+
+OwnedFd listen_tcp(int port, std::string* error) {
+  OwnedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    set_error(error, "socket");
+    return OwnedFd();
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    set_error(error, "bind port " + std::to_string(port));
+    return OwnedFd();
+  }
+  if (::listen(fd.get(), 128) != 0) {
+    set_error(error, "listen");
+    return OwnedFd();
+  }
+  return fd;
+}
+
+int local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    return -1;
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+OwnedFd connect_unix(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) *error = "unix socket path too long: " + path;
+    return OwnedFd();
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  OwnedFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    set_error(error, "socket");
+    return OwnedFd();
+  }
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    set_error(error, "connect " + path);
+    return OwnedFd();
+  }
+  return fd;
+}
+
+OwnedFd connect_tcp(int port, std::string* error) {
+  OwnedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    set_error(error, "socket");
+    return OwnedFd();
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    set_error(error, "connect port " + std::to_string(port));
+    return OwnedFd();
+  }
+  return fd;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // peer gone (EPIPE/ECONNRESET) or hard error
+  }
+  return true;
+}
+
+LineReader::LineReader(int fd, std::size_t max_line)
+    : fd_(fd), max_line_(max_line) {}
+
+std::optional<std::string> LineReader::next_line() {
+  while (true) {
+    const std::size_t pos = buffer_.find('\n');
+    if (pos != std::string::npos) {
+      if (pos >= max_line_) {
+        overflowed_ = true;
+        return std::nullopt;
+      }
+      std::string line = buffer_.substr(0, pos);
+      buffer_.erase(0, pos + 1);
+      return line;
+    }
+    if (buffer_.size() >= max_line_) {
+      overflowed_ = true;
+      return std::nullopt;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    eof_ = true;  // orderly close or hard error: either way, no more lines
+    return std::nullopt;
+  }
+}
+
+}  // namespace cogradio

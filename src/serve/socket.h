@@ -1,0 +1,92 @@
+// POSIX socket plumbing for the serve daemon and its clients.
+//
+// Everything that can go wrong between two peers is funneled through
+// here so the daemon proper never sees a raw errno: SIGPIPE is ignored
+// process-wide (a peer hanging up mid-write must surface as a write
+// error, not a process kill), every send loops over EINTR and partial
+// writes with MSG_NOSIGNAL, and reads are framed by LineReader, which
+// enforces the protocol's frame-size cap while buffering. File
+// descriptors are wrapped in an owning handle so an exception or early
+// return never leaks one.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace cogradio {
+
+// Installs SIG_IGN for SIGPIPE once per process (idempotent). Both the
+// daemon and loadgen call this before touching sockets: a client that
+// disconnects between our poll() and write() must cost us an EPIPE
+// return value, never the default SIGPIPE death.
+void ignore_sigpipe();
+
+// Owning fd handle: closes on destruction, move-only.
+class OwnedFd {
+ public:
+  OwnedFd() = default;
+  explicit OwnedFd(int fd) : fd_(fd) {}
+  ~OwnedFd() { reset(); }
+  OwnedFd(OwnedFd&& other) noexcept : fd_(other.release()) {}
+  OwnedFd& operator=(OwnedFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  OwnedFd(const OwnedFd&) = delete;
+  OwnedFd& operator=(const OwnedFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+// Listeners. On failure return an invalid fd and store a diagnostic.
+// listen_unix unlinks a stale socket file at `path` first; listen_tcp
+// binds 127.0.0.1 (port 0 = ephemeral; read it back via local_port).
+OwnedFd listen_unix(const std::string& path, std::string* error);
+OwnedFd listen_tcp(int port, std::string* error);
+int local_port(int fd);
+
+// Blocking client connects.
+OwnedFd connect_unix(const std::string& path, std::string* error);
+OwnedFd connect_tcp(int port, std::string* error);
+
+void set_nonblocking(int fd);
+
+// Writes all of `data`, retrying EINTR and partial writes, with
+// MSG_NOSIGNAL. Returns false once the peer is gone (EPIPE/ECONNRESET/
+// any hard error).
+bool send_all(int fd, const std::string& data);
+
+// Buffered newline framing over a blocking fd. next_line() strips the
+// trailing '\n' and returns nullopt on EOF or error (distinguish via
+// `eof()`); a line longer than `max_line` is an error, not a partial
+// delivery — a flood of bytes with no newline cannot balloon the buffer.
+class LineReader {
+ public:
+  explicit LineReader(int fd, std::size_t max_line);
+
+  std::optional<std::string> next_line();
+  bool eof() const { return eof_; }
+  bool overflowed() const { return overflowed_; }
+
+ private:
+  int fd_ = -1;
+  std::size_t max_line_ = 0;
+  std::string buffer_;
+  bool eof_ = false;
+  bool overflowed_ = false;
+};
+
+}  // namespace cogradio

@@ -58,7 +58,8 @@ namespace {
 // offsets so diagnostics stay cheap.
 class Parser {
  public:
-  explicit Parser(const std::string& text) : text_(text) {}
+  Parser(const std::string& text, int max_depth)
+      : text_(text), max_depth_(max_depth) {}
 
   std::optional<JsonValue> parse(std::string* error) {
     JsonValue v;
@@ -145,7 +146,16 @@ class Parser {
     }
   }
 
+  // Containers recurse through parse_value; `depth_` caps that recursion so
+  // adversarially nested input fails with a diagnostic instead of exhausting
+  // the stack (the serve daemon parses untrusted socket bytes through here).
+  bool enter_container() {
+    if (++depth_ > max_depth_) return fail("nesting depth exceeds limit");
+    return true;
+  }
+
   bool parse_object(JsonValue& out) {
+    if (!enter_container()) return false;
     ++pos_;  // '{'
     std::vector<std::pair<std::string, JsonValue>> members;
     skip_ws();
@@ -166,15 +176,18 @@ class Parser {
       return fail("expected ',' or '}' in object");
     }
     out = JsonValue::make_object(std::move(members));
+    --depth_;
     return true;
   }
 
   bool parse_array(JsonValue& out) {
+    if (!enter_container()) return false;
     ++pos_;  // '['
     std::vector<JsonValue> items;
     skip_ws();
     if (consume(']')) {
       out = JsonValue::make_array(std::move(items));
+      --depth_;
       return true;
     }
     while (true) {
@@ -186,6 +199,7 @@ class Parser {
       return fail("expected ',' or ']' in array");
     }
     out = JsonValue::make_array(std::move(items));
+    --depth_;
     return true;
   }
 
@@ -286,6 +300,8 @@ class Parser {
   }
 
   const std::string& text_;
+  int max_depth_ = kJsonMaxDepth;
+  int depth_ = 0;
   std::size_t pos_ = 0;
   const char* err_msg_ = nullptr;
   std::size_t err_pos_ = 0;
@@ -294,8 +310,8 @@ class Parser {
 }  // namespace
 
 std::optional<JsonValue> parse_json(const std::string& text,
-                                    std::string* error) {
-  return Parser(text).parse(error);
+                                    std::string* error, int max_depth) {
+  return Parser(text, max_depth).parse(error);
 }
 
 std::string json_escape(const std::string& s) {

@@ -57,11 +57,21 @@ class JsonValue {
   std::vector<std::pair<std::string, JsonValue>> members_;
 };
 
+// Default nesting ceiling for parse_json. The parser is recursive-descent,
+// so input depth consumes C++ stack: an untrusted peer (the `cograd serve`
+// socket reads line-JSON frames through this parser) could otherwise
+// overflow the stack with "[[[[...". 96 levels is far beyond any manifest
+// or protocol frame while keeping worst-case stack use a few tens of KiB.
+inline constexpr int kJsonMaxDepth = 96;
+
 // Parses `text` as one JSON document (trailing whitespace allowed, trailing
-// garbage rejected). On failure returns nullopt and, if `error` is non-null,
-// stores a one-line diagnostic with the byte offset.
+// garbage rejected). Containers nested deeper than `max_depth` are rejected
+// with a clean parse error instead of recursing further. On failure returns
+// nullopt and, if `error` is non-null, stores a one-line diagnostic with the
+// byte offset.
 std::optional<JsonValue> parse_json(const std::string& text,
-                                    std::string* error = nullptr);
+                                    std::string* error = nullptr,
+                                    int max_depth = kJsonMaxDepth);
 
 // Escapes `s` for embedding inside a JSON string literal (adds no quotes).
 std::string json_escape(const std::string& s);

@@ -1,0 +1,132 @@
+// util/json hardening tests: the recursion-depth cap and the failure modes
+// a line-framed socket reader leans on (truncated input, trailing garbage).
+// The serve daemon (src/serve) parses untrusted peer bytes through
+// parse_json, so "reject cleanly" here means: nullopt, a diagnostic with a
+// byte offset, and no crash — never a stack overflow.
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cogradio {
+namespace {
+
+std::string nested_arrays(int depth) {
+  std::string s;
+  s.reserve(static_cast<std::size_t>(depth) * 2 + 1);
+  for (int i = 0; i < depth; ++i) s.push_back('[');
+  s.push_back('1');
+  for (int i = 0; i < depth; ++i) s.push_back(']');
+  return s;
+}
+
+std::string nested_objects(int depth) {
+  std::string s;
+  for (int i = 0; i < depth; ++i) s += "{\"k\":";
+  s += "0";
+  for (int i = 0; i < depth; ++i) s.push_back('}');
+  return s;
+}
+
+TEST(JsonDepth, AcceptsNestingUpToTheLimit) {
+  const auto doc = parse_json(nested_arrays(kJsonMaxDepth));
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* v = &*doc;
+  for (int i = 0; i < kJsonMaxDepth; ++i) {
+    ASSERT_TRUE(v->is_array());
+    ASSERT_EQ(v->items().size(), 1u);
+    v = &v->items()[0];
+  }
+  EXPECT_TRUE(v->is_number());
+}
+
+TEST(JsonDepth, RejectsNestingBeyondTheLimit) {
+  std::string error;
+  EXPECT_FALSE(parse_json(nested_arrays(kJsonMaxDepth + 1), &error));
+  EXPECT_NE(error.find("nesting depth exceeds limit"), std::string::npos)
+      << error;
+}
+
+TEST(JsonDepth, RejectsDeepObjectsToo) {
+  std::string error;
+  EXPECT_TRUE(parse_json(nested_objects(kJsonMaxDepth)));
+  EXPECT_FALSE(parse_json(nested_objects(kJsonMaxDepth + 1), &error));
+  EXPECT_NE(error.find("nesting depth exceeds limit"), std::string::npos);
+}
+
+// The attack shape: an open-bracket flood with no closers. Must fail at the
+// depth cap, not recurse once per byte.
+TEST(JsonDepth, SurvivesOpenBracketFlood) {
+  const std::string flood(1 << 20, '[');
+  std::string error;
+  EXPECT_FALSE(parse_json(flood, &error));
+  EXPECT_NE(error.find("nesting depth exceeds limit"), std::string::npos);
+  EXPECT_FALSE(parse_json(std::string(1 << 20, '{'), &error));
+}
+
+// Depth is consumed by nesting, not by breadth: a long flat array at depth
+// two is fine no matter how many elements it has.
+TEST(JsonDepth, BreadthIsNotDepth) {
+  std::string wide = "[";
+  for (int i = 0; i < 10'000; ++i) wide += "[0],";
+  wide += "[0]]";
+  EXPECT_TRUE(parse_json(wide).has_value());
+}
+
+TEST(JsonDepth, CustomLimitIsHonored) {
+  std::string error;
+  EXPECT_TRUE(parse_json(nested_arrays(4), &error, 4));
+  EXPECT_FALSE(parse_json(nested_arrays(5), &error, 4));
+  // Sibling containers after a deep branch closed are fine: depth unwinds.
+  EXPECT_TRUE(parse_json("[[[[1]]],[[2]]]", &error, 4));
+}
+
+// Every proper prefix of a valid document must fail cleanly — the shape a
+// line-framed reader sees when a peer's connection drops mid-frame.
+TEST(JsonTruncation, AllPrefixesOfAValidDocumentFail) {
+  const std::string doc =
+      R"({"type":"submit","job":{"n":32,"pattern":"shared-core","xs":[1,2.5,true,null,"s\n"]}})";
+  ASSERT_TRUE(parse_json(doc).has_value());
+  for (std::size_t len = 0; len < doc.size(); ++len) {
+    std::string error;
+    EXPECT_FALSE(parse_json(doc.substr(0, len), &error))
+        << "prefix of length " << len << " parsed";
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(JsonTruncation, TruncatedEscapesAndLiterals) {
+  for (const char* text :
+       {"\"abc", "\"ab\\", "\"ab\\u12", "tru", "fals", "nul", "-", "1.",
+        "1e", "1e+", "[1,", "{\"k\"", "{\"k\":"}) {
+    std::string error;
+    EXPECT_FALSE(parse_json(text, &error)) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(JsonTrailingGarbage, RejectedWithOffset) {
+  for (const char* text :
+       {"{} x", "1 2", "[1] ]", "null,", "\"a\"\"b\"", "{}{}"}) {
+    std::string error;
+    EXPECT_FALSE(parse_json(text, &error)) << text;
+    EXPECT_NE(error.find("trailing characters"), std::string::npos) << text;
+  }
+  // Trailing whitespace (incl. the newline a line-framed read strips or
+  // leaves behind) is not garbage.
+  EXPECT_TRUE(parse_json("{\"a\": 1} \n").has_value());
+  EXPECT_TRUE(parse_json("42\n").has_value());
+}
+
+TEST(JsonTrailingGarbage, EmbeddedNulIsGarbageNotTerminator) {
+  std::string text = "{}";
+  text.push_back('\0');
+  text += "{}";
+  std::string error;
+  EXPECT_FALSE(parse_json(text, &error));
+  EXPECT_NE(error.find("trailing characters"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cogradio

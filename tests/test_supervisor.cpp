@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -91,6 +92,119 @@ TEST(Supervisor, DeadlineBacksOffExponentially) {
   ASSERT_EQ(attempt_seeds.size(), 3u);
   EXPECT_NE(attempt_seeds[0], attempt_seeds[1]);
   EXPECT_NE(attempt_seeds[1], attempt_seeds[2]);
+}
+
+// --- Backoff overflow clamp (next_backoff_deadline) -------------------------
+
+TEST(Supervisor, BackoffClampNeverOverflowsOrWraps) {
+  // The old code multiplied in double and cast straight back to Slot; near
+  // the top of the Slot range the cast wrapped tiny or negative. The clamp
+  // must keep every grown deadline in (previous, kMaxSupervisorDeadline].
+  Slot deadline = 3;
+  for (int i = 0; i < 200; ++i) {
+    const Slot next = next_backoff_deadline(deadline, 2.0, 0);
+    ASSERT_GT(next, 0);
+    ASSERT_GE(next, deadline);
+    ASSERT_LE(next, kMaxSupervisorDeadline);
+    deadline = next;
+  }
+  EXPECT_EQ(deadline, kMaxSupervisorDeadline);  // converged to the ceiling
+  // Boundary cases around the ceiling itself.
+  EXPECT_EQ(next_backoff_deadline(kMaxSupervisorDeadline, 2.0, 0),
+            kMaxSupervisorDeadline);
+  EXPECT_EQ(next_backoff_deadline(kMaxSupervisorDeadline - 1, 2.0, 0),
+            kMaxSupervisorDeadline);
+  // A pathological budget that would overflow even one multiplication.
+  EXPECT_EQ(next_backoff_deadline(std::numeric_limits<Slot>::max() / 2, 1e6,
+                                  0),
+            kMaxSupervisorDeadline);
+  // backoff == 1.0 still makes progress (at least one slot) up to the cap.
+  EXPECT_EQ(next_backoff_deadline(10, 1.0, 0), 11);
+}
+
+TEST(Supervisor, BackoffClampHonorsACustomCeiling) {
+  EXPECT_EQ(next_backoff_deadline(3, 100.0, 10), 10);
+  EXPECT_EQ(next_backoff_deadline(10, 100.0, 10), 10);  // pinned at the cap
+  EXPECT_EQ(next_backoff_deadline(3, 2.0, 10), 6);      // under the cap
+  // A custom ceiling above the global one is itself clamped.
+  EXPECT_EQ(
+      next_backoff_deadline(kMaxSupervisorDeadline, 2.0,
+                            std::numeric_limits<Slot>::max()),
+      kMaxSupervisorDeadline);
+}
+
+TEST(Supervisor, MaxDeadlineBoundsTheEpochsEndToEnd) {
+  SupervisorOptions options;
+  options.deadline = 3;
+  options.backoff = 100.0;
+  options.max_restarts = 3;
+  options.max_deadline = 10;
+  InertRig rig;
+  bool succeed = false;
+  const SupervisedOutcome out = run_supervised(
+      [&](int, std::uint64_t) { return rig.run(&succeed); }, options, 5);
+  EXPECT_FALSE(out.completed);
+  ASSERT_EQ(out.epochs.size(), 4u);
+  EXPECT_EQ(out.epochs[0].slots, 3);
+  EXPECT_EQ(out.epochs[1].slots, 10);  // 300 clamped to max_deadline
+  EXPECT_EQ(out.epochs[2].slots, 10);
+  EXPECT_EQ(out.epochs[3].slots, 10);
+  SupervisorOptions bad = options;
+  bad.max_deadline = -1;
+  EXPECT_THROW(
+      run_supervised([&](int, std::uint64_t) { return rig.run(&succeed); },
+                     bad, 5),
+      std::invalid_argument);
+}
+
+// --- Epoch observer ----------------------------------------------------------
+
+TEST(Supervisor, ObserverSeesEveryEpochAndCanAbort) {
+  SupervisorOptions options;
+  options.deadline = 5;
+  options.max_restarts = 10;
+  InertRig rig;
+  bool succeed = false;
+  std::vector<std::pair<int, Slot>> seen;
+  const SupervisedOutcome out = run_supervised(
+      [&](int, std::uint64_t) { return rig.run(&succeed); }, options, 5,
+      [&](int attempt, const EpochStats& epoch) {
+        seen.emplace_back(attempt, epoch.slots);
+        return attempt < 2;  // cancel after the third epoch
+      });
+  EXPECT_FALSE(out.completed);
+  EXPECT_TRUE(out.aborted);
+  EXPECT_EQ(out.epochs.size(), 3u);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0].first, 0);
+  EXPECT_EQ(seen[2].first, 2);
+  for (const auto& [attempt, slots] : seen) EXPECT_GT(slots, 0);
+}
+
+TEST(Supervisor, AlwaysTrueObserverLeavesTheOutcomeIdentical) {
+  const int n = 16, c = 4, k = 2;
+  const CogCastParams params{n, c, k};
+  CogCastRunConfig config;
+  config.params = params;
+  SupervisorOptions options;
+  options.deadline = 8 * params.horizon();
+  auto run_it = [&](const EpochObserver& observer) {
+    SharedCoreAssignment assignment(n, c, k, LabelMode::LocalRandom, Rng(9));
+    return run_supervised(
+        [&](int, std::uint64_t aseed) {
+          return build_cogcast_run(assignment, config, aseed);
+        },
+        options, 13, observer);
+  };
+  const SupervisedOutcome plain = run_it({});
+  int observed = 0;
+  const SupervisedOutcome watched =
+      run_it([&](int, const EpochStats&) { ++observed; return true; });
+  EXPECT_FALSE(watched.aborted);
+  EXPECT_EQ(observed, static_cast<int>(watched.epochs.size()));
+  EXPECT_EQ(plain.completed, watched.completed);
+  EXPECT_EQ(plain.restarts, watched.restarts);
+  EXPECT_EQ(plain.total_slots, watched.total_slots);
 }
 
 TEST(Supervisor, StallWindowFiresBeforeTheDeadline) {

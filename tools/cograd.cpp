@@ -13,6 +13,8 @@
 //   check       property-based invariant sweep with shrinking
 //   bench       smoke benchmark suite + regression gate
 //   lint        determinism & model-soundness source linter
+//   serve       long-lived multi-session job daemon (unix socket / TCP)
+//   loadgen     load generator + byte-identity verifier for serve
 //
 // Common flags: --n --c --k --pattern --seed --trials; each command adds
 // its own (see the usage text). All runs are deterministic in --seed.
@@ -24,7 +26,10 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "analysis/bench_suite.h"
 #include "analysis/lint.h"
@@ -35,6 +40,8 @@
 #include "core/supervisor.h"
 #include "lowerbounds/hitting_game.h"
 #include "lowerbounds/reduction.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
 #include "sim/assignment.h"
 #include "sim/recorder.h"
 #include "util/bench_gate.h"
@@ -92,6 +99,17 @@ int usage() {
       "  lint       [--tree DIR] [--json LINT.json] [--baseline FILE]\n"
       "             [--update-baseline]   (determinism source linter:\n"
       "             rules R1-R6, see docs/DETERMINISM.md)\n"
+      "  serve      [--socket PATH] [--port P] [--workers W]\n"
+      "             [--max-queue Q] [--max-sessions S] [--smoke N]\n"
+      "             (line-JSON job daemon; --smoke N runs an in-process\n"
+      "             self-test with N sessions incl. kill injection)\n"
+      "  loadgen    [--socket PATH | --port P] [--sessions N]\n"
+      "             [--connections C] [--kill-every K] [--no-verify]\n"
+      "             [--shutdown]   (send a shutdown frame afterwards)\n"
+      "             [--kind cogcast|cogcomp] [job flags: --n --c --k\n"
+      "             --pattern --seed --op --unmediated --deadline\n"
+      "             --stall-window --max-restarts --max-deadline\n"
+      "             --engine --shards]\n"
       "\n"
       "common: --seed S (default 1), --pattern shared-core|partitioned|\n"
       "        pigeonhole|identity|dynamic-shared-core|dynamic-pigeonhole");
@@ -144,6 +162,7 @@ SupervisorOptions read_supervisor(CliArgs& args) {
   options.deadline = args.get_int("deadline", 0);
   options.stall_window = args.get_int("stall-window", 0);
   options.max_restarts = static_cast<int>(args.get_int("max-restarts", 3));
+  options.max_deadline = args.get_int("max-deadline", 0);
   return options;
 }
 
@@ -784,6 +803,194 @@ int cmd_lint(CliArgs& args) {
   return active == 0 ? 0 : 1;
 }
 
+// Shared job-template flags for loadgen and the serve self-test.
+JobSpec read_job_spec(CliArgs& args) {
+  JobSpec job;
+  const std::string kind = args.get_string("kind", "cogcast");
+  if (kind == "cogcomp")
+    job.kind = JobKind::CogComp;
+  else if (kind != "cogcast") {
+    std::fprintf(stderr, "cograd: --kind must be cogcast or cogcomp\n");
+    std::exit(2);
+  }
+  job.n = static_cast<int>(args.get_int("n", 24));
+  job.c = static_cast<int>(args.get_int("c", 6));
+  job.k = static_cast<int>(args.get_int("k", 2));
+  job.pattern = args.get_string("pattern", "shared-core");
+  job.layout = args.get_engine();
+  job.shards = args.get_shards();
+  try {
+    job.op = parse_agg_op(args.get_string("op", "sum"));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cograd: %s\n", e.what());
+    std::exit(2);
+  }
+  job.mediated = !args.get_flag("unmediated");
+  job.deadline = args.get_int("deadline", 0);
+  job.stall_window = args.get_int("stall-window", 0);
+  job.max_restarts = static_cast<int>(args.get_int("max-restarts", 3));
+  job.max_deadline = args.get_int("max-deadline", 0);
+  return job;
+}
+
+void print_loadgen_report(const char* label, const LoadgenReport& report) {
+  std::printf(
+      "%s: %d sessions -> %d done, %d shed, %d killed "
+      "(%d verify fail, %d protocol err, %d transport err) in %.2fs\n",
+      label, report.sessions, report.completed, report.shed, report.killed,
+      report.verify_failures, report.protocol_errors,
+      report.transport_errors, report.elapsed_seconds);
+  if (report.latency.count > 0)
+    std::printf("%s: latency median %.4fs p95 %.4fs max %.4fs\n", label,
+                report.latency.median, report.latency.p95,
+                report.latency.max);
+}
+
+// In-process self-test: daemon + loadgen in one command, so a single
+// ctest/CI leg can exercise accept/submit/stream/kill/shutdown without
+// orchestrating two processes. Exits nonzero on any failure.
+int serve_smoke(const ServeOptions& options, const JobSpec& job,
+                int sessions, std::uint64_t seed) {
+  ServeServer server(options);
+  std::thread daemon([&server] { server.run(); });
+
+  LoadgenOptions load;
+  load.unix_path = options.unix_path;
+  load.tcp_port = options.unix_path.empty() ? server.tcp_port() : -1;
+  load.sessions = sessions;
+  load.connections = 4;
+  load.seed = seed;
+  load.job = job;
+  const LoadgenReport clean = run_loadgen(load);
+  print_loadgen_report("smoke/clean", clean);
+
+  load.kill_every = 3;
+  load.seed = seed + 1;
+  const LoadgenReport churn = run_loadgen(load);
+  print_loadgen_report("smoke/churn", churn);
+
+  std::string error;
+  const bool said_bye =
+      request_shutdown(options.unix_path,
+                       options.unix_path.empty() ? server.tcp_port() : -1,
+                       &error);
+  daemon.join();
+  const ServeStats stats = server.stats();
+  std::printf(
+      "smoke/daemon: %lld sessions, %lld accepted, %lld completed, "
+      "%lld shed, %lld shed-on-disconnect, %lld aborted, %lld disconnects\n",
+      static_cast<long long>(stats.sessions_opened),
+      static_cast<long long>(stats.accepted),
+      static_cast<long long>(stats.completed),
+      static_cast<long long>(stats.shed),
+      static_cast<long long>(stats.shed_disconnect),
+      static_cast<long long>(stats.aborted),
+      static_cast<long long>(stats.disconnects));
+
+  // Every accepted job must be accounted for exactly once, no matter how
+  // many clients vanished mid-stream. (disconnects can undercount kills:
+  // a kill landing after the done frame flushed looks like a polite
+  // close, which is fine — the job was already accounted.)
+  const bool accounting_exact =
+      stats.accepted == stats.completed + stats.shed_disconnect +
+                            stats.aborted + stats.failed;
+  const bool ok = clean.ok && churn.ok && said_bye && stats.failed == 0 &&
+                  clean.killed == 0 && churn.killed > 0 && accounting_exact;
+  std::printf("smoke: %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}
+
+int cmd_serve(CliArgs& args) {
+  ServeOptions options;
+  options.unix_path = args.get_string("socket", "");
+  options.tcp_port = static_cast<int>(args.get_int("port", -1));
+  options.workers = static_cast<int>(args.get_int("workers", 0));
+  options.max_queue = static_cast<int>(args.get_int("max-queue", 1024));
+  options.max_sessions =
+      static_cast<int>(args.get_int("max-sessions", 4096));
+  const int smoke = static_cast<int>(args.get_int("smoke", 0));
+  JobSpec job;
+  if (smoke > 0) job = read_job_spec(args);
+  args.finish();
+
+  if (smoke > 0) {
+    if (options.unix_path.empty() && options.tcp_port < 0)
+      options.unix_path =
+          "cograd-smoke-" + std::to_string(::getpid()) + ".sock";
+    try {
+      return serve_smoke(options, job, smoke, 1);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cograd serve: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  if (options.unix_path.empty() && options.tcp_port < 0) {
+    std::fprintf(stderr, "cograd serve: need --socket PATH or --port P\n");
+    return 2;
+  }
+  try {
+    ServeServer server(options);
+    if (!options.unix_path.empty())
+      std::printf("cograd serve: listening on %s (%d workers)\n",
+                  options.unix_path.c_str(), server.workers());
+    if (server.tcp_port() >= 0)
+      std::printf("cograd serve: listening on 127.0.0.1:%d (%d workers)\n",
+                  server.tcp_port(), server.workers());
+    std::fflush(stdout);
+    server.run();
+    const ServeStats stats = server.stats();
+    std::printf(
+        "cograd serve: done — %lld sessions, %lld accepted, %lld "
+        "completed, %lld shed, %lld disconnects, %lld protocol errors\n",
+        static_cast<long long>(stats.sessions_opened),
+        static_cast<long long>(stats.accepted),
+        static_cast<long long>(stats.completed),
+        static_cast<long long>(stats.shed),
+        static_cast<long long>(stats.disconnects),
+        static_cast<long long>(stats.protocol_errors));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cograd serve: %s\n", e.what());
+    return 1;
+  }
+}
+
+int cmd_loadgen(CliArgs& args) {
+  LoadgenOptions load;
+  load.unix_path = args.get_string("socket", "");
+  load.tcp_port = static_cast<int>(args.get_int("port", -1));
+  load.sessions = static_cast<int>(args.get_int("sessions", 64));
+  load.connections = static_cast<int>(args.get_int("connections", 4));
+  load.kill_every = static_cast<int>(args.get_int("kill-every", 0));
+  load.verify = !args.get_flag("no-verify");
+  load.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  load.job = read_job_spec(args);
+  const bool shutdown_after = args.get_flag("shutdown");
+  args.finish();
+
+  if (load.unix_path.empty() && load.tcp_port < 0) {
+    std::fprintf(stderr, "cograd loadgen: need --socket PATH or --port P\n");
+    return 2;
+  }
+  const LoadgenReport report = run_loadgen(load);
+  print_loadgen_report("loadgen", report);
+  if (report.elapsed_seconds > 0)
+    std::printf("loadgen: %.1f sessions/sec\n",
+                static_cast<double>(report.completed + report.shed +
+                                    report.killed) /
+                    report.elapsed_seconds);
+  bool shutdown_ok = true;
+  if (shutdown_after) {
+    std::string error;
+    shutdown_ok = request_shutdown(load.unix_path, load.tcp_port, &error);
+    if (!shutdown_ok)
+      std::fprintf(stderr, "cograd loadgen: shutdown failed: %s\n",
+                   error.c_str());
+  }
+  return report.ok && shutdown_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -800,5 +1007,7 @@ int main(int argc, char** argv) {
   if (command == "check") return cmd_check(args);
   if (command == "bench") return cmd_bench(args);
   if (command == "lint") return cmd_lint(args);
+  if (command == "serve") return cmd_serve(args);
+  if (command == "loadgen") return cmd_loadgen(args);
   return usage();
 }
