@@ -50,6 +50,7 @@ namespace {
 // One daemon instance with its IO thread, torn down on scope exit.
 struct Daemon {
   explicit Daemon(ServeOptions options) : server(options) {
+    // cograd-lint: allow(R8) saturation bench isolates the daemon IO loop from the loadgen under test
     io = std::thread([this] { server.run(); });
   }
   ~Daemon() {

@@ -100,9 +100,4 @@ Value Aggregator::expected(const std::vector<Value>& values) const {
   return self.result(acc);
 }
 
-std::size_t payload_size_words(const AggPayload& payload) {
-  // combined + count + one word per (node, value) pair entry's two fields.
-  return 2 + 2 * payload.items.size();
-}
-
 }  // namespace cogradio

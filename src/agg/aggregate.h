@@ -10,31 +10,17 @@
 // once, and what experiment E15 contrasts against the combined modes.
 #pragma once
 
-#include <cstdint>
 #include <string>
-#include <utility>
 #include <vector>
 
+#include "sim/agg_payload.h"
 #include "sim/types.h"
 
 namespace cogradio {
 
-using Value = std::int64_t;
-
-enum class AggOp : std::uint8_t { Sum, Min, Max, Count, CollectAll };
-
 // Parses "sum" / "min" / "max" / "count" / "collect"; throws on other input.
 AggOp parse_agg_op(const std::string& name);
 std::string to_string(AggOp op);
-
-// The data a node passes to its parent: the aggregate of its whole subtree.
-struct AggPayload {
-  Value combined = 0;      // associative modes: the folded value
-  std::int64_t count = 0;  // number of leaf values folded in
-  std::vector<std::pair<NodeId, Value>> items;  // CollectAll mode only
-
-  bool operator==(const AggPayload&) const = default;
-};
 
 // Stateless combiner for one AggOp.
 class Aggregator {
@@ -59,10 +45,5 @@ class Aggregator {
   AggPayload identity() const;
   AggOp op_;
 };
-
-// Approximate on-air size of a payload in 64-bit words — the metric for
-// experiment E15 (message overhead). Associative payloads are O(1); a
-// CollectAll payload is linear in the items it carries.
-std::size_t payload_size_words(const AggPayload& payload);
 
 }  // namespace cogradio

@@ -1,3 +1,8 @@
+// Core of cograd lint: lexical stripping, the tree walk, the cross-file
+// analysis stage (R7 include graph, R9 sibling merge, R11 CI coverage,
+// global R12 suppression audit), and the LINT.json schema-2 writer. The
+// per-file rule scanners live in lint_rules.cpp; the include-graph builder
+// in include_graph.cpp.
 #include "analysis/lint.h"
 
 #include <algorithm>
@@ -7,555 +12,21 @@
 #include <map>
 #include <set>
 #include <sstream>
+#include <tuple>
 
+#include "analysis/include_graph.h"
+#include "analysis/lint_internal.h"
 #include "util/json.h"
+#include "util/sweep.h"
 
 namespace cogradio {
 
+using lintdetail::ident_char;
+using lintdetail::skip_ws;
+using lintdetail::split_lines;
+using lintdetail::trim;
+
 namespace {
-
-bool ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-std::string trim(const std::string& s) {
-  std::size_t b = 0, e = s.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
-  return s.substr(b, e - b);
-}
-
-// Collapses whitespace runs to single spaces; the normalization behind
-// finding_key, so reindenting a baselined site does not re-fire it.
-std::string normalize_ws(const std::string& s) {
-  std::string out;
-  bool in_ws = false;
-  for (char c : trim(s)) {
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      in_ws = true;
-      continue;
-    }
-    if (in_ws && !out.empty()) out.push_back(' ');
-    in_ws = false;
-    out.push_back(c);
-  }
-  return out;
-}
-
-// Invokes fn(name, begin, end) for every maximal identifier in `line`.
-template <typename Fn>
-void for_each_identifier(const std::string& line, Fn&& fn) {
-  std::size_t i = 0;
-  while (i < line.size()) {
-    if (!ident_start(line[i])) {
-      ++i;
-      continue;
-    }
-    std::size_t j = i;
-    while (j < line.size() && ident_char(line[j])) ++j;
-    fn(line.substr(i, j - i), i, j);
-    i = j;
-  }
-}
-
-std::size_t skip_ws(const std::string& line, std::size_t i) {
-  while (i < line.size() &&
-         std::isspace(static_cast<unsigned char>(line[i])))
-    ++i;
-  return i;
-}
-
-bool starts_with(const std::string& s, const std::string& prefix) {
-  return s.rfind(prefix, 0) == 0;
-}
-
-bool ends_with(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-bool preprocessor_line(const std::string& code) {
-  const std::size_t i = skip_ws(code, 0);
-  return i < code.size() && code[i] == '#';
-}
-
-// True for integer-literal tokens: 1, 0x9e37, 16'384, 42ULL.
-bool integer_literal(const std::string& token) {
-  if (token.empty() || !std::isdigit(static_cast<unsigned char>(token[0])))
-    return false;
-  for (char c : token) {
-    if (std::isxdigit(static_cast<unsigned char>(c)) || c == 'x' ||
-        c == 'X' || c == 'u' || c == 'U' || c == 'l' || c == 'L' || c == '\'')
-      continue;
-    return false;
-  }
-  return true;
-}
-
-// True for floating-literal tokens: 0.0, 1e9, .5, 2.5f — but not 0x1e.
-bool floating_literal(const std::string& token) {
-  if (token.empty()) return false;
-  const bool dot_start =
-      token[0] == '.' && token.size() > 1 &&
-      std::isdigit(static_cast<unsigned char>(token[1]));
-  if (!std::isdigit(static_cast<unsigned char>(token[0])) && !dot_start)
-    return false;
-  if (starts_with(token, "0x") || starts_with(token, "0X")) return false;
-  return token.find('.') != std::string::npos ||
-         token.find('e') != std::string::npos ||
-         token.find('E') != std::string::npos;
-}
-
-// Reads the [A-Za-z0-9_.]* token touching position `i` going forward.
-std::string token_at(const std::string& line, std::size_t i) {
-  std::size_t j = i;
-  while (j < line.size() && (ident_char(line[j]) || line[j] == '.')) ++j;
-  return line.substr(i, j - i);
-}
-
-// Reads the token ending at (exclusive) position `end` going backward.
-std::string token_before(const std::string& line, std::size_t end) {
-  std::size_t b = end;
-  while (b > 0 && (ident_char(line[b - 1]) || line[b - 1] == '.')) --b;
-  return line.substr(b, end - b);
-}
-
-// Skips a single-line template argument list starting at the '<' at `i`;
-// returns the index past the matching '>', or npos when unbalanced or
-// spanning lines.
-std::size_t skip_template_args(const std::string& line, std::size_t i) {
-  int depth = 0;
-  for (std::size_t j = i; j < line.size(); ++j) {
-    if (line[j] == '<') ++depth;
-    if (line[j] == '>' && --depth == 0) return j + 1;
-  }
-  return std::string::npos;
-}
-
-// First top-level template argument of the list opening at the '<' at `i`
-// ("" when the list is malformed or spans lines).
-std::string first_template_arg(const std::string& line, std::size_t i) {
-  int angle = 0, paren = 0;
-  std::string arg;
-  for (std::size_t j = i; j < line.size(); ++j) {
-    const char c = line[j];
-    if (c == '<') {
-      if (++angle == 1) continue;
-    }
-    if (c == '>' && --angle == 0) return trim(arg);
-    if (c == '(') ++paren;
-    if (c == ')') --paren;
-    if (c == ',' && angle == 1 && paren == 0) return trim(arg);
-    if (angle >= 1) arg.push_back(c);
-  }
-  return "";
-}
-
-const char* const kSerializationHeaders[] = {
-    "sim/types.h",          "sim/trace.h",        "sim/message.h",
-    "sim/protocol.h",       "sim/network.h",      "sim/backoff.h",
-    "sim/recorder.h",       "sim/fault_engine.h", "sim/channel_bitmap.h",
-    "util/bench_report.h",  "serve/job.h",        "serve/protocol.h",
-    "serve/server.h",       "serve/loadgen.h",
-};
-
-bool in_r5_scope(const std::string& rel_path) {
-  for (const char* suffix : kSerializationHeaders)
-    if (ends_with(rel_path, suffix)) return true;
-  return false;
-}
-
-bool in_r6_scope(const std::string& rel_path) {
-  return starts_with(rel_path, "src/util/") ||
-         starts_with(rel_path, "src/analysis/") ||
-         starts_with(rel_path, "bench/");
-}
-
-// Scalar-typed member heuristic for R5: the type's first meaningful token.
-bool scalar_type_token(const std::string& token) {
-  static const std::set<std::string> kScalars = {
-      "bool",     "char",        "short",          "int",
-      "long",     "unsigned",    "signed",         "float",
-      "double",   "size_t",      "ptrdiff_t",      "NodeId",
-      "Channel",  "LocalLabel",  "Slot",           "Mode",
-      "MessageType", "CollisionModel", "GroupingStrategy", "AggOp",
-  };
-  return kScalars.count(token) > 0 || ends_with(token, "_t");
-}
-
-struct FileScan {
-  std::string rel_path;
-  std::vector<std::string> original;  // raw source lines, for snippets
-  StrippedSource stripped;
-  std::vector<std::string> tracked_unordered;  // variable/member names
-  std::vector<LintFinding> findings;
-
-  void add(const std::string& rule, int line_idx, const std::string& message) {
-    LintFinding f;
-    f.rule = rule;
-    f.file = rel_path;
-    f.line = line_idx + 1;
-    f.snippet = line_idx < static_cast<int>(original.size())
-                    ? trim(original[static_cast<std::size_t>(line_idx)])
-                    : "";
-    f.message = message;
-    const auto& comments = stripped.comments;
-    f.suppressed =
-        has_suppression(comments[static_cast<std::size_t>(line_idx)], rule) ||
-        (line_idx > 0 &&
-         has_suppression(comments[static_cast<std::size_t>(line_idx) - 1],
-                         rule));
-    findings.push_back(std::move(f));
-  }
-};
-
-// --- R1: banned nondeterminism sources -----------------------------------
-
-void scan_r1(FileScan& scan) {
-  // The volatile-manifest allowlist: monotonic_seconds lives here. Exact
-  // path match, so e.g. tests/util/bench_report.cpp is not exempted.
-  if (scan.rel_path == "src/util/bench_report.cpp") return;
-  static const std::set<std::string> kBannedExact = {
-      "rand",          "srand",        "drand48",     "lrand48",
-      "random_device", "gettimeofday", "timespec_get",
-  };
-  for (std::size_t l = 0; l < scan.stripped.code.size(); ++l) {
-    const std::string& code = scan.stripped.code[l];
-    for_each_identifier(code, [&](const std::string& name, std::size_t,
-                                  std::size_t end) {
-      bool hit = false;
-      if (kBannedExact.count(name) > 0) hit = true;
-      if (ends_with(name, "_clock")) hit = true;
-      if (name == "time" || name == "clock") {
-        const std::size_t next = skip_ws(code, end);
-        if (next < code.size() && code[next] == '(') hit = true;
-      }
-      if (hit)
-        scan.add("R1", static_cast<int>(l),
-                 "banned nondeterminism source '" + name +
-                     "': wall clocks and global RNGs break (seed, trial) "
-                     "determinism; route timing through "
-                     "monotonic_seconds() (util/bench_report.h) and "
-                     "randomness through trial_rng (util/sweep.h)");
-    });
-  }
-}
-
-// --- R2: unordered containers in result-affecting code -------------------
-
-void collect_tracked_unordered(FileScan& scan) {
-  for (const std::string& code : scan.stripped.code) {
-    if (preprocessor_line(code)) continue;
-    for_each_identifier(code, [&](const std::string& name, std::size_t,
-                                  std::size_t end) {
-      if (!starts_with(name, "unordered_")) return;
-      std::size_t i = skip_ws(code, end);
-      if (i >= code.size() || code[i] != '<') return;
-      i = skip_template_args(code, i);
-      if (i == std::string::npos) return;
-      i = skip_ws(code, i);
-      if (i >= code.size() || !ident_start(code[i])) return;
-      std::size_t j = i;
-      while (j < code.size() && ident_char(code[j])) ++j;
-      scan.tracked_unordered.push_back(code.substr(i, j - i));
-    });
-  }
-}
-
-// Position of the range-for ':' of the `for (...)` whose '(' is at `open`
-// (npos when this is not a range-for or it spans lines).
-std::size_t range_for_colon(const std::string& code, std::size_t open) {
-  int paren = 0, angle = 0;
-  for (std::size_t j = open; j < code.size(); ++j) {
-    const char c = code[j];
-    if (c == '(') ++paren;
-    if (c == ')' && --paren == 0) return std::string::npos;
-    if (c == '<') ++angle;
-    if (c == '>' && angle > 0) --angle;
-    if (c == ':' && paren == 1 && angle == 0) {
-      const bool double_colon = (j + 1 < code.size() && code[j + 1] == ':') ||
-                                (j > 0 && code[j - 1] == ':');
-      if (!double_colon) return j;
-    }
-  }
-  return std::string::npos;
-}
-
-void scan_r2(FileScan& scan) {
-  const bool result_affecting = starts_with(scan.rel_path, "src/");
-  const std::string advice =
-      "; iteration order is implementation-defined — use a sorted "
-      "structure, or prove membership-only use with "
-      "'// cograd-lint: allow(R2) <reason>'";
-  for (std::size_t l = 0; l < scan.stripped.code.size(); ++l) {
-    const std::string& code = scan.stripped.code[l];
-    if (preprocessor_line(code)) continue;
-    for_each_identifier(code, [&](const std::string& name, std::size_t,
-                                  std::size_t end) {
-      if (result_affecting && starts_with(name, "unordered_")) {
-        scan.add("R2", static_cast<int>(l),
-                 "'" + name + "' in result-affecting code" + advice);
-        return;
-      }
-      // Range-for whose sequence names an unordered container.
-      if (name == "for") {
-        const std::size_t open = skip_ws(code, end);
-        if (open >= code.size() || code[open] != '(') return;
-        const std::size_t colon = range_for_colon(code, open);
-        if (colon == std::string::npos) return;
-        const std::string seq = code.substr(colon + 1);
-        bool seq_is_unordered = seq.find("unordered_") != std::string::npos;
-        for_each_identifier(seq, [&](const std::string& id, std::size_t,
-                                     std::size_t) {
-          if (std::find(scan.tracked_unordered.begin(),
-                        scan.tracked_unordered.end(),
-                        id) != scan.tracked_unordered.end())
-            seq_is_unordered = true;
-        });
-        if (seq_is_unordered)
-          scan.add("R2", static_cast<int>(l),
-                   "range-for over an unordered container" + advice);
-        return;
-      }
-      // Explicit iterator accumulation over a tracked unordered name.
-      if (std::find(scan.tracked_unordered.begin(),
-                    scan.tracked_unordered.end(),
-                    name) != scan.tracked_unordered.end()) {
-        std::size_t i = skip_ws(code, end);
-        if (i < code.size() && code[i] == '.') {
-          const std::string member = token_at(code, skip_ws(code, i + 1));
-          if (member == "begin" || member == "cbegin" || member == "rbegin")
-            scan.add("R2", static_cast<int>(l),
-                     "iterator walk over unordered container '" + name + "'" +
-                         advice);
-        }
-      }
-    });
-  }
-}
-
-// --- R3: RNG discipline ---------------------------------------------------
-
-void scan_r3(FileScan& scan) {
-  if (!starts_with(scan.rel_path, "src/")) return;  // tests may pin seeds
-  if (ends_with(scan.rel_path, "util/rng.h"))
-    return;  // the engine definition itself (documented default seed)
-  static const std::set<std::string> kForeignEngines = {
-      "mt19937",  "mt19937_64", "minstd_rand", "minstd_rand0",
-      "ranlux24", "ranlux48",   "knuth_b",     "default_random_engine",
-  };
-  for (std::size_t l = 0; l < scan.stripped.code.size(); ++l) {
-    const std::string& code = scan.stripped.code[l];
-    if (preprocessor_line(code)) continue;
-    for_each_identifier(code, [&](const std::string& name, std::size_t,
-                                  std::size_t end) {
-      if (kForeignEngines.count(name) > 0) {
-        scan.add("R3", static_cast<int>(l),
-                 "non-project RNG engine '" + name +
-                     "': all randomness must flow through cogradio::Rng "
-                     "so (seed, trial) reproduces a run bit for bit");
-        return;
-      }
-      if (name != "Rng") return;
-      // Rng(<literal>) or `Rng name(<literal>)` — a fixed-seed engine.
-      std::size_t i = skip_ws(code, end);
-      if (i < code.size() && ident_start(code[i])) {
-        while (i < code.size() && ident_char(code[i])) ++i;
-        i = skip_ws(code, i);
-      }
-      if (i >= code.size() || (code[i] != '(' && code[i] != '{')) return;
-      i = skip_ws(code, i + 1);
-      const std::string arg = token_at(code, i);
-      if (!integer_literal(arg)) return;
-      const std::size_t after = skip_ws(code, i + arg.size());
-      if (after < code.size() &&
-          (code[after] == ')' || code[after] == '}' || code[after] == ','))
-        scan.add("R3", static_cast<int>(l),
-                 "literal-seeded Rng(" + arg +
-                     ") in src/: seeds must flow from trial_rng(seed, t) "
-                     "or a caller-provided seed");
-    });
-  }
-}
-
-// --- R4: pointer-keyed containers ----------------------------------------
-
-void scan_r4(FileScan& scan) {
-  static const std::set<std::string> kKeyedContainers = {
-      "map",           "set",           "multimap",           "multiset",
-      "unordered_map", "unordered_set", "unordered_multimap",
-      "unordered_multiset",
-  };
-  for (std::size_t l = 0; l < scan.stripped.code.size(); ++l) {
-    const std::string& code = scan.stripped.code[l];
-    if (preprocessor_line(code)) continue;
-    for_each_identifier(code, [&](const std::string& name, std::size_t,
-                                  std::size_t end) {
-      if (kKeyedContainers.count(name) == 0) return;
-      const std::size_t i = skip_ws(code, end);
-      if (i >= code.size() || code[i] != '<') return;
-      const std::string key = first_template_arg(code, i);
-      if (!key.empty() && key.back() == '*')
-        scan.add("R4", static_cast<int>(l),
-                 "pointer-keyed container " + name + "<" + key +
-                     ", ...>: address order varies across runs and ASLR, "
-                     "so any ordered walk or tie-break over it is "
-                     "nondeterministic");
-    });
-  }
-}
-
-// --- R5: uninitialized scalar members in serialization structs -----------
-
-void scan_r5(FileScan& scan) {
-  if (!in_r5_scope(scan.rel_path)) return;
-  struct OpenStruct {
-    int depth = 0;          // brace depth of the struct body
-    bool fields_active = true;  // false inside private:/protected:
-  };
-  std::vector<OpenStruct> stack;
-  int depth = 0;
-  bool pending_struct = false;
-  for (std::size_t l = 0; l < scan.stripped.code.size(); ++l) {
-    const std::string& code = scan.stripped.code[l];
-    if (preprocessor_line(code)) continue;
-
-    bool struct_head = pending_struct;
-    for_each_identifier(code, [&](const std::string& name, std::size_t,
-                                  std::size_t end) {
-      if (name != "struct") return;
-      const std::size_t i = skip_ws(code, end);
-      if (i < code.size() && ident_start(code[i])) struct_head = true;
-    });
-    if (struct_head && code.find(';') != std::string::npos &&
-        code.find('{') == std::string::npos)
-      struct_head = false;  // forward declaration
-
-    if (!stack.empty() && depth == stack.back().depth) {
-      const std::string flat = normalize_ws(code);
-      if (flat.find("private:") != std::string::npos ||
-          flat.find("protected:") != std::string::npos)
-        stack.back().fields_active = false;
-      else if (flat.find("public:") != std::string::npos)
-        stack.back().fields_active = true;
-    }
-
-    // Member-candidate check happens against the pre-brace-update depth,
-    // so R5 assumes one declaration per physical line: a member declared
-    // on the same line as its struct's opening brace
-    // ('struct P { int x; };') is not examined.
-    const bool member_context =
-        !stack.empty() && depth == stack.back().depth &&
-        stack.back().fields_active && !struct_head;
-    if (member_context) {
-      const std::string flat = trim(code);
-      // A lone ':' marks a bitfield or access label; "::" is just scope
-      // qualification (std::int64_t) and must not disqualify the line.
-      bool lone_colon = false;
-      for (std::size_t i = 0; i < flat.size(); ++i) {
-        if (flat[i] != ':') continue;
-        const bool left = i > 0 && flat[i - 1] == ':';
-        const bool right = i + 1 < flat.size() && flat[i + 1] == ':';
-        if (!left && !right) lone_colon = true;
-      }
-      const bool decl_shape =
-          !flat.empty() && flat.back() == ';' &&
-          flat.find('(') == std::string::npos &&
-          flat.find('=') == std::string::npos &&
-          flat.find('{') == std::string::npos && !lone_colon;
-      if (decl_shape) {
-        std::vector<std::string> idents;
-        for_each_identifier(flat, [&](const std::string& name, std::size_t,
-                                      std::size_t) {
-          idents.push_back(name);
-        });
-        static const std::set<std::string> kSkipLead = {
-            "static", "using",  "typedef", "friend",
-            "struct", "class",  "enum",    "template",
-            "mutable", "inline", "constexpr",
-        };
-        std::size_t t = 0;
-        while (t < idents.size() &&
-               (idents[t] == "std" || idents[t] == "const" ||
-                idents[t] == "volatile"))
-          ++t;
-        if (idents.size() >= 2 && t < idents.size() &&
-            kSkipLead.count(idents[0]) == 0 &&
-            scalar_type_token(idents[t]))
-          scan.add("R5", static_cast<int>(l),
-                   "scalar member '" + idents.back() +
-                       "' of a serialization-facing struct has no default "
-                       "initializer: indeterminate bytes can leak into "
-                       "Trace/manifest output");
-      }
-    }
-
-    for (char c : code) {
-      if (c == '{') {
-        ++depth;
-        if (struct_head) {
-          stack.push_back({depth, true});
-          struct_head = false;
-        }
-      }
-      if (c == '}') {
-        if (!stack.empty() && depth == stack.back().depth) stack.pop_back();
-        --depth;
-      }
-    }
-    pending_struct = struct_head;
-  }
-}
-
-// --- R6: float equality in metric/gate code ------------------------------
-
-void scan_r6(FileScan& scan) {
-  if (!in_r6_scope(scan.rel_path)) return;
-  for (std::size_t l = 0; l < scan.stripped.code.size(); ++l) {
-    const std::string& code = scan.stripped.code[l];
-    for (std::size_t i = 0; i + 1 < code.size(); ++i) {
-      const bool eq = code[i] == '=' && code[i + 1] == '=';
-      const bool ne = code[i] == '!' && code[i + 1] == '=';
-      if (!eq && !ne) continue;
-      if (i + 2 < code.size() && code[i + 2] == '=') continue;
-      if (eq && i > 0 &&
-          std::string("=<>!+-*/%&|^").find(code[i - 1]) != std::string::npos)
-        continue;
-      const std::string right = token_at(code, skip_ws(code, i + 2));
-      std::size_t before = i;
-      while (before > 0 &&
-             std::isspace(static_cast<unsigned char>(code[before - 1])))
-        --before;
-      const std::string left = token_before(code, before);
-      if (floating_literal(right) || floating_literal(left)) {
-        scan.add("R6", static_cast<int>(l),
-                 "float equality against a literal in metric/gate code: "
-                 "exact comparison of computed doubles is a latent flake; "
-                 "compare with a tolerance or suppress with a reason");
-        i += 1;
-      }
-    }
-  }
-}
-
-std::vector<std::string> split_lines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string line;
-  for (char c : text) {
-    if (c == '\n') {
-      lines.push_back(line);
-      line.clear();
-    } else if (c != '\r') {
-      line.push_back(c);
-    }
-  }
-  lines.push_back(line);
-  return lines;
-}
 
 const char* status_name(const LintFinding& f) {
   if (f.suppressed) return "suppressed";
@@ -564,6 +35,18 @@ const char* status_name(const LintFinding& f) {
 }
 
 }  // namespace
+
+std::string rule_severity(const std::string& rule) {
+  if (rule == "R5" || rule == "R6" || rule == "R12") return "warning";
+  return "error";
+}
+
+std::string rule_doc(const std::string& rule) {
+  std::string anchor = rule;
+  for (char& c : anchor)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return "docs/LINT.md#" + anchor;
+}
 
 StrippedSource strip_source(const std::string& text) {
   enum class State { Normal, LineComment, BlockComment, Str, Chr, RawStr };
@@ -693,6 +176,55 @@ StrippedSource strip_source(const std::string& text) {
   return out;
 }
 
+void mask_disabled_regions(StrippedSource& src) {
+  // Branch state per open conditional:
+  //   0 = disabled   (#if 0 branch; #else flips it to 1)
+  //   1 = enabled    (#if 1 branch; #else/#elif flip it to 3)
+  //   2 = unknown    (condition not a literal — every branch stays enabled)
+  //   3 = disabled-rest (a literal-true branch was already taken)
+  std::vector<int> stack;
+  for (std::string& code : src.code) {
+    std::string keyword, cond;
+    const std::size_t hash = skip_ws(code, 0);
+    if (hash < code.size() && code[hash] == '#') {
+      std::size_t k = skip_ws(code, hash + 1);
+      std::size_t j = k;
+      while (j < code.size() && ident_char(code[j])) ++j;
+      keyword = code.substr(k, j - k);
+      cond = trim(code.substr(j));
+    }
+    bool conditional = true;
+    if (keyword == "if") {
+      stack.push_back(cond == "0" ? 0 : cond == "1" ? 1 : 2);
+    } else if (keyword == "ifdef" || keyword == "ifndef") {
+      stack.push_back(2);
+    } else if (keyword == "elif" && !stack.empty()) {
+      int& m = stack.back();
+      if (m == 0)
+        m = cond == "0" ? 0 : cond == "1" ? 1 : 2;
+      else if (m == 1)
+        m = 3;
+    } else if (keyword == "else" && !stack.empty()) {
+      int& m = stack.back();
+      if (m == 0)
+        m = 1;
+      else if (m == 1)
+        m = 3;
+    } else if (keyword == "endif") {
+      if (!stack.empty()) stack.pop_back();
+    } else {
+      conditional = false;
+    }
+    bool disabled = false;
+    for (int m : stack)
+      if (m == 0 || m == 3) disabled = true;
+    // Conditional directives survive (they drive the nesting bookkeeping
+    // above); everything else in a disabled region — including #include
+    // and #define lines — is blanked so no rule ever sees it.
+    if (disabled && !conditional) code.clear();
+  }
+}
+
 bool has_suppression(const std::string& comment, const std::string& rule,
                      std::string* reason) {
   const std::string marker = "cograd-lint:";
@@ -713,19 +245,122 @@ bool has_suppression(const std::string& comment, const std::string& rule,
 
 std::vector<LintFinding> lint_source(const std::string& rel_path,
                                      const std::string& text) {
-  FileScan scan;
-  scan.rel_path = rel_path;
-  scan.original = split_lines(text);
-  scan.stripped = strip_source(text);
-  collect_tracked_unordered(scan);
-  scan_r1(scan);
-  scan_r2(scan);
-  scan_r3(scan);
-  scan_r4(scan);
-  scan_r5(scan);
-  scan_r6(scan);
+  lintdetail::FileScan scan = lintdetail::scan_file(rel_path, text);
+  // Single-file mode sees only its own guarded-by annotations; lint_tree
+  // merges annotations across header/source siblings before this step.
+  lintdetail::scan_r9(scan, scan.guarded, scan.guarded_lines);
   return std::move(scan.findings);
 }
+
+// --- R11: CI filter coverage ---------------------------------------------
+
+namespace {
+
+bool regex_metachars(const std::string& branch) {
+  return branch.find_first_of(".*+?[](){}\\^$") != std::string::npos;
+}
+
+// Splits a -R pattern into top-level alternation branches, stripping one
+// fully-wrapping layer of parens: "(A|B)" -> {"A", "B"}.
+std::vector<std::string> alternation_branches(std::string pattern) {
+  if (pattern.size() >= 2 && pattern.front() == '(' &&
+      pattern.back() == ')') {
+    int depth = 0;
+    bool wraps = true;
+    for (std::size_t i = 0; i < pattern.size(); ++i) {
+      if (pattern[i] == '(') ++depth;
+      if (pattern[i] == ')' && --depth == 0 && i + 1 < pattern.size())
+        wraps = false;
+    }
+    if (wraps) pattern = pattern.substr(1, pattern.size() - 2);
+  }
+  std::vector<std::string> branches;
+  std::string branch;
+  int depth = 0;
+  for (char c : pattern) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c == '|' && depth == 0) {
+      branches.push_back(trim(branch));
+      branch.clear();
+      continue;
+    }
+    branch.push_back(c);
+  }
+  branches.push_back(trim(branch));
+  return branches;
+}
+
+}  // namespace
+
+std::vector<LintFinding> check_ci_coverage(
+    const std::string& ci_yaml_text, const std::string& rel_path,
+    const std::vector<std::string>& test_ids) {
+  std::vector<LintFinding> findings;
+  const std::vector<std::string> lines = split_lines(ci_yaml_text);
+  for (std::size_t l = 0; l < lines.size(); ++l) {
+    const std::string& line = lines[l];
+    // YAML/shell comment text is not a filter: prose like "the ctest -R
+    // regex" after a '#' must not be parsed as a pattern. Suppression
+    // directives still live in comments; has_suppression below sees the
+    // full line.
+    const std::size_t comment_at = line.find('#');
+    std::size_t pos = 0;
+    while ((pos = line.find("-R", pos)) != std::string::npos &&
+           pos < comment_at) {
+      const bool word_start = pos == 0 || std::isspace(static_cast<unsigned char>(
+                                              line[pos - 1]));
+      std::size_t i = pos + 2;
+      if (!word_start || i >= line.size() ||
+          !std::isspace(static_cast<unsigned char>(line[i]))) {
+        pos += 2;
+        continue;
+      }
+      i = skip_ws(line, i);
+      std::string pattern;
+      if (i < line.size() && (line[i] == '\'' || line[i] == '"')) {
+        const std::size_t close = line.find(line[i], i + 1);
+        if (close == std::string::npos) break;
+        pattern = line.substr(i + 1, close - i - 1);
+        pos = close + 1;
+      } else {
+        std::size_t j = i;
+        while (j < line.size() &&
+               !std::isspace(static_cast<unsigned char>(line[j])))
+          ++j;
+        pattern = line.substr(i, j - i);
+        pos = j;
+      }
+      const bool suppressed =
+          has_suppression(line, "R11") ||
+          (l > 0 && has_suppression(lines[l - 1], "R11"));
+      for (const std::string& branch : alternation_branches(pattern)) {
+        if (branch.empty() || regex_metachars(branch)) continue;
+        bool covered = false;
+        for (const std::string& id : test_ids)
+          if (id.find(branch) != std::string::npos) covered = true;
+        if (covered) continue;
+        LintFinding f;
+        f.rule = "R11";
+        f.file = rel_path;
+        f.line = static_cast<int>(l) + 1;
+        f.snippet = trim(line);
+        f.message = "ctest filter branch '" + branch +
+                    "' matches none of the " +
+                    std::to_string(test_ids.size()) +
+                    " registered test identifiers: a renamed or deleted "
+                    "suite silently drops out of this CI leg";
+        f.fixit =
+            "update the -R filter, or rename a test so the branch matches";
+        f.suppressed = suppressed;
+        findings.push_back(std::move(f));
+      }
+    }
+  }
+  return findings;
+}
+
+// --- tree walk + cross-file stage ----------------------------------------
 
 namespace {
 
@@ -741,7 +376,7 @@ void collect_files(const fs::path& dir, std::vector<fs::path>& out) {
     const std::string name = path.filename().string();
     if (fs::is_directory(path)) {
       // Skip dotdirs, build trees, and the committed violation fixtures
-      // (they are linted on purpose by the WILL_FAIL ctest leg).
+      // (they are linted on purpose by the WILL_FAIL ctest legs).
       if (name.empty() || name[0] == '.' || name == "build" ||
           name == "lint_fixtures")
         continue;
@@ -754,31 +389,183 @@ void collect_files(const fs::path& dir, std::vector<fs::path>& out) {
   }
 }
 
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Test identifiers for R11: add_test NAMEs from the top-level CMakeLists of
+// each scanned subdirectory (cmake full-line and trailing comments cut at
+// '#') plus the gtest suite names collected by the per-file scans.
+void collect_add_test_names(const std::string& cmake_text,
+                            std::set<std::string>& ids) {
+  std::string code;
+  for (const std::string& line : split_lines(cmake_text)) {
+    const std::size_t hash = line.find('#');
+    code += line.substr(0, hash == std::string::npos ? line.size() : hash);
+    code += '\n';
+  }
+  const auto token_at = [&](std::size_t i) {
+    std::size_t j = i;
+    while (j < code.size() &&
+           (ident_char(code[j]) || code[j] == '.' || code[j] == '-'))
+      ++j;
+    return code.substr(i, j - i);
+  };
+  std::size_t pos = 0;
+  while ((pos = code.find("add_test", pos)) != std::string::npos) {
+    std::size_t i = skip_ws(code, pos + 8);
+    pos += 8;
+    if (i >= code.size() || code[i] != '(') continue;
+    i = skip_ws(code, i + 1);
+    if (token_at(i) != "NAME") continue;
+    i = skip_ws(code, i + 4);
+    const std::string name = token_at(i);
+    if (!name.empty()) ids.insert(name);
+  }
+}
+
 }  // namespace
 
 std::vector<LintFinding> lint_tree(const std::string& tree_root,
-                                   LintStats* stats) {
+                                   LintStats* stats, int jobs) {
   const fs::path root(tree_root);
   std::vector<fs::path> files;
   for (const char* sub : {"src", "bench", "tools", "tests"}) {
     const fs::path dir = root / sub;
     if (fs::is_directory(dir)) collect_files(dir, files);
   }
+
+  // Stage 1: per-file scans. File contents are read serially (in path
+  // order); the lexical scans land in per-file slots, so any jobs value
+  // produces the identical scan vector.
+  std::vector<std::string> rel_paths(files.size());
+  std::vector<std::string> texts(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    rel_paths[i] = fs::relative(files[i], root).generic_string();
+    texts[i] = read_file(files[i]);
+  }
+  std::vector<lintdetail::FileScan> scans(files.size());
+  const auto scan_one = [&](int i) {
+    scans[static_cast<std::size_t>(i)] = lintdetail::scan_file(
+        rel_paths[static_cast<std::size_t>(i)],
+        texts[static_cast<std::size_t>(i)]);
+  };
+  if (jobs > 1) {
+    ParallelSweep pool(jobs);
+    pool.run(static_cast<int>(files.size()), scan_one);
+  } else {
+    for (std::size_t i = 0; i < files.size(); ++i)
+      scan_one(static_cast<int>(i));
+  }
+
+  // Stage 2 is serial and runs in file order throughout, keeping the
+  // combined finding list deterministic.
+
+  // R9 with header/source sibling merge: sweep.h's annotations also bind
+  // accesses in sweep.cpp. Declaration lines stay per-file.
+  std::map<std::string, std::map<std::string, std::string>> stem_guards;
+  for (const lintdetail::FileScan& scan : scans) {
+    const std::string stem =
+        scan.rel_path.substr(0, scan.rel_path.rfind('.'));
+    for (const auto& [member, mu] : scan.guarded)
+      stem_guards[stem][member] = mu;
+  }
+  for (lintdetail::FileScan& scan : scans) {
+    const std::string stem =
+        scan.rel_path.substr(0, scan.rel_path.rfind('.'));
+    const auto it = stem_guards.find(stem);
+    lintdetail::scan_r9(scan,
+                        it != stem_guards.end() ? it->second : scan.guarded,
+                        scan.guarded_lines);
+  }
+
   std::vector<LintFinding> findings;
-  int scanned = 0;
-  for (const fs::path& path : files) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) continue;
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    ++scanned;
-    const std::string rel =
-        fs::relative(path, root).generic_string();
-    for (LintFinding& f : lint_source(rel, buffer.str()))
+  for (lintdetail::FileScan& scan : scans)
+    for (LintFinding& f : scan.findings) findings.push_back(std::move(f));
+
+  // R7: the include graph over every scanned file.
+  IncludeGraph graph;
+  for (const lintdetail::FileScan& scan : scans)
+    for (const IncludeRef& ref : scan.includes) graph.add(ref);
+  for (LintFinding& f : graph.check()) findings.push_back(std::move(f));
+
+  // R11: CI filter coverage, when the tree carries a workflow file.
+  const fs::path ci_path = root / ".github" / "workflows" / "ci.yml";
+  if (fs::is_regular_file(ci_path)) {
+    std::set<std::string> ids;
+    for (const lintdetail::FileScan& scan : scans)
+      for (const std::string& suite : scan.gtest_suites) ids.insert(suite);
+    for (const char* sub : {"src", "bench", "tools", "tests"}) {
+      const fs::path cml = root / sub / "CMakeLists.txt";
+      if (fs::is_regular_file(cml)) collect_add_test_names(read_file(cml), ids);
+    }
+    for (LintFinding& f :
+         check_ci_coverage(read_file(ci_path), ".github/workflows/ci.yml",
+                           {ids.begin(), ids.end()}))
       findings.push_back(std::move(f));
   }
+
+  // Global R12: duplicate reasons and stale suppressions, judged against
+  // the complete finding set (including R7 findings anchored above).
+  std::set<std::tuple<std::string, std::string, int>> used;
+  for (const LintFinding& f : findings) {
+    if (!f.suppressed) continue;
+    used.insert({f.file, f.rule, f.line});      // allow on the same line
+    used.insert({f.file, f.rule, f.line - 1});  // allow on the line above
+  }
+  const auto add_r12 = [&](const lintdetail::FileScan& scan, int line,
+                           const std::string& message,
+                           const std::string& fixit) {
+    LintFinding f;
+    f.rule = "R12";
+    f.file = scan.rel_path;
+    f.line = line;
+    f.snippet =
+        trim(scan.original[static_cast<std::size_t>(line - 1)]);
+    f.message = message;
+    f.fixit = fixit;
+    const auto& comments = scan.stripped.comments;
+    f.suppressed =
+        has_suppression(comments[static_cast<std::size_t>(line - 1)],
+                        "R12") ||
+        (line > 1 &&
+         has_suppression(comments[static_cast<std::size_t>(line - 2)],
+                         "R12"));
+    findings.push_back(std::move(f));
+  };
+  std::map<std::pair<std::string, std::string>,
+           std::pair<std::string, int>>
+      first_use;  // (rule, reason) -> first (file, line), in file order
+  for (const lintdetail::FileScan& scan : scans) {
+    for (const lintdetail::AllowSite& site : scan.allows) {
+      const auto key = std::make_pair(site.rule, site.reason);
+      const auto it = first_use.find(key);
+      if (it == first_use.end()) {
+        first_use.emplace(key,
+                          std::make_pair(scan.rel_path, site.line));
+      } else {
+        add_r12(scan, site.line,
+                "duplicate suppression reason for allow(" + site.rule +
+                    ") — identical to " + it->second.first + ":" +
+                    std::to_string(it->second.second) +
+                    "; every accepted site needs a site-specific "
+                    "justification",
+                "explain why *this* site is sound, in its own words");
+      }
+      if (used.count({scan.rel_path, site.rule, site.line}) == 0)
+        add_r12(scan, site.line,
+                "stale suppression: no suppressed " + site.rule +
+                    " finding is anchored to this allow(" + site.rule +
+                    ") site",
+                "delete this suppression comment");
+    }
+  }
+
   if (stats != nullptr) {
-    stats->files_scanned = scanned;
+    stats->files_scanned = static_cast<int>(files.size());
     stats->findings = static_cast<int>(findings.size());
     stats->active = 0;
     for (const LintFinding& f : findings)
@@ -788,7 +575,7 @@ std::vector<LintFinding> lint_tree(const std::string& tree_root,
 }
 
 std::string finding_key(const LintFinding& f) {
-  return f.rule + '\t' + f.file + '\t' + normalize_ws(f.snippet);
+  return f.rule + '\t' + f.file + '\t' + lintdetail::normalize_ws(f.snippet);
 }
 
 std::string findings_to_json(const std::vector<LintFinding>& findings) {
@@ -814,7 +601,7 @@ std::string findings_to_json(const std::vector<LintFinding>& findings) {
   std::string out;
   out += "{\n";
   out += "  \"name\": \"cograd-lint\",\n";
-  out += "  \"schema_version\": 1,\n";
+  out += "  \"schema_version\": 2,\n";
   out += "  \"counts\": {\n";
   out += "    \"total\": " + std::to_string(findings.size()) + ",\n";
   out += "    \"active\": " + std::to_string(active) + ",\n";
@@ -827,11 +614,15 @@ std::string findings_to_json(const std::vector<LintFinding>& findings) {
     out += i == 0 ? "\n" : ",\n";
     out += "    {\n";
     out += "      \"rule\": \"" + json_escape(f.rule) + "\",\n";
+    out += "      \"severity\": \"" + rule_severity(f.rule) + "\",\n";
     out += "      \"file\": \"" + json_escape(f.file) + "\",\n";
     out += "      \"line\": " + std::to_string(f.line) + ",\n";
     out += "      \"status\": \"" + std::string(status_name(f)) + "\",\n";
     out += "      \"snippet\": \"" + json_escape(f.snippet) + "\",\n";
-    out += "      \"message\": \"" + json_escape(f.message) + "\"\n";
+    out += "      \"message\": \"" + json_escape(f.message) + "\",\n";
+    if (!f.fixit.empty())
+      out += "      \"fixit\": \"" + json_escape(f.fixit) + "\",\n";
+    out += "      \"doc\": \"" + rule_doc(f.rule) + "\"\n";
     out += "    }";
   }
   out += ordered.empty() ? "]\n" : "\n  ]\n";
@@ -846,6 +637,17 @@ bool parse_baseline(const std::string& text, std::vector<std::string>* keys,
   if (!doc) {
     if (error != nullptr) *error = parse_error;
     return false;
+  }
+  const JsonValue* schema = doc->find("schema_version");
+  if (schema != nullptr) {
+    const int v = schema->is_number()
+                      ? static_cast<int>(schema->as_number())
+                      : -1;
+    if (v != 1 && v != 2) {
+      if (error != nullptr)
+        *error = "unsupported baseline schema_version (want 1 or 2)";
+      return false;
+    }
   }
   const JsonValue* findings = doc->find("findings");
   if (findings == nullptr || !findings->is_array()) {

@@ -7,8 +7,9 @@
 // machines. One std::rand(), one iteration over an unordered_map, or one
 // wall-clock read in a metric path silently invalidates all of it. This
 // module statically defends the contract with a from-scratch C++ source
-// scanner (comment/string/raw-string aware, no libclang) and six project
-// rules; docs/DETERMINISM.md is the companion prose.
+// scanner (comment/string/raw-string aware, no libclang) and twelve project
+// rules; docs/LINT.md is the per-rule catalog with examples and
+// docs/DETERMINISM.md the companion prose.
 //
 //   R1  banned nondeterminism sources: rand/srand/random_device/time(/
 //       clock(/gettimeofday and any *_clock identifier. The only sanctioned
@@ -27,11 +28,34 @@
 //       varies run to run and across ASLR.
 //   R5  uninitialized scalar members in serialization-facing structs
 //       (sim/types.h, sim/trace.h, sim/message.h, sim/protocol.h,
-//       sim/network.h, sim/backoff.h, sim/recorder.h, util/bench_report.h):
-//       indeterminate bytes leak into Trace/manifest output.
+//       sim/network.h, sim/backoff.h, sim/recorder.h, sim/agg_payload.h,
+//       util/bench_report.h, serve/*.h): indeterminate bytes leak into
+//       Trace/manifest output.
 //   R6  float equality against literals in metric/gate code (src/util/,
 //       src/analysis/, bench/): exact comparison of computed doubles is a
 //       latent flake.
+//   R7  include-graph layering (include_graph.h): quoted includes may only
+//       point at the includer's module or a lower-ranked one
+//       (util -> {sim, analysis} -> {core, agg, lowerbounds, baselines} ->
+//       serve -> tools/bench/tests), and the module graph must be acyclic.
+//   R8  thread-spawn discipline: raw std::thread / std::async / .detach()
+//       anywhere but the sanctioned pool sites (src/util/sweep.cpp,
+//       src/serve/server.cpp) bypasses the worker-fanout budget.
+//   R9  guarded-by annotations: a member declared with a trailing
+//       '// cograd-guarded-by(mu_)' comment may only be touched in scopes
+//       that lock mu_ (std::lock_guard/unique_lock/scoped_lock naming it)
+//       or inside a *_locked function (the caller-holds-the-lock
+//       convention).
+//   R10 RNG draws inside parallel regions: any Rng construction or draw
+//       lexically inside a ParallelSweep task body is a hard error unless
+//       the generator is the trial's own trial_rng(base_seed, t) stream —
+//       coins are spent serially in the act phase.
+//   R11 CI filter coverage: every literal branch of a ctest -R regex in
+//       .github/workflows/ci.yml must match at least one registered test,
+//       so a renamed suite cannot silently drop out of a sanitizer leg.
+//   R12 suppression hygiene: every allow() needs a known rule and a
+//       non-empty site-specific reason; exact-duplicate reasons and stale
+//       suppressions (no finding left to suppress) are findings themselves.
 //
 // Per-site suppression:  // cograd-lint: allow(R2) <non-empty reason>
 // on the finding's line or the line directly above it. Accepted legacy
@@ -45,11 +69,12 @@
 namespace cogradio {
 
 struct LintFinding {
-  std::string rule;     // "R1".."R6"
+  std::string rule;     // "R1".."R12"
   std::string file;     // tree-relative path, '/'-separated
   int line = 0;         // 1-based
   std::string snippet;  // trimmed source line the finding anchors to
   std::string message;  // human diagnostic with the rule's rationale
+  std::string fixit;    // optional machine-free remediation hint ("" = none)
   bool suppressed = false;  // an allow(R*) comment covers the site
   bool baselined = false;   // matched an entry of the --baseline manifest
 };
@@ -59,6 +84,13 @@ struct LintStats {
   int findings = 0;  // total, including suppressed and baselined
   int active = 0;    // neither suppressed nor baselined => exit nonzero
 };
+
+// Severity a rule reports at: "error" for determinism/layering breakers,
+// "warning" for the heuristic hygiene rules (R5, R6, R12).
+std::string rule_severity(const std::string& rule);
+
+// Stable catalog URL for a rule: "docs/LINT.md#r7".
+std::string rule_doc(const std::string& rule);
 
 // Source text after lexical stripping: per-line code with comment text
 // removed and string/char-literal *contents* blanked (delimiters kept), and
@@ -72,35 +104,60 @@ struct StrippedSource {
 };
 StrippedSource strip_source(const std::string& text);
 
+// Blanks code lines inside preprocessor-disabled regions so they cannot
+// contribute findings or include-graph edges: '#if 0' disables its branch
+// ('#else' re-enables), '#if 1' enables its branch ('#else'/'#elif'
+// disables), and any other condition is conservatively treated as enabled
+// on every branch. Comment text is left untouched.
+void mask_disabled_regions(StrippedSource& src);
+
 // True iff `comment` contains "cograd-lint: allow(<rule>)" followed by a
 // non-empty reason; the reason is returned through `reason` when non-null.
 bool has_suppression(const std::string& comment, const std::string& rule,
                      std::string* reason = nullptr);
 
-// Lints one file's contents. `rel_path` (tree-relative, '/'-separated)
-// selects rule scopes and allowlists; findings carry it verbatim.
+// Lints one file's contents with the per-file rules (R1-R6, R8-R10 and the
+// file-local half of R12). `rel_path` (tree-relative, '/'-separated)
+// selects rule scopes and allowlists; findings carry it verbatim. The
+// cross-file rules (R7, R11, the global half of R12, and header/source
+// guarded-by merging for R9) only run under lint_tree.
 std::vector<LintFinding> lint_source(const std::string& rel_path,
                                      const std::string& text);
 
+// R11: checks every literal branch of a `ctest ... -R '<regex>'` filter in
+// the CI workflow text against the registered test identifiers (gtest
+// "Suite" names and add_test NAMEs). Branches containing regex metachars
+// are conservatively skipped; a `# cograd-lint: allow(R11) <reason>`
+// comment on the same or previous line suppresses the branch's findings.
+std::vector<LintFinding> check_ci_coverage(
+    const std::string& ci_yaml_text, const std::string& rel_path,
+    const std::vector<std::string>& test_ids);
+
 // Walks tree_root/{src,bench,tools,tests} (skipping dot-directories and
 // any directory named "lint_fixtures"), lints every .h/.hpp/.cc/.cpp in
-// lexicographic path order, and returns the combined findings. `stats`
-// receives totals when non-null.
+// lexicographic path order, then runs the cross-file stage: R9 guarded-by
+// maps merged across header/source siblings, the R7 include graph, R11
+// against .github/workflows/ci.yml, and the global R12 duplicate/stale
+// suppression audit. `stats` receives totals when non-null. `jobs` > 1
+// scans files on a ParallelSweep pool; output is byte-identical for any
+// jobs value (per-file results land in per-file slots, the cross-file
+// stage is serial in file order).
 std::vector<LintFinding> lint_tree(const std::string& tree_root,
-                                   LintStats* stats = nullptr);
+                                   LintStats* stats = nullptr, int jobs = 1);
 
 // Stable identity for baseline matching: rule + file + whitespace-normalized
 // snippet. Line numbers are excluded so unrelated edits above a site do not
 // invalidate a baseline entry.
 std::string finding_key(const LintFinding& f);
 
-// Serializes findings as the deterministic LINT.json manifest: sorted by
-// (file, line, rule), no timestamps or absolute paths — byte-identical
-// across runs on the same tree.
+// Serializes findings as the deterministic LINT.json manifest (schema 2):
+// sorted by (file, line, rule), per-finding severity and rule-doc link,
+// fix-it hint when one exists, no timestamps or absolute paths —
+// byte-identical across runs and --jobs values on the same tree.
 std::string findings_to_json(const std::vector<LintFinding>& findings);
 
-// Parses a LINT.json document (as written by findings_to_json) into
-// baseline keys. Returns false and sets `error` on malformed input.
+// Parses a LINT.json document (schema 1 or 2) into baseline keys. Returns
+// false and sets `error` on malformed input or an unknown schema_version.
 bool parse_baseline(const std::string& text, std::vector<std::string>* keys,
                     std::string* error = nullptr);
 

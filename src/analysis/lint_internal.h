@@ -1,0 +1,238 @@
+// Internal plumbing shared by lint.cpp and lint_rules.cpp: the lexical
+// helpers over stripped source and the per-file scan state. Not part of the
+// public linting API (lint.h / include_graph.h) — subject to change.
+#pragma once
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/include_graph.h"
+#include "analysis/lint.h"
+
+namespace cogradio {
+namespace lintdetail {
+
+inline bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+inline bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+inline std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+// Collapses whitespace runs to single spaces; the normalization behind
+// finding_key, so reindenting a baselined site does not re-fire it.
+inline std::string normalize_ws(const std::string& s) {
+  std::string out;
+  bool in_ws = false;
+  for (char c : trim(s)) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      in_ws = true;
+      continue;
+    }
+    if (in_ws && !out.empty()) out.push_back(' ');
+    in_ws = false;
+    out.push_back(c);
+  }
+  return out;
+}
+
+// Invokes fn(name, begin, end) for every maximal identifier in `line`.
+template <typename Fn>
+void for_each_identifier(const std::string& line, Fn&& fn) {
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (!ident_start(line[i])) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < line.size() && ident_char(line[j])) ++j;
+    fn(line.substr(i, j - i), i, j);
+    i = j;
+  }
+}
+
+inline std::size_t skip_ws(const std::string& line, std::size_t i) {
+  while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])))
+    ++i;
+  return i;
+}
+
+inline bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+inline bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+inline bool preprocessor_line(const std::string& code) {
+  const std::size_t i = skip_ws(code, 0);
+  return i < code.size() && code[i] == '#';
+}
+
+// True for integer-literal tokens: 1, 0x9e37, 16'384, 42ULL.
+inline bool integer_literal(const std::string& token) {
+  if (token.empty() || !std::isdigit(static_cast<unsigned char>(token[0])))
+    return false;
+  for (char c : token) {
+    if (std::isxdigit(static_cast<unsigned char>(c)) || c == 'x' ||
+        c == 'X' || c == 'u' || c == 'U' || c == 'l' || c == 'L' || c == '\'')
+      continue;
+    return false;
+  }
+  return true;
+}
+
+// True for floating-literal tokens: 0.0, 1e9, .5, 2.5f — but not 0x1e.
+inline bool floating_literal(const std::string& token) {
+  if (token.empty()) return false;
+  const bool dot_start = token[0] == '.' && token.size() > 1 &&
+                         std::isdigit(static_cast<unsigned char>(token[1]));
+  if (!std::isdigit(static_cast<unsigned char>(token[0])) && !dot_start)
+    return false;
+  if (starts_with(token, "0x") || starts_with(token, "0X")) return false;
+  return token.find('.') != std::string::npos ||
+         token.find('e') != std::string::npos ||
+         token.find('E') != std::string::npos;
+}
+
+// Reads the [A-Za-z0-9_.]* token touching position `i` going forward.
+inline std::string token_at(const std::string& line, std::size_t i) {
+  std::size_t j = i;
+  while (j < line.size() && (ident_char(line[j]) || line[j] == '.')) ++j;
+  return line.substr(i, j - i);
+}
+
+// Reads the token ending at (exclusive) position `end` going backward.
+inline std::string token_before(const std::string& line, std::size_t end) {
+  std::size_t b = end;
+  while (b > 0 && (ident_char(line[b - 1]) || line[b - 1] == '.')) --b;
+  return line.substr(b, end - b);
+}
+
+// Skips a single-line template argument list starting at the '<' at `i`;
+// returns the index past the matching '>', or npos when unbalanced or
+// spanning lines.
+inline std::size_t skip_template_args(const std::string& line, std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i; j < line.size(); ++j) {
+    if (line[j] == '<') ++depth;
+    if (line[j] == '>' && --depth == 0) return j + 1;
+  }
+  return std::string::npos;
+}
+
+// First top-level template argument of the list opening at the '<' at `i`
+// ("" when the list is malformed or spans lines).
+inline std::string first_template_arg(const std::string& line, std::size_t i) {
+  int angle = 0, paren = 0;
+  std::string arg;
+  for (std::size_t j = i; j < line.size(); ++j) {
+    const char c = line[j];
+    if (c == '<') {
+      if (++angle == 1) continue;
+    }
+    if (c == '>' && --angle == 0) return trim(arg);
+    if (c == '(') ++paren;
+    if (c == ')') --paren;
+    if (c == ',' && angle == 1 && paren == 0) return trim(arg);
+    if (angle >= 1) arg.push_back(c);
+  }
+  return "";
+}
+
+inline std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string line;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(line);
+      line.clear();
+    } else if (c != '\r') {
+      line.push_back(c);
+    }
+  }
+  lines.push_back(line);
+  return lines;
+}
+
+// One in-source suppression comment: "cograd-lint: allow(<rule>) <reason>".
+// Sites whose reason begins with '<' are documentation placeholders (e.g.
+// the syntax description in lint.h) and are not collected.
+struct AllowSite {
+  std::string rule;
+  std::string reason;
+  int line = 0;  // 1-based line of the comment
+};
+
+struct FileScan {
+  std::string rel_path;
+  std::vector<std::string> original;  // raw source lines, for snippets
+  StrippedSource stripped;            // masked: #if 0 regions blanked
+  std::vector<std::string> tracked_unordered;  // variable/member names
+  std::vector<IncludeRef> includes;   // quoted #include directives
+  std::vector<AllowSite> allows;      // well-formed suppression comments
+  std::vector<std::string> gtest_suites;  // TEST/TEST_F/TEST_P suite names
+  std::map<std::string, std::string> guarded;  // member -> mutex (R9)
+  std::set<int> guarded_lines;        // 0-based annotated declaration lines
+  std::vector<LintFinding> findings;
+
+  void add(const std::string& rule, int line_idx, const std::string& message,
+           const std::string& fixit = "") {
+    LintFinding f;
+    f.rule = rule;
+    f.file = rel_path;
+    f.line = line_idx + 1;
+    f.snippet = line_idx < static_cast<int>(original.size())
+                    ? trim(original[static_cast<std::size_t>(line_idx)])
+                    : "";
+    f.message = message;
+    f.fixit = fixit;
+    const auto& comments = stripped.comments;
+    f.suppressed =
+        has_suppression(comments[static_cast<std::size_t>(line_idx)], rule) ||
+        (line_idx > 0 &&
+         has_suppression(comments[static_cast<std::size_t>(line_idx) - 1],
+                         rule));
+    findings.push_back(std::move(f));
+  }
+};
+
+// Metadata collectors and rule scanners (lint_rules.cpp). collect_allows
+// also emits the file-local R12 findings (missing reason, unknown rule).
+void collect_tracked_unordered(FileScan& scan);
+void collect_includes(FileScan& scan);
+void collect_allows(FileScan& scan);
+void collect_gtest_suites(FileScan& scan);
+void collect_guarded_members(FileScan& scan);
+void scan_r1(FileScan& scan);
+void scan_r2(FileScan& scan);
+void scan_r3(FileScan& scan);
+void scan_r4(FileScan& scan);
+void scan_r5(FileScan& scan);
+void scan_r6(FileScan& scan);
+void scan_r8(FileScan& scan);
+void scan_r9(FileScan& scan,
+             const std::map<std::string, std::string>& guards,
+             const std::set<int>& decl_lines);
+void scan_r10(FileScan& scan);
+
+// Runs strip + mask + metadata + every per-file rule except R9 (which
+// needs the header/source sibling's annotations merged in first).
+FileScan scan_file(const std::string& rel_path, const std::string& text);
+
+}  // namespace lintdetail
+}  // namespace cogradio

@@ -112,6 +112,7 @@ LoadgenReport run_loadgen(const LoadgenOptions& options) {
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(connections));
   for (int t = 0; t < connections; ++t)
+    // cograd-lint: allow(R8) open-loop client connections must block on sockets, which ParallelSweep bodies may not
     pool.emplace_back([&] {
       while (true) {
         const int index = next.fetch_add(1);

@@ -51,8 +51,8 @@ struct JobState {
 struct Session {
   int fd = -1;
   std::string inbuf;
-  std::string outbuf;
-  bool closed = false;    // fd gone; drop all further frames
+  std::string outbuf;     // cograd-guarded-by(mutex)
+  bool closed = false;    // fd gone; drop all further frames; cograd-guarded-by(mutex)
   bool draining = false;  // stop parsing input; close once outbuf flushes
   int strikes = 0;        // protocol errors so far
   std::map<std::int64_t, std::shared_ptr<JobState>> jobs;
@@ -69,10 +69,10 @@ struct ServeServer::Impl {
 
   mutable std::mutex mutex;
   std::condition_variable work_cv;
-  std::deque<std::shared_ptr<JobState>> queue;
-  std::map<int, std::shared_ptr<Session>> sessions;
-  ServeStats stats;
-  bool stopping = false;
+  std::deque<std::shared_ptr<JobState>> queue;          // cograd-guarded-by(mutex)
+  std::map<int, std::shared_ptr<Session>> sessions;     // cograd-guarded-by(mutex)
+  ServeStats stats;                                     // cograd-guarded-by(mutex)
+  bool stopping = false;                                // cograd-guarded-by(mutex)
   std::vector<std::thread> workers;
 
   explicit Impl(const ServeOptions& opts) : options(opts) {
@@ -97,6 +97,7 @@ struct ServeServer::Impl {
     pipe_r = OwnedFd(fds[0]);
     pipe_w = OwnedFd(fds[1]);
     worker_count = resolve_jobs(options.workers);
+    // cograd-lint: allow(R9) constructor runs before any worker thread exists
     stats.workers = worker_count;
   }
 

@@ -1,0 +1,39 @@
+// Aggregation payload data types, at the sim layer.
+//
+// `Message` (sim/message.h) carries an AggPayload on the wire, so the data
+// types live here in the sim layer; the combiner logic (`Aggregator`) stays
+// one layer up in agg/aggregate.h. Keeping the split this way holds the
+// include graph acyclic — sim must never include upward into agg (lint rule
+// R7, docs/LINT.md#r7).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace cogradio {
+
+using Value = std::int64_t;
+
+enum class AggOp : std::uint8_t { Sum, Min, Max, Count, CollectAll };
+
+// The data a node passes to its parent: the aggregate of its whole subtree.
+struct AggPayload {
+  Value combined = 0;      // associative modes: the folded value
+  std::int64_t count = 0;  // number of leaf values folded in
+  std::vector<std::pair<NodeId, Value>> items;  // CollectAll mode only
+
+  bool operator==(const AggPayload&) const = default;
+};
+
+// Approximate on-air size of a payload in 64-bit words — the metric for
+// experiment E15 (message overhead). Associative payloads are O(1); a
+// CollectAll payload is linear in the items it carries.
+inline std::size_t payload_size_words(const AggPayload& payload) {
+  // combined + count + one word per (node, value) pair entry's two fields.
+  return 2 + 2 * payload.items.size();
+}
+
+}  // namespace cogradio

@@ -10,7 +10,7 @@
 #include <cstdint>
 #include <string>
 
-#include "agg/aggregate.h"
+#include "sim/agg_payload.h"
 #include "sim/types.h"
 
 namespace cogradio {

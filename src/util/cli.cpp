@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string_view>
 
+// cograd-lint: allow(R7) --engine parsing needs the EngineLayout enum; cli.h itself only forward-declares it
 #include "sim/network.h"
 
 namespace cogradio {

@@ -30,8 +30,11 @@
 #include <utility>
 #include <vector>
 
+// cograd-lint: allow(R7) Scenario embeds FaultPlan/JammingPlan value types
 #include "sim/fault_engine.h"
+// cograd-lint: allow(R7) Scenario carries an EngineLayout for the sim under test
 #include "sim/network.h"
+// cograd-lint: allow(R7) property callbacks receive protocol Outcome records
 #include "sim/protocol.h"
 #include "util/rng.h"
 

@@ -53,7 +53,7 @@ LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
     syy += y[i] * y[i];
   }
   const double denom = n * sxx - sx * sx;
-  // cograd-lint: allow(R6) exact-zero guard before division, not a tolerance check
+  // cograd-lint: allow(R6) degenerate-regressor guard: denom is exactly 0 when all x coincide
   if (denom == 0.0) return fit;
   fit.slope = (n * sxy - sx * sy) / denom;
   fit.intercept = (sy - fit.slope * sx) / n;

@@ -68,11 +68,11 @@ class ParallelSweep {
   std::mutex mutex_;
   std::condition_variable work_cv_;  // workers wait here for a new batch
   std::condition_variable done_cv_;  // run() waits here for batch completion
-  const std::function<void(int)>* body_ = nullptr;
-  int count_ = 0;
-  int next_ = 0;    // next index to claim
-  int active_ = 0;  // indices claimed but not yet finished
-  bool stop_ = false;
+  const std::function<void(int)>* body_ = nullptr;  // cograd-guarded-by(mutex_)
+  int count_ = 0;   // cograd-guarded-by(mutex_)
+  int next_ = 0;    // next index to claim; cograd-guarded-by(mutex_)
+  int active_ = 0;  // claimed but not yet finished; cograd-guarded-by(mutex_)
+  bool stop_ = false;  // cograd-guarded-by(mutex_)
 };
 
 // Runs `trials` independent executions of `fn` and collects the returned

@@ -1,0 +1,20 @@
+// Committed lint-violation fixture (never compiled): an Rng constructed
+// inside a ParallelSweep task body from a seed that is not the trial's own
+// trial_rng(base_seed, t) stream, for rule R10. Coins spent in parallel
+// regions must come from the per-trial generator or results depend on
+// scheduling.
+#include <cstdint>
+
+#include "util/sweep.h"
+
+namespace cogradio {
+
+void fixture_r10_draw(int trials, std::uint64_t shared_seed) {
+  ParallelSweep pool(4);
+  pool.run(trials, [&](int t) {
+    Rng rng(shared_seed);  // R10: not derived from trial_rng(base_seed, t)
+    (void)rng.below(static_cast<std::uint64_t>(t) + 2);
+  });
+}
+
+}  // namespace cogradio

@@ -1,0 +1,12 @@
+// Committed lint-violation fixture (never compiled): a stale suppression,
+// for rule R12. The allow(R1) below sits on code that no longer contains
+// any R1 hit, so the directive suppresses nothing and must itself be
+// reported — dead suppressions hide future regressions at their site.
+namespace cogradio {
+
+int fixture_r12_stale() {
+  // cograd-lint: allow(R1) legacy clock call removed, directive left behind
+  return 42;
+}
+
+}  // namespace cogradio

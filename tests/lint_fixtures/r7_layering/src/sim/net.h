@@ -1,0 +1,13 @@
+// Committed lint-violation fixture (never compiled): the sim half of the
+// R7 cycle. This include is individually legal (sim rank 1 -> util rank 0),
+// but combined with util/uplink.h's upward edge it forms the module cycle
+// sim -> util -> sim that IncludeGraph::check must report.
+#pragma once
+
+#include "util/uplink.h"
+
+namespace cogradio {
+
+inline int fixture_net_channels() { return 16; }
+
+}  // namespace cogradio

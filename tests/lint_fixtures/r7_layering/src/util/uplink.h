@@ -1,0 +1,14 @@
+// Committed lint-violation fixture (never compiled): a util header reaching
+// up into sim, for rule R7. util is rank 0 and sim rank 1, so this edge
+// points at a strictly higher-ranked module — and together with sim/net.h's
+// legal downward include it closes the shortest possible module cycle,
+// exercising both halves of the R7 report.
+#pragma once
+
+#include "sim/net.h"
+
+namespace cogradio {
+
+inline int fixture_uplink_channels() { return fixture_net_channels(); }
+
+}  // namespace cogradio

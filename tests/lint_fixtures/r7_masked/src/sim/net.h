@@ -1,0 +1,10 @@
+// Committed lint regression fixture (never compiled): the innocuous sim
+// header the masked '#if 0' include in util/masked.h points at. Nothing in
+// this tree may produce a finding.
+#pragma once
+
+namespace cogradio {
+
+inline int fixture_masked_net_channels() { return 16; }
+
+}  // namespace cogradio

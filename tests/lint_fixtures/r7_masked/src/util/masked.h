@@ -1,0 +1,17 @@
+// Committed lint regression fixture (never compiled): a preprocessor-
+// disabled include must NOT create an R7 edge. The '#if 0' block below
+// quotes an upward util -> sim include that would be a layering violation
+// if the masking stage ever stopped blanking disabled regions; this tree
+// is expected to lint clean (exit 0), so the ctest leg guarding it is NOT
+// marked WILL_FAIL.
+#pragma once
+
+#if 0
+#include "sim/net.h"  // dead code: would be util -> sim if unmasked
+#endif
+
+namespace cogradio {
+
+inline int fixture_masked_value() { return 7; }
+
+}  // namespace cogradio

@@ -1,0 +1,25 @@
+// Committed lint-violation fixture (never compiled): a guarded-by
+// annotated member touched outside any scope that locks its mutex, for
+// rule R9. The locked accessor below is the negative control — it must not
+// be flagged.
+#include <mutex>
+
+namespace cogradio {
+
+class FixtureCounter {
+ public:
+  void bump_unlocked_bad() {
+    ++hits_;  // R9: touches hits_ without locking mu_
+  }
+
+  int read_locked_ok() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;  // fine: mu_ held in this scope
+  }
+
+ private:
+  std::mutex mu_;
+  int hits_ = 0;  // cograd-guarded-by(mu_)
+};
+
+}  // namespace cogradio

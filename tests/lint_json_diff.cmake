@@ -20,3 +20,25 @@ execute_process(
 if(NOT diff EQUAL 0)
   message(FATAL_ERROR "LINT.json differs between two identical lint runs")
 endif()
+# The parallel scanner must land on the exact same bytes: per-file results
+# go into per-file slots and the cross-file stage is serial, so --jobs can
+# only change wall-clock, never the manifest.
+execute_process(
+  COMMAND ${COGRAD} lint --tree ${TREE} --jobs 4 --json LINT_run_jobs4.json
+  RESULT_VARIABLE result
+  OUTPUT_QUIET)
+if(NOT result EQUAL 0)
+  message(FATAL_ERROR "cograd lint --jobs 4 failed (${result})")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files LINT_run1.json LINT_run_jobs4.json
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "LINT.json differs between --jobs 1 and --jobs 4")
+endif()
+# And the manifest must announce itself as schema 2.
+file(READ LINT_run1.json manifest LIMIT 256)
+string(FIND "${manifest}" "\"schema_version\": 2" schema_at)
+if(schema_at EQUAL -1)
+  message(FATAL_ERROR "LINT.json does not declare schema_version 2")
+endif()

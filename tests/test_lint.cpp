@@ -1,9 +1,12 @@
 // Unit tests for the determinism linter (src/analysis/lint.h): tokenizer
-// edge cases (comments, strings, raw strings, splices), every rule R1-R6
-// positive + suppressed + out-of-scope, suppression syntax, baseline
-// round-trip, and LINT.json determinism. All fixtures are in-memory
-// snippets handed to lint_source with a synthetic tree-relative path that
-// selects the rule scope under test.
+// edge cases (comments, strings, raw strings, splices), preprocessor
+// masking, the per-file rules R1-R6 and R8-R10 positive + suppressed +
+// out-of-scope, the R11 CI-coverage checker, the file-local half of R12,
+// suppression syntax, baseline round-trip, schema-v2 manifest fields, and
+// LINT.json determinism. All fixtures are in-memory snippets handed to
+// lint_source with a synthetic tree-relative path that selects the rule
+// scope under test; the cross-file rules (R7, global R12) are covered by
+// tests/test_include_graph.cpp and the lint_fixtures ctest legs.
 #include "analysis/lint.h"
 
 #include <gtest/gtest.h>
@@ -405,6 +408,276 @@ TEST(LintBaseline, RejectsMalformedDocuments) {
   std::string error;
   EXPECT_FALSE(parse_baseline("not json", &keys, &error));
   EXPECT_FALSE(parse_baseline("{\"no_findings\": 1}", &keys, &error));
+}
+
+// --- preprocessor masking ------------------------------------------------
+
+TEST(MaskDisabled, If0BlanksItsBranch) {
+  StrippedSource s = strip_source("#if 0\nstd::rand();\n#endif\nok;\n");
+  mask_disabled_regions(s);
+  EXPECT_EQ(s.code[1].find("rand"), std::string::npos);
+  EXPECT_EQ(s.code[3], "ok;");
+}
+
+TEST(MaskDisabled, ElseOfIf0IsEnabled) {
+  StrippedSource s = strip_source("#if 0\ndead;\n#else\nlive;\n#endif\n");
+  mask_disabled_regions(s);
+  EXPECT_EQ(s.code[1].find("dead"), std::string::npos);
+  EXPECT_NE(s.code[3].find("live"), std::string::npos);
+}
+
+TEST(MaskDisabled, If1KeepsThenBlanksElse) {
+  StrippedSource s = strip_source("#if 1\nlive;\n#else\ndead;\n#endif\n");
+  mask_disabled_regions(s);
+  EXPECT_NE(s.code[1].find("live"), std::string::npos);
+  EXPECT_EQ(s.code[3].find("dead"), std::string::npos);
+}
+
+TEST(MaskDisabled, UnknownConditionsKeepEveryBranch) {
+  StrippedSource s = strip_source(
+      "#ifdef FEATURE_X\none;\n#else\ntwo;\n#endif\n");
+  mask_disabled_regions(s);
+  EXPECT_NE(s.code[1].find("one"), std::string::npos);
+  EXPECT_NE(s.code[3].find("two"), std::string::npos);
+}
+
+TEST(MaskDisabled, NestedRegionsStayDisabled) {
+  StrippedSource s = strip_source(
+      "#if 0\n#if 1\ninner;\n#endif\nouter;\n#endif\ntail;\n");
+  mask_disabled_regions(s);
+  EXPECT_EQ(s.code[2].find("inner"), std::string::npos);
+  EXPECT_EQ(s.code[4].find("outer"), std::string::npos);
+  EXPECT_EQ(s.code[6], "tail;");
+}
+
+TEST(MaskDisabled, DisabledCodeProducesNoFindings) {
+  const auto f = lint_source("src/core/x.cpp",
+                             "#if 0\nint a = std::rand();\n#endif\n");
+  EXPECT_EQ(count_rule(f, "R1"), 0);
+}
+
+// --- R8 ------------------------------------------------------------------
+
+TEST(LintR8, FlagsRawSpawnsOutsideTheAllowlist) {
+  EXPECT_EQ(count_rule(lint_source("src/core/x.cpp",
+                                   "std::thread t([] {});\n"),
+                       "R8"),
+            1);
+  EXPECT_EQ(count_rule(lint_source("src/analysis/x.cpp",
+                                   "auto f = std::async(std::launch::async, "
+                                   "fn);\n"),
+                       "R8"),
+            1);
+  EXPECT_EQ(count_rule(lint_source("src/core/x.cpp", "worker.detach();\n"),
+                       "R8"),
+            1);
+}
+
+TEST(LintR8, PoolSitesAreAllowlisted) {
+  const std::string spawn = "std::thread t([] {});\n";
+  EXPECT_EQ(count_rule(lint_source("src/util/sweep.cpp", spawn), "R8"), 0);
+  EXPECT_EQ(count_rule(lint_source("src/serve/server.cpp", spawn), "R8"), 0);
+}
+
+TEST(LintR8, SuppressionWithReasonAccepted) {
+  const auto f = lint_source(
+      "tests/test_x.cpp",
+      "// cograd-lint: allow(R8) test races real client threads\n"
+      "std::thread t([] {});\n");
+  ASSERT_EQ(count_rule(f, "R8", /*include_suppressed=*/true), 1);
+  EXPECT_EQ(count_rule(f, "R8"), 0);
+}
+
+// --- R9 ------------------------------------------------------------------
+
+TEST(LintR9, UnlockedTouchOfGuardedMemberIsFlagged) {
+  const std::string text =
+      "class Counter {\n"
+      " public:\n"
+      "  void bad() {\n"
+      "    ++hits_;\n"
+      "  }\n"
+      "  void good() {\n"
+      "    std::lock_guard<std::mutex> lock(mu_);\n"
+      "    ++hits_;\n"
+      "  }\n"
+      "  void flush_locked() {\n"
+      "    hits_ = 0;\n"
+      "  }\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "  int hits_ = 0;  // cograd-guarded-by(mu_)\n"
+      "};\n";
+  const auto f = lint_source("src/util/counter.h", text);
+  ASSERT_EQ(count_rule(f, "R9"), 1);
+  for (const LintFinding& finding : f) {
+    if (finding.rule == "R9") EXPECT_EQ(finding.line, 4);
+  }
+}
+
+TEST(LintR9, UnannotatedMembersAreNotTracked) {
+  const auto f = lint_source("src/util/counter.h",
+                             "class C {\n"
+                             "  void bump() { ++hits_; }\n"
+                             "  int hits_ = 0;\n"
+                             "};\n");
+  EXPECT_EQ(count_rule(f, "R9"), 0);
+}
+
+// --- R10 -----------------------------------------------------------------
+
+TEST(LintR10, ForeignSeedInsideSweepBodyIsFlagged) {
+  const std::string text =
+      "ParallelSweep pool(4);\n"
+      "pool.run(n, [&](int t) {\n"
+      "  Rng rng(shared_seed);\n"
+      "  use(rng.below(10));\n"
+      "});\n";
+  EXPECT_GE(count_rule(lint_source("src/sim/x.cpp", text), "R10"), 1);
+}
+
+TEST(LintR10, TrialRngStreamIsSanctioned) {
+  const std::string text =
+      "ParallelSweep pool(4);\n"
+      "pool.run(n, [&](int t) {\n"
+      "  Rng rng = trial_rng(base_seed, static_cast<std::uint64_t>(t));\n"
+      "  use(rng.below(10));\n"
+      "});\n";
+  EXPECT_EQ(count_rule(lint_source("src/sim/x.cpp", text), "R10"), 0);
+}
+
+TEST(LintR10, GeneratorsDerivedFromTheTrialStreamPass) {
+  const std::string text =
+      "ParallelSweep pool(4);\n"
+      "pool.run(n, [&](int t) {\n"
+      "  Rng rng = trial_rng(base_seed, static_cast<std::uint64_t>(t));\n"
+      "  Rng child(rng());\n"
+      "  use(child.below(4));\n"
+      "});\n";
+  EXPECT_EQ(count_rule(lint_source("src/sim/x.cpp", text), "R10"), 0);
+}
+
+TEST(LintR10, DrawsOutsideSweepBodiesAreNotItsBusiness) {
+  const auto f = lint_source("src/sim/x.cpp",
+                             "Rng rng(config.seed);\n"
+                             "use(rng.below(10));\n");
+  EXPECT_EQ(count_rule(f, "R10"), 0);
+}
+
+// --- R11 -----------------------------------------------------------------
+
+TEST(LintR11, UncoveredRegexBranchIsFlagged) {
+  const std::string yml = "      - run: ctest -R '(Sweep|Ghost)' -j 2\n";
+  const auto f = check_ci_coverage(yml, ".github/workflows/ci.yml",
+                                   {"SweepDeterminism", "cograd.lint"});
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "R11");
+  EXPECT_NE(f[0].message.find("Ghost"), std::string::npos);
+}
+
+TEST(LintR11, CoveredAndMetacharBranchesPass) {
+  // Every branch matches a test, and the metachar-bearing branch is
+  // conservatively skipped rather than string-matched.
+  const std::string yml =
+      "      - run: ctest -R '(Sweep|Serve)'\n"
+      "      - run: ctest -R 'Sha.*rd'\n";
+  const auto f = check_ci_coverage(yml, ".github/workflows/ci.yml",
+                                   {"SweepDeterminism", "ServeProtocol"});
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(LintR11, BarePatternAndSuppression) {
+  const auto bare = check_ci_coverage("      - run: ctest -R Ghost\n",
+                                      ".github/workflows/ci.yml",
+                                      {"SweepDeterminism"});
+  ASSERT_EQ(bare.size(), 1u);
+  EXPECT_FALSE(bare[0].suppressed);
+  const auto allowed = check_ci_coverage(
+      "      # cograd-lint: allow(R11) leg gates a suite added next commit\n"
+      "      - run: ctest -R Ghost\n",
+      ".github/workflows/ci.yml", {"SweepDeterminism"});
+  ASSERT_EQ(allowed.size(), 1u);
+  EXPECT_TRUE(allowed[0].suppressed);
+}
+
+// --- R12 (file-local half) ----------------------------------------------
+
+TEST(LintR12, UnknownRuleInDirective) {
+  const auto f = lint_source("src/x.cpp",
+                             "// cograd-lint: allow(R99) mystery rule\n"
+                             "int a = 0;\n");
+  EXPECT_EQ(count_rule(f, "R12"), 1);
+}
+
+TEST(LintR12, MissingReasonIsItselfAFinding) {
+  const auto f = lint_source("src/x.cpp",
+                             "// cograd-lint: allow(R2)\n"
+                             "std::unordered_set<int> s;\n");
+  // The reasonless directive is an R12 hit AND fails to suppress the R2.
+  EXPECT_EQ(count_rule(f, "R12"), 1);
+  EXPECT_EQ(count_rule(f, "R2"), 1);
+}
+
+TEST(LintR12, MalformedDirective) {
+  const auto f = lint_source("src/x.cpp",
+                             "// cograd-lint: allow R2 forgot the parens\n"
+                             "int a = 0;\n");
+  EXPECT_EQ(count_rule(f, "R12"), 1);
+}
+
+// --- schema v2 -----------------------------------------------------------
+
+TEST(LintRules, SeverityAndDocCatalog) {
+  EXPECT_EQ(rule_severity("R1"), "error");
+  EXPECT_EQ(rule_severity("R5"), "warning");
+  EXPECT_EQ(rule_severity("R6"), "warning");
+  EXPECT_EQ(rule_severity("R7"), "error");
+  EXPECT_EQ(rule_severity("R11"), "error");
+  EXPECT_EQ(rule_severity("R12"), "warning");
+  EXPECT_EQ(rule_doc("R7"), "docs/LINT.md#r7");
+  EXPECT_EQ(rule_doc("R10"), "docs/LINT.md#r10");
+}
+
+TEST(LintJson, SchemaV2CarriesSeverityDocAndFixit) {
+  std::vector<LintFinding> findings = sample_findings();
+  ASSERT_GE(findings.size(), 1u);
+  findings[0].fixit = "use trial_rng(base_seed, t)";
+  const std::string out = findings_to_json(findings);
+  EXPECT_NE(out.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(out.find("\"severity\": \"error\""), std::string::npos);
+  EXPECT_NE(out.find("\"doc\": \"docs/LINT.md#r1\""), std::string::npos);
+  EXPECT_NE(out.find("\"fixit\": \"use trial_rng(base_seed, t)\""),
+            std::string::npos);
+  // The fixit key is emitted only where a hint exists.
+  const std::string bare = findings_to_json(sample_findings());
+  EXPECT_EQ(bare.find("\"fixit\""), std::string::npos);
+}
+
+TEST(LintBaseline, ParsesSchemaV1Documents) {
+  // A manifest written before the schema bump (no severity/doc fields)
+  // must still work as a --baseline / --diff reference.
+  const std::string v1 =
+      "{\n"
+      "  \"schema_version\": 1,\n"
+      "  \"findings\": [\n"
+      "    {\"rule\": \"R1\", \"file\": \"src/x.cpp\", \"line\": 1,\n"
+      "     \"status\": \"active\", \"snippet\": \"int a = std::rand();\",\n"
+      "     \"message\": \"m\"}\n"
+      "  ]\n"
+      "}\n";
+  std::vector<std::string> keys;
+  std::string error;
+  ASSERT_TRUE(parse_baseline(v1, &keys, &error)) << error;
+  ASSERT_EQ(keys.size(), 1u);
+  auto findings = lint_source("src/x.cpp", "int a = std::rand();\n");
+  EXPECT_EQ(apply_baseline(findings, keys), 1);
+}
+
+TEST(LintBaseline, RejectsFutureSchemaVersions) {
+  std::vector<std::string> keys;
+  std::string error;
+  EXPECT_FALSE(parse_baseline("{\"schema_version\": 3, \"findings\": []}",
+                              &keys, &error));
 }
 
 }  // namespace

@@ -128,7 +128,6 @@ TEST(ReductionPlayer, DedupeMembershipInvariantUnderInsertionOrder) {
   std::vector<std::uint64_t> keys;
   for (std::uint64_t k = 0; k < 200; k += 3) keys.push_back(k * 2654435761ULL);
 
-  // cograd-lint: allow(R2) membership-only sets probed pairwise, never iterated
   std::unordered_set<std::uint64_t> ascending, descending, prereserved;
   prereserved.reserve(4096);
   for (std::size_t i = 0; i < keys.size(); ++i) {

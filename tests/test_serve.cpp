@@ -222,6 +222,7 @@ struct DaemonFixture {
       options.tcp_port = 0;  // ephemeral
     server = std::make_unique<ServeServer>(options);
     port = server->tcp_port();
+    // cograd-lint: allow(R8) test fixture hosts the daemon's IO loop off the gtest thread
     io = std::thread([this] { server->run(); });
   }
   ~DaemonFixture() {
@@ -274,6 +275,7 @@ TEST(ServeDaemon, ManyConcurrentClientsEachGetTheirOwnBytes) {
   std::vector<std::thread> clients;
   clients.reserve(kClients);
   for (int i = 0; i < kClients; ++i)
+    // cograd-lint: allow(R8) concurrency test spawns real client threads to race the daemon
     clients.emplace_back([&, i] {
       Client client(daemon.port);
       if (!client.ok()) {
@@ -408,6 +410,7 @@ TEST(ServeDaemon, ShutdownFrameStopsTheServer) {
   options.tcp_port = 0;
   ServeServer server(options);
   const int port = server.tcp_port();
+  // cograd-lint: allow(R8) shutdown test needs a bare IO thread it can watch exit on its own
   std::thread io([&server] { server.run(); });
   Client client(port);
   ASSERT_TRUE(client.ok());

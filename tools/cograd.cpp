@@ -97,8 +97,10 @@ int usage() {
       "             [--list] [--validate F1,F2,...]\n"
       "             (smoke benchmark suite + regression gate)\n"
       "  lint       [--tree DIR] [--json LINT.json] [--baseline FILE]\n"
-      "             [--update-baseline]   (determinism source linter:\n"
-      "             rules R1-R6, see docs/DETERMINISM.md)\n"
+      "             [--update-baseline] [--diff OLD.json] [--jobs J]\n"
+      "             (determinism + concurrency/layering source linter:\n"
+      "             rules R1-R12, see docs/LINT.md; --diff fails only on\n"
+      "             findings not present in OLD.json)\n"
       "  serve      [--socket PATH] [--port P] [--workers W]\n"
       "             [--max-queue Q] [--max-sessions S] [--smoke N]\n"
       "             (line-JSON job daemon; --smoke N runs an in-process\n"
@@ -719,16 +721,21 @@ int cmd_bench(CliArgs& args) {
 }
 
 // Determinism & model-soundness linter (src/analysis/lint.h). Scans
-// --tree's src/ bench/ tools/ tests/ against rules R1-R6, writes the
-// deterministic LINT.json manifest, and exits nonzero on any finding that
-// is neither suppressed in-source nor covered by --baseline. With
-// --update-baseline the current active findings become the new baseline
-// (accepted pre-existing sites that should not block CI).
+// --tree's src/ bench/ tools/ tests/ against rules R1-R12 (docs/LINT.md),
+// writes the deterministic schema-2 LINT.json manifest, and exits nonzero
+// on any finding that is neither suppressed in-source nor covered by
+// --baseline. With --update-baseline the current active findings become
+// the new baseline (accepted pre-existing sites that should not block CI).
+// --diff OLD.json gates on regressions only: findings already present in
+// OLD.json (schema 1 or 2) are tolerated, new active findings fail.
+// --jobs N scans files in parallel; output is byte-identical for any N.
 int cmd_lint(CliArgs& args) {
   const std::string tree = args.get_string("tree", ".");
   const std::string json_path = args.get_string("json", "LINT.json");
   const std::string baseline_path = args.get_string("baseline", "");
+  const std::string diff_path = args.get_string("diff", "");
   const bool update_baseline = args.get_flag("update-baseline");
+  const int jobs = static_cast<int>(args.get_int("jobs", 1));
   args.finish();
 
   if (update_baseline && baseline_path.empty()) {
@@ -736,9 +743,15 @@ int cmd_lint(CliArgs& args) {
                  "cograd lint: --update-baseline requires --baseline FILE\n");
     return 2;
   }
+  if (!diff_path.empty() && !baseline_path.empty()) {
+    std::fprintf(stderr,
+                 "cograd lint: --diff and --baseline are mutually "
+                 "exclusive\n");
+    return 2;
+  }
 
   LintStats stats;
-  std::vector<LintFinding> findings = lint_tree(tree, &stats);
+  std::vector<LintFinding> findings = lint_tree(tree, &stats, jobs);
   if (stats.files_scanned == 0) {
     std::fprintf(stderr,
                  "cograd lint: no C++ sources under %s/{src,bench,tools,"
@@ -747,18 +760,24 @@ int cmd_lint(CliArgs& args) {
     return 2;
   }
 
-  if (!baseline_path.empty() && !update_baseline) {
-    const auto text = read_file(baseline_path);
+  // --diff reuses the baseline matcher: old findings are "baselined" and
+  // only new active findings remain to fail the run.
+  const std::string& reference_path =
+      diff_path.empty() ? baseline_path : diff_path;
+  if (!reference_path.empty() && !update_baseline) {
+    const auto text = read_file(reference_path);
     if (!text) {
-      std::fprintf(stderr, "cograd lint: cannot read baseline %s\n",
-                   baseline_path.c_str());
+      std::fprintf(stderr, "cograd lint: cannot read %s %s\n",
+                   diff_path.empty() ? "baseline" : "diff reference",
+                   reference_path.c_str());
       return 2;
     }
     std::string error;
     std::vector<std::string> keys;
     if (!parse_baseline(*text, &keys, &error)) {
-      std::fprintf(stderr, "cograd lint: baseline %s invalid: %s\n",
-                   baseline_path.c_str(), error.c_str());
+      std::fprintf(stderr, "cograd lint: %s %s invalid: %s\n",
+                   diff_path.empty() ? "baseline" : "diff reference",
+                   reference_path.c_str(), error.c_str());
       return 2;
     }
     apply_baseline(findings, keys);
@@ -781,8 +800,10 @@ int cmd_lint(CliArgs& args) {
       continue;
     }
     ++active;
-    std::printf("%s:%d: [%s] %s\n    %s\n", f.file.c_str(), f.line,
-                f.rule.c_str(), f.message.c_str(), f.snippet.c_str());
+    std::printf("%s:%d: [%s/%s] %s\n    %s\n", f.file.c_str(), f.line,
+                f.rule.c_str(), rule_severity(f.rule).c_str(),
+                f.message.c_str(), f.snippet.c_str());
+    if (!f.fixit.empty()) std::printf("    fix: %s\n", f.fixit.c_str());
   }
 
   if (update_baseline) {
@@ -796,6 +817,13 @@ int cmd_lint(CliArgs& args) {
     return 0;
   }
 
+  if (!diff_path.empty()) {
+    std::printf("lint: %d files, %d findings, %d new vs %s "
+                "(%d carried over, %d suppressed)\n",
+                stats.files_scanned, stats.findings, active,
+                diff_path.c_str(), baselined, suppressed);
+    return active == 0 ? 0 : 1;
+  }
   std::printf("lint: %d files, %d findings (%d active, %d suppressed, "
               "%d baselined)\n",
               stats.files_scanned, stats.findings, active, suppressed,
@@ -852,6 +880,7 @@ void print_loadgen_report(const char* label, const LoadgenReport& report) {
 int serve_smoke(const ServeOptions& options, const JobSpec& job,
                 int sessions, std::uint64_t seed) {
   ServeServer server(options);
+  // cograd-lint: allow(R8) serve foreground mode parks run() on a thread so main can wait for signals
   std::thread daemon([&server] { server.run(); });
 
   LoadgenOptions load;
