@@ -21,6 +21,7 @@ const char* const kSerializationHeaders[] = {
     "sim/recorder.h",       "sim/fault_engine.h", "sim/channel_bitmap.h",
     "sim/agg_payload.h",    "util/bench_report.h", "serve/job.h",
     "serve/protocol.h",     "serve/server.h",     "serve/loadgen.h",
+    "sim/checkpoint.h",     "serve/journal.h",    "serve/crashtest.h",
 };
 
 bool in_r5_scope(const std::string& rel_path) {

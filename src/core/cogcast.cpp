@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sim/checkpoint.h"
+
 namespace cogradio {
 
 CogCastNode::CogCastNode(NodeId id, int c, bool is_source, Message payload,
@@ -75,6 +77,48 @@ void CogCastNode::on_feedback(Slot slot, const SlotResult& result) {
     assert(static_cast<Slot>(history_.size()) == slot - 1);
     history_.push_back(SlotRecord{current_label_, broadcast_this_slot_,
                                   result.tx_success, first_informed});
+  }
+}
+
+void CogCastNode::save_state(CheckpointWriter& w) const {
+  w.section("cast");
+  w.rng(rng_);
+  save_message(w, payload_);
+  w.boolean(informed_);
+  w.i64(informed_slot_);
+  w.i64(informed_label_);
+  w.i64(parent_);
+  w.i64(current_label_);
+  w.boolean(broadcast_this_slot_);
+  w.u64(history_.size());
+  for (const SlotRecord& rec : history_) {
+    w.i64(rec.label);
+    w.boolean(rec.broadcast);
+    w.boolean(rec.success);
+    w.boolean(rec.first_informed);
+  }
+}
+
+void CogCastNode::restore_state(CheckpointReader& r) {
+  r.section("cast");
+  r.rng(rng_);
+  payload_ = load_message(r);
+  informed_ = r.boolean();
+  informed_slot_ = r.i64();
+  informed_label_ = static_cast<LocalLabel>(r.i64());
+  parent_ = static_cast<NodeId>(r.i64());
+  current_label_ = static_cast<LocalLabel>(r.i64());
+  broadcast_this_slot_ = r.boolean();
+  history_.clear();
+  const std::size_t len = r.length(11);
+  history_.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    SlotRecord rec;
+    rec.label = static_cast<LocalLabel>(r.i64());
+    rec.broadcast = r.boolean();
+    rec.success = r.boolean();
+    rec.first_informed = r.boolean();
+    history_.push_back(rec);
   }
 }
 

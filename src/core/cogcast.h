@@ -100,6 +100,15 @@ class CogCastNode : public Protocol {
   };
   const std::vector<SlotRecord>& history() const { return history_; }
 
+  // --- Checkpoint/restore (sim/checkpoint.h) ---
+  // Serializes the full cross-slot state: informed latch and provenance,
+  // the (possibly replaced) payload, RNG, and the per-slot history log.
+  // Restore targets a fresh node with the same constructor arguments and
+  // the same knob settings (tx probability / channel bias).
+  bool checkpointable() const override { return true; }
+  void save_state(CheckpointWriter& w) const override;
+  void restore_state(CheckpointReader& r) override;
+
  private:
   NodeId id_;
   int c_;

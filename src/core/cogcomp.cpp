@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "sim/checkpoint.h"
+
 namespace cogradio {
 
 namespace {
@@ -419,6 +421,106 @@ void CogCompNode::advance_collect() {
   }
   role_ = Role::Sender;
   if (mediator_ && params_.mediated) duties_started_ = true;
+}
+
+void CogCompNode::save_state(CheckpointWriter& w) const {
+  w.section("comp");
+  cast_.save_state(w);
+  w.rng(rng_phase4_);
+  w.boolean(phase2_started_);
+  w.boolean(announced_);
+  w.u64(channel_clusters_.size());
+  for (const auto& [r, tally] : channel_clusters_) {
+    w.i64(r);
+    w.i64(tally.size);
+    w.i64(tally.min_id);
+  }
+  w.i64(my_cluster_size_);
+  w.boolean(phase3_started_);
+  w.boolean(mediator_);
+  w.u64(mediator_clusters_.size());
+  for (const auto& [r, size] : mediator_clusters_) {
+    w.i64(r);
+    w.i64(size);
+  }
+  w.u64(informed_clusters_.size());
+  for (const InformedCluster& c : informed_clusters_) {
+    w.i64(c.r);
+    w.i64(c.label);
+    w.i64(c.size);
+  }
+  w.i64(phase3_label_);
+  w.boolean(phase3_listening_);
+  w.boolean(phase4_started_);
+  w.u8(static_cast<std::uint8_t>(role_));
+  w.u64(collect_idx_);
+  w.i64(collect_count_);
+  save_agg_payload(w, acc_);
+  w.boolean(send_pending_);
+  w.boolean(sent_this_step_);
+  w.i64(pending_ack_);
+  w.boolean(delivered_);
+  w.boolean(duties_started_);
+  w.u64(med_idx_);
+  w.i64(med_delivered_);
+  w.boolean(done_);
+}
+
+void CogCompNode::restore_state(CheckpointReader& r) {
+  r.section("comp");
+  cast_.restore_state(r);
+  r.rng(rng_phase4_);
+  phase2_started_ = r.boolean();
+  announced_ = r.boolean();
+  channel_clusters_.clear();
+  const std::size_t num_tallies = r.length(24);
+  for (std::size_t i = 0; i < num_tallies; ++i) {
+    const Slot slot = r.i64();
+    ClusterTally tally;
+    tally.size = r.i64();
+    tally.min_id = static_cast<NodeId>(r.i64());
+    channel_clusters_.emplace(slot, tally);
+  }
+  my_cluster_size_ = r.i64();
+  phase3_started_ = r.boolean();
+  mediator_ = r.boolean();
+  mediator_clusters_.clear();
+  const std::size_t num_med = r.length(16);
+  mediator_clusters_.reserve(num_med);
+  for (std::size_t i = 0; i < num_med; ++i) {
+    const Slot slot = r.i64();
+    const std::int64_t size = r.i64();
+    mediator_clusters_.emplace_back(slot, size);
+  }
+  informed_clusters_.clear();
+  const std::size_t num_informed = r.length(24);
+  informed_clusters_.reserve(num_informed);
+  for (std::size_t i = 0; i < num_informed; ++i) {
+    InformedCluster c;
+    c.r = r.i64();
+    c.label = static_cast<LocalLabel>(r.i64());
+    c.size = r.i64();
+    informed_clusters_.push_back(c);
+  }
+  phase3_label_ = static_cast<LocalLabel>(r.i64());
+  phase3_listening_ = r.boolean();
+  phase4_started_ = r.boolean();
+  const std::uint8_t role = r.u8();
+  if (role > static_cast<std::uint8_t>(Role::Finished))
+    throw CheckpointError("checkpoint rejected: cogcomp role byte " +
+                          std::to_string(role) + " out of range");
+  role_ = static_cast<Role>(role);
+  collect_idx_ = static_cast<std::size_t>(r.u64());
+  collect_count_ = r.i64();
+  acc_ = load_agg_payload(r);
+  send_pending_ = r.boolean();
+  sent_this_step_ = r.boolean();
+  pending_ack_ = static_cast<NodeId>(r.i64());
+  delivered_ = r.boolean();
+  duties_started_ = r.boolean();
+  med_idx_ = static_cast<std::size_t>(r.u64());
+  med_delivered_ = r.i64();
+  done_ = r.boolean();
 }
 
 }  // namespace cogradio

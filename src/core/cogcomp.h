@@ -124,6 +124,14 @@ class CogCompNode : public Protocol {
     return is_source_ && done_ && acc_.count == static_cast<std::int64_t>(n_);
   }
 
+  // --- Checkpoint/restore (sim/checkpoint.h) ---
+  // Serializes the phase-1 delegate plus all phase 2-4 machinery: cluster
+  // censuses, mediator role, collection cursors and the running aggregate.
+  // Restore targets a fresh node with the same constructor arguments.
+  bool checkpointable() const override { return true; }
+  void save_state(CheckpointWriter& w) const override;
+  void restore_state(CheckpointReader& r) override;
+
  private:
   enum class Role : std::uint8_t { Receiver, Sender, Finished };
 

@@ -1,7 +1,10 @@
 #include "core/gossip.h"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
+
+#include "sim/checkpoint.h"
 
 namespace cogradio {
 
@@ -51,6 +54,41 @@ void GossipNode::absorb(const AggPayload& payload, Slot slot) {
   }
   if (known_count_ == n_ && completed_slot_ == kNoSlot)
     completed_slot_ = slot;
+}
+
+void GossipNode::save_state(CheckpointWriter& w) const {
+  w.section("goss");
+  w.rng(rng_);
+  w.u64(rumors_.size());
+  for (const auto& [origin, value] : rumors_) {
+    w.i64(origin);
+    w.i64(value);
+  }
+  w.i64(completed_slot_);
+}
+
+void GossipNode::restore_state(CheckpointReader& r) {
+  r.section("goss");
+  r.rng(rng_);
+  rumors_.clear();
+  std::fill(known_.begin(), known_.end(), false);
+  known_count_ = 0;
+  const std::size_t len = r.length(16);
+  rumors_.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    const NodeId origin = static_cast<NodeId>(r.i64());
+    const Value value = static_cast<Value>(r.i64());
+    if (origin < 0 || origin >= n_)
+      throw CheckpointError("checkpoint rejected: gossip rumor origin " +
+                            std::to_string(origin) + " out of range [0, " +
+                            std::to_string(n_) + ")");
+    rumors_.emplace_back(origin, value);
+    if (!known_[static_cast<std::size_t>(origin)]) {
+      known_[static_cast<std::size_t>(origin)] = true;
+      ++known_count_;
+    }
+  }
+  completed_slot_ = r.i64();
 }
 
 GossipOutcome run_gossip(ChannelAssignment& assignment,

@@ -50,6 +50,13 @@ class GossipNode : public Protocol {
   }
   Slot completed_slot() const { return completed_slot_; }
 
+  // --- Checkpoint/restore (sim/checkpoint.h) ---
+  // Cross-slot state: RNG, rumor set (origin/value pairs; `known_` and
+  // `known_count_` are rebuilt from it), completion slot.
+  bool checkpointable() const override { return true; }
+  void save_state(CheckpointWriter& w) const override;
+  void restore_state(CheckpointReader& r) override;
+
  private:
   void absorb(const AggPayload& payload, Slot slot);
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/checkpoint.h"
+
 namespace cogradio {
 
 Slot next_backoff_deadline(Slot deadline, double backoff, Slot max_deadline) {
@@ -22,6 +24,14 @@ SupervisedOutcome run_supervised(const AttemptFactory& factory,
                                  const SupervisorOptions& options,
                                  std::uint64_t seed,
                                  const EpochObserver& observer) {
+  return run_supervised(factory, options, seed, CheckpointPolicy{}, observer);
+}
+
+SupervisedOutcome run_supervised(const AttemptFactory& factory,
+                                 const SupervisorOptions& options,
+                                 std::uint64_t seed,
+                                 const CheckpointPolicy& policy,
+                                 const EpochObserver& observer) {
   if (!factory) throw std::invalid_argument("supervisor: need a factory");
   if (options.deadline <= 0 && options.stall_window <= 0)
     throw std::invalid_argument(
@@ -36,16 +46,77 @@ SupervisedOutcome run_supervised(const AttemptFactory& factory,
   Rng seeder(seed);
   SupervisedOutcome out;
   Slot deadline = options.deadline;
-  for (int attempt = 0; attempt <= options.max_restarts; ++attempt) {
-    SupervisedRun run =
-        factory(attempt, seeder.split(static_cast<std::uint64_t>(attempt))());
+
+  // A resume payload re-seats the whole supervisor cursor: which attempt
+  // was in flight (and the seed it was built from), the backed-off
+  // deadline, the finished-epoch history, and the stall detector. The
+  // component state that follows it in the payload is restored only after
+  // the factory has rebuilt the attempt.
+  int start_attempt = 0;
+  std::uint64_t resume_attempt_seed = 0;
+  Slot resume_steps = 0;
+  std::int64_t resume_last_progress = 0;
+  Slot resume_flat = 0;
+  const bool resuming = !policy.resume.empty();
+  std::unique_ptr<CheckpointReader> resume_reader;
+  if (resuming) {
+    resume_reader = std::make_unique<CheckpointReader>(policy.resume);
+    CheckpointReader& r = *resume_reader;
+    r.section("supv");
+    start_attempt = static_cast<int>(r.u32());
+    if (start_attempt > options.max_restarts)
+      throw CheckpointError(
+          "checkpoint rejected: snapshot is mid-attempt " +
+          std::to_string(start_attempt) + " but max_restarts is " +
+          std::to_string(options.max_restarts));
+    resume_attempt_seed = r.u64();
+    r.rng(seeder);
+    deadline = r.i64();
+    out.restarts = static_cast<int>(r.u32());
+    out.total_slots = r.i64();
+    const std::size_t num_epochs = r.length(11);
+    for (std::size_t i = 0; i < num_epochs; ++i) {
+      EpochStats e;
+      e.slots = r.i64();
+      e.completed = r.boolean();
+      e.stalled = r.boolean();
+      e.deadline_hit = r.boolean();
+      out.epochs.push_back(e);
+    }
+    resume_steps = r.i64();
+    resume_last_progress = r.i64();
+    resume_flat = r.i64();
+  }
+
+  for (int attempt = start_attempt; attempt <= options.max_restarts;
+       ++attempt) {
+    const bool restored_attempt = resuming && attempt == start_attempt;
+    // Attempt k's seed is Rng(seed).split(k) drawn in order, so the seeder
+    // state advances identically in interrupted and uninterrupted runs; a
+    // resumed attempt reuses its recorded seed and the restored seeder.
+    const std::uint64_t attempt_seed =
+        restored_attempt
+            ? resume_attempt_seed
+            : seeder.split(static_cast<std::uint64_t>(attempt))();
+    SupervisedRun run = factory(attempt, attempt_seed);
     if (run.network == nullptr)
       throw std::invalid_argument("supervisor: factory returned no network");
+    if (policy.active() && (!run.save_state || !run.restore_state))
+      throw std::invalid_argument(
+          "supervisor: checkpoint policy needs save_state/restore_state "
+          "hooks on the supervised run");
 
     EpochStats epoch;
     std::int64_t last_progress = run.progress ? run.progress() : 0;
     Slot flat = 0;
     Slot steps = 0;
+    if (restored_attempt) {
+      run.restore_state(*resume_reader);
+      resume_reader->expect_end();
+      steps = resume_steps;
+      last_progress = resume_last_progress;
+      flat = resume_flat;
+    }
     while (true) {
       if (run.success && run.success()) {
         epoch.completed = true;
@@ -72,6 +143,28 @@ SupervisedOutcome run_supervised(const AttemptFactory& factory,
           epoch.stalled = true;
           break;
         }
+      }
+      if (policy.wants_snapshots() && steps % policy.every_slots == 0) {
+        CheckpointWriter w;
+        w.section("supv");
+        w.u32(static_cast<std::uint32_t>(attempt));
+        w.u64(attempt_seed);
+        w.rng(seeder);
+        w.i64(deadline);
+        w.u32(static_cast<std::uint32_t>(out.restarts));
+        w.i64(out.total_slots);
+        w.u64(out.epochs.size());
+        for (const EpochStats& e : out.epochs) {
+          w.i64(e.slots);
+          w.boolean(e.completed);
+          w.boolean(e.stalled);
+          w.boolean(e.deadline_hit);
+        }
+        w.i64(steps);
+        w.i64(last_progress);
+        w.i64(flat);
+        run.save_state(w);
+        policy.sink(w.bytes());
       }
     }
     epoch.slots = steps;
@@ -154,6 +247,18 @@ SupervisedRun build_cogcast_run(ChannelAssignment& assignment,
     return std::all_of(s->nodes.begin(), s->nodes.end(),
                        [](const auto& node) { return node->informed(); });
   };
+  run.save_state = [s = state.get(), jammer = config.jammer](
+                       CheckpointWriter& w) {
+    s->network->save_state(w);
+    if (jammer != nullptr) jammer->save_state(w);
+    for (const auto& node : s->nodes) node->save_state(w);
+  };
+  run.restore_state = [s = state.get(), jammer = config.jammer](
+                          CheckpointReader& r) {
+    s->network->restore_state(r);
+    if (jammer != nullptr) jammer->restore_state(r);
+    for (auto& node : s->nodes) node->restore_state(r);
+  };
   run.state = state;
   return run;
 }
@@ -194,6 +299,14 @@ SupervisedRun build_cogcomp_run(ChannelAssignment& assignment,
   run.aggregate = [s = state.get(), source = config.source] {
     return s->aggregator.result(
         s->nodes[static_cast<std::size_t>(source)]->accumulated());
+  };
+  run.save_state = [s = state.get()](CheckpointWriter& w) {
+    s->network->save_state(w);
+    for (const auto& node : s->nodes) node->save_state(w);
+  };
+  run.restore_state = [s = state.get()](CheckpointReader& r) {
+    s->network->restore_state(r);
+    for (auto& node : s->nodes) node->restore_state(r);
   };
   run.state = state;
   return run;

@@ -96,7 +96,33 @@ struct SupervisedRun {
   // empty when the protocol has none. Callers that keep the run alive
   // past run_supervised (src/serve/job.cpp) read it after completion.
   std::function<Value()> aggregate;
+  // Checkpoint hooks (sim/checkpoint.h): serialize / reconstruct the
+  // attempt's complete cross-slot component state — network, protocol
+  // nodes, attached jammer. restore_state targets a run freshly built by
+  // the same factory call (same attempt, same derived seed). Both empty
+  // means the run cannot be checkpointed; run_supervised refuses a
+  // checkpoint policy in that case rather than writing partial snapshots.
+  std::function<void(CheckpointWriter&)> save_state;
+  std::function<void(CheckpointReader&)> restore_state;
   std::shared_ptr<void> state;
+};
+
+// Checkpoint policy for run_supervised: every `every_slots` network slots
+// the supervisor serializes its own cursor (attempt index, backed-off
+// deadline, epoch history, stall detector) plus the run's component state
+// and hands the raw payload to `sink` — callers wrap it in the validated
+// file header via save_checkpoint_file. A nonempty `resume` payload (from
+// load_checkpoint_file) makes run_supervised continue mid-epoch from the
+// snapshot instead of starting attempt 0 fresh; the resume-equivalence
+// contract is that the continued run is bit-identical to the
+// uninterrupted one.
+struct CheckpointPolicy {
+  std::function<void(const std::string& payload)> sink;
+  Slot every_slots = 0;
+  std::string resume;
+
+  bool wants_snapshots() const { return sink && every_slots > 0; }
+  bool active() const { return wants_snapshots() || !resume.empty(); }
 };
 
 // Builds attempt `attempt` from its derived seed. The factory may attach
@@ -114,6 +140,16 @@ using AttemptFactory =
 SupervisedOutcome run_supervised(const AttemptFactory& factory,
                                  const SupervisorOptions& options,
                                  std::uint64_t seed,
+                                 const EpochObserver& observer = {});
+
+// As above, with checkpointing: snapshots are cut at slot boundaries per
+// `policy`, and a nonempty policy.resume continues a snapshotted run.
+// Throws if the policy is active but the factory's runs lack the
+// save_state/restore_state hooks.
+SupervisedOutcome run_supervised(const AttemptFactory& factory,
+                                 const SupervisorOptions& options,
+                                 std::uint64_t seed,
+                                 const CheckpointPolicy& policy,
                                  const EpochObserver& observer = {});
 
 // Standard supervised assemblies, mirroring core/runtime.cpp's runners:

@@ -1,0 +1,46 @@
+// Crash-injection harness behind `cograd crashtest`.
+//
+// Proves the kill -9 contract end to end by actually delivering the
+// SIGKILLs: a forked child runs real work with a crash scheduled at a
+// scripted (or salt-randomized) point, the parent reaps it, recovers,
+// and verifies the resumed world is byte-identical to an uninterrupted
+// control run. Three modes:
+//
+//   run     — supervised run with --checkpoint: the child dies after the
+//             Nth snapshot (mid-epoch) or *between the checkpoint tmp
+//             write and its rename* (util/atomic_file's testonly hook);
+//             the parent resumes from whatever checkpoint file survived
+//             and requires job_result_to_json to match the control.
+//   serve   — daemon + journal: the child daemon dies after the Nth
+//             fsync'd journal append or mid-append (torn tail); the
+//             parent replays the journal through a --recover daemon in
+//             drain mode and requires every journaled job to finish
+//             exactly once with the control's bytes — zero lost, zero
+//             double-run.
+//   corrupt — the failure oracle: generates a valid checkpoint/journal,
+//             truncates or bit-flips it, and attempts the load. The
+//             load MUST be rejected, which makes the harness exit
+//             nonzero — ctest wraps these legs in WILL_FAIL, so a
+//             regression that silently accepts corrupt state turns the
+//             leg red.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cogradio {
+
+struct CrashTestOptions {
+  std::string mode = "run";  // run | serve | corrupt
+  // corrupt mode: which artifact to damage and how.
+  //   ckpt-flip | ckpt-trunc | journal-flip
+  std::string target = "ckpt-flip";
+  std::uint64_t seed = 1;  // scenario seeds and randomized kill points
+  int points = 2;          // extra randomized kill points per mode
+};
+
+// Runs the requested mode; returns a process exit code (0 = contract
+// held; corrupt mode inverts — see above).
+int run_crashtest(const CrashTestOptions& options);
+
+}  // namespace cogradio

@@ -197,6 +197,11 @@ std::string job_spec_to_json(const JobSpec& spec) {
 }
 
 JobResult run_job(const JobSpec& spec, const EpochObserver& observer) {
+  return run_job(spec, CheckpointPolicy{}, observer);
+}
+
+JobResult run_job(const JobSpec& spec, const CheckpointPolicy& policy,
+                  const EpochObserver& observer) {
   JobResult result;
   try {
     SupervisorOptions supervisor;
@@ -226,7 +231,7 @@ JobResult run_job(const JobSpec& spec, const EpochObserver& observer) {
           [&](int, std::uint64_t aseed) {
             return build_cogcast_run(*assignment, config, aseed);
           },
-          supervisor, seeder(), observer);
+          supervisor, seeder(), policy, observer);
       result.completed = out.completed;
       result.aborted = out.aborted;
       result.restarts = out.restarts;
@@ -254,7 +259,7 @@ JobResult run_job(const JobSpec& spec, const EpochObserver& observer) {
             last = build_cogcomp_run(*assignment, values, config, aseed);
             return last;
           },
-          supervisor, seeder(), observer);
+          supervisor, seeder(), policy, observer);
       result.completed = out.completed;
       result.aborted = out.aborted;
       result.restarts = out.restarts;

@@ -79,6 +79,14 @@ struct JobResult {
 // the observer never returns false.
 JobResult run_job(const JobSpec& spec, const EpochObserver& observer = {});
 
+// As above with a checkpoint policy (core/supervisor.h): `policy.sink`
+// receives a snapshot payload every `policy.every_slots` slots, and a
+// nonempty `policy.resume` continues a snapshotted run mid-epoch. The
+// daemon wires these to the job journal (serve/journal.h) so a job
+// interrupted by kill -9 resumes bit-identically after --recover.
+JobResult run_job(const JobSpec& spec, const CheckpointPolicy& policy,
+                  const EpochObserver& observer = {});
+
 // Canonical one-line JSON for a result (no trailing newline). Field order
 // and formatting are fixed so two runs of the same spec serialize
 // byte-identically.

@@ -1,0 +1,317 @@
+#include "serve/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <map>
+#include <stdexcept>
+
+#include "sim/checkpoint.h"
+#include "util/json.h"
+
+namespace cogradio {
+
+namespace journal_testonly {
+volatile int die_after_appends = 0;
+volatile int die_mid_append = 0;
+}  // namespace journal_testonly
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+std::string hex16(std::uint64_t v) {
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHexDigits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+std::string hex_encode(const std::string& bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char b : bytes) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xF]);
+  }
+  return out;
+}
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+std::string hex_decode(const std::string& hex) {
+  if (hex.size() % 2 != 0)
+    throw CheckpointError("journal rejected: odd-length hex payload");
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_nibble(hex[i]);
+    const int lo = hex_nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0)
+      throw CheckpointError("journal rejected: non-hex payload byte");
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+// Integral JSON number that survives the double round-trip exactly —
+// seq/id values are small enough in practice, and a journal is only ever
+// written by this daemon, so 2^53 of headroom is plenty.
+std::int64_t record_int(const JsonValue* v, const char* what) {
+  if (v == nullptr || !v->is_number())
+    throw CheckpointError(std::string("journal rejected: record missing ") +
+                          what);
+  const double d = v->as_number();
+  const std::int64_t i = static_cast<std::int64_t>(d);
+  if (static_cast<double>(i) != d)
+    throw CheckpointError(std::string("journal rejected: non-integral ") +
+                          what);
+  return i;
+}
+
+// One journal line without its newline:
+//   {"crc":"<16 hex>","body":{...}}
+// Returns the body substring after verifying the CRC covers it exactly.
+std::string check_line(const std::string& line) {
+  constexpr const char* kPrefix = "{\"crc\":\"";
+  constexpr std::size_t kPrefixLen = 8;
+  constexpr const char* kMid = "\",\"body\":";
+  constexpr std::size_t kMidLen = 9;
+  constexpr std::size_t kBodyAt = kPrefixLen + 16 + kMidLen;  // 33
+  if (line.size() < kBodyAt + 1 || line.compare(0, kPrefixLen, kPrefix) != 0 ||
+      line.compare(kPrefixLen + 16, kMidLen, kMid) != 0 ||
+      line.back() != '}')
+    throw CheckpointError("journal rejected: malformed record line");
+  const std::string crc_hex = line.substr(kPrefixLen, 16);
+  const std::string body = line.substr(kBodyAt, line.size() - kBodyAt - 1);
+  if (hex16(fnv1a64(body)) != crc_hex)
+    throw CheckpointError("journal rejected: record CRC mismatch");
+  return body;
+}
+
+std::string read_whole_file(const std::string& path, bool* exists) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    *exists = false;
+    return {};
+  }
+  *exists = true;
+  std::string data;
+  char buf[1 << 16];
+  while (true) {
+    const ssize_t got = ::read(fd, buf, sizeof buf);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw CheckpointError("journal rejected: unreadable file " + path);
+    }
+    if (got == 0) break;
+    data.append(buf, static_cast<std::size_t>(got));
+  }
+  ::close(fd);
+  return data;
+}
+
+}  // namespace
+
+JournalRecovery read_journal(const std::string& path) {
+  JournalRecovery out;
+  bool exists = false;
+  const std::string data = read_whole_file(path, &exists);
+  if (!exists || data.empty()) return out;
+
+  std::map<std::int64_t, std::size_t> by_seq;  // seq -> index in out.jobs
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const std::size_t nl = data.find('\n', pos);
+    if (nl == std::string::npos) {
+      // Torn tail: the one corruption a crash legitimately produces.
+      out.torn_bytes = static_cast<std::int64_t>(data.size() - pos);
+      break;
+    }
+    const std::string line = data.substr(pos, nl - pos);
+    pos = nl + 1;
+    const std::string body = check_line(line);
+    std::string parse_error;
+    const auto doc = parse_json(body, &parse_error);
+    if (!doc || !doc->is_object())
+      throw CheckpointError("journal rejected: bad record JSON: " +
+                            parse_error);
+    const JsonValue* type = doc->find("type");
+    if (type == nullptr || !type->is_string())
+      throw CheckpointError("journal rejected: record missing type");
+    ++out.records;
+    const std::string& kind = type->as_string();
+    if (kind == "clean_shutdown") {
+      out.clean_shutdown = true;
+      continue;
+    }
+    // Any lifecycle record after a shutdown marker means the daemon came
+    // back and kept appending — the journal is no longer "clean".
+    out.clean_shutdown = false;
+    const std::int64_t seq = record_int(doc->find("seq"), "seq");
+    if (kind == "submitted") {
+      if (by_seq.count(seq) != 0)
+        throw CheckpointError("journal rejected: duplicate seq " +
+                              std::to_string(seq));
+      RecoveredJob job;
+      job.seq = seq;
+      job.client_id = record_int(doc->find("id"), "id");
+      const JsonValue* spec = doc->find("job");
+      std::string spec_error;
+      const auto parsed =
+          spec != nullptr ? parse_job_spec(*spec, &spec_error) : std::nullopt;
+      if (!parsed)
+        throw CheckpointError("journal rejected: bad job spec: " + spec_error);
+      job.spec = *parsed;
+      by_seq[seq] = out.jobs.size();
+      out.jobs.push_back(job);
+      if (seq >= out.next_seq) out.next_seq = seq + 1;
+      continue;
+    }
+    const auto it = by_seq.find(seq);
+    if (it == by_seq.end())
+      throw CheckpointError("journal rejected: record for unknown seq " +
+                            std::to_string(seq));
+    RecoveredJob& job = out.jobs[it->second];
+    if (kind == "started") {
+      job.started = true;
+    } else if (kind == "ckpt") {
+      const JsonValue* payload = doc->find("data");
+      if (payload == nullptr || !payload->is_string())
+        throw CheckpointError("journal rejected: ckpt record missing data");
+      job.checkpoint = hex_decode(payload->as_string());
+    } else if (kind == "done") {
+      // Keep the embedded result verbatim — recovery accounting compares
+      // it byte-for-byte against the re-run, so re-serializing through
+      // the JSON tree would defeat the point.
+      const std::size_t at = body.find("\"result\":");
+      if (at == std::string::npos || doc->find("result") == nullptr)
+        throw CheckpointError("journal rejected: done record missing result");
+      job.done = true;
+      job.result_json = body.substr(at + 9, body.size() - (at + 9) - 1);
+    } else {
+      throw CheckpointError("journal rejected: unknown record type '" + kind +
+                            "'");
+    }
+  }
+  return out;
+}
+
+JobJournal::JobJournal(const std::string& path) : path_(path) {
+  // Construction is single-threaded, but fd_ carries a guarded-by
+  // annotation; holding the guard keeps the discipline uniform.
+  std::lock_guard<std::mutex> lock(mutex_);
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0)
+    throw std::runtime_error("journal: cannot open " + path);
+  // Repair a torn tail from a previous kill -9: the final record never
+  // committed (no newline), so truncate back to the last one that did.
+  const off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size > 0) {
+    char last = '\n';
+    if (::pread(fd_, &last, 1, size - 1) == 1 && last != '\n') {
+      off_t keep = 0;
+      char buf[1 << 12];
+      off_t at = size;
+      while (at > 0 && keep == 0) {
+        const off_t chunk =
+            std::min<off_t>(at, static_cast<off_t>(sizeof buf));
+        at -= chunk;
+        if (::pread(fd_, buf, static_cast<std::size_t>(chunk), at) != chunk)
+          throw std::runtime_error("journal: cannot read " + path);
+        for (off_t i = chunk; i-- > 0;) {
+          if (buf[i] == '\n') {
+            keep = at + i + 1;
+            break;
+          }
+        }
+        if (at == 0) break;
+      }
+      if (::ftruncate(fd_, keep) != 0)
+        throw std::runtime_error("journal: cannot repair torn tail in " +
+                                 path);
+      ::fsync(fd_);
+    }
+  }
+}
+
+JobJournal::~JobJournal() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void JobJournal::append_locked(const std::string& body) {
+  std::string line = "{\"crc\":\"" + hex16(fnv1a64(body)) + "\",\"body\":" +
+                     body + "}\n";
+  const int mid = journal_testonly::die_mid_append;
+  if (mid > 0) {
+    journal_testonly::die_mid_append = mid - 1;
+    if (mid == 1) {
+      // Fabricate a real torn tail: half a record, durable, then die the
+      // way kill -9 would — without ever writing the newline that
+      // commits.
+      const std::string torn = line.substr(0, line.size() / 2);
+      (void)!::write(fd_, torn.data(), torn.size());
+      ::fsync(fd_);
+      ::raise(SIGKILL);
+    }
+  }
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t put = ::write(fd_, line.data() + off, line.size() - off);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("journal: write failed on " + path_);
+    }
+    off += static_cast<std::size_t>(put);
+  }
+  if (::fsync(fd_) != 0)
+    throw std::runtime_error("journal: fsync failed on " + path_);
+  const int after = journal_testonly::die_after_appends;
+  if (after > 0) {
+    journal_testonly::die_after_appends = after - 1;
+    if (after == 1) ::raise(SIGKILL);
+  }
+}
+
+void JobJournal::submitted(std::int64_t seq, std::int64_t client_id,
+                           const JobSpec& spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  append_locked("{\"type\":\"submitted\",\"seq\":" + std::to_string(seq) +
+                ",\"id\":" + std::to_string(client_id) +
+                ",\"job\":" + job_spec_to_json(spec) + "}");
+}
+
+void JobJournal::started(std::int64_t seq) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  append_locked("{\"type\":\"started\",\"seq\":" + std::to_string(seq) + "}");
+}
+
+void JobJournal::checkpoint(std::int64_t seq, const std::string& payload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  append_locked("{\"type\":\"ckpt\",\"seq\":" + std::to_string(seq) +
+                ",\"data\":\"" + hex_encode(payload) + "\"}");
+}
+
+void JobJournal::done(std::int64_t seq, const JobResult& result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  append_locked("{\"type\":\"done\",\"seq\":" + std::to_string(seq) +
+                ",\"result\":" + job_result_to_json(result) + "}");
+}
+
+void JobJournal::clean_shutdown() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  append_locked("{\"type\":\"clean_shutdown\"}");
+}
+
+}  // namespace cogradio

@@ -1,0 +1,103 @@
+// Crash-consistent job journal for the `cograd serve` daemon.
+//
+// An append-only line-JSON log of every job's lifecycle: `submitted`
+// (spec + client id), `started`, `ckpt` (latest supervisor checkpoint
+// payload, hex-armored), `done` (job_result_to_json verbatim), plus a
+// `clean_shutdown` marker when the daemon drains normally. Every record
+// is one line `{"crc":"<16 hex>","body":{...}}` where the CRC is
+// FNV-1a-64 over the exact body bytes, and every append is fsync'd
+// before the daemon acts on the job — so after kill -9 the journal is
+// the ground truth of what the daemon had promised.
+//
+// Torn tails are expected, not errors: a crash mid-append leaves a final
+// line without its newline. The writer truncates it on reopen (the
+// record never committed); read_journal tolerates and counts it.
+// Corruption anywhere *before* the tail — a bad CRC or unparseable body
+// on a complete line — is a different animal entirely (bit rot, a wrong
+// file) and throws CheckpointError so recovery fails loudly instead of
+// silently dropping jobs.
+//
+// Recovery contract (`cograd serve --recover`): a job with a `done`
+// record is finished — it must never run again. A job without one is
+// re-queued: from its latest `ckpt` payload when present (resumed
+// bit-identically mid-epoch), from scratch otherwise. Either way the
+// re-run's `done` result is byte-identical to what the uninterrupted
+// daemon would have produced, because a JobSpec alone fixes every byte
+// of its result (serve/job.h).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/job.h"
+
+namespace cogradio {
+
+namespace journal_testonly {
+// Crash-injection hooks for `cograd crashtest` (both zero in production).
+// die_after_appends = N > 0: SIGKILL the process immediately after the
+// Nth successful (fsync'd) append. die_mid_append = N > 0: the Nth
+// append writes only a prefix of its line (no newline), fsyncs, and
+// SIGKILLs — fabricating exactly the torn tail a real crash leaves.
+extern volatile int die_after_appends;
+extern volatile int die_mid_append;
+}  // namespace journal_testonly
+
+// One job reconstructed from the journal, in submission order.
+struct RecoveredJob {
+  std::int64_t seq = 0;        // daemon-wide submission sequence (the key)
+  std::int64_t client_id = 0;  // client-chosen id, for reporting only
+  JobSpec spec;
+  bool started = false;       // a worker had picked it up
+  bool done = false;          // finished — must not run again
+  std::string checkpoint;     // latest supervisor payload ("" = none)
+  std::string result_json;    // done record's embedded result, verbatim
+};
+
+struct JournalRecovery {
+  std::vector<RecoveredJob> jobs;  // submission order
+  bool clean_shutdown = false;     // last record is the shutdown marker
+  std::int64_t records = 0;        // complete records parsed
+  std::int64_t torn_bytes = 0;     // trailing torn record tolerated
+  std::int64_t next_seq = 1;       // max seen seq + 1
+};
+
+// Parses the journal at `path` (missing file = empty recovery). Throws
+// CheckpointError on interior corruption: bad CRC, bad JSON, unknown or
+// malformed record on any *complete* line. A torn final line (no
+// trailing newline) is tolerated and reported via torn_bytes.
+JournalRecovery read_journal(const std::string& path);
+
+// The daemon-side writer. Thread-safe: workers append concurrently under
+// an internal mutex; each append is a single write + fsync so records
+// are atomic with respect to kill -9 (modulo the torn tail the next
+// reopen repairs).
+class JobJournal {
+ public:
+  // Opens `path` for appending (creating it if absent) and repairs a
+  // torn tail from a previous crash by truncating back to the last
+  // committed newline. Throws std::runtime_error on open failure.
+  explicit JobJournal(const std::string& path);
+  ~JobJournal();
+
+  JobJournal(const JobJournal&) = delete;
+  JobJournal& operator=(const JobJournal&) = delete;
+
+  void submitted(std::int64_t seq, std::int64_t client_id,
+                 const JobSpec& spec);
+  void started(std::int64_t seq);
+  void checkpoint(std::int64_t seq, const std::string& payload);
+  void done(std::int64_t seq, const JobResult& result);
+  void clean_shutdown();
+
+ private:
+  void append_locked(const std::string& body);
+
+  std::mutex mutex_;
+  int fd_ = -1;          // cograd-guarded-by(mutex_)
+  std::string path_;
+};
+
+}  // namespace cogradio

@@ -155,6 +155,9 @@ std::string frame_stats(const ServeStats& s) {
   out += ",\"aborted\":" + std::to_string(s.aborted);
   out += ",\"failed\":" + std::to_string(s.failed);
   out += ",\"protocol_errors\":" + std::to_string(s.protocol_errors);
+  out += ",\"recovered_done\":" + std::to_string(s.recovered_done);
+  out += ",\"recovered_resumed\":" + std::to_string(s.recovered_resumed);
+  out += ",\"recovered_rerun\":" + std::to_string(s.recovered_rerun);
   out += ",\"queued_now\":" + std::to_string(s.queued_now);
   out += ",\"running_now\":" + std::to_string(s.running_now);
   out += ",\"workers\":" + std::to_string(s.workers);

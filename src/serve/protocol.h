@@ -68,6 +68,12 @@ struct ServeStats {
   std::int64_t aborted = 0;          // cancelled or disconnected mid-run
   std::int64_t failed = 0;           // run_job reported ok=false
   std::int64_t protocol_errors = 0;
+  // Crash-recovery accounting (--recover over a job journal): jobs found
+  // already done (never re-run), jobs resumed from a checkpoint payload
+  // mid-epoch, and jobs re-run from scratch.
+  std::int64_t recovered_done = 0;
+  std::int64_t recovered_resumed = 0;
+  std::int64_t recovered_rerun = 0;
   std::int64_t queued_now = 0;
   std::int64_t running_now = 0;
   std::int64_t workers = 0;

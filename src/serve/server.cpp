@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "serve/journal.h"
 #include "serve/socket.h"
 #include "util/sweep.h"
 
@@ -38,10 +39,15 @@ struct Session;
 // between epochs from a worker thread.
 struct JobState {
   std::int64_t id = 0;
+  std::int64_t seq = 0;  // journal sequence (0 when journaling is off)
   JobSpec spec;
   std::shared_ptr<Session> session;
   std::atomic<int> cancel{kNotCancelled};
   bool running = false;  // guarded by the server mutex
+  // Recovery only: the latest journaled checkpoint payload, set before
+  // any worker thread exists and immutable after — the worker resumes
+  // the supervised run from it instead of starting fresh.
+  std::string resume;
 };
 
 // One connected client. The IO thread owns fd/inbuf exclusively; outbuf
@@ -74,6 +80,14 @@ struct ServeServer::Impl {
   ServeStats stats;                                     // cograd-guarded-by(mutex)
   bool stopping = false;                                // cograd-guarded-by(mutex)
   std::vector<std::thread> workers;
+  // Crash-recovery state. The journal object is itself thread-safe;
+  // next_seq hands each accepted job its journal key. Orphans are jobs
+  // replayed from the journal — their original sessions are gone, so
+  // they live on per-job ghost sessions (closed from birth, frames
+  // dropped) and are tracked here so cancel_everything reaches them.
+  std::unique_ptr<JobJournal> journal;
+  std::int64_t next_seq = 1;                            // cograd-guarded-by(mutex)
+  std::vector<std::shared_ptr<JobState>> orphans;       // cograd-guarded-by(mutex)
 
   explicit Impl(const ServeOptions& opts) : options(opts) {
     ignore_sigpipe();
@@ -99,6 +113,45 @@ struct ServeServer::Impl {
     worker_count = resolve_jobs(options.workers);
     // cograd-lint: allow(R9) constructor runs before any worker thread exists
     stats.workers = worker_count;
+    if (!options.journal_path.empty()) {
+      JournalRecovery recovery;
+      // Replay first: read_journal throws CheckpointError on interior
+      // corruption, so a damaged journal refuses to start the daemon
+      // instead of silently dropping promised jobs.
+      if (options.recover) recovery = read_journal(options.journal_path);
+      journal = std::make_unique<JobJournal>(options.journal_path);
+      seed_recovered_locked(recovery);
+    }
+  }
+
+  // Re-queues every journaled job without a `done` record. Named _locked
+  // for the guarded-member convention: it runs from the constructor,
+  // before any worker thread exists, so the mutex is not (and need not
+  // be) held.
+  void seed_recovered_locked(const JournalRecovery& recovery) {
+    next_seq = recovery.next_seq;
+    for (const RecoveredJob& rec : recovery.jobs) {
+      if (rec.done) {
+        ++stats.recovered_done;  // finished before the crash; never re-run
+        continue;
+      }
+      auto ghost = std::make_shared<Session>();
+      ghost->closed = true;  // its peer died with the old process
+      auto job = std::make_shared<JobState>();
+      job->id = rec.client_id;
+      job->seq = rec.seq;
+      job->spec = rec.spec;
+      job->resume = rec.checkpoint;
+      job->session = ghost;
+      ghost->jobs[job->id] = job;
+      orphans.push_back(job);
+      queue.push_back(job);
+      ++stats.queued_now;
+      if (rec.checkpoint.empty())
+        ++stats.recovered_rerun;
+      else
+        ++stats.recovered_resumed;
+    }
   }
 
   ~Impl() {
@@ -140,6 +193,10 @@ struct ServeServer::Impl {
         int expected = kNotCancelled;
         job->cancel.compare_exchange_strong(expected, kServerStopping);
       }
+    for (auto& job : orphans) {
+      int expected = kNotCancelled;
+      job->cancel.compare_exchange_strong(expected, kServerStopping);
+    }
   }
 
   // --- worker side --------------------------------------------------------
@@ -164,10 +221,13 @@ struct ServeServer::Impl {
             ++stats.shed_disconnect;
           else
             ++stats.aborted;
+          JobResult result;
+          result.ok = true;
+          result.aborted = true;
+          // Journal the abort before anything can reach the client: a
+          // cancelled job must not rise from the dead on --recover.
+          if (journal != nullptr) journal->done(job->seq, result);
           if (!job->session->closed) {
-            JobResult result;
-            result.ok = true;
-            result.aborted = true;
             enqueue_frame_locked(*job->session, frame_done(job->id, result));
             poke();
           }
@@ -177,6 +237,7 @@ struct ServeServer::Impl {
         job->running = true;
         ++stats.running_now;
       }
+      if (journal != nullptr) journal->started(job->seq);
 
       const EpochObserver observer = [this, job](int attempt,
                                                   const EpochStats& epoch) {
@@ -189,7 +250,19 @@ struct ServeServer::Impl {
         }
         return job->cancel.load() == kNotCancelled;
       };
-      const JobResult result = run_job(job->spec, observer);
+      CheckpointPolicy policy;
+      policy.resume = job->resume;  // empty unless replayed from the journal
+      if (journal != nullptr && options.checkpoint_every > 0) {
+        policy.every_slots = options.checkpoint_every;
+        policy.sink = [this, job](const std::string& payload) {
+          journal->checkpoint(job->seq, payload);
+        };
+      }
+      const JobResult result = run_job(job->spec, policy, observer);
+      // Durable before visible: the `done` record hits the disk before
+      // the `done` frame can reach the client, so a result a client saw
+      // is one --recover will never re-run.
+      if (journal != nullptr) journal->done(job->seq, result);
 
       std::lock_guard<std::mutex> lock(mutex);
       --stats.running_now;
@@ -235,8 +308,14 @@ struct ServeServer::Impl {
         }
         auto job = std::make_shared<JobState>();
         job->id = request.id;
+        job->seq = next_seq++;
         job->spec = request.job;
         job->session = session;
+        // The submitted record is fsync'd before the accepted frame can
+        // be flushed — an acceptance the client saw is a job --recover
+        // will find.
+        if (journal != nullptr)
+          journal->submitted(job->seq, job->id, job->spec);
         session->jobs[request.id] = job;
         queue.push_back(job);
         ++stats.queued_now;
@@ -402,6 +481,17 @@ struct ServeServer::Impl {
     std::vector<pollfd> pfds;
     std::vector<std::shared_ptr<Session>> polled;
     while (true) {
+      // Graceful drain: a signal handler set the flag, so stop taking
+      // work but let queued and running jobs finish — stopping without
+      // cancel_everything_locked() is exactly that, and the exit
+      // condition below then waits for the queue and workers to empty.
+      if (options.drain_flag != nullptr && *options.drain_flag != 0) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!stopping) {
+          stopping = true;
+          work_cv.notify_all();
+        }
+      }
       pfds.clear();
       polled.clear();
       bool accepting;
@@ -475,6 +565,10 @@ struct ServeServer::Impl {
     work_cv.notify_all();
     for (std::thread& t : workers) t.join();
     workers.clear();
+    // Every journaled job now has a done record (workers drain the queue
+    // before exiting, shedding cancelled jobs with aborted results), so
+    // the marker is truthful: nothing is owed after this point.
+    if (journal != nullptr) journal->clean_shutdown();
   }
 
   void stop() {

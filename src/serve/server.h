@@ -22,6 +22,7 @@
 // `done` frame is byte-identical to a local `run_job` of the same spec.
 #pragma once
 
+#include <csignal>
 #include <cstdint>
 #include <string>
 
@@ -40,6 +41,20 @@ struct ServeOptions {
   int max_queue = 1024;
   // Concurrent sessions before new connections are turned away.
   int max_sessions = 4096;
+  // Crash recovery (serve/journal.h). A non-empty journal_path makes the
+  // daemon log every job's lifecycle to an fsync'd append-only journal;
+  // with `recover` it first replays that journal, re-queueing every job
+  // that lacks a `done` record (resumed from its latest checkpoint
+  // payload when one was journaled). checkpoint_every > 0 snapshots each
+  // running job's supervisor state into the journal at that slot cadence.
+  std::string journal_path;
+  bool recover = false;
+  Slot checkpoint_every = 0;
+  // Graceful drain: when non-null, the IO loop polls this flag each
+  // round (a SIGTERM/SIGINT handler sets it) and, once set, stops
+  // accepting work but lets queued and running jobs finish before run()
+  // returns — the opposite of stop(), which cancels everything.
+  const volatile std::sig_atomic_t* drain_flag = nullptr;
 };
 
 class ServeServer {

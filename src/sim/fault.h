@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/checkpoint.h"
 #include "sim/protocol.h"
 #include "util/rng.h"
 
@@ -55,6 +56,20 @@ class CrashFault : public Protocol {
   bool done() const override { return crashed_ || inner_.done(); }
 
   bool crashed() const { return crashed_; }
+
+  // Checkpointable iff the wrapped protocol is: the decorator prepends its
+  // own crash latch, then forwards.
+  bool checkpointable() const override { return inner_.checkpointable(); }
+  void save_state(CheckpointWriter& w) const override {
+    w.section("crsh");
+    w.boolean(crashed_);
+    inner_.save_state(w);
+  }
+  void restore_state(CheckpointReader& r) override {
+    r.section("crsh");
+    crashed_ = r.boolean();
+    inner_.restore_state(r);
+  }
 
  private:
   Protocol& inner_;
@@ -92,6 +107,11 @@ class OutageFault : public Protocol {
   }
 
   bool done() const override { return inner_.done(); }
+
+  // Stateless beyond construction: checkpointing is pure forwarding.
+  bool checkpointable() const override { return inner_.checkpointable(); }
+  void save_state(CheckpointWriter& w) const override { inner_.save_state(w); }
+  void restore_state(CheckpointReader& r) override { inner_.restore_state(r); }
 
  private:
   Protocol& inner_;

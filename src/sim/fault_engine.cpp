@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sim/checkpoint.h"
+
 namespace cogradio {
 
 std::string to_string(FaultKind kind) {
@@ -133,6 +135,68 @@ std::string FaultEngine::serialize_log() const {
        << " kind=" << to_string(e.kind) << (e.onset ? " onset" : " clear")
        << "\n";
   return os.str();
+}
+
+void FaultEngine::save_state(CheckpointWriter& w) const {
+  w.section("flte");
+  w.u32(static_cast<std::uint32_t>(n_));
+  w.u32(static_cast<std::uint32_t>(c_));
+  w.rng(rng_);
+  w.u64(windows_.size());
+  for (const Window& win : windows_) {
+    w.i64(win.node);
+    w.u8(static_cast<std::uint8_t>(win.kind));
+    w.i64(win.from);
+    w.i64(win.to);
+    w.i64(win.label);
+  }
+  for (const std::int64_t count : injected_) w.i64(count);
+  w.u64(log_.size());
+  for (const FaultEvent& e : log_) {
+    w.i64(e.slot);
+    w.i64(e.node);
+    w.u8(static_cast<std::uint8_t>(e.kind));
+    w.boolean(e.onset);
+  }
+  w.i64(last_burst_end_);
+}
+
+void FaultEngine::restore_state(CheckpointReader& r) {
+  r.section("flte");
+  const std::uint32_t n = r.u32();
+  const std::uint32_t c = r.u32();
+  if (n != static_cast<std::uint32_t>(n_) ||
+      c != static_cast<std::uint32_t>(c_))
+    throw CheckpointError(
+        "checkpoint rejected: fault-engine shape mismatch (snapshot " +
+        std::to_string(n) + "x" + std::to_string(c) + ", engine " +
+        std::to_string(n_) + "x" + std::to_string(c_) + ")");
+  r.rng(rng_);
+  windows_.clear();
+  const std::size_t num_windows = r.length(33);
+  windows_.reserve(num_windows);
+  for (std::size_t i = 0; i < num_windows; ++i) {
+    Window win;
+    win.node = static_cast<NodeId>(r.i64());
+    win.kind = static_cast<FaultKind>(r.u8());
+    win.from = r.i64();
+    win.to = r.i64();
+    win.label = static_cast<LocalLabel>(r.i64());
+    windows_.push_back(win);
+  }
+  for (std::int64_t& count : injected_) count = r.i64();
+  log_.clear();
+  const std::size_t num_events = r.length(17);
+  log_.reserve(num_events);
+  for (std::size_t i = 0; i < num_events; ++i) {
+    FaultEvent e;
+    e.slot = r.i64();
+    e.node = static_cast<NodeId>(r.i64());
+    e.kind = static_cast<FaultKind>(r.u8());
+    e.onset = r.boolean();
+    log_.push_back(e);
+  }
+  last_burst_end_ = r.i64();
 }
 
 std::string FaultEngine::serialize_schedule() const {

@@ -48,6 +48,9 @@
 
 namespace cogradio {
 
+class CheckpointWriter;  // sim/checkpoint.h
+class CheckpointReader;
+
 enum class FaultKind : std::uint8_t { Deaf, Mute, Babble, FeedbackDrop, Churn };
 
 inline constexpr int kNumFaultKinds = 5;
@@ -158,6 +161,14 @@ class FaultEngine {
   // One "node=<u> kind=<k> from=<f> to=<t>" line per scheduled window —
   // the reproducible fault schedule, for failure artifacts.
   std::string serialize_schedule() const;
+
+  // Checkpoint/restore (sim/checkpoint.h): the scheduled windows (the
+  // cursor over them is pure in the slot), injection totals, audit log,
+  // burst horizon, and the schedule RNG. The per-slot flag masks are
+  // rebuilt by the next begin_slot. restore_state targets a freshly
+  // constructed engine with the same (n, c).
+  void save_state(CheckpointWriter& w) const;
+  void restore_state(CheckpointReader& r);
 
  private:
   struct Window {

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "sim/checkpoint.h"
+
 namespace cogradio {
 
 BudgetedJammer::BudgetedJammer(int num_nodes, int num_channels, int budget)
@@ -50,6 +52,16 @@ void RandomJammer::begin_slot(Slot /*slot*/) {
       jam(u, ch);
 }
 
+void RandomJammer::save_state(CheckpointWriter& w) const {
+  w.section("rjam");
+  w.rng(rng_);
+}
+
+void RandomJammer::restore_state(CheckpointReader& r) {
+  r.section("rjam");
+  r.rng(rng_);
+}
+
 SweepJammer::SweepJammer(int num_nodes, int num_channels, int budget)
     : BudgetedJammer(num_nodes, num_channels, budget) {}
 
@@ -83,6 +95,31 @@ void ReactiveJammer::observe(Slot /*slot*/,
     if (auto it = std::find(h.begin(), h.end(), ch); it != h.end()) h.erase(it);
     h.push_front(ch);
     while (static_cast<int>(h.size()) > budget_) h.pop_back();
+  }
+}
+
+void ReactiveJammer::save_state(CheckpointWriter& w) const {
+  w.section("xjam");
+  w.u64(history_.size());
+  for (const auto& h : history_) {
+    w.u64(h.size());
+    for (const Channel ch : h) w.i64(ch);
+  }
+}
+
+void ReactiveJammer::restore_state(CheckpointReader& r) {
+  r.section("xjam");
+  const std::size_t nodes = r.length(8);
+  if (nodes != history_.size())
+    throw CheckpointError(
+        "checkpoint rejected: reactive jammer tracks " +
+        std::to_string(history_.size()) + " nodes, snapshot holds " +
+        std::to_string(nodes));
+  for (auto& h : history_) {
+    h.clear();
+    const std::size_t len = r.length(8);
+    for (std::size_t i = 0; i < len; ++i)
+      h.push_back(static_cast<Channel>(r.i64()));
   }
 }
 

@@ -54,6 +54,10 @@ class RandomJammer : public BudgetedJammer {
   RandomJammer(int num_nodes, int num_channels, int budget, Rng rng);
   void begin_slot(Slot slot) override;
 
+  // Cross-slot state is just the jam RNG; jam sets are per-slot scratch.
+  void save_state(CheckpointWriter& w) const override;
+  void restore_state(CheckpointReader& r) override;
+
  private:
   Rng rng_;
 };
@@ -74,6 +78,10 @@ class ReactiveJammer : public BudgetedJammer {
   ReactiveJammer(int num_nodes, int num_channels, int budget);
   void begin_slot(Slot slot) override;
   void observe(Slot slot, std::span<const Channel> node_channels) override;
+
+  // Cross-slot state is the per-node observation history.
+  void save_state(CheckpointWriter& w) const override;
+  void restore_state(CheckpointReader& r) override;
 
  private:
   std::vector<std::deque<Channel>> history_;  // recent distinct channels

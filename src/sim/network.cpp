@@ -6,6 +6,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "sim/checkpoint.h"
 #include "util/sweep.h"
 
 namespace cogradio {
@@ -1642,6 +1643,26 @@ void Network::step_soa() {
 Slot Network::run(Slot max_slots) {
   while (!all_done() && stats_.slots < max_slots) step();
   return stats_.slots;
+}
+
+void Network::save_state(CheckpointWriter& w) const {
+  w.section("netw");
+  w.u32(static_cast<std::uint32_t>(n_));
+  save_trace_stats(w, stats_);
+  for (const NodeActivity& a : activity_) save_node_activity(w, a);
+  w.rng(rng_);
+}
+
+void Network::restore_state(CheckpointReader& r) {
+  r.section("netw");
+  const std::uint32_t n = r.u32();
+  if (n != static_cast<std::uint32_t>(n_))
+    throw CheckpointError("checkpoint rejected: snapshot holds " +
+                          std::to_string(n) + " node(s), this network has " +
+                          std::to_string(n_));
+  stats_ = load_trace_stats(r);
+  for (NodeActivity& a : activity_) a = load_node_activity(r);
+  r.rng(rng_);
 }
 
 }  // namespace cogradio

@@ -102,6 +102,13 @@ class Jammer {
     (void)slot;
     (void)node_channels;
   }
+
+  // Checkpoint/restore of cross-slot adversary state (sim/checkpoint.h):
+  // per-node history, RNG. The defaults fit stateless strategies (the
+  // per-slot jam sets are rebuilt by the next begin_slot); strategies that
+  // carry state across slots override both.
+  virtual void save_state(CheckpointWriter&) const {}
+  virtual void restore_state(CheckpointReader&) {}
 };
 
 struct NetworkOptions {
@@ -319,6 +326,19 @@ class Network {
   // Runs until every protocol reports done() or `max_slots` have executed
   // (counted from construction). Returns the slot count at exit.
   Slot run(Slot max_slots);
+
+  // --- Checkpoint/restore (sim/checkpoint.h) ------------------------------
+  // Serializes the engine's complete cross-slot state at a slot boundary:
+  // the slot counter + TraceStats accumulators, per-node activity, and the
+  // winner/fade RNG. Everything else in the engine is per-slot scratch the
+  // next step() rebuilds (channel bitmaps, resolve plans, shard deltas).
+  // restore_state targets a freshly constructed Network over the same node
+  // count; the layout/shards/grouping knobs may differ between writer and
+  // reader — the draw order is engine-invariant, which the proptest resume
+  // differential exercises. Protocol, jammer, and fault-engine state is
+  // serialized by those components, not here.
+  void save_state(CheckpointWriter& w) const;
+  void restore_state(CheckpointReader& r);
 
  private:
   ChannelAssignment& assignment_;

@@ -49,6 +49,9 @@ struct SlotResult {
   std::span<const Message> received;
 };
 
+class CheckpointWriter;  // sim/checkpoint.h
+class CheckpointReader;
+
 class Protocol {
  public:
   virtual ~Protocol() = default;
@@ -68,6 +71,19 @@ class Protocol {
   // must keep broadcasting after they are "done"; return Idle from on_slot
   // to actually stop participating.
   virtual bool done() const = 0;
+
+  // --- Checkpoint/restore (sim/checkpoint.h) ------------------------------
+  // A protocol returning true here serializes its COMPLETE cross-slot state
+  // in save_state and reconstructs it in restore_state, called only at slot
+  // boundaries on a freshly constructed twin (same constructor arguments).
+  // The resume-equivalence contract: after restore_state the twin's future
+  // actions, feedback handling, and RNG draws are bit-identical to the
+  // original's. Decorators (sim/fault.h) forward to the wrapped protocol
+  // and prepend their own state. The defaults make a protocol opt-in:
+  // harnesses must check checkpointable() before trusting the no-ops.
+  virtual bool checkpointable() const { return false; }
+  virtual void save_state(CheckpointWriter&) const {}
+  virtual void restore_state(CheckpointReader&) {}
 };
 
 }  // namespace cogradio

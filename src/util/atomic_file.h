@@ -1,0 +1,33 @@
+// Crash-consistent whole-file writes shared by checkpoints, LINT.json,
+// and bench manifests.
+//
+// The bytes land in `path`.tmp first, are flushed to stable storage with
+// fsync, and are renamed over `path` only after a clean write+close; the
+// parent directory entry is fsync'd after the rename so the new name
+// itself survives a power cut. A reader therefore observes either the
+// complete old file or the complete new file — never a truncated mix —
+// which is the discipline the checkpoint/restore layer's resume-
+// equivalence contract (docs/DETERMINISM.md) is built on.
+#pragma once
+
+#include <string>
+
+namespace cogradio {
+
+// Writes `content` to `path` atomically and durably as described above.
+// Returns false on any I/O failure, leaving no tmp file behind.
+bool write_file_atomic(const std::string& path, const std::string& content);
+
+namespace testonly {
+
+// Crash-injection hook for the checkpoint harness (cograd crashtest):
+// when nonzero the writer raises SIGKILL after the tmp file is written
+// and fsync'd but before the rename — the exact window where a crash
+// leaves the previous `path` intact next to an orphaned tmp. Recovery
+// must then resume from the previous checkpoint. Never set outside
+// tests.
+extern volatile int die_before_rename;
+
+}  // namespace testonly
+
+}  // namespace cogradio

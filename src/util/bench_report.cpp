@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "util/atomic_file.h"
 #include "util/json.h"
 #include "util/version.h"
 
@@ -74,25 +75,6 @@ const std::string& git_revision() {
     return out;
   }();
   return revision;
-}
-
-bool write_file_atomic(const std::string& path, const std::string& content) {
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "w");
-  if (f == nullptr) return false;
-  const bool wrote =
-      std::fwrite(content.data(), 1, content.size(), f) == content.size();
-  const bool flushed = std::fflush(f) == 0;
-  const bool closed = std::fclose(f) == 0;
-  if (!(wrote && flushed && closed)) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
 }
 
 std::string BenchReport::to_json() const {

@@ -76,11 +76,6 @@ const std::string& git_revision();
 // must go through here.
 double monotonic_seconds();
 
-// Writes `content` to `path` atomically: the bytes land in `path`.tmp
-// first and are renamed into place only after a clean write+close, so a
-// partial write (ENOSPC, crash) never leaves a truncated file at `path`.
-bool write_file_atomic(const std::string& path, const std::string& content);
-
 class BenchReport {
  public:
   explicit BenchReport(std::string name) : name_(std::move(name)) {}

@@ -15,6 +15,8 @@
 #include "core/gossip.h"
 // cograd-lint: allow(R7) scenarios materialize SharedCoreAssignment instances
 #include "sim/assignment.h"
+// cograd-lint: allow(R7) the resume differential snapshots and restores worlds
+#include "sim/checkpoint.h"
 // cograd-lint: allow(R7) shrinking mutates FaultPlan schedules directly
 #include "sim/fault.h"
 // cograd-lint: allow(R7) every trial is checked against the sim invariant suite
@@ -172,12 +174,30 @@ FaultEngine build_fault_engine(const Scenario& scn) {
   return engine;
 }
 
+// A fully materialized scenario: every component run_once (and the resume
+// differential) steps, owned together so the twin world of a resume leg is
+// built by the exact same code path — and therefore from the exact same
+// coin streams — as the original.
+struct World {
+  std::unique_ptr<ChannelAssignment> assignment;
+  std::unique_ptr<Jammer> jammer;
+  std::unique_ptr<FaultPlan> plan;
+  std::unique_ptr<FaultEngine> fault_engine;
+  std::unique_ptr<InvariantChecker> checker;  // null for untapped legs
+  std::vector<std::unique_ptr<Protocol>> nodes;
+  // The checkpoint surface: plan-wrapped (so crash latches travel with the
+  // snapshot) but pre-tap (the checker's taps are observation, not state).
+  std::vector<Protocol*> wrapped;
+  std::vector<Protocol*> protocols;  // what the network actually drives
+  std::unique_ptr<Network> net;
+};
+
 // Materializes the scenario with `engine` (which may override scn.engine
-// for the differential check) and runs it to scn.slots under the oracle.
-// Every coin — assignment, protocols, jammer, faults, winner draws — is a
-// fixed stream of scn.salt, so the same scenario replays bit-identically.
-RunOutcome run_once(const Scenario& scn, ScnEngine engine,
-                    const CheckOptions& options) {
+// for the differential check). Every coin — assignment, protocols, jammer,
+// faults, winner draws — is a fixed stream of scn.salt, so the same
+// scenario materializes bit-identically every time.
+World materialize(const Scenario& scn, ScnEngine engine,
+                  const CheckOptions& options, bool with_checker) {
   Rng root(scn.salt);
   Rng assign_rng = root.split(1);
   Rng proto_seeder = root.split(2);
@@ -185,13 +205,15 @@ RunOutcome run_once(const Scenario& scn, ScnEngine engine,
   Rng fault_rng = root.split(4);
   const std::uint64_t net_seed = root.split(5)();
 
-  auto assignment = build_assignment(scn, assign_rng);
-  auto jammer = build_jammer(scn, assignment->total_channels(), jam_rng);
+  World world;
+  world.assignment = build_assignment(scn, assign_rng);
+  world.jammer =
+      build_jammer(scn, world.assignment->total_channels(), jam_rng);
 
-  FaultPlan plan(scn.n, scn.slots, fault_rng);
-  plan.add_random_crashes(scn.crashes);
-  plan.add_random_outages(scn.outages);
-  FaultEngine fault_engine = build_fault_engine(scn);
+  world.plan = std::make_unique<FaultPlan>(scn.n, scn.slots, fault_rng);
+  world.plan->add_random_crashes(scn.crashes);
+  world.plan->add_random_outages(scn.outages);
+  world.fault_engine = std::make_unique<FaultEngine>(build_fault_engine(scn));
 
   NetworkOptions opt;
   opt.seed = net_seed;
@@ -222,31 +244,98 @@ RunOutcome run_once(const Scenario& scn, ScnEngine engine,
       break;
   }
 
-  InvariantChecker checker;
-  std::vector<std::unique_ptr<Protocol>> nodes;
-  std::vector<Protocol*> protocols;
+  if (with_checker) world.checker = std::make_unique<InvariantChecker>();
   for (NodeId u = 0; u < scn.n; ++u) {
-    nodes.push_back(build_node(
+    world.nodes.push_back(build_node(
         scn, u, proto_seeder.split(static_cast<std::uint64_t>(u))));
-    protocols.push_back(checker.tap(plan.wrap(u, *nodes.back())));
+    world.wrapped.push_back(&world.plan->wrap(u, *world.nodes.back()));
+    world.protocols.push_back(with_checker
+                                  ? world.checker->tap(*world.wrapped.back())
+                                  : world.wrapped.back());
   }
 
-  Network net(*assignment, protocols, opt);
-  if (jammer) net.set_jammer(jammer.get());
-  if (scn.faults.any()) net.set_fault_engine(&fault_engine);
-  checker.attach(net);
-  for (int s = 0; s < scn.slots; ++s) net.step();
+  world.net = std::make_unique<Network>(*world.assignment, world.protocols,
+                                        opt);
+  if (world.jammer) world.net->set_jammer(world.jammer.get());
+  if (scn.faults.any()) world.net->set_fault_engine(world.fault_engine.get());
+  if (world.checker) world.checker->attach(*world.net);
+  return world;
+}
+
+// Runs the scenario to scn.slots under the oracle.
+RunOutcome run_once(const Scenario& scn, ScnEngine engine,
+                    const CheckOptions& options) {
+  World world = materialize(scn, engine, options, /*with_checker=*/true);
+  for (int s = 0; s < scn.slots; ++s) world.net->step();
 
   RunOutcome out;
-  out.fingerprint = checker.action_fingerprint();
-  out.digest = accounting_digest(net);
-  if (!checker.ok()) out.violation = checker.first_violation();
+  out.fingerprint = world.checker->action_fingerprint();
+  out.digest = accounting_digest(*world.net);
+  if (!world.checker->ok()) out.violation = world.checker->first_violation();
   if (options.injections != nullptr)
-    options.injections->record(fault_engine);
+    options.injections->record(*world.fault_engine);
   return out;
 }
 
+// Snapshot/restore composition of the resume differential: network
+// accounting + engine RNG, jammer, fault-engine runtime state, then every
+// plan-wrapped node. Fixed order on both sides; CheckpointReader's section
+// tags turn any drift into a named diagnostic.
+void save_world(const World& world, CheckpointWriter& w) {
+  world.net->save_state(w);
+  if (world.jammer) world.jammer->save_state(w);
+  world.fault_engine->save_state(w);
+  for (const Protocol* p : world.wrapped) p->save_state(w);
+}
+
+void restore_world(World& world, CheckpointReader& r) {
+  world.net->restore_state(r);
+  if (world.jammer) world.jammer->restore_state(r);
+  world.fault_engine->restore_state(r);
+  for (Protocol* p : world.wrapped) p->restore_state(r);
+  r.expect_end();
+}
+
+// The resume leg: run a fresh world to scn.snap, snapshot it, restore the
+// snapshot into a second fresh world, continue that twin to scn.slots, and
+// return its accounting digest — which check_scenario requires to equal
+// the uninterrupted run's. With `skew`, the snapshot restored is the one
+// taken a slot *early* (a resume from the wrong slot boundary); the twin
+// then replays a shifted coin stream and the digest compare must bite.
+std::uint64_t run_resumed(const Scenario& scn, const CheckOptions& options,
+                          bool skew) {
+  World original = materialize(scn, scn.engine, options,
+                               /*with_checker=*/false);
+  std::string early;  // state after snap - 1 slots, used by the skew leg
+  for (int s = 0; s < scn.snap; ++s) {
+    if (skew && s == scn.snap - 1) {
+      CheckpointWriter w;
+      save_world(original, w);
+      early = w.bytes();
+    }
+    original.net->step();
+  }
+  CheckpointWriter w;
+  save_world(original, w);
+
+  World twin = materialize(scn, scn.engine, options, /*with_checker=*/false);
+  CheckpointReader r(skew ? early : w.bytes());
+  restore_world(twin, r);
+  for (int s = scn.snap; s < scn.slots; ++s) twin.net->step();
+  return accounting_digest(*twin.net);
+}
+
 }  // namespace
+
+void RandomTrafficNode::save_state(CheckpointWriter& w) const {
+  w.section("rtrf");
+  w.rng(rng_);
+}
+
+void RandomTrafficNode::restore_state(CheckpointReader& r) {
+  r.section("rtrf");
+  r.rng(rng_);
+}
 
 Action RandomTrafficNode::on_slot(Slot) {
   const auto roll = rng_.below(10);
@@ -300,6 +389,10 @@ Scenario canonicalize(Scenario s) {
     s.faults.burst_len = 0;
   }
   s.shards = std::clamp(s.shards, 1, 16);
+  // Strictly inside the run: snap = 0 would make the resume leg a plain
+  // restart and snap = slots would leave the twin nothing to replay —
+  // neither exercises the contract.
+  s.snap = std::clamp(s.snap, 1, s.slots - 1);
   return s;
 }
 
@@ -338,6 +431,13 @@ Scenario generate_scenario(Rng& rng, bool with_faults) {
   // recovers the fault-free scenario field for field.
   s.shards =
       1 + static_cast<int>((s.salt * 0x9E3779B97F4A7C15ull) >> 60);
+  // Snapshot slot for the resume differential — salt-derived for the same
+  // reason as shards: no draw is consumed, so every historical (seed,
+  // trial) scenario keeps its exact coin streams. A different multiplier
+  // decorrelates it from the shard count; canonicalize clamps it into the
+  // run.
+  s.snap =
+      1 + static_cast<int>((s.salt * 0xD1B54A32D192ED03ull) >> 56);
   return canonicalize(s);
 }
 
@@ -364,6 +464,7 @@ std::string describe(const Scenario& s) {
     os << "]";
   }
   if (s.shards != 1) os << " shards=" << s.shards;
+  os << " snap=" << s.snap;
   os << " salt=0x" << std::hex << s.salt;
   return os.str();
 }
@@ -418,6 +519,23 @@ std::string check_scenario(const Scenario& raw, const CheckOptions& options) {
     if (alt.fingerprint != primary.fingerprint)
       return "plain and backoff-emulating engines diverged on oblivious "
              "traffic";
+  }
+
+  // Resume differential: snapshot at the salt-derived snap slot, restore
+  // into a freshly materialized twin, continue to completion. The twin's
+  // accounting digest hashes TraceStats plus every per-node activity
+  // ledger — any post-restore action or winner-draw divergence moves a
+  // counter — so digest equality is the bit-identical-resume oracle. A
+  // CheckpointError (malformed snapshot, section drift) propagates and the
+  // harness reports it as a failing trial.
+  {
+    const std::uint64_t resumed =
+        run_resumed(scn, options, options.resume_skew);
+    if (resumed != primary.digest)
+      return "resumed run diverged from the uninterrupted control "
+             "(snapshot at slot " +
+             std::to_string(scn.snap) + " of " + std::to_string(scn.slots) +
+             ")";
   }
   return "";
 }
@@ -539,6 +657,17 @@ std::vector<Scenario> shrink_candidates(const Scenario& s) {
   if (s.jam_budget > 1) {
     Scenario t = s;
     t.jam_budget = s.jam_budget - 1;
+    push(t);
+  }
+  if (s.snap > 1) {
+    // A resume divergence often localizes to the slots just after the
+    // restore; pulling the snapshot earlier shrinks the prefix the
+    // counterexample depends on.
+    Scenario t = s;
+    t.snap = s.snap / 2;
+    push(t);
+    t = s;
+    t.snap = s.snap - 1;
     push(t);
   }
   return out;

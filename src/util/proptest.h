@@ -15,6 +15,15 @@
 // action streams for the same seeds, because oblivious nodes never see
 // the coin flips that differ between the two contention resolvers.
 //
+// Every scenario additionally runs the *resume differential*: a second
+// materialization of the same world is checkpointed at the salt-derived
+// snap slot (sim/checkpoint.h), the snapshot is restored into a third,
+// freshly built twin, and the twin — continued to completion — must
+// reproduce the uninterrupted run's accounting digest exactly. This is
+// the property-level half of the resume-equivalence contract
+// (docs/DETERMINISM.md); the ctest crashtest legs prove the same contract
+// under real SIGKILLs.
+//
 // On failure the harness shrinks greedily toward a minimal counterexample
 // (fewer slots, fewer nodes, no faults, no jammer, no fading, plain
 // engine, simplest traffic and assignment) and reports both the original
@@ -92,6 +101,13 @@ struct Scenario {
   // bit-identical to shards = 1 (the harness pins this via the layout
   // differential, whose AoS leg always runs fused).
   int shards = 1;
+  // Snapshot slot for the resume differential: the primary world is
+  // checkpointed after `snap` slots, restored into a freshly materialized
+  // twin, and the twin's completed run must match the uninterrupted one
+  // bit for bit. Salt-derived like `shards` (no draw consumed), clamped to
+  // [1, slots - 1] so every scenario both snapshots mid-run and resumes
+  // with work left to do.
+  int snap = 1;
   std::uint64_t salt = 1;  // seeds every run-time coin of the execution
 
   bool operator==(const Scenario&) const = default;
@@ -167,6 +183,11 @@ struct CheckOptions {
   // (forcing at least 2 shards so the skew has something to skew): the
   // WILL_FAIL leg proving the oracle's shard-delta conservation rule bites.
   bool shard_merge_skew = false;
+  // Testonly: the resume differential restores the snapshot taken one slot
+  // *early*, modelling a resume from the wrong slot boundary. The digest
+  // compare must flag it — the WILL_FAIL leg proving the resume oracle
+  // actually bites (`cograd check --testonly-mutation resume-skew`).
+  bool resume_skew = false;
 };
 
 // The model audit: run under the InvariantChecker (all protocols tapped),
@@ -232,6 +253,13 @@ class RandomTrafficNode : public Protocol {
   Action on_slot(Slot) override;
   void on_feedback(Slot, const SlotResult&) override {}
   bool done() const override { return false; }
+
+  // The only cross-slot state is the traffic coin stream, so a snapshot is
+  // just the RNG — which is exactly what the resume differential needs to
+  // continue the stream bit-identically.
+  bool checkpointable() const override { return true; }
+  void save_state(CheckpointWriter& w) const override;
+  void restore_state(CheckpointReader& r) override;
 
  private:
   int c_;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -66,6 +67,16 @@ class Rng {
   // Fisher-Yates on an index vector. Precondition: count <= universe.
   std::vector<std::int32_t> sample_without_replacement(std::int32_t universe,
                                                        std::int32_t count);
+
+  // The raw 4x64-bit engine state, for the checkpoint/restore layer
+  // (sim/checkpoint.h). `restore` expects a state captured by `save`; the
+  // all-zero state is a xoshiro fixed point and is never produced by
+  // seeding, so it is rejected by assertion as checkpoint corruption.
+  std::array<std::uint64_t, 4> save() const noexcept { return state_; }
+  void restore(const std::array<std::uint64_t, 4>& state) noexcept {
+    assert(state[0] | state[1] | state[2] | state[3]);
+    state_ = state;
+  }
 
  private:
   std::array<std::uint64_t, 4> state_;

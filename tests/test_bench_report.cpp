@@ -10,6 +10,7 @@
 #include <string>
 
 #include "analysis/bench_suite.h"
+#include "util/atomic_file.h"
 #include "util/bench_gate.h"
 #include "util/bench_report.h"
 #include "util/json.h"

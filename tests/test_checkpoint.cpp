@@ -1,0 +1,295 @@
+// sim/checkpoint.h + serve/journal.h: the crash-consistency substrate.
+//
+// Covers the codec (primitive round trips, bounds checks, section tags),
+// the sealed file header (magic/schema/size/checksum each rejected
+// independently), the atomic file round trip, the resume-equivalence
+// contract through the property harness (including the skew leg that
+// proves the oracle bites), and the job journal's lifecycle records,
+// torn-tail tolerance, and interior-corruption rejection.
+#include "sim/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "serve/journal.h"
+#include "util/proptest.h"
+
+namespace cogradio {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void spill(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(CheckpointCodec, PrimitivesRoundTrip) {
+  CheckpointWriter w;
+  w.section("test");
+  w.u8(0xAB);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.f64(-3.25);
+  w.boolean(true);
+  std::string hostile("hello\0world", 11);  // embedded NUL, explicit length
+  hostile += '\xFF';
+  w.str(hostile);
+  Rng rng(7);
+  rng();  // advance so the state is not the seed-fresh one
+  w.rng(rng);
+
+  CheckpointReader r(w.bytes());
+  r.section("test");
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), -3.25);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_EQ(r.str(), hostile);
+  Rng restored(1);
+  r.rng(restored);
+  r.expect_end();
+  // The restored stream must continue exactly where the original will.
+  EXPECT_EQ(restored(), rng());
+  EXPECT_EQ(restored(), rng());
+}
+
+TEST(CheckpointCodec, SectionMismatchThrows) {
+  CheckpointWriter w;
+  w.section("aaaa");
+  CheckpointReader r(w.bytes());
+  EXPECT_THROW(r.section("bbbb"), CheckpointError);
+}
+
+TEST(CheckpointCodec, TruncatedReadThrows) {
+  CheckpointWriter w;
+  w.u32(7);
+  CheckpointReader r(w.bytes());
+  EXPECT_THROW(r.u64(), CheckpointError);
+}
+
+TEST(CheckpointCodec, TrailingBytesFailExpectEnd) {
+  CheckpointWriter w;
+  w.u8(1);
+  w.u8(2);
+  CheckpointReader r(w.bytes());
+  (void)r.u8();
+  EXPECT_THROW(r.expect_end(), CheckpointError);
+}
+
+TEST(CheckpointCodec, LengthGuardRejectsOversizedCounts) {
+  // A forged count that the remaining payload cannot possibly hold must be
+  // rejected before any resize happens.
+  CheckpointWriter w;
+  w.u64(1u << 30);
+  CheckpointReader r(w.bytes());
+  EXPECT_THROW(r.length(8), CheckpointError);
+}
+
+TEST(CheckpointHeader, SealOpenRoundTrips) {
+  const std::string payload = "payload bytes \x01\x02\x00 end";
+  EXPECT_EQ(open_checkpoint(seal_checkpoint(payload)), payload);
+}
+
+TEST(CheckpointHeader, RejectsEveryCorruptionIndependently) {
+  const std::string sealed = seal_checkpoint("some payload, long enough");
+  // Bad magic.
+  {
+    std::string bad = sealed;
+    bad[0] ^= 0x20;
+    EXPECT_THROW(open_checkpoint(bad), CheckpointError);
+  }
+  // Foreign schema.
+  {
+    std::string bad = sealed;
+    bad[8] = static_cast<char>(bad[8] + 1);
+    EXPECT_THROW(open_checkpoint(bad), CheckpointError);
+  }
+  // Truncation: declared size no longer matches the carried bytes.
+  {
+    std::string bad = sealed.substr(0, sealed.size() - 3);
+    EXPECT_THROW(open_checkpoint(bad), CheckpointError);
+  }
+  // Payload bit flip: checksum mismatch.
+  {
+    std::string bad = sealed;
+    bad[bad.size() - 2] ^= 0x10;
+    EXPECT_THROW(open_checkpoint(bad), CheckpointError);
+  }
+}
+
+TEST(CheckpointFile, SaveLoadRoundTripsAndMissingFileThrows) {
+  const std::string path = "ckpt_roundtrip_test.bin";
+  const std::string payload = std::string("abc\0\xff payload", 13);
+  save_checkpoint_file(path, payload);
+  EXPECT_EQ(load_checkpoint_file(path), payload);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_checkpoint_file(path), CheckpointError);
+}
+
+// --- resume equivalence through the property harness ----------------------
+
+Scenario resume_scenario() {
+  Scenario s;
+  s.n = 12;
+  s.c = 4;
+  s.k = 2;
+  s.protocol = ScnProtocol::CogCast;
+  s.jammer = ScnJammer::Random;
+  s.jam_budget = 1;
+  s.slots = 48;
+  s.snap = 17;
+  s.crashes = 1;
+  s.shards = 2;
+  s.salt = 0xBEEF;
+  return s;
+}
+
+TEST(ResumeEquivalence, CheckScenarioHoldsOnAFixedScenario) {
+  // check_scenario runs the resume differential on every scenario: this
+  // pins one deliberately busy configuration (CogCast + jammer + crash
+  // fault + sharded resolve) as a deterministic unit-level instance.
+  EXPECT_EQ(check_scenario(resume_scenario()), "");
+}
+
+TEST(ResumeEquivalence, SkewedRestoreIsCaught) {
+  // Restoring the snapshot taken one slot early must be flagged — this is
+  // the unit-level half of the `cograd check --testonly-mutation
+  // resume-skew` WILL_FAIL leg.
+  CheckOptions options;
+  options.resume_skew = true;
+  const std::string msg = check_scenario(resume_scenario(), options);
+  EXPECT_NE(msg.find("resumed run diverged"), std::string::npos) << msg;
+}
+
+// --- job journal ----------------------------------------------------------
+
+JobSpec small_spec(std::uint64_t seed) {
+  JobSpec spec;
+  spec.n = 12;
+  spec.c = 4;
+  spec.k = 2;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(JobJournal, LifecycleRoundTripsThroughRecovery) {
+  const std::string path = "journal_roundtrip_test.log";
+  std::remove(path.c_str());
+  const std::string snapshot("snapshot \0\x01 bytes", 17);
+  const JobResult result = run_job(small_spec(5));
+  {
+    JobJournal journal(path);
+    journal.submitted(1, 100, small_spec(5));
+    journal.started(1);
+    journal.checkpoint(1, snapshot);
+    journal.done(1, result);
+    journal.clean_shutdown();
+    // The daemon came back and accepted more work: a lifecycle record
+    // after the marker means the journal is no longer "clean".
+    journal.submitted(2, 101, small_spec(6));
+  }
+  const JournalRecovery rec = read_journal(path);
+  EXPECT_EQ(rec.records, 6);
+  EXPECT_EQ(rec.torn_bytes, 0);
+  EXPECT_FALSE(rec.clean_shutdown)
+      << "lifecycle records after the marker must clear it";
+  ASSERT_EQ(rec.jobs.size(), 2u);
+  EXPECT_EQ(rec.jobs[0].seq, 1);
+  EXPECT_EQ(rec.jobs[0].client_id, 100);
+  EXPECT_TRUE(rec.jobs[0].started);
+  EXPECT_TRUE(rec.jobs[0].done);
+  EXPECT_EQ(rec.jobs[0].checkpoint, snapshot);
+  EXPECT_EQ(rec.jobs[0].result_json, job_result_to_json(result));
+  EXPECT_EQ(rec.jobs[0].spec.seed, 5u);
+  EXPECT_FALSE(rec.jobs[1].started);
+  EXPECT_FALSE(rec.jobs[1].done);
+  EXPECT_EQ(rec.next_seq, 3);
+  std::remove(path.c_str());
+}
+
+TEST(JobJournal, CleanShutdownAsFinalRecordSticks) {
+  const std::string path = "journal_clean_test.log";
+  std::remove(path.c_str());
+  {
+    JobJournal journal(path);
+    journal.submitted(1, 100, small_spec(5));
+    journal.done(1, run_job(small_spec(5)));
+    journal.clean_shutdown();
+  }
+  EXPECT_TRUE(read_journal(path).clean_shutdown);
+  std::remove(path.c_str());
+}
+
+TEST(JobJournal, TornTailToleratedAndRepairedOnReopen) {
+  const std::string path = "journal_torn_test.log";
+  std::remove(path.c_str());
+  {
+    JobJournal journal(path);
+    journal.submitted(1, 100, small_spec(5));
+  }
+  const std::string committed = slurp(path);
+  spill(path, committed + "{\"crc\":\"0000tornrecord");
+
+  // The reader tolerates and counts the torn record...
+  const JournalRecovery rec = read_journal(path);
+  EXPECT_EQ(rec.records, 1);
+  EXPECT_GT(rec.torn_bytes, 0);
+  ASSERT_EQ(rec.jobs.size(), 1u);
+
+  // ...and reopening for append truncates it back to the committed bytes.
+  { JobJournal journal(path); }
+  EXPECT_EQ(slurp(path), committed);
+  EXPECT_EQ(read_journal(path).torn_bytes, 0);
+  std::remove(path.c_str());
+}
+
+TEST(JobJournal, InteriorCorruptionThrows) {
+  const std::string path = "journal_corrupt_test.log";
+  std::remove(path.c_str());
+  {
+    JobJournal journal(path);
+    journal.submitted(1, 100, small_spec(5));
+    journal.started(1);
+  }
+  std::string bytes = slurp(path);
+  // Flip one byte inside the first record's body: the CRC must catch it.
+  bytes[40] ^= 0x20;
+  spill(path, bytes);
+  EXPECT_THROW(read_journal(path), CheckpointError);
+  std::remove(path.c_str());
+}
+
+TEST(JobJournal, DuplicateAndUnknownSeqRejected) {
+  const std::string dup = "journal_dup_test.log";
+  std::remove(dup.c_str());
+  {
+    JobJournal journal(dup);
+    journal.submitted(1, 100, small_spec(5));
+    journal.submitted(1, 101, small_spec(6));
+  }
+  EXPECT_THROW(read_journal(dup), CheckpointError);
+  std::remove(dup.c_str());
+
+  const std::string orphan = "journal_orphan_test.log";
+  std::remove(orphan.c_str());
+  {
+    JobJournal journal(orphan);
+    journal.started(9);  // no submitted record for seq 9
+  }
+  EXPECT_THROW(read_journal(orphan), CheckpointError);
+  std::remove(orphan.c_str());
+}
+
+}  // namespace
+}  // namespace cogradio

@@ -19,6 +19,7 @@
 // Common flags: --n --c --k --pattern --seed --trials; each command adds
 // its own (see the usage text). All runs are deterministic in --seed.
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -40,10 +41,13 @@
 #include "core/supervisor.h"
 #include "lowerbounds/hitting_game.h"
 #include "lowerbounds/reduction.h"
+#include "serve/crashtest.h"
 #include "serve/loadgen.h"
 #include "serve/server.h"
 #include "sim/assignment.h"
+#include "sim/checkpoint.h"
 #include "sim/recorder.h"
+#include "util/atomic_file.h"
 #include "util/bench_gate.h"
 #include "util/bench_report.h"
 #include "util/cli.h"
@@ -67,9 +71,21 @@ int usage() {
       "  broadcast  --n 32 --c 8 --k 2 [--pattern shared-core] [--trials 1]\n"
       "             [--supervise] [--deadline S] [--stall-window W]\n"
       "             [--max-restarts R]   (self-healing run supervisor)\n"
+      "             [--checkpoint FILE] [--checkpoint-every K]\n"
+      "             [--resume FILE] [--outcome-out FILE]\n"
+      "             (crash-consistent snapshots every K slots; --resume\n"
+      "             continues one bit-identically — rerun with the SAME\n"
+      "             flags plus --resume; --supervise and --trials 1 only)\n"
       "  aggregate  --n 32 --c 8 --k 2 [--op sum|min|max|count|collect]\n"
       "             [--unmediated] [--supervise] [--deadline S]\n"
       "             [--stall-window W] [--max-restarts R]\n"
+      "             [--checkpoint FILE] [--checkpoint-every K]\n"
+      "             [--resume FILE] [--outcome-out FILE]\n"
+      "  crashtest  [--mode run|serve|corrupt] [--seed S] [--points P]\n"
+      "             (SIGKILL a child mid-run / mid-journal-append /\n"
+      "             between checkpoint write and rename, restart, and\n"
+      "             verify byte-identical outcomes and exact accounting;\n"
+      "             corrupt mode must FAIL — WILL_FAIL oracle legs)\n"
       "  consensus  --n 32 --c 8 --k 2 [--rule min|max|majority]\n"
       "  gossip     --n 32 --c 8 --k 2\n"
       "  multihop   --n 32 --c 8 --k 2 [--topology line|ring|grid|geometric]\n"
@@ -87,7 +103,7 @@ int usage() {
       "             the primary SoA run; 0 = scenario-drawn, the default)\n"
       "             [--testonly-mutation deaf-hears|mute-transmits|\n"
       "             babble-idles|keep-dropped-feedback|churn-acts|\n"
-      "             shard-merge-skew]\n"
+      "             shard-merge-skew|resume-skew]\n"
       "             (inject one invariant-breaking radio bug; the sweep\n"
       "             must FAIL — used by the WILL_FAIL oracle legs)\n"
       "             [--fault-log-out FILE]  (fault schedules of failures)\n"
@@ -105,6 +121,11 @@ int usage() {
       "             [--max-queue Q] [--max-sessions S] [--smoke N]\n"
       "             (line-JSON job daemon; --smoke N runs an in-process\n"
       "             self-test with N sessions incl. kill injection)\n"
+      "             [--journal FILE] [--recover] [--checkpoint-every K]\n"
+      "             (fsync'd job journal; --recover re-queues every job\n"
+      "             without a done record — resumed mid-epoch when a\n"
+      "             checkpoint was journaled. SIGTERM/SIGINT drain\n"
+      "             gracefully: finish queued+running jobs, then exit)\n"
       "  loadgen    [--socket PATH | --port P] [--sessions N]\n"
       "             [--connections C] [--kill-every K] [--no-verify]\n"
       "             [--shutdown]   (send a shutdown frame afterwards)\n"
@@ -175,10 +196,96 @@ void print_supervised(int trial, const SupervisedOutcome& out) {
               out.epochs.size());
 }
 
+// Checkpoint/resume flags shared by the supervised broadcast/aggregate
+// paths (read before args.finish()).
+struct CheckpointCli {
+  std::string save_path;   // --checkpoint FILE (empty = off)
+  Slot every = 0;          // --checkpoint-every K slots
+  std::string resume_path; // --resume FILE (empty = fresh start)
+  std::string outcome_out; // --outcome-out FILE (canonical outcome JSON)
+
+  bool any() const { return !save_path.empty() || !resume_path.empty(); }
+};
+
+CheckpointCli read_checkpoint_cli(CliArgs& args) {
+  CheckpointCli cli;
+  cli.save_path = args.get_string("checkpoint", "");
+  cli.every = args.get_int("checkpoint-every", 64);
+  cli.resume_path = args.get_string("resume", "");
+  cli.outcome_out = args.get_string("outcome-out", "");
+  return cli;
+}
+
+// Validates flag combinations and materializes the CheckpointPolicy;
+// loading the resume file happens here so a corrupted snapshot fails the
+// command before any simulation state exists. Exits 2 on misuse.
+CheckpointPolicy make_checkpoint_policy(const CheckpointCli& cli,
+                                        bool supervise, int trials) {
+  CheckpointPolicy policy;
+  if (!cli.any()) return policy;
+  if (!supervise) {
+    std::fprintf(stderr,
+                 "cograd: --checkpoint/--resume require --supervise\n");
+    std::exit(2);
+  }
+  if (trials != 1) {
+    std::fprintf(stderr,
+                 "cograd: --checkpoint/--resume require --trials 1\n");
+    std::exit(2);
+  }
+  if (cli.every <= 0) {
+    std::fprintf(stderr, "cograd: --checkpoint-every must be >= 1\n");
+    std::exit(2);
+  }
+  if (!cli.save_path.empty()) {
+    policy.sink = [path = cli.save_path](const std::string& payload) {
+      save_checkpoint_file(path, payload);
+    };
+    policy.every_slots = cli.every;
+  }
+  if (!cli.resume_path.empty())
+    policy.resume = load_checkpoint_file(cli.resume_path);
+  return policy;
+}
+
+// Canonical one-line JSON of a supervised run: outcome, epoch history, and
+// the final network's complete accounting. The crash harness asserts this
+// file is byte-identical between an uninterrupted control run and a
+// killed-and-resumed run — every field that could diverge is in here.
+std::string supervised_outcome_json(const SupervisedOutcome& out,
+                                    const TraceStats& s,
+                                    std::optional<Value> aggregate) {
+  std::ostringstream os;
+  os << "{\"completed\":" << (out.completed ? "true" : "false")
+     << ",\"aborted\":" << (out.aborted ? "true" : "false")
+     << ",\"restarts\":" << out.restarts
+     << ",\"total_slots\":" << out.total_slots << ",\"epochs\":[";
+  for (std::size_t i = 0; i < out.epochs.size(); ++i) {
+    const EpochStats& e = out.epochs[i];
+    if (i > 0) os << ",";
+    os << "[" << e.slots << "," << (e.completed ? 1 : 0) << ","
+       << (e.stalled ? 1 : 0) << "," << (e.deadline_hit ? 1 : 0) << "]";
+  }
+  os << "],\"stats\":[" << s.slots << "," << s.broadcasts << ","
+     << s.successes << "," << s.deliveries << "," << s.collision_events
+     << "," << s.jammed_node_slots << "," << s.idle_node_slots << ","
+     << s.total_message_words << "," << s.max_message_words << ","
+     << s.micro_slots << "," << s.backoff_failures << ","
+     << s.fault_node_slots << "," << s.churned_node_slots << ","
+     << s.deaf_node_slots << "," << s.mute_node_slots << ","
+     << s.babble_node_slots << "," << s.feedback_drop_node_slots << ","
+     << s.mute_demotions << "," << s.feedback_drops << ","
+     << s.suppressed_deliveries << "]";
+  if (aggregate) os << ",\"aggregate\":" << *aggregate;
+  os << "}\n";
+  return os.str();
+}
+
 int cmd_broadcast(CliArgs& args) {
   const Common common = read_common(args);
   const bool supervise = args.get_flag("supervise");
   SupervisorOptions supervisor = read_supervisor(args);
+  const CheckpointCli ckpt = read_checkpoint_cli(args);
   args.finish();
 
   if (supervise) {
@@ -193,13 +300,27 @@ int cmd_broadcast(CliArgs& args) {
       auto assignment = make_assignment(common.pattern, common.n, common.c,
                                         common.k, LabelMode::LocalRandom,
                                         Rng(seeder()));
-      const SupervisedOutcome out = run_supervised(
-          [&](int, std::uint64_t aseed) {
-            return build_cogcast_run(*assignment, config, aseed);
-          },
-          supervisor, seeder());
-      completed += out.completed ? 1 : 0;
-      print_supervised(t, out);
+      try {
+        const CheckpointPolicy policy =
+            make_checkpoint_policy(ckpt, supervise, common.trials);
+        SupervisedRun last;
+        const SupervisedOutcome out = run_supervised(
+            [&](int, std::uint64_t aseed) {
+              last = build_cogcast_run(*assignment, config, aseed);
+              return last;
+            },
+            supervisor, seeder(), policy);
+        completed += out.completed ? 1 : 0;
+        print_supervised(t, out);
+        if (!ckpt.outcome_out.empty() &&
+            !write_file_atomic(ckpt.outcome_out,
+                               supervised_outcome_json(
+                                   out, last.network->stats(), std::nullopt)))
+          return 1;
+      } catch (const CheckpointError& e) {
+        std::fprintf(stderr, "cograd: %s\n", e.what());
+        return 1;
+      }
     }
     return completed == common.trials ? 0 : 1;
   }
@@ -244,6 +365,7 @@ int cmd_aggregate(CliArgs& args) {
   const bool unmediated = args.get_flag("unmediated");
   const bool supervise = args.get_flag("supervise");
   SupervisorOptions supervisor = read_supervisor(args);
+  const CheckpointCli ckpt = read_checkpoint_cli(args);
   args.finish();
 
   if (supervise) {
@@ -261,13 +383,31 @@ int cmd_aggregate(CliArgs& args) {
                                         common.k, LabelMode::LocalRandom,
                                         Rng(seeder()));
       const auto values = make_values(common.n, seeder());
-      const SupervisedOutcome out = run_supervised(
-          [&](int, std::uint64_t aseed) {
-            return build_cogcomp_run(*assignment, values, config, aseed);
-          },
-          supervisor, seeder());
-      completed += out.completed ? 1 : 0;
-      print_supervised(t, out);
+      try {
+        const CheckpointPolicy policy =
+            make_checkpoint_policy(ckpt, supervise, common.trials);
+        SupervisedRun last;
+        const SupervisedOutcome out = run_supervised(
+            [&](int, std::uint64_t aseed) {
+              last = build_cogcomp_run(*assignment, values, config, aseed);
+              return last;
+            },
+            supervisor, seeder(), policy);
+        completed += out.completed ? 1 : 0;
+        print_supervised(t, out);
+        if (!ckpt.outcome_out.empty() &&
+            !write_file_atomic(
+                ckpt.outcome_out,
+                supervised_outcome_json(
+                    out, last.network->stats(),
+                    out.completed && last.aggregate
+                        ? std::optional<Value>(last.aggregate())
+                        : std::nullopt)))
+          return 1;
+      } catch (const CheckpointError& e) {
+        std::fprintf(stderr, "cograd: %s\n", e.what());
+        return 1;
+      }
     }
     return completed == common.trials ? 0 : 1;
   }
@@ -477,11 +617,17 @@ int cmd_check(CliArgs& args) {
 
   TestonlyFaultMutation mutation = TestonlyFaultMutation::None;
   bool shard_merge_skew = false;
+  bool resume_skew = false;
   if (mutation_name == "shard-merge-skew") {
     // Engine-level mutation, not a fault-semantics one: perturbs the
     // per-shard delta merge (reverse order + a lost update) so the
     // oracle's shard-delta conservation rule must flag the sweep.
     shard_merge_skew = true;
+  } else if (mutation_name == "resume-skew") {
+    // Harness-level mutation: the resume differential restores the
+    // snapshot taken one slot early, so the digest compare must flag
+    // every trial — the WILL_FAIL leg proving the resume oracle bites.
+    resume_skew = true;
   } else if (!parse_mutation(mutation_name, &mutation)) {
     std::fprintf(stderr, "cograd check: unknown mutation '%s'\n",
                  mutation_name.c_str());
@@ -495,6 +641,7 @@ int cmd_check(CliArgs& args) {
   options.layout = layout;
   options.shards = shards;
   options.shard_merge_skew = shard_merge_skew;
+  options.resume_skew = resume_skew;
   const Property prop = [&options](const Scenario& scn) {
     return check_scenario(scn, options);
   };
@@ -929,6 +1076,12 @@ int serve_smoke(const ServeOptions& options, const JobSpec& job,
   return ok ? 0 : 1;
 }
 
+// Graceful-drain signal plumbing for foreground `cograd serve`: the
+// handler only sets the flag; the daemon's IO loop polls it.
+volatile std::sig_atomic_t g_serve_drain = 0;
+
+void serve_drain_handler(int) { g_serve_drain = 1; }
+
 int cmd_serve(CliArgs& args) {
   ServeOptions options;
   options.unix_path = args.get_string("socket", "");
@@ -937,6 +1090,9 @@ int cmd_serve(CliArgs& args) {
   options.max_queue = static_cast<int>(args.get_int("max-queue", 1024));
   options.max_sessions =
       static_cast<int>(args.get_int("max-sessions", 4096));
+  options.journal_path = args.get_string("journal", "");
+  options.recover = args.get_flag("recover");
+  options.checkpoint_every = args.get_int("checkpoint-every", 0);
   const int smoke = static_cast<int>(args.get_int("smoke", 0));
   JobSpec job;
   if (smoke > 0) job = read_job_spec(args);
@@ -958,6 +1114,15 @@ int cmd_serve(CliArgs& args) {
     std::fprintf(stderr, "cograd serve: need --socket PATH or --port P\n");
     return 2;
   }
+  if (options.recover && options.journal_path.empty()) {
+    std::fprintf(stderr, "cograd serve: --recover needs --journal PATH\n");
+    return 2;
+  }
+  // SIGTERM/SIGINT ask for a graceful drain: finish queued and running
+  // jobs, then exit — the IO loop polls this flag every poll round.
+  options.drain_flag = &g_serve_drain;
+  std::signal(SIGTERM, serve_drain_handler);
+  std::signal(SIGINT, serve_drain_handler);
   try {
     ServeServer server(options);
     if (!options.unix_path.empty())
@@ -966,6 +1131,14 @@ int cmd_serve(CliArgs& args) {
     if (server.tcp_port() >= 0)
       std::printf("cograd serve: listening on 127.0.0.1:%d (%d workers)\n",
                   server.tcp_port(), server.workers());
+    if (options.recover) {
+      const ServeStats recovered = server.stats();
+      std::printf(
+          "cograd serve: recovered — %lld done, %lld resumed, %lld rerun\n",
+          static_cast<long long>(recovered.recovered_done),
+          static_cast<long long>(recovered.recovered_resumed),
+          static_cast<long long>(recovered.recovered_rerun));
+    }
     std::fflush(stdout);
     server.run();
     const ServeStats stats = server.stats();
@@ -981,6 +1154,21 @@ int cmd_serve(CliArgs& args) {
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cograd serve: %s\n", e.what());
+    return 1;
+  }
+}
+
+int cmd_crashtest(CliArgs& args) {
+  CrashTestOptions options;
+  options.mode = args.get_string("mode", "run");
+  options.target = args.get_string("target", "ckpt-flip");
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  options.points = static_cast<int>(args.get_int("points", 2));
+  args.finish();
+  try {
+    return run_crashtest(options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cograd crashtest: %s\n", e.what());
     return 1;
   }
 }
@@ -1038,5 +1226,6 @@ int main(int argc, char** argv) {
   if (command == "lint") return cmd_lint(args);
   if (command == "serve") return cmd_serve(args);
   if (command == "loadgen") return cmd_loadgen(args);
+  if (command == "crashtest") return cmd_crashtest(args);
   return usage();
 }
